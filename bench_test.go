@@ -1,0 +1,382 @@
+// Benchmarks: one per table/figure of the paper's evaluation. Each
+// exercises the same code paths as the corresponding internal/bench runner
+// (cmd/dgbench prints the full paper-style series; these give -benchmem
+// per-operation costs).
+//
+//	go test -bench=. -benchmem
+package historygraph_test
+
+import (
+	"sync"
+	"testing"
+
+	"historygraph/internal/analytics"
+	"historygraph/internal/auxindex"
+	"historygraph/internal/baseline"
+	"historygraph/internal/bench"
+	"historygraph/internal/datagen"
+	"historygraph/internal/delta"
+	"historygraph/internal/deltagraph"
+	"historygraph/internal/graph"
+	"historygraph/internal/graphpool"
+	"historygraph/internal/pregel"
+)
+
+const benchScale = 0.5
+
+var (
+	benchOnce sync.Once
+	benchD1   graph.EventList
+	benchD2   graph.EventList
+	benchL    int
+	allAttrs  = graph.MustParseAttrOptions("+node:all+edge:all")
+)
+
+func setup(b *testing.B) (d1, d2 graph.EventList, L int) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchD1, benchD2 = bench.Datasets(benchScale)
+		benchL = int(800 * benchScale)
+	})
+	return benchD1, benchD2, benchL
+}
+
+func mustBuild(b *testing.B, events graph.EventList, opts deltagraph.Options) *deltagraph.DeltaGraph {
+	b.Helper()
+	dg, err := deltagraph.Build(events, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dg
+}
+
+func queryLoop(b *testing.B, events graph.EventList, get func(graph.Time) error) {
+	b.Helper()
+	_, last := events.Span()
+	times := make([]graph.Time, 25)
+	for i := range times {
+		times[i] = last * graph.Time(i+1) / 26
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := get(times[i%len(times)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 compares Copy+Log with DeltaGraph(Intersection) at a
+// matched disk budget (Figure 6).
+func BenchmarkFig6(b *testing.B) {
+	d1, d2, L := setup(b)
+	for _, tc := range []struct {
+		name   string
+		events graph.EventList
+	}{{"D1", d1}, {"D2", d2}} {
+		dg := mustBuild(b, tc.events, deltagraph.Options{LeafSize: L, Arity: 4, Function: delta.Intersection{}})
+		cl, err := baseline.BuildCopyLog(tc.events, L*8, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name+"/CopyLog", func(b *testing.B) {
+			queryLoop(b, tc.events, func(q graph.Time) error { _, e := cl.Snapshot(q, allAttrs); return e })
+		})
+		b.Run(tc.name+"/DeltaGraph", func(b *testing.B) {
+			queryLoop(b, tc.events, func(q graph.Time) error { _, e := dg.GetSnapshot(q, allAttrs); return e })
+		})
+	}
+}
+
+// BenchmarkFig7 compares the in-memory interval tree against DeltaGraph
+// materialization levels (Figure 7).
+func BenchmarkFig7(b *testing.B) {
+	_, d2, L := setup(b)
+	it := baseline.BuildIntervalTree(d2)
+	b.Run("IntervalTree", func(b *testing.B) {
+		queryLoop(b, d2, func(q graph.Time) error { _, e := it.Snapshot(q, allAttrs); return e })
+	})
+	dgGC := mustBuild(b, d2, deltagraph.Options{LeafSize: L, Arity: 4, Function: delta.Intersection{}})
+	if err := dgGC.MaterializeLevel("grandchildren"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("DGGrandchildrenMat", func(b *testing.B) {
+		queryLoop(b, d2, func(q graph.Time) error { _, e := dgGC.GetSnapshot(q, allAttrs); return e })
+	})
+	dgTot := mustBuild(b, d2, deltagraph.Options{LeafSize: L, Arity: 4, Function: delta.Intersection{}})
+	if err := dgTot.MaterializeLevel("leaves"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("DGTotalMat", func(b *testing.B) {
+		queryLoop(b, d2, func(q graph.Time) error { _, e := dgTot.GetSnapshot(q, allAttrs); return e })
+	})
+}
+
+// BenchmarkLogBaseline measures naive Log replay (Section 7 text).
+func BenchmarkLogBaseline(b *testing.B) {
+	d1, _, _ := setup(b)
+	nl, err := baseline.BuildNaiveLog(d1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queryLoop(b, d1, func(q graph.Time) error { _, e := nl.Snapshot(q, allAttrs); return e })
+}
+
+// BenchmarkFig8aGraphPoolOverlay measures retrieval into the GraphPool
+// with overlap exploitation (Figure 8a's workload).
+func BenchmarkFig8aGraphPoolOverlay(b *testing.B) {
+	d1, _, L := setup(b)
+	pool := graphpool.New()
+	dg := mustBuild(b, d1, deltagraph.Options{LeafSize: L, Arity: 4, Function: delta.Intersection{}, Pool: pool})
+	_, last := d1.Span()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := dg.Retrieve(last*graph.Time(i%100+1)/101, allAttrs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pool.Release(id); err != nil {
+			b.Fatal(err)
+		}
+		if i%32 == 31 {
+			pool.CleanNow()
+		}
+	}
+}
+
+// BenchmarkFig8bParallelRetrieval measures partition-parallel fetch
+// (Figure 8b) under a simulated per-read latency.
+func BenchmarkFig8bParallelRetrieval(b *testing.B) {
+	_, d2, L := setup(b)
+	for _, p := range []int{1, 2, 4} {
+		store := bench.WithLatency(p, 30000, 25)
+		dg := mustBuild(b, d2, deltagraph.Options{
+			LeafSize: L, Arity: 4, Function: delta.Intersection{}, Partitions: p, Store: store,
+		})
+		b.Run(map[int]string{1: "P1", 2: "P2", 4: "P4"}[p], func(b *testing.B) {
+			queryLoop(b, d2, func(q graph.Time) error { _, e := dg.GetSnapshot(q, allAttrs); return e })
+		})
+	}
+}
+
+// BenchmarkFig8cMultipoint compares one 5-point multipoint query against
+// five singlepoint queries (Figure 8c).
+func BenchmarkFig8cMultipoint(b *testing.B) {
+	d1, _, L := setup(b)
+	dg := mustBuild(b, d1, deltagraph.Options{LeafSize: L, Arity: 4, Function: delta.Intersection{}})
+	_, last := d1.Span()
+	ts := make([]graph.Time, 5)
+	for i := range ts {
+		ts[i] = last/2 + graph.Time(i)*800
+	}
+	b.Run("Singlepoints", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range ts {
+				if _, err := dg.GetSnapshot(q, allAttrs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("Multipoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dg.GetSnapshots(ts, allAttrs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig8dColumnar compares structure-only with structure+attribute
+// retrieval (Figure 8d).
+func BenchmarkFig8dColumnar(b *testing.B) {
+	_, d2, L := setup(b)
+	dg := mustBuild(b, d2, deltagraph.Options{LeafSize: L, Arity: 4, Function: delta.Intersection{}})
+	b.Run("StructureOnly", func(b *testing.B) {
+		queryLoop(b, d2, func(q graph.Time) error { _, e := dg.GetSnapshot(q, graph.AttrOptions{}); return e })
+	})
+	b.Run("StructurePlusAttrs", func(b *testing.B) {
+		queryLoop(b, d2, func(q graph.Time) error { _, e := dg.GetSnapshot(q, allAttrs); return e })
+	})
+}
+
+// BenchmarkFig9Arity measures query latency across arities (Figure 9a);
+// disk-space numbers come from cmd/dgbench -exp fig9.
+func BenchmarkFig9Arity(b *testing.B) {
+	d1, _, L := setup(b)
+	for _, k := range []int{2, 4, 8} {
+		dg := mustBuild(b, d1, deltagraph.Options{LeafSize: L, Arity: k, Function: delta.Intersection{}})
+		b.Run(map[int]string{2: "K2", 4: "K4", 8: "K8"}[k], func(b *testing.B) {
+			queryLoop(b, d1, func(q graph.Time) error { _, e := dg.GetSnapshot(q, allAttrs); return e })
+		})
+	}
+}
+
+// BenchmarkFig9EventlistSize measures query latency across leaf-eventlist
+// sizes (Figure 9b).
+func BenchmarkFig9EventlistSize(b *testing.B) {
+	d1, _, L := setup(b)
+	for mul, name := range map[int]string{1: "L1x", 4: "L4x"} {
+		dg := mustBuild(b, d1, deltagraph.Options{LeafSize: L * mul, Arity: 4, Function: delta.Intersection{}})
+		b.Run(name, func(b *testing.B) {
+			queryLoop(b, d1, func(q graph.Time) error { _, e := dg.GetSnapshot(q, allAttrs); return e })
+		})
+	}
+}
+
+// BenchmarkFig10Materialization measures retrieval at each materialization
+// depth (Figure 10).
+func BenchmarkFig10Materialization(b *testing.B) {
+	_, d2, L := setup(b)
+	for _, policy := range []string{"none", "root", "children", "grandchildren"} {
+		dg := mustBuild(b, d2, deltagraph.Options{LeafSize: L, Arity: 4, Function: delta.Intersection{}})
+		if policy != "none" {
+			if err := dg.MaterializeLevel(policy); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(policy, func(b *testing.B) {
+			queryLoop(b, d2, func(q graph.Time) error { _, e := dg.GetSnapshot(q, allAttrs); return e })
+		})
+	}
+}
+
+// BenchmarkFig11aDiffFunctions compares Intersection and Balanced
+// retrieval (Figure 11a).
+func BenchmarkFig11aDiffFunctions(b *testing.B) {
+	d1, _, L := setup(b)
+	for _, tc := range []struct {
+		name string
+		fn   delta.Differential
+	}{{"Intersection", delta.Intersection{}}, {"Balanced", delta.Balanced()}} {
+		dg := mustBuild(b, d1, deltagraph.Options{LeafSize: L, Arity: 2, Function: tc.fn})
+		b.Run(tc.name, func(b *testing.B) {
+			queryLoop(b, d1, func(q graph.Time) error { _, e := dg.GetSnapshot(q, allAttrs); return e })
+		})
+	}
+}
+
+// BenchmarkFig11bMixed compares Mixed configurations with the root
+// materialized (Figure 11b), querying the recent end of history.
+func BenchmarkFig11bMixed(b *testing.B) {
+	d1, _, L := setup(b)
+	_, last := d1.Span()
+	for _, tc := range []struct {
+		name string
+		r    float64
+	}{{"R01", 0.1}, {"R09", 0.9}} {
+		dg := mustBuild(b, d1, deltagraph.Options{LeafSize: L, Arity: 2, Function: delta.Mixed{R1: tc.r, R2: tc.r}})
+		if err := dg.MaterializeLevel("root"); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dg.GetSnapshot(last*9/10, allAttrs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDataset3PageRank measures the partitioned retrieval + parallel
+// PageRank pipeline (the Section 7 experimental-setup run).
+func BenchmarkDataset3PageRank(b *testing.B) {
+	events := bench.Dataset3(0.25)
+	dg := mustBuild(b, events, deltagraph.Options{
+		LeafSize: 500, Arity: 4, Function: delta.Intersection{}, Partitions: 5,
+	})
+	_, last := events.Span()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := dg.GetSnapshot(last*3/4, graph.AttrOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pregel.RunPageRank(analytics.FromSnapshot(snap), 5, 10)
+	}
+}
+
+// BenchmarkBitmapPenalty measures PageRank through GraphPool bitmaps vs an
+// extracted copy (Section 7 text: < 7% penalty).
+func BenchmarkBitmapPenalty(b *testing.B) {
+	d1, _, L := setup(b)
+	pool := graphpool.New()
+	dg := mustBuild(b, d1, deltagraph.Options{LeafSize: L, Arity: 4, Function: delta.Intersection{}, Pool: pool})
+	_, last := d1.Span()
+	id, err := dg.Retrieve(last*3/4, graph.AttrOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	view, err := pool.View(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frozen := view.Freeze()
+	plain := analytics.FromSnapshot(view.Snapshot())
+	b.Run("PoolViewBitmaps", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analytics.PageRank(frozen, 0.85, 5)
+		}
+	})
+	b.Run("ExtractedCopy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analytics.PageRank(plain, 0.85, 5)
+		}
+	})
+}
+
+// BenchmarkPatternQuery measures a historical subgraph pattern query over
+// the length-4 path index (Section 4.7).
+func BenchmarkPatternQuery(b *testing.B) {
+	events := datagen.Coauthorship(datagen.CoauthorshipConfig{
+		Authors: 200, Edges: 800, Years: 10, TicksPerYear: 1000, AttrsPerNode: 1, Seed: 14,
+	})
+	var labeled graph.EventList
+	for i, ev := range events {
+		if ev.Type == graph.SetNodeAttr {
+			ev.Attr = "label"
+			ev.New = string(rune('A' + i%6))
+		}
+		labeled = append(labeled, ev)
+	}
+	idx := auxindex.NewPathIndex("label")
+	dg := mustBuild(b, labeled, deltagraph.Options{LeafSize: 300, Arity: 4, AuxIndexes: []deltagraph.AuxIndex{idx}})
+	m := &auxindex.Matcher{DG: dg, Index: idx}
+	pattern := &auxindex.Pattern{
+		Labels: map[graph.NodeID]string{1: "A", 2: "B", 3: "C", 4: "D"},
+		Edges:  [][2]graph.NodeID{{1, 2}, {2, 3}, {3, 4}},
+	}
+	_, last := labeled.Span()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(last, pattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Evolution measures one step of the Figure 1 workload:
+// retrieve a snapshot and compute PageRank ranks.
+func BenchmarkFig1Evolution(b *testing.B) {
+	d1, _, L := setup(b)
+	dg := mustBuild(b, d1, deltagraph.Options{LeafSize: L, Arity: 4, Function: delta.Intersection{}})
+	_, last := d1.Span()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := dg.GetSnapshot(last*graph.Time(i%10+1)/11, graph.AttrOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		analytics.RankOf(analytics.PageRank(analytics.FromSnapshot(snap), 0.85, 5))
+	}
+}
+
+// BenchmarkIndexConstruction measures bulk construction throughput
+// (Section 4.6).
+func BenchmarkIndexConstruction(b *testing.B) {
+	d1, _, L := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustBuild(b, d1, deltagraph.Options{LeafSize: L, Arity: 4, Function: delta.Intersection{}})
+	}
+}

@@ -1,0 +1,53 @@
+// Command dgbench runs the experiment harness: every table and figure of
+// the paper's evaluation, at a configurable scale.
+//
+// Usage:
+//
+//	dgbench [-scale 1.0] [-exp fig6,fig10] [-list]
+//
+// Without -exp it runs the full suite in presentation order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"historygraph/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset scale multiplier (1.0 ~ laptop minutes)")
+	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Order {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := bench.Order
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		run, ok := bench.Experiments[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dgbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := run(bench.Scale(*scale))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dgbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  (%s took %v)\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

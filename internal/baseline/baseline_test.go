@@ -1,0 +1,210 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"historygraph/internal/graph"
+)
+
+// makeTrace mirrors the deltagraph test generator: a well-formed random
+// trace with adds, deletes and attribute churn.
+func makeTrace(seed int64, n int) graph.EventList {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		events    graph.EventList
+		nextNode  graph.NodeID
+		nextEdge  graph.EdgeID
+		liveNodes []graph.NodeID
+		liveEdges []graph.EdgeID
+		edgeInfo  = map[graph.EdgeID]graph.EdgeInfo{}
+		attrs     = map[graph.NodeID]map[string]string{}
+		now       graph.Time
+	)
+	for len(events) < n {
+		now++
+		switch op := rng.Intn(12); {
+		case op < 4 || len(liveNodes) < 2:
+			nextNode++
+			liveNodes = append(liveNodes, nextNode)
+			events = append(events, graph.Event{Type: graph.AddNode, At: now, Node: nextNode})
+		case op < 8:
+			nextEdge++
+			u := liveNodes[rng.Intn(len(liveNodes))]
+			v := liveNodes[rng.Intn(len(liveNodes))]
+			liveEdges = append(liveEdges, nextEdge)
+			edgeInfo[nextEdge] = graph.EdgeInfo{From: u, To: v}
+			events = append(events, graph.Event{Type: graph.AddEdge, At: now, Edge: nextEdge, Node: u, Node2: v})
+		case op < 10:
+			nd := liveNodes[rng.Intn(len(liveNodes))]
+			old, had := attrs[nd]["name"]
+			newv := fmt.Sprintf("v%d", rng.Intn(5))
+			events = append(events, graph.Event{Type: graph.SetNodeAttr, At: now, Node: nd, Attr: "name", Old: old, HadOld: had, New: newv, HasNew: true})
+			if attrs[nd] == nil {
+				attrs[nd] = map[string]string{}
+			}
+			attrs[nd]["name"] = newv
+		default:
+			if len(liveEdges) == 0 {
+				continue
+			}
+			i := rng.Intn(len(liveEdges))
+			e := liveEdges[i]
+			info := edgeInfo[e]
+			liveEdges = append(liveEdges[:i], liveEdges[i+1:]...)
+			events = append(events, graph.Event{Type: graph.DelEdge, At: now, Edge: e, Node: info.From, Node2: info.To})
+		}
+	}
+	return events
+}
+
+var allAttrs = graph.MustParseAttrOptions("+node:all+edge:all")
+
+func stores(t *testing.T, events graph.EventList) []SnapshotStore {
+	t.Helper()
+	it := BuildIntervalTree(events)
+	cl, err := BuildCopyLog(events, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := BuildNaiveLog(events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []SnapshotStore{it, cl, nl}
+}
+
+// Every baseline must agree exactly with reference replay.
+func TestBaselinesMatchReference(t *testing.T) {
+	events := makeTrace(1, 3000)
+	_, last := events.Span()
+	for _, st := range stores(t, events) {
+		st := st
+		t.Run(st.Name(), func(t *testing.T) {
+			for i := 0; i <= 20; i++ {
+				q := last * graph.Time(i) / 20
+				want := graph.SnapshotAt(events, q)
+				got, err := st.Snapshot(q, allAttrs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("%s at t=%d differs (got %d/%d want %d/%d)", st.Name(), q,
+						len(got.Nodes), len(got.Edges), len(want.Nodes), len(want.Edges))
+				}
+			}
+			// Beyond the end and before the beginning.
+			got, err := st.Snapshot(last+100, allAttrs)
+			if err != nil || !got.Equal(graph.SnapshotAt(events, last)) {
+				t.Error("query beyond end differs")
+			}
+			got, err = st.Snapshot(-5, allAttrs)
+			if err != nil || got.Size() != 0 {
+				t.Error("query before start should be empty")
+			}
+		})
+	}
+}
+
+func TestBaselinesStructureOnly(t *testing.T) {
+	events := makeTrace(2, 1500)
+	_, last := events.Span()
+	for _, st := range stores(t, events) {
+		got, err := st.Snapshot(last/2, graph.AttrOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.NodeAttrs) != 0 {
+			t.Errorf("%s returned attributes for structure-only query", st.Name())
+		}
+		want := graph.AttrOptions{}.FilterSnapshot(graph.SnapshotAt(events, last/2))
+		if !got.Equal(want) {
+			t.Errorf("%s structure-only snapshot differs", st.Name())
+		}
+	}
+}
+
+// Property: at random probe times all three approaches agree pairwise.
+func TestBaselinesAgreeRandomized(t *testing.T) {
+	events := makeTrace(3, 2000)
+	_, last := events.Span()
+	ss := stores(t, events)
+	check := func(frac uint16) bool {
+		q := graph.Time(int64(frac) % int64(last+1))
+		ref, err := ss[0].Snapshot(q, allAttrs)
+		if err != nil {
+			return false
+		}
+		for _, st := range ss[1:] {
+			got, err := st.Snapshot(q, allAttrs)
+			if err != nil || !got.Equal(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalTreeAccounting(t *testing.T) {
+	events := makeTrace(4, 1000)
+	it := BuildIntervalTree(events)
+	if it.Len() == 0 {
+		t.Fatal("no intervals")
+	}
+	if it.MemoryBytes() <= 0 || it.DiskBytes() != 0 {
+		t.Error("interval tree accounting wrong")
+	}
+}
+
+func TestIntervalTreeEmptyIntervalFiltered(t *testing.T) {
+	// Node added and deleted at the same timestamp: never visible.
+	events := graph.EventList{
+		{Type: graph.AddNode, At: 5, Node: 1},
+		{Type: graph.DelNode, At: 5, Node: 1},
+		{Type: graph.AddNode, At: 6, Node: 2},
+	}
+	it := BuildIntervalTree(events)
+	s, _ := it.Snapshot(5, allAttrs)
+	if _, ok := s.Nodes[1]; ok {
+		t.Error("zero-length interval visible")
+	}
+	s, _ = it.Snapshot(6, allAttrs)
+	if _, ok := s.Nodes[2]; !ok {
+		t.Error("normal node missing")
+	}
+}
+
+func TestCopyLogAccounting(t *testing.T) {
+	events := makeTrace(5, 1200)
+	cl, err := BuildCopyLog(events, 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Snapshots() < 3 {
+		t.Errorf("snapshots = %d", cl.Snapshots())
+	}
+	if cl.DiskBytes() <= 0 {
+		t.Error("no disk accounting")
+	}
+	// Larger chunks -> fewer snapshots -> less disk.
+	cl2, _ := BuildCopyLog(events, 600, nil)
+	if cl2.DiskBytes() >= cl.DiskBytes() {
+		t.Errorf("chunk=600 uses %d >= chunk=200's %d", cl2.DiskBytes(), cl.DiskBytes())
+	}
+}
+
+func TestNaiveLogAccounting(t *testing.T) {
+	events := makeTrace(6, 1000)
+	nl, err := BuildNaiveLog(events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Len() != 1000 || nl.DiskBytes() <= 0 {
+		t.Error("naive log accounting wrong")
+	}
+}

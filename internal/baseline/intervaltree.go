@@ -1,0 +1,246 @@
+package baseline
+
+import (
+	"sort"
+
+	"historygraph/internal/graph"
+)
+
+// IntervalTree answers valid-timeslice queries with a centered interval
+// tree over element validity intervals — the in-memory comparison point of
+// the paper's Figure 7 (and conceptually the external interval tree of Arge
+// & Vitter cited in Section 4.1). Every node, edge, and attribute value
+// becomes one interval [start, end); a stabbing query at t returns the
+// elements alive at t, from which the snapshot is assembled.
+type IntervalTree struct {
+	root  *itNode
+	size  int
+	bytes int64
+}
+
+// itElem describes what the interval's element contributes to a snapshot.
+type itElem struct {
+	kind graph.ElementKind
+	node graph.NodeID
+	edge graph.EdgeID
+	info graph.EdgeInfo
+	attr string
+	val  string
+}
+
+type itInterval struct {
+	start, end graph.Time // [start, end)
+	elem       itElem
+}
+
+type itNode struct {
+	center      graph.Time
+	left, right *itNode
+	// Intervals crossing the center, sorted by start ascending and by
+	// end descending for efficient stabbing.
+	byStart []itInterval
+	byEnd   []itInterval
+}
+
+// BuildIntervalTree converts a chronological event trace into element
+// validity intervals and builds the tree.
+func BuildIntervalTree(events graph.EventList) *IntervalTree {
+	intervals := intervalsFromEvents(events)
+	// Drop empty intervals (an element added and removed at the same
+	// timestamp is never visible); they would also stall the recursion.
+	kept := intervals[:0]
+	for _, iv := range intervals {
+		if iv.start < iv.end {
+			kept = append(kept, iv)
+		}
+	}
+	intervals = kept
+	t := &IntervalTree{size: len(intervals)}
+	t.root = buildITNode(intervals)
+	// Rough memory estimate: interval struct + strings + tree overhead,
+	// counted twice (byStart + byEnd hold copies).
+	for _, iv := range intervals {
+		t.bytes += 2 * (64 + int64(len(iv.elem.attr)+len(iv.elem.val)))
+	}
+	return t
+}
+
+// intervalsFromEvents derives validity intervals from the event trace.
+func intervalsFromEvents(events graph.EventList) []itInterval {
+	var out []itInterval
+	nodeStart := map[graph.NodeID]graph.Time{}
+	edgeStart := map[graph.EdgeID]graph.Time{}
+	edgeInfo := map[graph.EdgeID]graph.EdgeInfo{}
+	type attrState struct {
+		val   string
+		since graph.Time
+	}
+	nodeAttr := map[graph.NodeID]map[string]attrState{}
+	edgeAttr := map[graph.EdgeID]map[string]attrState{}
+
+	for _, ev := range events {
+		switch ev.Type {
+		case graph.AddNode:
+			nodeStart[ev.Node] = ev.At
+		case graph.DelNode:
+			if start, ok := nodeStart[ev.Node]; ok {
+				out = append(out, itInterval{start, ev.At, itElem{kind: graph.KindNode, node: ev.Node}})
+				delete(nodeStart, ev.Node)
+			}
+		case graph.AddEdge:
+			edgeStart[ev.Edge] = ev.At
+			edgeInfo[ev.Edge] = graph.EdgeInfo{From: ev.Node, To: ev.Node2, Directed: ev.Directed}
+		case graph.DelEdge:
+			if start, ok := edgeStart[ev.Edge]; ok {
+				out = append(out, itInterval{start, ev.At, itElem{kind: graph.KindEdge, edge: ev.Edge, info: edgeInfo[ev.Edge]}})
+				delete(edgeStart, ev.Edge)
+			}
+		case graph.SetNodeAttr:
+			attrs := nodeAttr[ev.Node]
+			if attrs == nil {
+				attrs = map[string]attrState{}
+				nodeAttr[ev.Node] = attrs
+			}
+			if prev, ok := attrs[ev.Attr]; ok {
+				out = append(out, itInterval{prev.since, ev.At, itElem{kind: graph.KindNodeAttr, node: ev.Node, attr: ev.Attr, val: prev.val}})
+				delete(attrs, ev.Attr)
+			}
+			if ev.HasNew {
+				attrs[ev.Attr] = attrState{val: ev.New, since: ev.At}
+			}
+		case graph.SetEdgeAttr:
+			attrs := edgeAttr[ev.Edge]
+			if attrs == nil {
+				attrs = map[string]attrState{}
+				edgeAttr[ev.Edge] = attrs
+			}
+			if prev, ok := attrs[ev.Attr]; ok {
+				out = append(out, itInterval{prev.since, ev.At, itElem{kind: graph.KindEdgeAttr, edge: ev.Edge, node: edgeInfo[ev.Edge].From, attr: ev.Attr, val: prev.val}})
+				delete(attrs, ev.Attr)
+			}
+			if ev.HasNew {
+				attrs[ev.Attr] = attrState{val: ev.New, since: ev.At}
+			}
+		}
+	}
+	// Still-open intervals extend to MaxTime.
+	for n, start := range nodeStart {
+		out = append(out, itInterval{start, graph.MaxTime, itElem{kind: graph.KindNode, node: n}})
+	}
+	for e, start := range edgeStart {
+		out = append(out, itInterval{start, graph.MaxTime, itElem{kind: graph.KindEdge, edge: e, info: edgeInfo[e]}})
+	}
+	for n, attrs := range nodeAttr {
+		for k, st := range attrs {
+			out = append(out, itInterval{st.since, graph.MaxTime, itElem{kind: graph.KindNodeAttr, node: n, attr: k, val: st.val}})
+		}
+	}
+	for e, attrs := range edgeAttr {
+		for k, st := range attrs {
+			out = append(out, itInterval{st.since, graph.MaxTime, itElem{kind: graph.KindEdgeAttr, edge: e, node: edgeInfo[e].From, attr: k, val: st.val}})
+		}
+	}
+	return out
+}
+
+func buildITNode(intervals []itInterval) *itNode {
+	if len(intervals) == 0 {
+		return nil
+	}
+	// Center = median of interval endpoints (bounded to finite times).
+	endpoints := make([]graph.Time, 0, len(intervals))
+	for _, iv := range intervals {
+		endpoints = append(endpoints, iv.start)
+	}
+	sort.Slice(endpoints, func(i, j int) bool { return endpoints[i] < endpoints[j] })
+	center := endpoints[len(endpoints)/2]
+
+	node := &itNode{center: center}
+	var left, right []itInterval
+	for _, iv := range intervals {
+		switch {
+		case iv.end <= center:
+			left = append(left, iv)
+		case iv.start > center:
+			right = append(right, iv)
+		default:
+			node.byStart = append(node.byStart, iv)
+		}
+	}
+	node.byEnd = append(node.byEnd, node.byStart...)
+	sort.Slice(node.byStart, func(i, j int) bool { return node.byStart[i].start < node.byStart[j].start })
+	sort.Slice(node.byEnd, func(i, j int) bool { return node.byEnd[i].end > node.byEnd[j].end })
+	node.left = buildITNode(left)
+	node.right = buildITNode(right)
+	return node
+}
+
+// Name implements SnapshotStore.
+func (t *IntervalTree) Name() string { return "intervaltree" }
+
+// Len returns the number of stored intervals.
+func (t *IntervalTree) Len() int { return t.size }
+
+// Snapshot implements SnapshotStore by a stabbing query at t.
+func (t *IntervalTree) Snapshot(at graph.Time, opts graph.AttrOptions) (*graph.Snapshot, error) {
+	s := graph.NewSnapshot()
+	stab(t.root, at, func(iv itInterval) {
+		switch iv.elem.kind {
+		case graph.KindNode:
+			s.Nodes[iv.elem.node] = struct{}{}
+		case graph.KindEdge:
+			s.Edges[iv.elem.edge] = iv.elem.info
+		case graph.KindNodeAttr:
+			if opts.WantNodeAttr(iv.elem.attr) {
+				if s.NodeAttrs[iv.elem.node] == nil {
+					s.NodeAttrs[iv.elem.node] = map[string]string{}
+				}
+				s.NodeAttrs[iv.elem.node][iv.elem.attr] = iv.elem.val
+			}
+		case graph.KindEdgeAttr:
+			if opts.WantEdgeAttr(iv.elem.attr) {
+				if s.EdgeAttrs[iv.elem.edge] == nil {
+					s.EdgeAttrs[iv.elem.edge] = map[string]string{}
+				}
+				s.EdgeAttrs[iv.elem.edge][iv.elem.attr] = iv.elem.val
+			}
+		}
+	})
+	return s, nil
+}
+
+func stab(n *itNode, at graph.Time, emit func(itInterval)) {
+	for n != nil {
+		switch {
+		case at < n.center:
+			// Crossing intervals with start <= at qualify.
+			for _, iv := range n.byStart {
+				if iv.start > at {
+					break
+				}
+				emit(iv)
+			}
+			n = n.left
+		case at > n.center:
+			// Crossing intervals with end > at qualify.
+			for _, iv := range n.byEnd {
+				if iv.end <= at {
+					break
+				}
+				emit(iv)
+			}
+			n = n.right
+		default:
+			for _, iv := range n.byStart {
+				emit(iv)
+			}
+			return
+		}
+	}
+}
+
+// DiskBytes implements SnapshotStore (the tree is memory-resident).
+func (t *IntervalTree) DiskBytes() int64 { return 0 }
+
+// MemoryBytes implements SnapshotStore.
+func (t *IntervalTree) MemoryBytes() int64 { return t.bytes }

@@ -1,0 +1,229 @@
+// Package bench is the experiment harness: one runner per table/figure of
+// the paper's evaluation (Section 7), each regenerating the same rows or
+// series the paper reports, at a configurable scale. cmd/dgbench prints
+// the results; the repository-root benchmarks wrap the same runners.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"historygraph/internal/datagen"
+	"historygraph/internal/graph"
+	"historygraph/internal/kvstore"
+)
+
+// Scale multiplies dataset sizes. Scale 1 is sized for a laptop run of the
+// full suite in minutes; the paper's absolute sizes (2M–100M events) are
+// reached around scale 25–1000.
+type Scale float64
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a free-text note under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// --- datasets ------------------------------------------------------------
+
+// datasets are generated once per (scale) and shared by runners.
+type datasets struct {
+	d1 graph.EventList // growing-only co-authorship (Dataset 1)
+	d2 graph.EventList // d1 + half-add/half-delete churn (Dataset 2)
+}
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[Scale]*datasets{}
+)
+
+// Datasets returns (building if needed) the shared Dataset 1 and 2 traces
+// at this scale.
+func Datasets(s Scale) (d1, d2 graph.EventList) {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if c, ok := dsCache[s]; ok {
+		return c.d1, c.d2
+	}
+	f := float64(s)
+	d1 = datagen.Coauthorship(datagen.CoauthorshipConfig{
+		Authors: int(2000 * f), Edges: int(12000 * f), Years: 35,
+		TicksPerYear: 10000, AttrsPerNode: 10, Seed: 42,
+	})
+	d2 = datagen.Churn(d1, datagen.ChurnConfig{
+		Adds: int(12000 * f), Dels: int(12000 * f), Ticks: 120000, Seed: 43,
+	})
+	dsCache[s] = &datasets{d1: d1, d2: d2}
+	return d1, d2
+}
+
+// Dataset3 generates the large patent-like trace (not cached: used once).
+func Dataset3(s Scale) graph.EventList {
+	f := float64(s)
+	return datagen.PatentLike(datagen.PatentLikeConfig{
+		Nodes: int(6000 * f), Edges: int(20000 * f),
+		ChurnAdds: int(25000 * f), ChurnDels: int(25000 * f), Seed: 44,
+	})
+}
+
+// uniformTimes returns n uniformly spaced query timepoints across the
+// trace's span.
+func uniformTimes(events graph.EventList, n int) []graph.Time {
+	first, last := events.Span()
+	out := make([]graph.Time, n)
+	for i := range out {
+		out[i] = first + graph.Time(int64(last-first)*int64(i+1)/int64(n+1))
+	}
+	return out
+}
+
+// timeIt measures one call in microseconds.
+func timeIt(fn func() error) (float64, error) {
+	start := time.Now()
+	err := fn()
+	return float64(time.Since(start).Microseconds()), err
+}
+
+func us(v float64) string    { return fmt.Sprintf("%.0f", v) }
+func mb(v int64) string      { return fmt.Sprintf("%.2f", float64(v)/(1<<20)) }
+func ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// latencyStore wraps a Store, adding a byte-proportional delay to every
+// Get — it simulates the disk/network transfer of the paper's EC2 testbed
+// so partition-parallel fetching shows its effect on a small machine: with
+// P partitions each read returns ~1/P of the bytes, so parallel fetches
+// finish ~P times sooner.
+type latencyStore struct {
+	kvstore.Store
+	base    time.Duration // per-read seek cost
+	perByte time.Duration // transfer cost
+}
+
+// WithLatency wraps every partition of a store with a seek + transfer
+// delay per Get.
+func WithLatency(parts int, base, perByte time.Duration) *kvstore.Partitioned {
+	stores := make([]kvstore.Store, parts)
+	for i := range stores {
+		stores[i] = &latencyStore{Store: kvstore.NewMemStore(), base: base, perByte: perByte}
+	}
+	return kvstore.NewPartitioned(stores)
+}
+
+func (l *latencyStore) Get(key []byte) ([]byte, error) {
+	v, err := l.Store.Get(key)
+	time.Sleep(l.base + time.Duration(len(v))*l.perByte)
+	return v, err
+}
+
+// DiskStore creates a compressed FileStore-backed store under a fresh
+// temporary directory — the disk-resident configuration the paper
+// benchmarks (its prototype sat on Kyoto Cabinet files). parts > 1 yields
+// a Partitioned store with one file per partition.
+func DiskStore(parts int) (kvstore.Store, error) {
+	dir, err := os.MkdirTemp("", "histgraph-bench-")
+	if err != nil {
+		return nil, err
+	}
+	open := func(i int) (kvstore.Store, error) {
+		return kvstore.OpenFileStore(filepath.Join(dir, fmt.Sprintf("part%d.log", i)), kvstore.FileOptions{Compress: true})
+	}
+	if parts <= 1 {
+		return open(0)
+	}
+	stores := make([]kvstore.Store, parts)
+	for i := range stores {
+		s, err := open(i)
+		if err != nil {
+			return nil, err
+		}
+		stores[i] = s
+	}
+	return kvstore.NewPartitioned(stores), nil
+}
+
+// CountingStore wraps a Store and counts Get calls and bytes returned —
+// a noise-free proxy for retrieval cost used by the multipoint experiment.
+type CountingStore struct {
+	kvstore.Store
+	mu    sync.Mutex
+	gets  int64
+	bytes int64
+}
+
+// NewCountingStore wraps an in-memory store.
+func NewCountingStore() *CountingStore { return &CountingStore{Store: kvstore.NewMemStore()} }
+
+// Get implements kvstore.Store.
+func (c *CountingStore) Get(key []byte) ([]byte, error) {
+	v, err := c.Store.Get(key)
+	c.mu.Lock()
+	c.gets++
+	c.bytes += int64(len(v))
+	c.mu.Unlock()
+	return v, err
+}
+
+// Reset zeroes the counters.
+func (c *CountingStore) Reset() {
+	c.mu.Lock()
+	c.gets, c.bytes = 0, 0
+	c.mu.Unlock()
+}
+
+// Counts returns (gets, bytes) since the last Reset.
+func (c *CountingStore) Counts() (int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gets, c.bytes
+}

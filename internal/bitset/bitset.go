@@ -1,0 +1,124 @@
+// Package bitset provides the small dynamic bitset used by GraphPool to
+// track, per graph element, which of the active graphs contain it
+// (Section 6 of the paper). The zero value is an empty bitset ready to use.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bits is a growable bitmap. The zero value has all bits clear.
+type Bits struct {
+	words []uint64
+}
+
+// Set sets bit i, growing the bitmap if needed.
+func (b *Bits) Set(i int) {
+	w := i / wordBits
+	for w >= len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	b.words[w] |= 1 << (i % wordBits)
+}
+
+// Clear clears bit i. Clearing a bit beyond the current length is a no-op.
+func (b *Bits) Clear(i int) {
+	w := i / wordBits
+	if w < len(b.words) {
+		b.words[w] &^= 1 << (i % wordBits)
+	}
+}
+
+// Get reports whether bit i is set.
+func (b *Bits) Get(i int) bool {
+	w := i / wordBits
+	return w < len(b.words) && b.words[w]&(1<<(i%wordBits)) != 0
+}
+
+// SetTo sets bit i to v.
+func (b *Bits) SetTo(i int, v bool) {
+	if v {
+		b.Set(i)
+	} else {
+		b.Clear(i)
+	}
+}
+
+// Any reports whether any bit is set.
+func (b *Bits) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyExcept reports whether any bit other than the listed ones is set.
+func (b *Bits) AnyExcept(except ...int) bool {
+	var mask Bits
+	for _, i := range except {
+		mask.Set(i)
+	}
+	for wi, w := range b.words {
+		m := uint64(0)
+		if wi < len(mask.words) {
+			m = mask.words[wi]
+		}
+		if w&^m != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of set bits.
+func (b *Bits) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ClearAll clears every bit, retaining capacity.
+func (b *Bits) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Clone returns a copy of the bitset.
+func (b *Bits) Clone() Bits {
+	c := Bits{words: make([]uint64, len(b.words))}
+	copy(c.words, b.words)
+	return c
+}
+
+// SizeBytes returns the approximate heap footprint of the bitset payload;
+// GraphPool's memory accounting uses it.
+func (b *Bits) SizeBytes() int { return len(b.words) * 8 }
+
+// String renders the set bits as e.g. "{0,3,17}".
+func (b *Bits) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !first {
+				sb.WriteByte(',')
+			}
+			first = false
+			sb.WriteString(strconv.Itoa(wi*wordBits + bit))
+			w &^= 1 << bit
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

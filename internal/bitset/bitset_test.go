@@ -1,0 +1,140 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	var b Bits
+	if b.Get(0) || b.Any() {
+		t.Fatal("zero value must be empty")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(200)
+	for _, i := range []int{0, 63, 64, 200} {
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(199) {
+		t.Error("unset bit reads set")
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d, want 4", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Error("Clear failed")
+	}
+	b.Clear(100000) // beyond length: no-op
+	if b.Count() != 3 {
+		t.Errorf("Count after clear = %d", b.Count())
+	}
+}
+
+func TestSetTo(t *testing.T) {
+	var b Bits
+	b.SetTo(5, true)
+	if !b.Get(5) {
+		t.Error("SetTo(true) failed")
+	}
+	b.SetTo(5, false)
+	if b.Get(5) {
+		t.Error("SetTo(false) failed")
+	}
+}
+
+func TestAnyExcept(t *testing.T) {
+	var b Bits
+	b.Set(3)
+	if b.AnyExcept(3) {
+		t.Error("AnyExcept(3) with only bit 3 set")
+	}
+	if !b.AnyExcept(2) {
+		t.Error("AnyExcept(2) should see bit 3")
+	}
+	b.Set(100)
+	if !b.AnyExcept(3) {
+		t.Error("AnyExcept(3) should see bit 100")
+	}
+	if b.AnyExcept(3, 100) {
+		t.Error("AnyExcept(3,100) should be false")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	var b Bits
+	b.Set(7)
+	c := b.Clone()
+	c.Set(8)
+	if b.Get(8) {
+		t.Error("clone shares storage")
+	}
+	if !c.Get(7) {
+		t.Error("clone lost bit")
+	}
+}
+
+func TestClearAllAndString(t *testing.T) {
+	var b Bits
+	b.Set(0)
+	b.Set(65)
+	if got := b.String(); got != "{0,65}" {
+		t.Errorf("String = %q", got)
+	}
+	b.ClearAll()
+	if b.Any() {
+		t.Error("ClearAll left bits")
+	}
+	if got := b.String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	var b Bits
+	if b.SizeBytes() != 0 {
+		t.Error("empty bitset should report 0 bytes")
+	}
+	b.Set(200)
+	if b.SizeBytes() != 4*8 {
+		t.Errorf("SizeBytes = %d, want 32", b.SizeBytes())
+	}
+}
+
+// Property: a Bits behaves exactly like a map[int]bool under a random
+// operation sequence.
+func TestBitsMatchesMapModel(t *testing.T) {
+	check := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b Bits
+		model := map[int]bool{}
+		for i := 0; i < int(n)+10; i++ {
+			bit := rng.Intn(300)
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(bit)
+				model[bit] = true
+			case 1:
+				b.Clear(bit)
+				delete(model, bit)
+			case 2:
+				if b.Get(bit) != model[bit] {
+					return false
+				}
+			}
+		}
+		count := 0
+		for range model {
+			count++
+		}
+		return b.Count() == count
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package datagen generates the synthetic event traces the experiments
+// run on, mirroring the paper's three datasets (Section 7):
+//
+//   - Dataset 1: a growing-only co-authorship network (DBLP-like): the
+//     network starts empty, authors and co-author edges are only added,
+//     event density grows super-linearly over time, and every node carries
+//     10 random attribute key-value pairs.
+//   - Dataset 2: Dataset 1 as the starting snapshot followed by a random
+//     churn trace of edge additions and deletions in equal number.
+//   - Dataset 3: a large starting snapshot (patent-citation-like) followed
+//     by a long half-add/half-delete churn trace.
+//
+// A constant-rate trace generator supports the Section 5 analytical-model
+// validation. All generators are deterministic in their seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"historygraph/internal/graph"
+)
+
+// CoauthorshipConfig sizes a Dataset 1 style trace.
+type CoauthorshipConfig struct {
+	// Authors is the total number of author nodes added over the trace.
+	Authors int
+	// Edges is the total number of co-author edges added.
+	Edges int
+	// Years is the time span; event density in year y grows like
+	// (y+1)^2, matching the paper's super-linear g(t).
+	Years int
+	// TicksPerYear scales timestamps (default 1000).
+	TicksPerYear int
+	// AttrsPerNode random key-value pairs per author (paper: 10).
+	AttrsPerNode int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// Coauthorship generates a growing-only co-authorship trace.
+func Coauthorship(cfg CoauthorshipConfig) graph.EventList {
+	if cfg.TicksPerYear == 0 {
+		cfg.TicksPerYear = 1000
+	}
+	if cfg.AttrsPerNode == 0 {
+		cfg.AttrsPerNode = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Super-linear density: cumulative share of events by year y is
+	// proportional to sum_{i<=y} i^2.
+	weights := make([]float64, cfg.Years)
+	var totalW float64
+	for y := range weights {
+		weights[y] = float64((y + 1) * (y + 1))
+		totalW += weights[y]
+	}
+	totalOps := cfg.Authors + cfg.Edges
+	var events graph.EventList
+	var authors []graph.NodeID
+	nextNode := graph.NodeID(0)
+	nextEdge := graph.EdgeID(0)
+	degree := map[graph.NodeID]int{}
+	opsDone := 0
+	for y := 0; y < cfg.Years; y++ {
+		opsThisYear := int(math.Round(float64(totalOps) * weights[y] / totalW))
+		if y == cfg.Years-1 {
+			opsThisYear = totalOps - opsDone
+		}
+		for i := 0; i < opsThisYear && opsDone < totalOps; i++ {
+			// Spread the year's events evenly over its ticks; generation
+			// order is preserved so edges never precede their endpoints.
+			at := graph.Time(y*cfg.TicksPerYear + i*cfg.TicksPerYear/max(opsThisYear, 1))
+			// Authors arrive in proportion to their share of ops.
+			addAuthor := len(authors) < 2 || rng.Intn(totalOps) < cfg.Authors
+			if addAuthor && int(nextNode) < cfg.Authors {
+				nextNode++
+				authors = append(authors, nextNode)
+				events = append(events, graph.Event{Type: graph.AddNode, At: at, Node: nextNode})
+				for a := 0; a < cfg.AttrsPerNode; a++ {
+					events = append(events, graph.Event{
+						Type: graph.SetNodeAttr, At: at, Node: nextNode,
+						Attr: fmt.Sprintf("k%d", a),
+						New:  fmt.Sprintf("v%d", rng.Intn(1000)), HasNew: true,
+					})
+				}
+			} else {
+				// Preferential attachment: one endpoint biased by
+				// degree, the other uniform.
+				u := pickPreferential(rng, authors, degree)
+				v := authors[rng.Intn(len(authors))]
+				if u == v {
+					continue
+				}
+				nextEdge++
+				degree[u]++
+				degree[v]++
+				events = append(events, graph.Event{Type: graph.AddEdge, At: at, Edge: nextEdge, Node: u, Node2: v})
+			}
+			opsDone++
+		}
+	}
+	return events
+}
+
+func pickPreferential(rng *rand.Rand, authors []graph.NodeID, degree map[graph.NodeID]int) graph.NodeID {
+	// Sampling by (degree+1) via rejection; bounded attempts keep it fast.
+	for i := 0; i < 8; i++ {
+		cand := authors[rng.Intn(len(authors))]
+		if rng.Intn(8) < degree[cand]+1 {
+			return cand
+		}
+	}
+	return authors[rng.Intn(len(authors))]
+}
+
+// ChurnConfig sizes the Dataset 2/3 style continuation trace.
+type ChurnConfig struct {
+	// Adds and Dels are the numbers of edge additions and deletions.
+	Adds, Dels int
+	// Ticks is the duration of the churn phase.
+	Ticks int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// Churn appends a randomized add/delete trace after a base trace: the
+// paper's Dataset 2 (1M adds + 1M deletes after Dataset 1). Deletions pick
+// random live edges; additions connect random live nodes. The returned
+// list is the concatenation base + churn.
+func Churn(base graph.EventList, cfg ChurnConfig) graph.EventList {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := graph.NewSnapshot()
+	s.ApplyAll(base)
+	var nodes []graph.NodeID
+	for n := range s.Nodes {
+		nodes = append(nodes, n)
+	}
+	sortNodeIDs(nodes)
+	type liveEdge struct {
+		id   graph.EdgeID
+		info graph.EdgeInfo
+	}
+	var live []liveEdge
+	maxEdge := graph.EdgeID(0)
+	for e, info := range s.Edges {
+		live = append(live, liveEdge{e, info})
+		if e > maxEdge {
+			maxEdge = e
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	_, lastBase := base.Span()
+	out := append(graph.EventList{}, base...)
+	total := cfg.Adds + cfg.Dels
+	if cfg.Ticks == 0 {
+		cfg.Ticks = total
+	}
+	adds, dels := cfg.Adds, cfg.Dels
+	for i := 0; i < total; i++ {
+		at := lastBase + 1 + graph.Time(int64(i)*int64(cfg.Ticks)/int64(total))
+		doDel := dels > 0 && len(live) > 0 && (adds == 0 || rng.Intn(adds+dels) < dels)
+		if doDel {
+			j := rng.Intn(len(live))
+			e := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			out = append(out, graph.Event{Type: graph.DelEdge, At: at, Edge: e.id, Node: e.info.From, Node2: e.info.To, Directed: e.info.Directed})
+			dels--
+		} else if adds > 0 {
+			u := nodes[rng.Intn(len(nodes))]
+			v := nodes[rng.Intn(len(nodes))]
+			if u == v {
+				v = nodes[int((graph.HashNode(u)+1)%uint64(len(nodes)))]
+			}
+			maxEdge++
+			live = append(live, liveEdge{maxEdge, graph.EdgeInfo{From: u, To: v}})
+			out = append(out, graph.Event{Type: graph.AddEdge, At: at, Edge: maxEdge, Node: u, Node2: v})
+			adds--
+		}
+	}
+	return out
+}
+
+// PatentLikeConfig sizes a Dataset 3 style trace.
+type PatentLikeConfig struct {
+	// Nodes and Edges size the starting snapshot.
+	Nodes, Edges int
+	// ChurnAdds and ChurnDels follow it.
+	ChurnAdds, ChurnDels int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// PatentLike generates a large starting snapshot (all at t=0) followed by
+// an equal-adds-and-deletes churn trace.
+func PatentLike(cfg PatentLikeConfig) graph.EventList {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var events graph.EventList
+	for i := 1; i <= cfg.Nodes; i++ {
+		events = append(events, graph.Event{Type: graph.AddNode, At: 0, Node: graph.NodeID(i)})
+	}
+	for e := 1; e <= cfg.Edges; e++ {
+		u := graph.NodeID(rng.Intn(cfg.Nodes) + 1)
+		v := graph.NodeID(rng.Intn(cfg.Nodes) + 1)
+		if u == v {
+			v = graph.NodeID(int(v)%cfg.Nodes + 1)
+		}
+		events = append(events, graph.Event{Type: graph.AddEdge, At: 0, Edge: graph.EdgeID(e), Node: u, Node2: v, Directed: true})
+	}
+	return Churn(events, ChurnConfig{Adds: cfg.ChurnAdds, Dels: cfg.ChurnDels, Seed: cfg.Seed + 1})
+}
+
+// ConstantRateConfig drives the Section 5 model-validation trace.
+type ConstantRateConfig struct {
+	// G0Nodes and G0Edges size the initial graph (emitted at t=0).
+	G0Nodes, G0Edges int
+	// Events is |E|, the number of events after G0.
+	Events int
+	// DeltaStar and RhoStar are the paper's δ* and ρ*: the fractions of
+	// events that insert and delete elements (δ*+ρ* <= 1; the remainder
+	// are transient events).
+	DeltaStar, RhoStar float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+// ConstantRate emits a trace with constant insert/delete rates, one event
+// per tick, for validating the analytical models. Inserted and deleted
+// elements are edges, so |G| changes by exactly one element per
+// non-transient event.
+func ConstantRate(cfg ConstantRateConfig) graph.EventList {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var events graph.EventList
+	for i := 1; i <= cfg.G0Nodes; i++ {
+		events = append(events, graph.Event{Type: graph.AddNode, At: 0, Node: graph.NodeID(i)})
+	}
+	type liveEdge struct {
+		id   graph.EdgeID
+		info graph.EdgeInfo
+	}
+	var live []liveEdge
+	nextEdge := graph.EdgeID(0)
+	addEdge := func(at graph.Time) {
+		u := graph.NodeID(rng.Intn(cfg.G0Nodes) + 1)
+		v := graph.NodeID(rng.Intn(cfg.G0Nodes) + 1)
+		if u == v {
+			v = graph.NodeID(int(v)%cfg.G0Nodes + 1)
+		}
+		nextEdge++
+		live = append(live, liveEdge{nextEdge, graph.EdgeInfo{From: u, To: v}})
+		events = append(events, graph.Event{Type: graph.AddEdge, At: at, Edge: nextEdge, Node: u, Node2: v})
+	}
+	for e := 0; e < cfg.G0Edges; e++ {
+		addEdge(0)
+	}
+	for i := 1; i <= cfg.Events; i++ {
+		at := graph.Time(i)
+		r := rng.Float64()
+		switch {
+		case r < cfg.DeltaStar:
+			addEdge(at)
+		case r < cfg.DeltaStar+cfg.RhoStar && len(live) > 0:
+			j := rng.Intn(len(live))
+			e := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			events = append(events, graph.Event{Type: graph.DelEdge, At: at, Edge: e.id, Node: e.info.From, Node2: e.info.To})
+		default:
+			u := graph.NodeID(rng.Intn(cfg.G0Nodes) + 1)
+			events = append(events, graph.Event{Type: graph.TransientEdge, At: at, Edge: graph.EdgeID(1<<40) + graph.EdgeID(i), Node: u, Node2: u})
+		}
+	}
+	return events
+}
+
+// The live-edge and node slices are rebuilt from maps, whose iteration
+// order is randomized per process; sorting restores seed-determinism.
+func sortNodeIDs(ids []graph.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

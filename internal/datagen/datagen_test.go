@@ -1,0 +1,168 @@
+package datagen
+
+import (
+	"testing"
+
+	"historygraph/internal/graph"
+)
+
+func TestCoauthorshipGrowingOnly(t *testing.T) {
+	events := Coauthorship(CoauthorshipConfig{Authors: 300, Edges: 1200, Years: 10, Seed: 1})
+	if !events.Sorted() {
+		t.Fatal("trace not chronological")
+	}
+	if err := events.Validate(nil); err != nil {
+		t.Fatalf("trace malformed: %v", err)
+	}
+	var adds, dels, attrs int
+	for _, ev := range events {
+		switch ev.Type {
+		case graph.AddNode, graph.AddEdge:
+			adds++
+		case graph.DelNode, graph.DelEdge:
+			dels++
+		case graph.SetNodeAttr:
+			attrs++
+		}
+	}
+	if dels != 0 {
+		t.Errorf("growing-only trace has %d deletions", dels)
+	}
+	if attrs < 10*250 {
+		t.Errorf("attr events = %d; every author should get 10", attrs)
+	}
+	s := graph.NewSnapshot()
+	s.ApplyAll(events)
+	if len(s.Nodes) != 300 {
+		t.Errorf("final nodes = %d, want 300", len(s.Nodes))
+	}
+	if len(s.Edges) == 0 {
+		t.Error("no edges generated")
+	}
+}
+
+func TestCoauthorshipSuperlinearDensity(t *testing.T) {
+	cfg := CoauthorshipConfig{Authors: 500, Edges: 3000, Years: 10, TicksPerYear: 1000, Seed: 2}
+	events := Coauthorship(cfg)
+	// Events in the last year must outnumber events in the first year by
+	// a large factor (density ~ (y+1)^2 → factor ~100 ideally).
+	firstYear, lastYear := 0, 0
+	for _, ev := range events {
+		y := int(ev.At) / cfg.TicksPerYear
+		if y == 0 {
+			firstYear++
+		}
+		if y == cfg.Years-1 {
+			lastYear++
+		}
+	}
+	if lastYear < 10*firstYear {
+		t.Errorf("density not super-linear: first year %d, last year %d", firstYear, lastYear)
+	}
+}
+
+func TestCoauthorshipDeterministic(t *testing.T) {
+	cfg := CoauthorshipConfig{Authors: 100, Edges: 300, Years: 5, Seed: 7}
+	a := Coauthorship(cfg)
+	b := Coauthorship(cfg)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestChurn(t *testing.T) {
+	base := Coauthorship(CoauthorshipConfig{Authors: 200, Edges: 800, Years: 5, Seed: 3})
+	full := Churn(base, ChurnConfig{Adds: 500, Dels: 500, Seed: 4})
+	if !full.Sorted() {
+		t.Fatal("churn trace not chronological")
+	}
+	if err := full.Validate(nil); err != nil {
+		t.Fatalf("churn trace malformed: %v", err)
+	}
+	var adds, dels int
+	for _, ev := range full[len(base):] {
+		switch ev.Type {
+		case graph.AddEdge:
+			adds++
+		case graph.DelEdge:
+			dels++
+		}
+	}
+	if adds != 500 || dels != 500 {
+		t.Errorf("churn adds=%d dels=%d, want 500/500", adds, dels)
+	}
+	// Deterministic.
+	again := Churn(base, ChurnConfig{Adds: 500, Dels: 500, Seed: 4})
+	for i := range full {
+		if full[i] != again[i] {
+			t.Fatal("churn not deterministic")
+		}
+	}
+}
+
+func TestPatentLike(t *testing.T) {
+	events := PatentLike(PatentLikeConfig{Nodes: 500, Edges: 2000, ChurnAdds: 300, ChurnDels: 300, Seed: 5})
+	if err := events.Validate(nil); err != nil {
+		t.Fatalf("trace malformed: %v", err)
+	}
+	s := graph.NewSnapshot()
+	s.ApplyAll(events)
+	if len(s.Nodes) != 500 {
+		t.Errorf("nodes = %d", len(s.Nodes))
+	}
+	if len(s.Edges) != 2000 {
+		t.Errorf("final edges = %d, want 2000 (adds == dels)", len(s.Edges))
+	}
+}
+
+func TestConstantRate(t *testing.T) {
+	cfg := ConstantRateConfig{G0Nodes: 200, G0Edges: 1000, Events: 4000, DeltaStar: 0.4, RhoStar: 0.4, Seed: 6}
+	events := ConstantRate(cfg)
+	if err := events.Validate(nil); err != nil {
+		t.Fatalf("trace malformed: %v", err)
+	}
+	var adds, dels, trans int
+	for _, ev := range events {
+		if ev.At == 0 {
+			continue // G0
+		}
+		switch ev.Type {
+		case graph.AddEdge:
+			adds++
+		case graph.DelEdge:
+			dels++
+		case graph.TransientEdge:
+			trans++
+		}
+	}
+	// Rates within 10% of nominal.
+	if float64(adds) < 0.35*4000 || float64(adds) > 0.45*4000 {
+		t.Errorf("adds = %d, want ~1600", adds)
+	}
+	if float64(dels) < 0.35*4000 || float64(dels) > 0.45*4000 {
+		t.Errorf("dels = %d, want ~1600", dels)
+	}
+	if trans == 0 {
+		t.Error("no transient events")
+	}
+	// One event per tick: timestamps strictly increase after t=0.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("not chronological")
+		}
+	}
+}
+
+func TestConstantRateGrowingOnly(t *testing.T) {
+	events := ConstantRate(ConstantRateConfig{G0Nodes: 100, G0Edges: 500, Events: 2000, DeltaStar: 1, RhoStar: 0, Seed: 8})
+	s := graph.NewSnapshot()
+	s.ApplyAll(events)
+	if len(s.Edges) != 2500 {
+		t.Errorf("edges = %d, want 2500", len(s.Edges))
+	}
+}

@@ -1,0 +1,391 @@
+package delta
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"historygraph/internal/graph"
+)
+
+// This file is the compact binary codec for delta columns and eventlists —
+// the byte payloads stored in the key-value store. Integers use varint
+// encoding; strings are length-prefixed. Each payload begins with a one-byte
+// format tag so layouts can evolve.
+
+const (
+	tagStructCol   byte = 0x01
+	tagNodeAttrCol byte = 0x02
+	tagEdgeAttrCol byte = 0x03
+	tagEvents      byte = 0x04
+)
+
+// ErrCorrupt is returned when a payload cannot be decoded.
+var ErrCorrupt = errors.New("delta: corrupt payload")
+
+type writer struct{ buf []byte }
+
+func (w *writer) byte(b byte)      { w.buf = append(w.buf, b) }
+func (w *writer) uvarint(x uint64) { w.buf = binary.AppendUvarint(w.buf, x) }
+func (w *writer) varint(x int64)   { w.buf = binary.AppendVarint(w.buf, x) }
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) bool(b bool) {
+	if b {
+		w.byte(1)
+	} else {
+		w.byte(0)
+	}
+}
+
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, ErrCorrupt
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	r.off += n
+	return x, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	x, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	r.off += n
+	return x, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if r.off+int(n) > len(r.b) {
+		return "", ErrCorrupt
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *reader) bool() (bool, error) {
+	b, err := r.byte()
+	return b != 0, err
+}
+
+// EncodeStructCol encodes the structure column of a delta.
+func EncodeStructCol(d *Delta) []byte {
+	w := &writer{buf: make([]byte, 0, 16+8*(len(d.AddNodes)+len(d.DelNodes))+16*(len(d.AddEdges)+len(d.DelEdges)))}
+	w.byte(tagStructCol)
+	w.uvarint(uint64(len(d.AddNodes)))
+	for _, n := range d.AddNodes {
+		w.varint(int64(n))
+	}
+	w.uvarint(uint64(len(d.DelNodes)))
+	for _, n := range d.DelNodes {
+		w.varint(int64(n))
+	}
+	encEdges := func(edges []EdgeRec) {
+		w.uvarint(uint64(len(edges)))
+		for _, e := range edges {
+			w.varint(int64(e.ID))
+			w.varint(int64(e.From))
+			w.varint(int64(e.To))
+			w.bool(e.Directed)
+		}
+	}
+	encEdges(d.AddEdges)
+	encEdges(d.DelEdges)
+	return w.buf
+}
+
+// DecodeStructCol decodes a structure column into d.
+func DecodeStructCol(b []byte, d *Delta) error {
+	r := &reader{b: b}
+	tag, err := r.byte()
+	if err != nil || tag != tagStructCol {
+		return fmt.Errorf("%w: bad struct column tag", ErrCorrupt)
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	d.AddNodes = make([]graph.NodeID, n)
+	for i := range d.AddNodes {
+		v, err := r.varint()
+		if err != nil {
+			return err
+		}
+		d.AddNodes[i] = graph.NodeID(v)
+	}
+	if n, err = r.uvarint(); err != nil {
+		return err
+	}
+	d.DelNodes = make([]graph.NodeID, n)
+	for i := range d.DelNodes {
+		v, err := r.varint()
+		if err != nil {
+			return err
+		}
+		d.DelNodes[i] = graph.NodeID(v)
+	}
+	decEdges := func() ([]EdgeRec, error) {
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		edges := make([]EdgeRec, n)
+		for i := range edges {
+			id, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			from, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			to, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			dir, err := r.bool()
+			if err != nil {
+				return nil, err
+			}
+			edges[i] = EdgeRec{ID: graph.EdgeID(id), From: graph.NodeID(from), To: graph.NodeID(to), Directed: dir}
+		}
+		return edges, nil
+	}
+	if d.AddEdges, err = decEdges(); err != nil {
+		return err
+	}
+	d.DelEdges, err = decEdges()
+	return err
+}
+
+// EncodeNodeAttrCol encodes the node-attribute column of a delta.
+func EncodeNodeAttrCol(d *Delta) []byte {
+	w := &writer{}
+	w.byte(tagNodeAttrCol)
+	enc := func(recs []NodeAttrRec, withVal bool) {
+		w.uvarint(uint64(len(recs)))
+		for _, rec := range recs {
+			w.varint(int64(rec.Node))
+			w.str(rec.Attr)
+			if withVal {
+				w.str(rec.Val)
+			}
+		}
+	}
+	enc(d.SetNodeAttrs, true)
+	enc(d.DelNodeAttrs, false)
+	return w.buf
+}
+
+// DecodeNodeAttrCol decodes a node-attribute column into d.
+func DecodeNodeAttrCol(b []byte, d *Delta) error {
+	r := &reader{b: b}
+	tag, err := r.byte()
+	if err != nil || tag != tagNodeAttrCol {
+		return fmt.Errorf("%w: bad nodeattr column tag", ErrCorrupt)
+	}
+	dec := func(withVal bool) ([]NodeAttrRec, error) {
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		recs := make([]NodeAttrRec, n)
+		for i := range recs {
+			id, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			attr, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			rec := NodeAttrRec{Node: graph.NodeID(id), Attr: attr}
+			if withVal {
+				if rec.Val, err = r.str(); err != nil {
+					return nil, err
+				}
+			}
+			recs[i] = rec
+		}
+		return recs, nil
+	}
+	if d.SetNodeAttrs, err = dec(true); err != nil {
+		return err
+	}
+	d.DelNodeAttrs, err = dec(false)
+	return err
+}
+
+// EncodeEdgeAttrCol encodes the edge-attribute column of a delta.
+func EncodeEdgeAttrCol(d *Delta) []byte {
+	w := &writer{}
+	w.byte(tagEdgeAttrCol)
+	enc := func(recs []EdgeAttrRec, withVal bool) {
+		w.uvarint(uint64(len(recs)))
+		for _, rec := range recs {
+			w.varint(int64(rec.Edge))
+			w.varint(int64(rec.From))
+			w.str(rec.Attr)
+			if withVal {
+				w.str(rec.Val)
+			}
+		}
+	}
+	enc(d.SetEdgeAttrs, true)
+	enc(d.DelEdgeAttrs, false)
+	return w.buf
+}
+
+// DecodeEdgeAttrCol decodes an edge-attribute column into d.
+func DecodeEdgeAttrCol(b []byte, d *Delta) error {
+	r := &reader{b: b}
+	tag, err := r.byte()
+	if err != nil || tag != tagEdgeAttrCol {
+		return fmt.Errorf("%w: bad edgeattr column tag", ErrCorrupt)
+	}
+	dec := func(withVal bool) ([]EdgeAttrRec, error) {
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		recs := make([]EdgeAttrRec, n)
+		for i := range recs {
+			id, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			from, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			attr, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			rec := EdgeAttrRec{Edge: graph.EdgeID(id), From: graph.NodeID(from), Attr: attr}
+			if withVal {
+				if rec.Val, err = r.str(); err != nil {
+					return nil, err
+				}
+			}
+			recs[i] = rec
+		}
+		return recs, nil
+	}
+	if d.SetEdgeAttrs, err = dec(true); err != nil {
+		return err
+	}
+	d.DelEdgeAttrs, err = dec(false)
+	return err
+}
+
+// EncodeEvents encodes a run of events (one column of a leaf-eventlist, or
+// a recent-eventlist segment).
+func EncodeEvents(events []graph.Event) []byte {
+	w := &writer{buf: make([]byte, 0, 1+16*len(events))}
+	w.byte(tagEvents)
+	w.uvarint(uint64(len(events)))
+	for _, ev := range events {
+		w.byte(byte(ev.Type))
+		w.varint(int64(ev.At))
+		w.varint(int64(ev.Node))
+		w.varint(int64(ev.Node2))
+		w.varint(int64(ev.Edge))
+		var flags byte
+		if ev.Directed {
+			flags |= 1
+		}
+		if ev.HadOld {
+			flags |= 2
+		}
+		if ev.HasNew {
+			flags |= 4
+		}
+		w.byte(flags)
+		w.str(ev.Attr)
+		w.str(ev.Old)
+		w.str(ev.New)
+	}
+	return w.buf
+}
+
+// DecodeEvents decodes a run of events encoded by EncodeEvents.
+func DecodeEvents(b []byte) ([]graph.Event, error) {
+	r := &reader{b: b}
+	tag, err := r.byte()
+	if err != nil || tag != tagEvents {
+		return nil, fmt.Errorf("%w: bad events tag", ErrCorrupt)
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	events := make([]graph.Event, n)
+	for i := range events {
+		typ, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		at, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		node, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		node2, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		edge, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		attr, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		old, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		newv, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		events[i] = graph.Event{
+			Type: graph.EventType(typ), At: graph.Time(at),
+			Node: graph.NodeID(node), Node2: graph.NodeID(node2), Edge: graph.EdgeID(edge),
+			Directed: flags&1 != 0, HadOld: flags&2 != 0, HasNew: flags&4 != 0,
+			Attr: attr, Old: old, New: newv,
+		}
+	}
+	return events, nil
+}

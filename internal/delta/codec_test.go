@@ -1,0 +1,104 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"historygraph/internal/graph"
+)
+
+// Property: every delta column round-trips through the codec.
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomSnapshot(rng)
+		tgt := randomSnapshot(rng)
+		d := Compute(tgt, src)
+
+		var got Delta
+		if err := DecodeStructCol(EncodeStructCol(d), &got); err != nil {
+			return false
+		}
+		if err := DecodeNodeAttrCol(EncodeNodeAttrCol(d), &got); err != nil {
+			return false
+		}
+		if err := DecodeEdgeAttrCol(EncodeEdgeAttrCol(d), &got); err != nil {
+			return false
+		}
+		// The decoded delta must have the same effect.
+		want := src.Clone()
+		d.Apply(want)
+		out := src.Clone()
+		got.Apply(out)
+		return out.Equal(want) && got.Len() == d.Len()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventsCodecRoundTrip(t *testing.T) {
+	events := []graph.Event{
+		{Type: graph.AddNode, At: 1, Node: 100},
+		{Type: graph.AddEdge, At: 2, Edge: 5, Node: 100, Node2: -3, Directed: true},
+		{Type: graph.SetNodeAttr, At: 3, Node: 100, Attr: "name", Old: "", New: "alice", HasNew: true},
+		{Type: graph.SetNodeAttr, At: 4, Node: 100, Attr: "name", Old: "alice", HadOld: true, New: "bob", HasNew: true},
+		{Type: graph.SetEdgeAttr, At: 5, Edge: 5, Node: 100, Node2: -3, Attr: "w", New: "9", HasNew: true},
+		{Type: graph.TransientEdge, At: 6, Edge: 1 << 40, Node: 1, Node2: 2},
+		{Type: graph.DelEdge, At: 7, Edge: 5, Node: 100, Node2: -3, Directed: true},
+		{Type: graph.DelNode, At: 8, Node: 100},
+	}
+	got, err := DecodeEvents(EncodeEvents(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("len = %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestEventsCodecEmpty(t *testing.T) {
+	got, err := DecodeEvents(EncodeEvents(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestCodecRejectsCorruptInput(t *testing.T) {
+	d := &Delta{AddNodes: []graph.NodeID{1, 2, 3}}
+	buf := EncodeStructCol(d)
+
+	var out Delta
+	if err := DecodeStructCol(buf[:len(buf)-2], &out); err == nil {
+		t.Error("truncated struct column accepted")
+	}
+	if err := DecodeStructCol(nil, &out); err == nil {
+		t.Error("nil struct column accepted")
+	}
+	if err := DecodeNodeAttrCol(buf, &out); err == nil {
+		t.Error("wrong column tag accepted")
+	}
+	if _, err := DecodeEvents([]byte{tagEvents, 0xff, 0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("implausible event count accepted")
+	}
+	if _, err := DecodeEvents([]byte{0x77}); err == nil {
+		t.Error("wrong events tag accepted")
+	}
+}
+
+func TestCodecStringsWithSpecialBytes(t *testing.T) {
+	d := &Delta{SetNodeAttrs: []NodeAttrRec{{Node: 1, Attr: "bin\x00attr", Val: "val\xffue\n"}}}
+	var got Delta
+	if err := DecodeNodeAttrCol(EncodeNodeAttrCol(d), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.SetNodeAttrs[0] != d.SetNodeAttrs[0] {
+		t.Error("binary-safe strings did not round-trip")
+	}
+}

@@ -1,0 +1,151 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"historygraph/internal/graph"
+)
+
+// randomSnapshot builds a random snapshot over a bounded ID universe so
+// that pairs of snapshots overlap.
+func randomSnapshot(rng *rand.Rand) *graph.Snapshot {
+	s := graph.NewSnapshot()
+	attrs := []string{"a", "b", "c"}
+	vals := []string{"x", "y", "z"}
+	for n := graph.NodeID(1); n <= 30; n++ {
+		if rng.Intn(2) == 0 {
+			s.Nodes[n] = struct{}{}
+			for _, a := range attrs {
+				if rng.Intn(3) == 0 {
+					if s.NodeAttrs[n] == nil {
+						s.NodeAttrs[n] = map[string]string{}
+					}
+					s.NodeAttrs[n][a] = vals[rng.Intn(len(vals))]
+				}
+			}
+		}
+	}
+	// Endpoints are a deterministic function of the edge ID: IDs are never
+	// reused in real traces, so the same ID always has the same info even
+	// across independently generated snapshots.
+	for e := graph.EdgeID(1); e <= 40; e++ {
+		if rng.Intn(2) == 0 {
+			u := graph.NodeID(1 + (int(e)*13)%30)
+			v := graph.NodeID(1 + (int(e)*7)%30)
+			s.Edges[e] = graph.EdgeInfo{From: u, To: v, Directed: e%2 == 0}
+			for _, a := range attrs {
+				if rng.Intn(4) == 0 {
+					if s.EdgeAttrs[e] == nil {
+						s.EdgeAttrs[e] = map[string]string{}
+					}
+					s.EdgeAttrs[e][a] = vals[rng.Intn(len(vals))]
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Property: apply(∆(T, S), S) == T for random snapshot pairs.
+func TestComputeApplyRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomSnapshot(rng)
+		tgt := randomSnapshot(rng)
+		d := Compute(tgt, src)
+		got := src.Clone()
+		d.Apply(got)
+		return got.Equal(tgt)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeEmptyDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randomSnapshot(rng)
+	d := Compute(s, s)
+	if d.Len() != 0 {
+		t.Errorf("∆(S,S).Len() = %d, want 0", d.Len())
+	}
+}
+
+func TestDeltaLens(t *testing.T) {
+	src := graph.NewSnapshot()
+	tgt := graph.NewSnapshot()
+	tgt.Apply(graph.Event{Type: graph.AddNode, Node: 1})
+	tgt.Apply(graph.Event{Type: graph.AddNode, Node: 2})
+	tgt.Apply(graph.Event{Type: graph.AddEdge, Edge: 1, Node: 1, Node2: 2})
+	tgt.Apply(graph.Event{Type: graph.SetNodeAttr, Node: 1, Attr: "a", New: "v", HasNew: true})
+	tgt.Apply(graph.Event{Type: graph.SetEdgeAttr, Edge: 1, Attr: "w", New: "1", HasNew: true})
+	d := Compute(tgt, src)
+	if d.StructLen() != 3 || d.NodeAttrLen() != 1 || d.EdgeAttrLen() != 1 || d.Len() != 5 {
+		t.Errorf("lens: struct=%d nodeattr=%d edgeattr=%d total=%d",
+			d.StructLen(), d.NodeAttrLen(), d.EdgeAttrLen(), d.Len())
+	}
+}
+
+func TestFromSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randomSnapshot(rng)
+	got := graph.NewSnapshot()
+	FromSnapshot(s).Apply(got)
+	if !got.Equal(s) {
+		t.Error("FromSnapshot delta does not rebuild snapshot")
+	}
+}
+
+// Property: the partition-local pieces of a delta, applied in any order,
+// reproduce the whole delta's effect.
+func TestSplitCoversDelta(t *testing.T) {
+	check := func(seed int64, pRaw uint8) bool {
+		p := int(pRaw)%4 + 1
+		rng := rand.New(rand.NewSource(seed))
+		src := randomSnapshot(rng)
+		tgt := randomSnapshot(rng)
+		d := Compute(tgt, src)
+		parts := d.Split(p)
+		if len(parts) != p {
+			return false
+		}
+		total := 0
+		for _, part := range parts {
+			total += part.Len()
+		}
+		if total != d.Len() {
+			return false
+		}
+		got := src.Clone()
+		for i := len(parts) - 1; i >= 0; i-- { // arbitrary order
+			parts[i].Apply(got)
+		}
+		return got.Equal(tgt)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitSingle(t *testing.T) {
+	d := &Delta{AddNodes: []graph.NodeID{1}}
+	parts := d.Split(1)
+	if len(parts) != 1 || parts[0] != d {
+		t.Error("Split(1) must return the delta itself")
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := randomSnapshot(rng)
+	tgt := randomSnapshot(rng)
+	d1 := Compute(tgt, src)
+	d2 := Compute(tgt, src)
+	b1 := EncodeStructCol(d1)
+	b2 := EncodeStructCol(d2)
+	if string(b1) != string(b2) {
+		t.Error("Compute is not deterministic across runs")
+	}
+}

@@ -1,0 +1,361 @@
+package deltagraph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"historygraph/internal/graph"
+	"historygraph/internal/kvstore"
+)
+
+// Extensibility (Section 4.7): auxiliary information — arbitrary key-value
+// snapshots derived from the graph — is indexed alongside the graph itself.
+// Each registered AuxIndex contributes one extra column to every delta and
+// leaf-eventlist; retrieval of the auxiliary snapshot as of any time point
+// follows exactly the same plan machinery as graph snapshots.
+
+// AuxSnapshot is the paper's AuxiliarySnapshot: a hashtable of string
+// key-value pairs.
+type AuxSnapshot map[string]string
+
+func (a AuxSnapshot) clone() AuxSnapshot {
+	c := make(AuxSnapshot, len(a))
+	for k, v := range a {
+		c[k] = v
+	}
+	return c
+}
+
+// AuxOp is the kind of an AuxEvent.
+type AuxOp uint8
+
+// Aux event operations.
+const (
+	AuxSet AuxOp = iota + 1 // add or change a key-value pair
+	AuxDel                  // remove a key
+)
+
+// AuxEvent is the paper's AuxiliaryEvent: a timestamped change to one
+// key-value pair.
+type AuxEvent struct {
+	At  graph.Time
+	Op  AuxOp
+	Key string
+	Val string
+}
+
+// apply plays the event onto the snapshot.
+func (a AuxSnapshot) apply(ev AuxEvent) {
+	switch ev.Op {
+	case AuxSet:
+		a[ev.Key] = ev.Val
+	case AuxDel:
+		delete(a, ev.Key)
+	}
+}
+
+// AuxIndex is the user-implemented interface (the paper's AuxIndex
+// abstract class). CreateAuxEvents derives the auxiliary events caused by
+// one plain event, given the graph state before the event and the latest
+// auxiliary snapshot. AuxDF is the differential function combining child
+// auxiliary snapshots into the parent's (the CreateAuxSnapshot method of
+// the paper — replaying an aux eventlist onto the previous aux snapshot —
+// is provided by the framework itself).
+type AuxIndex interface {
+	Name() string
+	CreateAuxEvents(ev graph.Event, before *graph.Snapshot, aux AuxSnapshot) []AuxEvent
+	AuxDF(children []AuxSnapshot) AuxSnapshot
+}
+
+// auxDelta is the stored difference between two aux snapshots.
+type auxDelta struct {
+	set  []kvPair
+	dels []string
+}
+
+type kvPair struct{ k, v string }
+
+func (d auxDelta) empty() bool { return len(d.set) == 0 && len(d.dels) == 0 }
+
+// computeAuxDelta returns the delta that transforms source into target.
+func computeAuxDelta(target, source AuxSnapshot) auxDelta {
+	var d auxDelta
+	for k, v := range target {
+		if sv, ok := source[k]; !ok || sv != v {
+			d.set = append(d.set, kvPair{k, v})
+		}
+	}
+	for k := range source {
+		if _, ok := target[k]; !ok {
+			d.dels = append(d.dels, k)
+		}
+	}
+	sort.Slice(d.set, func(i, j int) bool { return d.set[i].k < d.set[j].k })
+	sort.Strings(d.dels)
+	return d
+}
+
+func (d auxDelta) apply(a AuxSnapshot) {
+	for _, k := range d.dels {
+		delete(a, k)
+	}
+	for _, p := range d.set {
+		a[p.k] = p.v
+	}
+}
+
+// --- aux codec ---------------------------------------------------------
+
+const (
+	tagAuxDelta  byte = 0x11
+	tagAuxEvents byte = 0x12
+)
+
+var errAuxCorrupt = errors.New("deltagraph: corrupt aux payload")
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readStr(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || int(n) > len(b)-sz {
+		return "", nil, errAuxCorrupt
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+func encodeAuxDelta(d auxDelta) []byte {
+	buf := []byte{tagAuxDelta}
+	buf = binary.AppendUvarint(buf, uint64(len(d.set)))
+	for _, p := range d.set {
+		buf = appendStr(buf, p.k)
+		buf = appendStr(buf, p.v)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(d.dels)))
+	for _, k := range d.dels {
+		buf = appendStr(buf, k)
+	}
+	return buf
+}
+
+func decodeAuxDelta(b []byte) (auxDelta, error) {
+	var d auxDelta
+	if len(b) == 0 || b[0] != tagAuxDelta {
+		return d, errAuxCorrupt
+	}
+	b = b[1:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return d, errAuxCorrupt
+	}
+	b = b[sz:]
+	for i := uint64(0); i < n; i++ {
+		var k, v string
+		var err error
+		if k, b, err = readStr(b); err != nil {
+			return d, err
+		}
+		if v, b, err = readStr(b); err != nil {
+			return d, err
+		}
+		d.set = append(d.set, kvPair{k, v})
+	}
+	n, sz = binary.Uvarint(b)
+	if sz <= 0 {
+		return d, errAuxCorrupt
+	}
+	b = b[sz:]
+	for i := uint64(0); i < n; i++ {
+		var k string
+		var err error
+		if k, b, err = readStr(b); err != nil {
+			return d, err
+		}
+		d.dels = append(d.dels, k)
+	}
+	return d, nil
+}
+
+func encodeAuxEvents(evs []AuxEvent) []byte {
+	buf := []byte{tagAuxEvents}
+	buf = binary.AppendUvarint(buf, uint64(len(evs)))
+	for _, ev := range evs {
+		buf = binary.AppendVarint(buf, int64(ev.At))
+		buf = append(buf, byte(ev.Op))
+		buf = appendStr(buf, ev.Key)
+		buf = appendStr(buf, ev.Val)
+	}
+	return buf
+}
+
+func decodeAuxEvents(b []byte) ([]AuxEvent, error) {
+	if len(b) == 0 || b[0] != tagAuxEvents {
+		return nil, errAuxCorrupt
+	}
+	b = b[1:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, errAuxCorrupt
+	}
+	b = b[sz:]
+	evs := make([]AuxEvent, 0, n)
+	for i := uint64(0); i < n; i++ {
+		at, sz := binary.Varint(b)
+		if sz <= 0 {
+			return nil, errAuxCorrupt
+		}
+		b = b[sz:]
+		if len(b) == 0 {
+			return nil, errAuxCorrupt
+		}
+		op := AuxOp(b[0])
+		b = b[1:]
+		var k, v string
+		var err error
+		if k, b, err = readStr(b); err != nil {
+			return nil, err
+		}
+		if v, b, err = readStr(b); err != nil {
+			return nil, err
+		}
+		evs = append(evs, AuxEvent{At: graph.Time(at), Op: op, Key: k, Val: v})
+	}
+	return evs, nil
+}
+
+// --- aux retrieval -------------------------------------------------------
+
+// auxIndexByName returns the position of a registered aux index.
+func (dg *DeltaGraph) auxIndexByName(name string) (int, error) {
+	for i, a := range dg.auxes {
+		if a.Name() == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("deltagraph: no aux index named %q", name)
+}
+
+// GetAuxSnapshot reconstructs the auxiliary snapshot of the named index as
+// of time t (the paper's GetAuxSnapshot, backing AuxHistQueryPoint).
+func (dg *DeltaGraph) GetAuxSnapshot(name string, t graph.Time) (AuxSnapshot, error) {
+	dg.mu.RLock()
+	defer dg.mu.RUnlock()
+	idx, err := dg.auxIndexByName(name)
+	if err != nil {
+		return nil, err
+	}
+	comp := int(kvstore.ComponentAuxBase) + idx
+
+	// Plan with aux-only weights; materialized shortcuts are unusable
+	// because pinned snapshots hold graph content only.
+	sel := weightSelector{auxComponents: []int{comp}, perFetchCost: 16, skipMat: true, noBackward: true}
+	lastLeaf := dg.skel.leaves[len(dg.skel.leaves)-1]
+	lastLeafTime := dg.skel.nodes[lastLeaf].at
+	dist, prev := dg.skel.shortestPaths(dg.skel.superRoot, sel)
+
+	target := lastLeaf
+	qt := t
+	if t >= lastLeafTime {
+		qt = lastLeafTime
+	} else {
+		li := dg.skel.locate(t)
+		target = dg.skel.leaves[li]
+		qt = dg.skel.nodes[target].at
+	}
+	aux := AuxSnapshot{}
+	if target != dg.skel.leaves[0] { // the anchor leaf is empty: no hops
+		if dist[target] == math.MaxInt64 {
+			return nil, fmt.Errorf("deltagraph: leaf unreachable for aux query")
+		}
+		for _, hop := range dg.skel.pathTo(target, prev) {
+			if err := dg.applyAuxHop(aux, hop, idx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Forward within the leaf interval, then the recent tail.
+	if t > qt {
+		li := dg.skel.locate(qt)
+		for li < len(dg.skel.leaves)-1 {
+			e := dg.eventEdge(li)
+			evs, err := dg.fetchAuxEvents(e.deltaID, idx)
+			if err != nil {
+				return nil, err
+			}
+			for _, ev := range evs {
+				if ev.At > qt && ev.At <= t {
+					aux.apply(ev)
+				}
+			}
+			if dg.skel.nodes[dg.skel.leaves[li+1]].at >= t {
+				return aux, nil
+			}
+			li++
+		}
+		for _, ev := range dg.auxRecent[idx] {
+			if ev.At > qt && ev.At <= t {
+				aux.apply(ev)
+			}
+		}
+	}
+	return aux, nil
+}
+
+// applyAuxHop applies one plan hop to an aux snapshot.
+func (dg *DeltaGraph) applyAuxHop(aux AuxSnapshot, hop planHop, idx int) error {
+	e := hop.edge
+	comp := kvstore.ComponentAuxBase + kvstore.Component(idx)
+	buf, err := dg.store.Get(kvstore.EncodeKey(0, e.deltaID, comp))
+	if err == kvstore.ErrNotFound {
+		return nil // empty column
+	}
+	if err != nil {
+		return err
+	}
+	switch e.kind {
+	case kindDelta:
+		d, err := decodeAuxDelta(buf)
+		if err != nil {
+			return err
+		}
+		d.apply(aux)
+	case kindEventFwd:
+		evs, err := decodeAuxEvents(buf)
+		if err != nil {
+			return err
+		}
+		for _, ev := range evs {
+			aux.apply(ev)
+		}
+	case kindEventBwd:
+		return fmt.Errorf("deltagraph: aux eventlists are forward-only; planner must not use backward hops")
+	}
+	return nil
+}
+
+// fetchAuxEvents loads one eventlist's aux column.
+func (dg *DeltaGraph) fetchAuxEvents(deltaID uint64, idx int) ([]AuxEvent, error) {
+	comp := kvstore.ComponentAuxBase + kvstore.Component(idx)
+	buf, err := dg.store.Get(kvstore.EncodeKey(0, deltaID, comp))
+	if err == kvstore.ErrNotFound {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeAuxEvents(buf)
+}
+
+// AuxIndexNames lists the registered auxiliary indexes.
+func (dg *DeltaGraph) AuxIndexNames() []string {
+	names := make([]string, len(dg.auxes))
+	for i, a := range dg.auxes {
+		names[i] = a.Name()
+	}
+	return names
+}

@@ -1,0 +1,550 @@
+package deltagraph
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"historygraph/internal/delta"
+	"historygraph/internal/graph"
+	"historygraph/internal/kvstore"
+)
+
+// This file contains the index-construction machinery: leaf cuts, interior
+// node creation (Section 4.6's single-pass bottom-up bulkload), and the
+// provisional "right spine" that keeps the index connected and queryable
+// between full arity-k groups.
+
+// cutLeafLocked turns the recent eventlist into a new leaf: it creates the
+// leaf skeleton node, persists the leaf-eventlist on the edge to the
+// previous leaf, and bubbles complete arity-k groups upward.
+func (dg *DeltaGraph) cutLeafLocked() error {
+	if len(dg.recent) == 0 {
+		return nil
+	}
+	leaf := dg.skel.addNode(&skelNode{level: 0, at: dg.lastTime, size: dg.current.Size()})
+	prevLeaf := dg.skel.leaves[len(dg.skel.leaves)-1]
+	dg.skel.leaves = append(dg.skel.leaves, leaf)
+
+	evIndex := len(dg.skel.leaves) - 2 // eventlist ordinal between prevLeaf and leaf
+	deltaID, sizes, count, err := dg.storeEvents(dg.recent, dg.auxRecent)
+	if err != nil {
+		return err
+	}
+	dg.skel.addEdge(&skelEdge{from: prevLeaf, to: leaf, kind: kindEventFwd, deltaID: deltaID, sizes: sizes, counts: count, evIndex: evIndex})
+	dg.skel.addEdge(&skelEdge{from: leaf, to: prevLeaf, kind: kindEventBwd, deltaID: deltaID, sizes: sizes, counts: count, evIndex: evIndex})
+
+	// Retain the leaf content for parent construction.
+	auxCopies := make([]AuxSnapshot, len(dg.auxCur))
+	for i, a := range dg.auxCur {
+		auxCopies[i] = a.clone()
+	}
+	dg.pending[0] = append(dg.pending[0], pendingChild{node: leaf, snap: dg.current.Clone(), aux: auxCopies})
+	dg.recent = nil
+	dg.auxRecent = make([][]AuxEvent, len(dg.auxes))
+	if dg.pool != nil {
+		dg.pool.ClearRecent() // deleted elements are now on disk
+	}
+	if err := dg.promoteLocked(0, false); err != nil {
+		return err
+	}
+	if !dg.batchMode {
+		return dg.rebuildSpineLocked()
+	}
+	return nil
+}
+
+// promoteLocked creates a permanent parent whenever a level has a full
+// arity-k group, recursively upward.
+func (dg *DeltaGraph) promoteLocked(level int, provisional bool) error {
+	for len(dg.pending) <= level+1 {
+		dg.pending = append(dg.pending, nil)
+	}
+	for len(dg.pending[level]) >= dg.opts.Arity {
+		group := dg.pending[level][:dg.opts.Arity]
+		parent, err := dg.makeParentLocked(level, group, provisional)
+		if err != nil {
+			return err
+		}
+		dg.pending[level] = dg.pending[level][dg.opts.Arity:]
+		dg.pending[level+1] = append(dg.pending[level+1], parent)
+		level++
+		for len(dg.pending) <= level+1 {
+			dg.pending = append(dg.pending, nil)
+		}
+	}
+	return nil
+}
+
+// makeParentLocked builds one interior node: parent graph = f(children),
+// with one delta edge to each child (Section 4.2).
+func (dg *DeltaGraph) makeParentLocked(level int, group []pendingChild, provisional bool) (pendingChild, error) {
+	snaps := make([]*graph.Snapshot, len(group))
+	for i, c := range group {
+		snaps[i] = c.snap
+	}
+	parentSnap := dg.opts.Function.Combine(snaps)
+	parentAux := make([]AuxSnapshot, len(dg.auxes))
+	for i, aux := range dg.auxes {
+		children := make([]AuxSnapshot, len(group))
+		for j, c := range group {
+			children[j] = c.aux[i]
+		}
+		parentAux[i] = aux.AuxDF(children)
+	}
+
+	first := dg.skel.nodes[group[0].node]
+	last := dg.skel.nodes[group[len(group)-1].node]
+	node := &skelNode{
+		level:       level + 1,
+		at:          first.at,
+		spanEnd:     last.spanEnd,
+		size:        parentSnap.Size(),
+		provisional: provisional,
+	}
+	if last.spanEnd == 0 {
+		node.spanEnd = last.at
+	}
+	parentID := dg.skel.addNode(node)
+	if provisional {
+		dg.provNodes = append(dg.provNodes, parentID)
+	}
+	for _, c := range group {
+		d := delta.Compute(c.snap, parentSnap)
+		auxDeltas := make([]auxDelta, len(dg.auxes))
+		for i := range dg.auxes {
+			auxDeltas[i] = computeAuxDelta(c.aux[i], parentAux[i])
+		}
+		deltaID, sizes, count, err := dg.storeDelta(d, auxDeltas)
+		if err != nil {
+			return pendingChild{}, err
+		}
+		idx := dg.skel.addEdge(&skelEdge{from: parentID, to: c.node, kind: kindDelta, deltaID: deltaID, sizes: sizes, counts: count, evIndex: -1})
+		dg.skel.nodes[c.node].parent = parentID
+		node.children = append(node.children, c.node)
+		if provisional {
+			dg.provEdgeIdxs = append(dg.provEdgeIdxs, idx)
+			dg.provDeltaIDs = append(dg.provDeltaIDs, deltaID)
+		}
+	}
+	return pendingChild{node: parentID, snap: parentSnap, aux: parentAux}, nil
+}
+
+// rebuildSpineLocked removes any previous provisional spine and builds a
+// fresh one so that every leaf is reachable from the super-root: pending
+// nodes at each level (at most k-1, plus one carried provisional parent)
+// are combined into provisional parents up to a single root, and the
+// super-root → root delta is written.
+func (dg *DeltaGraph) rebuildSpineLocked() error {
+	dg.clearSpineLocked()
+
+	carry := pendingChild{node: -1}
+	for level := 0; level < len(dg.pending) || carry.node != -1; level++ {
+		var group []pendingChild
+		if level < len(dg.pending) {
+			group = append(group, dg.pending[level]...)
+		}
+		if carry.node != -1 {
+			group = append(group, carry)
+			carry = pendingChild{node: -1}
+		}
+		higher := false
+		for l := level + 1; l < len(dg.pending); l++ {
+			if len(dg.pending[l]) > 0 {
+				higher = true
+				break
+			}
+		}
+		switch {
+		case len(group) == 0:
+			continue
+		case len(group) == 1 && !higher:
+			// Single node at the top: it is the root.
+			return dg.attachRootLocked(group[0])
+		case len(group) == 1:
+			carry = group[0]
+		default:
+			parent, err := dg.makeParentLocked(level, group, true)
+			if err != nil {
+				return err
+			}
+			carry = parent
+		}
+	}
+	// No nodes at all (empty index): nothing to attach.
+	return nil
+}
+
+// attachRootLocked writes the super-root → root edge, whose delta is the
+// root's full content (the super-root is the null graph).
+func (dg *DeltaGraph) attachRootLocked(root pendingChild) error {
+	d := delta.FromSnapshot(root.snap)
+	auxDeltas := make([]auxDelta, len(dg.auxes))
+	for i := range dg.auxes {
+		auxDeltas[i] = computeAuxDelta(root.aux[i], AuxSnapshot{})
+	}
+	deltaID, sizes, count, err := dg.storeDelta(d, auxDeltas)
+	if err != nil {
+		return err
+	}
+	idx := dg.skel.addEdge(&skelEdge{from: dg.skel.superRoot, to: root.node, kind: kindDelta, deltaID: deltaID, sizes: sizes, counts: count, evIndex: -1})
+	// The super-root edge is torn down with the spine even when the root
+	// node itself is permanent, because a future append can grow a new
+	// root above it.
+	dg.provEdgeIdxs = append(dg.provEdgeIdxs, idx)
+	dg.provDeltaIDs = append(dg.provDeltaIDs, deltaID)
+	// Materialization follows the root across spine rebuilds: if the torn
+	// down root was pinned, pin the new one (its content is already in
+	// hand, so this costs no retrieval).
+	if dg.rematRoot {
+		dg.rematRoot = false
+		node := dg.skel.nodes[root.node]
+		if !node.materialized {
+			node.materialized = true
+			node.matSnapshot = root.snap.Clone()
+			dg.skel.addEdge(&skelEdge{from: dg.skel.superRoot, to: root.node, kind: kindMat, sizes: make(componentSizes, 4+len(dg.auxes)), evIndex: -1})
+			if dg.pool != nil {
+				dg.matGraphs[root.node] = dg.pool.OverlayMaterialized(node.matSnapshot)
+			}
+		}
+	}
+	return nil
+}
+
+// clearSpineLocked removes provisional nodes, edges, and payloads.
+func (dg *DeltaGraph) clearSpineLocked() {
+	for _, idx := range dg.provEdgeIdxs {
+		dg.skel.removeEdge(idx)
+	}
+	dg.provEdgeIdxs = nil
+	for _, id := range dg.provDeltaIDs {
+		dg.deletePayload(id)
+	}
+	dg.provDeltaIDs = nil
+	for _, nid := range dg.provNodes {
+		// Detach children created under provisional parents.
+		node := dg.skel.nodes[nid]
+		if node.materialized {
+			// Remember to pin the replacement root; release the stale
+			// pool copy.
+			dg.rematRoot = true
+			if gid, ok := dg.matGraphs[nid]; ok && dg.pool != nil {
+				if err := dg.pool.Release(gid); err == nil {
+					dg.pool.CleanNow()
+				}
+			}
+		}
+		for _, c := range node.children {
+			if dg.skel.nodes[c].parent == nid {
+				dg.skel.nodes[c].parent = -1
+			}
+		}
+		node.children = nil
+		node.provisional = false
+		// Remove remaining out-edges (already tombstoned above) and any
+		// materialization bookkeeping.
+		dg.skel.out[nid] = nil
+		delete(dg.matGraphs, nid)
+		dg.skel.nodes[nid] = &skelNode{id: nid, level: -1} // tombstone
+	}
+	dg.provNodes = nil
+}
+
+// --- payload storage -------------------------------------------------
+
+// storeDelta persists a delta's columns (split across partitions) and
+// returns its id, per-component byte sizes, and record count.
+func (dg *DeltaGraph) storeDelta(d *delta.Delta, auxDeltas []auxDelta) (uint64, componentSizes, int, error) {
+	id := dg.allocDeltaID()
+	sizes := make(componentSizes, 4+len(dg.auxes))
+	parts := d.Split(dg.opts.Partitions)
+	for p, part := range parts {
+		if part.StructLen() > 0 || dg.opts.Partitions == 1 {
+			buf := delta.EncodeStructCol(part)
+			if err := dg.store.Put(kvstore.EncodeKey(p, id, kvstore.ComponentStruct), buf); err != nil {
+				return 0, nil, 0, err
+			}
+			sizes[0] += int64(len(buf))
+		}
+		if part.NodeAttrLen() > 0 {
+			buf := delta.EncodeNodeAttrCol(part)
+			if err := dg.store.Put(kvstore.EncodeKey(p, id, kvstore.ComponentNodeAttr), buf); err != nil {
+				return 0, nil, 0, err
+			}
+			sizes[1] += int64(len(buf))
+		}
+		if part.EdgeAttrLen() > 0 {
+			buf := delta.EncodeEdgeAttrCol(part)
+			if err := dg.store.Put(kvstore.EncodeKey(p, id, kvstore.ComponentEdgeAttr), buf); err != nil {
+				return 0, nil, 0, err
+			}
+			sizes[2] += int64(len(buf))
+		}
+	}
+	// Aux columns are not node-partitioned (their keys are opaque): they
+	// live in partition 0.
+	for i, ad := range auxDeltas {
+		if ad.empty() {
+			continue
+		}
+		buf := encodeAuxDelta(ad)
+		comp := kvstore.ComponentAuxBase + kvstore.Component(i)
+		if err := dg.store.Put(kvstore.EncodeKey(0, id, comp), buf); err != nil {
+			return 0, nil, 0, err
+		}
+		sizes[4+i] += int64(len(buf))
+	}
+	return id, sizes, d.Len(), nil
+}
+
+// storeEvents persists a leaf-eventlist, columnar: structure, node-attr,
+// edge-attr and transient events are separate components, plus one aux
+// eventlist per registered index.
+func (dg *DeltaGraph) storeEvents(events graph.EventList, auxEvents [][]AuxEvent) (uint64, componentSizes, int, error) {
+	id := dg.allocDeltaID()
+	sizes := make(componentSizes, 4+len(dg.auxes))
+	type colID struct {
+		comp kvstore.Component
+		idx  int
+	}
+	cols := []colID{
+		{kvstore.ComponentStruct, 0},
+		{kvstore.ComponentNodeAttr, 1},
+		{kvstore.ComponentEdgeAttr, 2},
+		{kvstore.ComponentTransient, 3},
+	}
+	// Split events by partition, then by column.
+	byPart := make([][]graph.Event, dg.opts.Partitions)
+	if dg.opts.Partitions == 1 {
+		byPart[0] = events
+	} else {
+		for _, ev := range events {
+			p := graph.PartitionOfEvent(ev, dg.opts.Partitions)
+			byPart[p] = append(byPart[p], ev)
+		}
+	}
+	for p, evs := range byPart {
+		var colEvents [4]graph.EventList
+		for _, ev := range evs {
+			colEvents[eventColumn(ev)] = append(colEvents[eventColumn(ev)], ev)
+		}
+		for _, c := range cols {
+			if len(colEvents[c.idx]) == 0 && !(dg.opts.Partitions == 1 && c.idx == 0) {
+				continue
+			}
+			buf := delta.EncodeEvents(colEvents[c.idx])
+			if err := dg.store.Put(kvstore.EncodeKey(p, id, c.comp), buf); err != nil {
+				return 0, nil, 0, err
+			}
+			sizes[c.idx] += int64(len(buf))
+		}
+	}
+	for i, evs := range auxEvents {
+		if len(evs) == 0 {
+			continue
+		}
+		buf := encodeAuxEvents(evs)
+		comp := kvstore.ComponentAuxBase + kvstore.Component(i)
+		if err := dg.store.Put(kvstore.EncodeKey(0, id, comp), buf); err != nil {
+			return 0, nil, 0, err
+		}
+		sizes[4+i] += int64(len(buf))
+	}
+	return id, sizes, len(events), nil
+}
+
+// eventColumn maps an event to its storage column.
+func eventColumn(ev graph.Event) int {
+	switch ev.Type {
+	case graph.SetNodeAttr:
+		return 1
+	case graph.SetEdgeAttr:
+		return 2
+	case graph.TransientEdge, graph.TransientNode:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// deletePayload removes every component of a delta/eventlist id.
+func (dg *DeltaGraph) deletePayload(id uint64) {
+	comps := []kvstore.Component{
+		kvstore.ComponentStruct, kvstore.ComponentNodeAttr,
+		kvstore.ComponentEdgeAttr, kvstore.ComponentTransient,
+	}
+	for i := range dg.auxes {
+		comps = append(comps, kvstore.ComponentAuxBase+kvstore.Component(i))
+	}
+	for p := 0; p < dg.opts.Partitions; p++ {
+		for _, c := range comps {
+			_ = dg.store.Delete(kvstore.EncodeKey(p, id, c))
+		}
+	}
+}
+
+// fetchSpec names the components a retrieval needs.
+type fetchSpec struct {
+	nodeAttr  bool
+	edgeAttr  bool
+	transient bool
+	aux       []int // aux indexes to fetch
+}
+
+func specFor(opts graph.AttrOptions) fetchSpec {
+	return fetchSpec{nodeAttr: opts.AnyNodeAttrs(), edgeAttr: opts.AnyEdgeAttrs()}
+}
+
+// deltaComps lists the delta columns a fetch spec needs.
+func deltaComps(spec fetchSpec, events bool) []kvstore.Component {
+	comps := []kvstore.Component{kvstore.ComponentStruct}
+	if spec.nodeAttr {
+		comps = append(comps, kvstore.ComponentNodeAttr)
+	}
+	if spec.edgeAttr {
+		comps = append(comps, kvstore.ComponentEdgeAttr)
+	}
+	if events && spec.transient {
+		comps = append(comps, kvstore.ComponentTransient)
+	}
+	return comps
+}
+
+// fetchDelta loads and assembles the requested columns of a delta. When
+// the index is partitioned, both the reads and the decoding run in one
+// goroutine per partition ("machine"), mirroring the paper's distributed
+// retrieval where each machine reconstructs its piece independently.
+func (dg *DeltaGraph) fetchDelta(id uint64, spec fetchSpec) (*delta.Delta, error) {
+	comps := deltaComps(spec, false)
+	parts, err := fetchPerPartition(dg, id, comps, func(comp kvstore.Component, buf []byte, d *delta.Delta) error {
+		switch comp {
+		case kvstore.ComponentStruct:
+			return delta.DecodeStructCol(buf, d)
+		case kvstore.ComponentNodeAttr:
+			return delta.DecodeNodeAttrCol(buf, d)
+		default:
+			return delta.DecodeEdgeAttrCol(buf, d)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &delta.Delta{}
+	for _, part := range parts {
+		mergeDelta(out, part)
+	}
+	return out, nil
+}
+
+// fetchEvents loads the requested columns of a leaf-eventlist and returns
+// the merged, chronologically ordered events.
+func (dg *DeltaGraph) fetchEvents(id uint64, spec fetchSpec) (graph.EventList, error) {
+	comps := deltaComps(spec, true)
+	parts, err := fetchPerPartition(dg, id, comps, func(_ kvstore.Component, buf []byte, el *graph.EventList) error {
+		evs, err := delta.DecodeEvents(buf)
+		if err != nil {
+			return err
+		}
+		*el = append(*el, evs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all graph.EventList
+	for _, part := range parts {
+		all = append(all, *part...)
+	}
+	all.Sort() // merge columns/partitions back into time order
+	return all, nil
+}
+
+// fetchPerPartition fetches and decodes the named components of payload id
+// from every partition, one goroutine per partition, decoding with decode
+// into a fresh T per partition.
+func fetchPerPartition[T any](dg *DeltaGraph, id uint64, comps []kvstore.Component,
+	decode func(kvstore.Component, []byte, *T) error) ([]*T, error) {
+
+	P := dg.opts.Partitions
+	parts := make([]*T, P)
+	fetchOne := func(p int) error {
+		parts[p] = new(T)
+		for _, c := range comps {
+			buf, err := dg.partStore(p).Get(kvstore.EncodeKey(p, id, c))
+			if err != nil {
+				if err == kvstore.ErrNotFound {
+					continue
+				}
+				return err
+			}
+			if err := decode(c, buf, parts[p]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if P == 1 {
+		if err := fetchOne(0); err != nil {
+			return nil, err
+		}
+		return parts, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, P)
+	for p := 0; p < P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = fetchOne(p)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
+// partStore returns the store serving partition p.
+func (dg *DeltaGraph) partStore(p int) kvstore.Store {
+	if dg.pstore != nil {
+		return dg.pstore.Part(p)
+	}
+	return dg.store
+}
+
+// mergeDelta appends src's records into dst.
+func mergeDelta(dst, src *delta.Delta) {
+	dst.AddNodes = append(dst.AddNodes, src.AddNodes...)
+	dst.DelNodes = append(dst.DelNodes, src.DelNodes...)
+	dst.AddEdges = append(dst.AddEdges, src.AddEdges...)
+	dst.DelEdges = append(dst.DelEdges, src.DelEdges...)
+	dst.SetNodeAttrs = append(dst.SetNodeAttrs, src.SetNodeAttrs...)
+	dst.DelNodeAttrs = append(dst.DelNodeAttrs, src.DelNodeAttrs...)
+	dst.SetEdgeAttrs = append(dst.SetEdgeAttrs, src.SetEdgeAttrs...)
+	dst.DelEdgeAttrs = append(dst.DelEdgeAttrs, src.DelEdgeAttrs...)
+}
+
+// Flush syncs the store. (The skeleton itself is persisted by Checkpoint;
+// see persist.go.)
+func (dg *DeltaGraph) Flush() error {
+	dg.mu.Lock()
+	defer dg.mu.Unlock()
+	return dg.store.Sync()
+}
+
+// validateInvariant is used by tests: every leaf must be reachable from the
+// super-root after a spine rebuild.
+func (dg *DeltaGraph) validateInvariant() error {
+	dg.mu.RLock()
+	defer dg.mu.RUnlock()
+	dist, _ := dg.skel.shortestPaths(dg.skel.superRoot, selectorFor(graph.AttrOptions{}, nil))
+	for _, leaf := range dg.skel.leaves {
+		if dist[leaf] == math.MaxInt64 {
+			return fmt.Errorf("leaf %d unreachable", leaf)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package deltagraph
+
+import (
+	"sync"
+	"testing"
+
+	"historygraph/internal/graph"
+	"historygraph/internal/graphpool"
+)
+
+// Queries must be able to run concurrently with appends and with each
+// other: the index takes the read lock for retrieval and the write lock
+// for appends. Run with -race for full effect.
+func TestConcurrentQueriesAndAppends(t *testing.T) {
+	events := makeTrace(30, 4000)
+	half := len(events) / 2
+	pool := graphpool.New()
+	dg, err := Build(events[:half], Options{LeafSize: 150, Arity: 3, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstHalfLast := events[half-1].At
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Writer: appends the second half.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, ev := range events[half:] {
+			if err := dg.Append(ev); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// Readers: snapshot queries over the stable first half, checked
+	// against the reference; plus multipoint and aux-free plan costs.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := firstHalfLast * graph.Time(i%10+1) / 11
+				got, err := dg.GetSnapshot(q, allAttrs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := graph.SnapshotAt(events, q)
+				if !got.Equal(want) {
+					errs <- errMismatch(q)
+					return
+				}
+				if r == 0 {
+					if _, err := dg.GetSnapshots([]graph.Time{q, q / 2}, allAttrs); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	// A retriever into the pool, releasing as it goes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			id, err := dg.Retrieve(firstHalfLast/2, allAttrs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := pool.Release(id); err != nil {
+				errs <- err
+				return
+			}
+			pool.CleanNow()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// After the dust settles the whole trace must be queryable.
+	checkAgainstReference(t, dg, events, allAttrs, probeTimes(events, 7))
+}
+
+type errMismatch graph.Time
+
+func (e errMismatch) Error() string { return "snapshot mismatch under concurrency" }

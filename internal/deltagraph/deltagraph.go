@@ -1,0 +1,286 @@
+// Package deltagraph implements DeltaGraph (Section 4 of Khurana &
+// Deshpande, ICDE 2013): a hierarchical, tunable index over the historical
+// trace of a graph that supports efficient retrieval of snapshots as of
+// arbitrary past time points.
+//
+// The lowest level of the index corresponds to equi-spaced snapshots of the
+// network (never stored explicitly); interior nodes are synthetic graphs
+// built by a differential function over their children; every edge carries
+// the delta that constructs its target from its source. A snapshot query is
+// answered by the lowest-weight path from the empty super-root to the query
+// point (Dijkstra over the in-memory skeleton); a multipoint query by a
+// Steiner tree (2-approximation). Deltas are stored columnar in a key-value
+// store, optionally hash-partitioned across storage units, and arbitrary
+// index nodes can be materialized in memory at runtime to cut latencies.
+package deltagraph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"historygraph/internal/delta"
+	"historygraph/internal/graph"
+	"historygraph/internal/graphpool"
+	"historygraph/internal/kvstore"
+)
+
+// Options configures DeltaGraph construction (Section 4.6: eventlist size
+// L, arity k, the differential function, and the partitioning).
+type Options struct {
+	// LeafSize is L, the number of events per leaf-eventlist. A leaf cut
+	// is extended to the next timestamp boundary so equal-time events
+	// never straddle leaves.
+	LeafSize int
+	// Arity is k, the fan-out of interior nodes.
+	Arity int
+	// Function is the differential function; nil means Intersection.
+	Function delta.Differential
+	// Partitions is the number of horizontal partitions (storage
+	// "machines"); 0 or 1 disables partitioning. When >1, Store must be
+	// a *kvstore.Partitioned with at least that many partitions.
+	Partitions int
+	// Store is the persistent backend. nil means a fresh in-memory store.
+	Store kvstore.Store
+	// Pool, when set, receives retrieved snapshots, materialized nodes,
+	// and mirrors the current graph (bits 0/1).
+	Pool *graphpool.Pool
+	// DependentMaxRatio bounds the dependent-graph optimization: a
+	// retrieved snapshot is overlaid as exceptions against a materialized
+	// base when the exception count is at most this fraction of the base
+	// size. Zero means 0.25.
+	DependentMaxRatio float64
+	// AuxIndexes are user-defined auxiliary indexes (Section 4.7),
+	// registered before any event is appended.
+	AuxIndexes []AuxIndex
+}
+
+func (o *Options) fill() error {
+	if o.LeafSize <= 0 {
+		o.LeafSize = 4096
+	}
+	if o.Arity < 2 {
+		o.Arity = 2
+	}
+	if o.Function == nil {
+		o.Function = delta.Intersection{}
+	}
+	if o.Partitions < 1 {
+		o.Partitions = 1
+	}
+	if o.Store == nil {
+		if o.Partitions > 1 {
+			o.Store = kvstore.NewMemPartitioned(o.Partitions)
+		} else {
+			o.Store = kvstore.NewMemStore()
+		}
+	}
+	if o.Partitions > 1 {
+		ps, ok := o.Store.(*kvstore.Partitioned)
+		if !ok {
+			return errors.New("deltagraph: Partitions > 1 requires a *kvstore.Partitioned store")
+		}
+		if ps.NumPartitions() < o.Partitions {
+			return fmt.Errorf("deltagraph: store has %d partitions, need %d", ps.NumPartitions(), o.Partitions)
+		}
+	}
+	if o.DependentMaxRatio <= 0 {
+		o.DependentMaxRatio = 0.25
+	}
+	return nil
+}
+
+// pendingChild is a node awaiting a permanent parent; its graph content
+// (and aux snapshots) are retained so the differential function can combine
+// it with its future siblings.
+type pendingChild struct {
+	node int
+	snap *graph.Snapshot
+	aux  []AuxSnapshot
+}
+
+// DeltaGraph is the index. It is safe for concurrent use: queries take the
+// read lock; Append, materialization and Flush take the write lock.
+type DeltaGraph struct {
+	mu     sync.RWMutex
+	opts   Options
+	skel   *skeleton
+	store  kvstore.Store
+	pstore *kvstore.Partitioned // nil when unpartitioned
+	pool   *graphpool.Pool
+
+	nextDeltaID uint64
+
+	// Builder state (Section 4.6 bulk construction + live updates).
+	current   *graph.Snapshot // graph after every appended event
+	recent    graph.EventList // events after the last leaf cut
+	lastTime  graph.Time      // timestamp of the newest appended event
+	pending   [][]pendingChild
+	batchMode bool // during bulk Build: defer spine construction
+
+	// Provisional spine bookkeeping: nodes/edges/payloads replaced on the
+	// next structural change.
+	provNodes    []int
+	provEdgeIdxs []int
+	provDeltaIDs []uint64
+	// rematRoot requests pinning the new root after a spine rebuild tore
+	// down a materialized provisional root.
+	rematRoot bool
+
+	// Materialization: skeleton node -> pool graph id (when pool is set).
+	matGraphs map[int]graphpool.GraphID
+
+	auxes     []AuxIndex
+	auxCur    []AuxSnapshot
+	auxRecent [][]AuxEvent
+}
+
+// New creates an empty DeltaGraph ready for Append.
+func New(opts Options) (*DeltaGraph, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	dg := &DeltaGraph{
+		opts:        opts,
+		skel:        newSkeleton(),
+		store:       opts.Store,
+		pool:        opts.Pool,
+		current:     graph.NewSnapshot(),
+		nextDeltaID: 1,
+		matGraphs:   make(map[int]graphpool.GraphID),
+		auxes:       opts.AuxIndexes,
+	}
+	if ps, ok := opts.Store.(*kvstore.Partitioned); ok && opts.Partitions > 1 {
+		dg.pstore = ps
+	}
+	dg.skel.superRoot = dg.skel.addNode(&skelNode{level: math.MaxInt32, at: graph.MaxTime})
+	// Leaf 0 is the empty graph "before time": it anchors queries that
+	// precede the first cut. It stays out of the interior hierarchy and
+	// is permanently materialized (the empty graph is free to hold), so
+	// the super-root reaches it at zero cost.
+	leaf0 := dg.skel.addNode(&skelNode{level: 0, at: math.MinInt64, materialized: true, matSnapshot: graph.NewSnapshot()})
+	dg.skel.leaves = append(dg.skel.leaves, leaf0)
+	dg.skel.addEdge(&skelEdge{from: dg.skel.superRoot, to: leaf0, kind: kindMat, sizes: make(componentSizes, 4), evIndex: -1})
+	dg.pending = append(dg.pending, nil)
+	dg.auxCur = dg.emptyAux()
+	dg.auxRecent = make([][]AuxEvent, len(dg.auxes))
+	return dg, nil
+}
+
+func (dg *DeltaGraph) emptyAux() []AuxSnapshot {
+	aux := make([]AuxSnapshot, len(dg.auxes))
+	for i := range aux {
+		aux[i] = AuxSnapshot{}
+	}
+	return aux
+}
+
+// Build bulk-constructs a DeltaGraph from a chronological event trace in a
+// single pass (Section 4.6), then seals the spine so the index is
+// immediately queryable.
+func Build(events graph.EventList, opts Options) (*DeltaGraph, error) {
+	dg, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	dg.mu.Lock()
+	dg.batchMode = true
+	for _, ev := range events {
+		if err := dg.appendLocked(ev); err != nil {
+			dg.mu.Unlock()
+			return nil, err
+		}
+	}
+	dg.batchMode = false
+	if err := dg.rebuildSpineLocked(); err != nil {
+		dg.mu.Unlock()
+		return nil, err
+	}
+	dg.mu.Unlock()
+	return dg, nil
+}
+
+// Append records one event: it updates the current graph (and the pool's
+// current-graph bits), appends to the recent eventlist, and — when the
+// recent eventlist reaches L and the timestamp advances — cuts a new leaf
+// and extends the index (Section 6, "Updates to the Current graph").
+func (dg *DeltaGraph) Append(ev graph.Event) error {
+	dg.mu.Lock()
+	defer dg.mu.Unlock()
+	return dg.appendLocked(ev)
+}
+
+// AppendAll appends a run of events.
+func (dg *DeltaGraph) AppendAll(events graph.EventList) error {
+	dg.mu.Lock()
+	defer dg.mu.Unlock()
+	for _, ev := range events {
+		if err := dg.appendLocked(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (dg *DeltaGraph) appendLocked(ev graph.Event) error {
+	if ev.At < dg.lastTime {
+		return fmt.Errorf("deltagraph: event at %d is older than last event at %d", ev.At, dg.lastTime)
+	}
+	if len(dg.recent) >= dg.opts.LeafSize && ev.At > dg.lastTime {
+		if err := dg.cutLeafLocked(); err != nil {
+			return err
+		}
+	}
+	// Aux events are derived against the graph state before the event.
+	for i, aux := range dg.auxes {
+		auxEvs := aux.CreateAuxEvents(ev, dg.current, dg.auxCur[i])
+		for _, ae := range auxEvs {
+			dg.auxCur[i].apply(ae)
+		}
+		dg.auxRecent[i] = append(dg.auxRecent[i], auxEvs...)
+	}
+	dg.current.Apply(ev)
+	dg.recent = append(dg.recent, ev)
+	dg.lastTime = ev.At
+	if dg.pool != nil {
+		dg.pool.ApplyEvent(ev)
+	}
+	return nil
+}
+
+// CurrentSnapshot returns a copy of the current graph.
+func (dg *DeltaGraph) CurrentSnapshot() *graph.Snapshot {
+	dg.mu.RLock()
+	defer dg.mu.RUnlock()
+	return dg.current.Clone()
+}
+
+// LastTime returns the timestamp of the newest event in the index.
+func (dg *DeltaGraph) LastTime() graph.Time {
+	dg.mu.RLock()
+	defer dg.mu.RUnlock()
+	return dg.lastTime
+}
+
+// Store returns the backing key-value store (for space accounting).
+func (dg *DeltaGraph) Store() kvstore.Store { return dg.store }
+
+// Pool returns the attached GraphPool, or nil.
+func (dg *DeltaGraph) Pool() *graphpool.Pool { return dg.pool }
+
+func (dg *DeltaGraph) allocDeltaID() uint64 {
+	id := dg.nextDeltaID
+	dg.nextDeltaID++
+	return id
+}
+
+// auxComponentIDs returns the store components of all registered aux
+// indexes (used by the weight selector and fetch paths).
+func (dg *DeltaGraph) auxComponentIDs() []int {
+	ids := make([]int, len(dg.auxes))
+	for i := range dg.auxes {
+		ids[i] = int(kvstore.ComponentAuxBase) + i
+	}
+	return ids
+}

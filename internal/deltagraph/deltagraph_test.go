@@ -1,0 +1,569 @@
+package deltagraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"historygraph/internal/delta"
+	"historygraph/internal/graph"
+	"historygraph/internal/graphpool"
+	"historygraph/internal/kvstore"
+)
+
+// makeTrace builds a well-formed random trace with adds, deletes, attribute
+// churn and transient events, one event per timestamp tick (plus occasional
+// same-timestamp bursts to exercise leaf-boundary extension).
+func makeTrace(seed int64, n int) graph.EventList {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		events    graph.EventList
+		nextNode  graph.NodeID
+		nextEdge  graph.EdgeID
+		liveNodes []graph.NodeID
+		liveEdges []graph.EdgeID
+		edgeInfo  = map[graph.EdgeID]graph.EdgeInfo{}
+		attrs     = map[graph.NodeID]map[string]string{}
+		now       graph.Time
+	)
+	attrNames := []string{"name", "job", "city"}
+	for len(events) < n {
+		if rng.Intn(4) != 0 {
+			now++ // 1 in 4 events shares the previous timestamp
+		}
+		switch op := rng.Intn(12); {
+		case op < 4 || len(liveNodes) < 2:
+			nextNode++
+			liveNodes = append(liveNodes, nextNode)
+			events = append(events, graph.Event{Type: graph.AddNode, At: now, Node: nextNode})
+		case op < 8:
+			nextEdge++
+			u := liveNodes[rng.Intn(len(liveNodes))]
+			v := liveNodes[rng.Intn(len(liveNodes))]
+			liveEdges = append(liveEdges, nextEdge)
+			edgeInfo[nextEdge] = graph.EdgeInfo{From: u, To: v}
+			events = append(events, graph.Event{Type: graph.AddEdge, At: now, Edge: nextEdge, Node: u, Node2: v})
+		case op < 10:
+			nd := liveNodes[rng.Intn(len(liveNodes))]
+			an := attrNames[rng.Intn(len(attrNames))]
+			old, had := attrs[nd][an]
+			newv := fmt.Sprintf("v%d", rng.Intn(5))
+			events = append(events, graph.Event{Type: graph.SetNodeAttr, At: now, Node: nd, Attr: an, Old: old, HadOld: had, New: newv, HasNew: true})
+			if attrs[nd] == nil {
+				attrs[nd] = map[string]string{}
+			}
+			attrs[nd][an] = newv
+		case op < 11 && len(liveEdges) > 0:
+			i := rng.Intn(len(liveEdges))
+			e := liveEdges[i]
+			info := edgeInfo[e]
+			liveEdges = append(liveEdges[:i], liveEdges[i+1:]...)
+			events = append(events, graph.Event{Type: graph.DelEdge, At: now, Edge: e, Node: info.From, Node2: info.To})
+		default:
+			u := liveNodes[rng.Intn(len(liveNodes))]
+			v := liveNodes[rng.Intn(len(liveNodes))]
+			events = append(events, graph.Event{Type: graph.TransientEdge, At: now, Edge: graph.EdgeID(1<<40) + graph.EdgeID(len(events)), Node: u, Node2: v})
+		}
+	}
+	return events
+}
+
+var allAttrs = graph.MustParseAttrOptions("+node:all+edge:all")
+
+// checkAgainstReference compares index retrieval against naive replay at
+// many probe times.
+func checkAgainstReference(t *testing.T, dg *DeltaGraph, events graph.EventList, opts graph.AttrOptions, probes []graph.Time) {
+	t.Helper()
+	for _, q := range probes {
+		want := opts.FilterSnapshot(graph.SnapshotAt(events, q))
+		got, err := dg.GetSnapshot(q, opts)
+		if err != nil {
+			t.Fatalf("GetSnapshot(%d): %v", q, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("snapshot at %d differs from reference: got %d nodes/%d edges, want %d/%d",
+				q, len(got.Nodes), len(got.Edges), len(want.Nodes), len(want.Edges))
+		}
+	}
+}
+
+func probeTimes(events graph.EventList, n int) []graph.Time {
+	_, last := events.Span()
+	probes := make([]graph.Time, 0, n+2)
+	for i := 0; i <= n; i++ {
+		probes = append(probes, graph.Time(int64(last)*int64(i)/int64(n)))
+	}
+	probes = append(probes, last+100) // beyond the end: current graph
+	return probes
+}
+
+func TestBuildAndRetrieveMatchesReference(t *testing.T) {
+	events := makeTrace(1, 3000)
+	for _, fn := range []delta.Differential{
+		delta.Intersection{}, delta.Union{}, delta.Balanced(),
+		delta.Mixed{R1: 0.9, R2: 0.9}, delta.Empty{},
+	} {
+		fn := fn
+		t.Run(fn.Name(), func(t *testing.T) {
+			dg, err := Build(events, Options{LeafSize: 200, Arity: 3, Function: fn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dg.validateInvariant(); err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstReference(t, dg, events, allAttrs, probeTimes(events, 17))
+		})
+	}
+}
+
+func TestRetrieveStructureOnly(t *testing.T) {
+	events := makeTrace(2, 2000)
+	dg, err := Build(events, Options{LeafSize: 150, Arity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, dg, events, graph.AttrOptions{}, probeTimes(events, 9))
+}
+
+func TestRetrieveNamedAttr(t *testing.T) {
+	events := makeTrace(3, 2000)
+	dg, err := Build(events, Options{LeafSize: 150, Arity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := graph.MustParseAttrOptions("+node:name")
+	checkAgainstReference(t, dg, events, opts, probeTimes(events, 9))
+}
+
+func TestArityAndLeafSizeVariants(t *testing.T) {
+	events := makeTrace(4, 2500)
+	for _, k := range []int{2, 4, 8} {
+		for _, L := range []int{100, 500} {
+			dg, err := Build(events, Options{LeafSize: L, Arity: k})
+			if err != nil {
+				t.Fatalf("k=%d L=%d: %v", k, L, err)
+			}
+			checkAgainstReference(t, dg, events, allAttrs, probeTimes(events, 7))
+		}
+	}
+}
+
+func TestPartitionedRetrieval(t *testing.T) {
+	events := makeTrace(5, 2500)
+	dg, err := Build(events, Options{LeafSize: 200, Arity: 3, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, dg, events, allAttrs, probeTimes(events, 9))
+}
+
+func TestPartitionedRequiresPartitionedStore(t *testing.T) {
+	if _, err := New(Options{Partitions: 3, Store: kvstore.NewMemStore()}); err == nil {
+		t.Error("plain store accepted for partitioned index")
+	}
+	if _, err := New(Options{Partitions: 5, Store: kvstore.NewMemPartitioned(2)}); err == nil {
+		t.Error("too few partitions accepted")
+	}
+}
+
+func TestLiveAppendsInterleavedWithQueries(t *testing.T) {
+	events := makeTrace(6, 3000)
+	dg, err := New(Options{LeafSize: 150, Arity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append in chunks, querying as we go.
+	chunk := 400
+	for lo := 0; lo < len(events); lo += chunk {
+		hi := lo + chunk
+		if hi > len(events) {
+			hi = len(events)
+		}
+		if err := dg.AppendAll(events[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		probe := events[(lo+hi)/2].At
+		want := graph.SnapshotAt(events[:hi], probe)
+		got, err := dg.GetSnapshot(probe, allAttrs)
+		if err != nil {
+			t.Fatalf("after %d events, query %d: %v", hi, probe, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("after %d events, snapshot at %d differs", hi, probe)
+		}
+	}
+	checkAgainstReference(t, dg, events, allAttrs, probeTimes(events, 11))
+	if err := dg.validateInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendRejectsOutOfOrder(t *testing.T) {
+	dg, _ := New(Options{})
+	if err := dg.Append(graph.Event{Type: graph.AddNode, At: 10, Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.Append(graph.Event{Type: graph.AddNode, At: 5, Node: 2}); err == nil {
+		t.Error("out-of-order event accepted")
+	}
+}
+
+func TestMultipointMatchesSinglepoint(t *testing.T) {
+	events := makeTrace(7, 3000)
+	dg, err := Build(events, Options{LeafSize: 200, Arity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, last := events.Span()
+	var ts []graph.Time
+	for i := 1; i <= 6; i++ {
+		ts = append(ts, last*graph.Time(i)/7)
+	}
+	// Shuffle to verify order preservation.
+	ts[0], ts[3] = ts[3], ts[0]
+	multi, err := dg.GetSnapshots(ts, allAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range ts {
+		single, err := dg.GetSnapshot(q, allAttrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !multi[i].Equal(single) {
+			t.Errorf("multipoint[%d] (t=%d) differs from singlepoint", i, q)
+		}
+	}
+	// Duplicates and empty input.
+	dup, err := dg.GetSnapshots([]graph.Time{ts[0], ts[0]}, allAttrs)
+	if err != nil || !dup[0].Equal(dup[1]) {
+		t.Error("duplicate timepoints mishandled")
+	}
+	if out, err := dg.GetSnapshots(nil, allAttrs); err != nil || out != nil {
+		t.Error("empty multipoint mishandled")
+	}
+}
+
+func TestMaterializationCorrectAndFaster(t *testing.T) {
+	events := makeTrace(8, 4000)
+	dg, err := Build(events, Options{LeafSize: 200, Arity: 2, Function: delta.Intersection{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, last := events.Span()
+	q := last * 3 / 4
+	costBefore, err := dg.PlanCost(q, allAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := dg.GetSnapshot(q, allAttrs)
+
+	if err := dg.MaterializeLevel("root"); err != nil {
+		t.Fatal(err)
+	}
+	costAfter, err := dg.PlanCost(q, allAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costAfter > costBefore {
+		t.Errorf("materialization increased plan cost: %d -> %d", costBefore, costAfter)
+	}
+	got, err := dg.GetSnapshot(q, allAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("materialized retrieval differs")
+	}
+	// Deeper materialization reduces cost further (or stays equal).
+	if err := dg.MaterializeLevel("grandchildren"); err != nil {
+		t.Fatal(err)
+	}
+	costDeep, _ := dg.PlanCost(q, allAttrs)
+	if costDeep > costAfter {
+		t.Errorf("deeper materialization increased cost: %d -> %d", costAfter, costDeep)
+	}
+	got, _ = dg.GetSnapshot(q, allAttrs)
+	if !got.Equal(want) {
+		t.Error("deep materialized retrieval differs")
+	}
+
+	// Unmaterialize restores the old behavior.
+	for _, ref := range dg.MaterializedNodes() {
+		if err := dg.Unmaterialize(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	costRestored, _ := dg.PlanCost(q, allAttrs)
+	if costRestored != costBefore {
+		t.Errorf("cost after unmaterialize = %d, want %d", costRestored, costBefore)
+	}
+}
+
+func TestTotalMaterialization(t *testing.T) {
+	events := makeTrace(9, 2000)
+	dg, err := Build(events, Options{LeafSize: 200, Arity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.MaterializeLevel("leaves"); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, dg, events, allAttrs, probeTimes(events, 9))
+	// Every leaf query should now be nearly free.
+	lt := dg.LeafTimes()
+	cost, err := dg.PlanCost(lt[len(lt)/2], allAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("leaf plan cost with total materialization = %d, want 0", cost)
+	}
+}
+
+func TestRetrieveIntoPoolWithDependency(t *testing.T) {
+	events := makeTrace(10, 3000)
+	pool := graphpool.New()
+	dg, err := Build(events, Options{LeafSize: 200, Arity: 2, Pool: pool, DependentMaxRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.MaterializeLevel("root"); err != nil {
+		t.Fatal(err)
+	}
+	_, last := events.Span()
+	for i := 1; i <= 5; i++ {
+		q := last * graph.Time(i) / 6
+		id, err := dg.Retrieve(q, allAttrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := pool.View(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.SnapshotAt(events, q)
+		if !v.Snapshot().Equal(want) {
+			t.Fatalf("pool view at %d differs from reference", q)
+		}
+	}
+	// At least one retrieval should have used the dependent-overlay path
+	// (the mapping table shows a dependency).
+	dependent := false
+	for _, row := range pool.MappingTable() {
+		if row.Kind == graphpool.KindHistorical && row.Dep != graphpool.NoDependency {
+			dependent = true
+		}
+	}
+	if !dependent {
+		t.Log("note: no dependent overlay occurred (plan never started at a materialized base)")
+	}
+}
+
+func TestRetrieveManyIntoPool(t *testing.T) {
+	events := makeTrace(11, 2000)
+	pool := graphpool.New()
+	dg, err := Build(events, Options{LeafSize: 150, Arity: 3, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, last := events.Span()
+	ts := []graph.Time{last / 4, last / 2, 3 * last / 4}
+	ids, err := dg.RetrieveMany(ts, allAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		v, err := pool.View(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Snapshot().Equal(graph.SnapshotAt(events, ts[i])) {
+			t.Errorf("pool snapshot %d differs", i)
+		}
+	}
+}
+
+func TestIntervalQuery(t *testing.T) {
+	events := makeTrace(12, 2500)
+	dg, err := Build(events, Options{LeafSize: 150, Arity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, last := events.Span()
+	ts, te := last/4, 3*last/4
+	res, err := dg.GetInterval(ts, te, allAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: elements whose add events fall in [ts, te); transient
+	// events in window.
+	wantGraph := graph.NewSnapshot()
+	var wantTrans int
+	for _, ev := range events {
+		if ev.At < ts || ev.At >= te {
+			continue
+		}
+		switch ev.Type {
+		case graph.TransientEdge, graph.TransientNode:
+			wantTrans++
+		case graph.AddNode, graph.AddEdge, graph.SetNodeAttr, graph.SetEdgeAttr:
+			wantGraph.Apply(ev)
+		}
+	}
+	if !res.Graph.Equal(wantGraph) {
+		t.Error("interval graph differs from reference")
+	}
+	if len(res.Transients) != wantTrans {
+		t.Errorf("transients = %d, want %d", len(res.Transients), wantTrans)
+	}
+	if _, err := dg.GetInterval(te, ts, allAttrs); err == nil {
+		t.Error("empty interval accepted")
+	}
+}
+
+func TestTimeExpressionQuery(t *testing.T) {
+	events := makeTrace(13, 2500)
+	dg, err := Build(events, Options{LeafSize: 150, Arity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, last := events.Span()
+	t1, t2 := last/3, 2*last/3
+	// Elements valid at t1 but not at t2.
+	out, err := dg.GetExpression(TimeExpression{
+		Times: []graph.Time{t1, t2},
+		Expr:  And{Var(0), Not{E: Var(1)}},
+	}, allAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := graph.SnapshotAt(events, t1)
+	s2 := graph.SnapshotAt(events, t2)
+	for e := range out.Edges {
+		if _, in1 := s1.Edges[e]; !in1 {
+			t.Errorf("edge %d not valid at t1", e)
+		}
+		if _, in2 := s2.Edges[e]; in2 {
+			t.Errorf("edge %d still valid at t2", e)
+		}
+	}
+	// Count check: result edges == edges in s1 minus those surviving to s2.
+	want := 0
+	for e := range s1.Edges {
+		if _, ok := s2.Edges[e]; !ok {
+			want++
+		}
+	}
+	if len(out.Edges) != want {
+		t.Errorf("edges = %d, want %d", len(out.Edges), want)
+	}
+	// Or / Var behavior sanity.
+	union, err := dg.GetExpression(TimeExpression{Times: []graph.Time{t1, t2}, Expr: Or{Var(0), Var(1)}}, allAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(union.Nodes) < len(s1.Nodes) || len(union.Nodes) < len(s2.Nodes) {
+		t.Error("union smaller than operands")
+	}
+	if _, err := dg.GetExpression(TimeExpression{}, allAttrs); err == nil {
+		t.Error("empty expression accepted")
+	}
+}
+
+func TestCheckpointAndOpen(t *testing.T) {
+	events := makeTrace(14, 2500)
+	store := kvstore.NewMemStore()
+	dg, err := Build(events[:2000], Options{LeafSize: 150, Arity: 3, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.MaterializeLevel("root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, re, events[:2000], allAttrs, probeTimes(events[:2000], 9))
+	// The reopened index must keep accepting appends.
+	if err := re.AppendAll(events[2000:]); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, re, events, allAttrs, probeTimes(events, 9))
+	// Materialization must have been restored.
+	if len(re.MaterializedNodes()) == 0 {
+		t.Error("materialized nodes lost on reopen")
+	}
+}
+
+func TestOpenMissingCheckpoint(t *testing.T) {
+	if _, err := Open(Options{Store: kvstore.NewMemStore()}); err == nil {
+		t.Error("Open on empty store succeeded")
+	}
+	if _, err := Open(Options{}); err == nil {
+		t.Error("Open without store succeeded")
+	}
+}
+
+func TestStats(t *testing.T) {
+	events := makeTrace(15, 2000)
+	dg, err := Build(events, Options{LeafSize: 100, Arity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dg.Stats()
+	if st.Leaves < 10 {
+		t.Errorf("leaves = %d", st.Leaves)
+	}
+	if st.Height < 2 {
+		t.Errorf("height = %d", st.Height)
+	}
+	if st.DeltaEdges == 0 || st.EventlistEdges != st.Leaves {
+		t.Errorf("edges: %d deltas, %d eventlists (leaves %d)", st.DeltaEdges, st.EventlistEdges, st.Leaves)
+	}
+	if st.DiskBytes <= 0 || st.EventlistBytes <= 0 {
+		t.Error("byte accounting missing")
+	}
+	if len(st.DeltaBytesByLevel) == 0 {
+		t.Error("no per-level delta stats")
+	}
+}
+
+func TestQueryBeforeAnyData(t *testing.T) {
+	dg, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dg.GetSnapshot(100, allAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 0 {
+		t.Error("empty index returned non-empty snapshot")
+	}
+}
+
+func TestQueryAtTimeZeroAndEarly(t *testing.T) {
+	events := makeTrace(16, 1500)
+	dg, err := Build(events, Options{LeafSize: 100, Arity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := events.Span()
+	for _, q := range []graph.Time{first - 1, first, first + 1} {
+		want := graph.SnapshotAt(events, q)
+		got, err := dg.GetSnapshot(q, allAttrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("early query at %d differs", q)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package deltagraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"historygraph/internal/delta"
+	"historygraph/internal/graph"
+	"historygraph/internal/graphpool"
+	"historygraph/internal/kvstore"
+)
+
+// Checkpoint/Open persist the in-memory DeltaGraph state — the skeleton,
+// builder state (pending nodes, recent eventlist), and materialization set
+// — into the same key-value store that holds the deltas, so an index can be
+// closed and reopened for querying and further appends.
+
+const (
+	metaDeltaID   = math.MaxUint64
+	metaComponent = kvstore.Component(250)
+	// Version of the checkpoint layout.
+	checkpointVersion = 1
+)
+
+type persistedNode struct {
+	ID           int        `json:"id"`
+	Level        int        `json:"level"`
+	At           graph.Time `json:"at"`
+	SpanEnd      graph.Time `json:"span_end,omitempty"`
+	Size         int        `json:"size,omitempty"`
+	Children     []int      `json:"children,omitempty"`
+	Parent       int        `json:"parent"`
+	Provisional  bool       `json:"provisional,omitempty"`
+	Materialized bool       `json:"materialized,omitempty"`
+}
+
+type persistedEdge struct {
+	Index   int     `json:"index"`
+	From    int     `json:"from"`
+	To      int     `json:"to"`
+	Kind    uint8   `json:"kind"`
+	DeltaID uint64  `json:"delta_id"`
+	Sizes   []int64 `json:"sizes"`
+	Counts  int     `json:"counts"`
+	EvIndex int     `json:"ev_index"`
+}
+
+type persistedSnapshot struct {
+	Nodes     []graph.NodeID                     `json:"nodes"`
+	Edges     map[graph.EdgeID]graph.EdgeInfo    `json:"edges"`
+	NodeAttrs map[graph.NodeID]map[string]string `json:"node_attrs,omitempty"`
+	EdgeAttrs map[graph.EdgeID]map[string]string `json:"edge_attrs,omitempty"`
+}
+
+func toPersistedSnapshot(s *graph.Snapshot) persistedSnapshot {
+	p := persistedSnapshot{Edges: s.Edges, NodeAttrs: s.NodeAttrs, EdgeAttrs: s.EdgeAttrs}
+	for n := range s.Nodes {
+		p.Nodes = append(p.Nodes, n)
+	}
+	return p
+}
+
+func (p persistedSnapshot) snapshot() *graph.Snapshot {
+	s := graph.NewSnapshot()
+	for _, n := range p.Nodes {
+		s.Nodes[n] = struct{}{}
+	}
+	for e, info := range p.Edges {
+		s.Edges[e] = info
+	}
+	for n, attrs := range p.NodeAttrs {
+		s.NodeAttrs[n] = attrs
+	}
+	for e, attrs := range p.EdgeAttrs {
+		s.EdgeAttrs[e] = attrs
+	}
+	return s
+}
+
+type persistedChild struct {
+	Node int               `json:"node"`
+	Snap persistedSnapshot `json:"snap"`
+	Aux  []AuxSnapshot     `json:"aux,omitempty"`
+}
+
+type persistedIndex struct {
+	Version      int                `json:"version"`
+	LeafSize     int                `json:"leaf_size"`
+	Arity        int                `json:"arity"`
+	Partitions   int                `json:"partitions"`
+	Function     string             `json:"function"`
+	NextDeltaID  uint64             `json:"next_delta_id"`
+	LastTime     graph.Time         `json:"last_time"`
+	SuperRoot    int                `json:"super_root"`
+	Nodes        []persistedNode    `json:"nodes"`
+	Edges        []persistedEdge    `json:"edges"`
+	Leaves       []int              `json:"leaves"`
+	Recent       []graph.Event      `json:"recent,omitempty"`
+	Current      persistedSnapshot  `json:"current"`
+	Pending      [][]persistedChild `json:"pending"`
+	ProvNodes    []int              `json:"prov_nodes,omitempty"`
+	ProvEdgeIdxs []int              `json:"prov_edge_idxs,omitempty"`
+	ProvDeltaIDs []uint64           `json:"prov_delta_ids,omitempty"`
+	AuxNames     []string           `json:"aux_names,omitempty"`
+	AuxCur       []AuxSnapshot      `json:"aux_cur,omitempty"`
+	AuxRecent    [][]AuxEvent       `json:"aux_recent,omitempty"`
+}
+
+// Checkpoint persists the index state into the store so Open can restore
+// it. Call it after bulk construction or periodically during appends.
+func (dg *DeltaGraph) Checkpoint() error {
+	dg.mu.Lock()
+	defer dg.mu.Unlock()
+	pi := persistedIndex{
+		Version:      checkpointVersion,
+		LeafSize:     dg.opts.LeafSize,
+		Arity:        dg.opts.Arity,
+		Partitions:   dg.opts.Partitions,
+		Function:     dg.opts.Function.Name(),
+		NextDeltaID:  dg.nextDeltaID,
+		LastTime:     dg.lastTime,
+		SuperRoot:    dg.skel.superRoot,
+		Leaves:       dg.skel.leaves,
+		Recent:       dg.recent,
+		Current:      toPersistedSnapshot(dg.current),
+		ProvNodes:    dg.provNodes,
+		ProvEdgeIdxs: dg.provEdgeIdxs,
+		ProvDeltaIDs: dg.provDeltaIDs,
+		AuxCur:       dg.auxCur,
+		AuxRecent:    dg.auxRecent,
+	}
+	for _, a := range dg.auxes {
+		pi.AuxNames = append(pi.AuxNames, a.Name())
+	}
+	for _, n := range dg.skel.nodes {
+		if n == nil || n.level < 0 {
+			continue
+		}
+		pi.Nodes = append(pi.Nodes, persistedNode{
+			ID: n.id, Level: n.level, At: n.at, SpanEnd: n.spanEnd, Size: n.size,
+			Children: n.children, Parent: n.parent, Provisional: n.provisional,
+			Materialized: n.materialized,
+		})
+	}
+	for i, e := range dg.skel.edges {
+		if e == nil {
+			continue
+		}
+		pi.Edges = append(pi.Edges, persistedEdge{
+			Index: i, From: e.from, To: e.to, Kind: uint8(e.kind),
+			DeltaID: e.deltaID, Sizes: e.sizes, Counts: e.counts, EvIndex: e.evIndex,
+		})
+	}
+	for _, level := range dg.pending {
+		row := make([]persistedChild, 0, len(level))
+		for _, c := range level {
+			row = append(row, persistedChild{Node: c.node, Snap: toPersistedSnapshot(c.snap), Aux: c.aux})
+		}
+		pi.Pending = append(pi.Pending, row)
+	}
+	buf, err := json.Marshal(pi)
+	if err != nil {
+		return err
+	}
+	if err := dg.store.Put(kvstore.EncodeKey(0, metaDeltaID, metaComponent), buf); err != nil {
+		return err
+	}
+	return dg.store.Sync()
+}
+
+// Open restores a checkpointed index from the store. The options must
+// supply the same aux index implementations (by name); Store is required;
+// other option fields are taken from the checkpoint.
+func Open(opts Options) (*DeltaGraph, error) {
+	if opts.Store == nil {
+		return nil, fmt.Errorf("deltagraph: Open requires a Store")
+	}
+	buf, err := opts.Store.Get(kvstore.EncodeKey(0, metaDeltaID, metaComponent))
+	if err != nil {
+		return nil, fmt.Errorf("deltagraph: no checkpoint found: %w", err)
+	}
+	var pi persistedIndex
+	if err := json.Unmarshal(buf, &pi); err != nil {
+		return nil, fmt.Errorf("deltagraph: corrupt checkpoint: %w", err)
+	}
+	if pi.Version != checkpointVersion {
+		return nil, fmt.Errorf("deltagraph: unsupported checkpoint version %d", pi.Version)
+	}
+	if len(pi.AuxNames) != len(opts.AuxIndexes) {
+		return nil, fmt.Errorf("deltagraph: checkpoint has %d aux indexes, options provide %d", len(pi.AuxNames), len(opts.AuxIndexes))
+	}
+	for i, name := range pi.AuxNames {
+		if opts.AuxIndexes[i].Name() != name {
+			return nil, fmt.Errorf("deltagraph: aux index %d is %q in checkpoint, %q in options", i, name, opts.AuxIndexes[i].Name())
+		}
+	}
+	fn, err := delta.ByName(pi.Function)
+	if err != nil {
+		return nil, err
+	}
+	opts.LeafSize = pi.LeafSize
+	opts.Arity = pi.Arity
+	opts.Partitions = pi.Partitions
+	opts.Function = fn
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+
+	dg := &DeltaGraph{
+		opts:         opts,
+		skel:         newSkeleton(),
+		store:        opts.Store,
+		pool:         opts.Pool,
+		current:      pi.Current.snapshot(),
+		recent:       pi.Recent,
+		lastTime:     pi.LastTime,
+		nextDeltaID:  pi.NextDeltaID,
+		matGraphs:    make(map[int]graphpool.GraphID),
+		auxes:        opts.AuxIndexes,
+		auxCur:       pi.AuxCur,
+		auxRecent:    pi.AuxRecent,
+		provNodes:    pi.ProvNodes,
+		provEdgeIdxs: pi.ProvEdgeIdxs,
+		provDeltaIDs: pi.ProvDeltaIDs,
+	}
+	if ps, ok := opts.Store.(*kvstore.Partitioned); ok && opts.Partitions > 1 {
+		dg.pstore = ps
+	}
+	if dg.auxCur == nil {
+		dg.auxCur = dg.emptyAux()
+	}
+	if dg.auxRecent == nil {
+		dg.auxRecent = make([][]AuxEvent, len(dg.auxes))
+	}
+
+	// Rebuild the skeleton with original node IDs and edge indices.
+	maxNode := 0
+	for _, n := range pi.Nodes {
+		if n.ID > maxNode {
+			maxNode = n.ID
+		}
+	}
+	dg.skel.nodes = make([]*skelNode, maxNode+1)
+	dg.skel.out = make([][]int, maxNode+1)
+	for i := range dg.skel.nodes {
+		dg.skel.nodes[i] = &skelNode{id: i, level: -1} // tombstone by default
+	}
+	for _, n := range pi.Nodes {
+		dg.skel.nodes[n.ID] = &skelNode{
+			id: n.ID, level: n.Level, at: n.At, spanEnd: n.SpanEnd, size: n.Size,
+			children: n.Children, parent: n.Parent, provisional: n.Provisional,
+		}
+	}
+	maxEdge := 0
+	for _, e := range pi.Edges {
+		if e.Index > maxEdge {
+			maxEdge = e.Index
+		}
+	}
+	dg.skel.edges = make([]*skelEdge, maxEdge+1)
+	for _, e := range pi.Edges {
+		if e.Kind == uint8(kindMat) {
+			continue // materialization edges are recreated below
+		}
+		se := &skelEdge{from: e.From, to: e.To, kind: edgeKind(e.Kind), deltaID: e.DeltaID, sizes: e.Sizes, counts: e.Counts, evIndex: e.EvIndex}
+		dg.skel.edges[e.Index] = se
+		dg.skel.out[e.From] = append(dg.skel.out[e.From], e.Index)
+	}
+	dg.skel.superRoot = pi.SuperRoot
+	dg.skel.leaves = pi.Leaves
+
+	// Restore builder pending state.
+	for _, level := range pi.Pending {
+		row := make([]pendingChild, 0, len(level))
+		for _, c := range level {
+			aux := c.Aux
+			if aux == nil {
+				aux = dg.emptyAux()
+			}
+			row = append(row, pendingChild{node: c.Node, snap: c.Snap.snapshot(), aux: aux})
+		}
+		dg.pending = append(dg.pending, row)
+	}
+
+	// Restore the empty anchor leaf and re-materialize pinned nodes.
+	anchor := dg.skel.nodes[dg.skel.leaves[0]]
+	anchor.materialized = true
+	anchor.matSnapshot = graph.NewSnapshot()
+	dg.skel.addEdge(&skelEdge{from: dg.skel.superRoot, to: anchor.id, kind: kindMat, sizes: make(componentSizes, 4+len(dg.auxes)), evIndex: -1})
+	for _, n := range pi.Nodes {
+		if n.Materialized && n.ID != anchor.id {
+			if err := dg.materializeLocked(n.ID); err != nil {
+				return nil, fmt.Errorf("deltagraph: re-materializing node %d: %w", n.ID, err)
+			}
+		}
+	}
+	// Mirror the current graph into the pool.
+	if dg.pool != nil {
+		dg.pool.LoadCurrent(dg.current)
+	}
+	return dg, nil
+}

@@ -1,0 +1,83 @@
+package deltagraph
+
+// IndexStats summarizes the index shape and cost; the experiment harness
+// and the analytical-model tests consume it.
+type IndexStats struct {
+	// Leaves is the number of real leaves (excluding the empty anchor).
+	Leaves int
+	// InteriorNodes counts permanent + provisional interior nodes.
+	InteriorNodes int
+	// Height is the number of levels above the leaves (root inclusive).
+	Height int
+	// DeltaEdges and EventlistEdges count skeleton edges by kind.
+	DeltaEdges     int
+	EventlistEdges int
+	// DiskBytes is the backing store footprint.
+	DiskBytes int64
+	// DeltaBytesByLevel sums delta byte sizes by the level of the edge's
+	// source node (level 1 = parents of leaves); the Section 5.3 models
+	// predict these.
+	DeltaBytesByLevel map[int]int64
+	// DeltaRecordsByLevel sums delta record counts likewise.
+	DeltaRecordsByLevel map[int]int
+	// EventlistBytes sums all leaf-eventlist payload sizes.
+	EventlistBytes int64
+	// RootSize is the element count of the root's graph (0 if no root).
+	RootSize int
+	// RecentEvents is the size of the unflushed tail.
+	RecentEvents int
+}
+
+// Stats computes current index statistics.
+func (dg *DeltaGraph) Stats() IndexStats {
+	dg.mu.RLock()
+	defer dg.mu.RUnlock()
+	st := IndexStats{
+		Leaves:              len(dg.skel.leaves) - 1,
+		DiskBytes:           dg.store.SizeOnDisk(),
+		DeltaBytesByLevel:   make(map[int]int64),
+		DeltaRecordsByLevel: make(map[int]int),
+		RecentEvents:        len(dg.recent),
+	}
+	height := 0
+	for _, n := range dg.skel.nodes {
+		if n == nil || n.level <= 0 || n.level == int(^uint32(0)>>1) {
+			continue
+		}
+		if n.level < 1<<20 { // exclude the super-root sentinel level
+			st.InteriorNodes++
+			if n.level > height {
+				height = n.level
+			}
+		}
+	}
+	st.Height = height
+	for _, e := range dg.skel.edges {
+		if e == nil {
+			continue
+		}
+		switch e.kind {
+		case kindDelta:
+			st.DeltaEdges++
+			var total int64
+			for _, s := range e.sizes {
+				total += s
+			}
+			lvl := dg.skel.nodes[e.from].level
+			if lvl > 1<<20 {
+				lvl = height + 1 // super-root edge
+			}
+			st.DeltaBytesByLevel[lvl] += total
+			st.DeltaRecordsByLevel[lvl] += e.counts
+		case kindEventFwd:
+			st.EventlistEdges++
+			for _, s := range e.sizes {
+				st.EventlistBytes += s
+			}
+		}
+	}
+	if root := dg.rootLocked(); root >= 0 {
+		st.RootSize = dg.skel.nodes[root].size
+	}
+	return st
+}

@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AttrOptions selects which attribute information a snapshot query fetches,
+// parsed from the paper's attr_options string syntax (Table 1):
+//
+//	""                                  structure only (default)
+//	"+node:all"                         all node attributes
+//	"+node:all-node:salary+edge:name"   all node attributes except salary,
+//	                                    plus the edge attribute "name"
+//
+// Named include/exclude options override the corresponding :all option for
+// that attribute.
+type AttrOptions struct {
+	NodeAll     bool
+	EdgeAll     bool
+	NodeInclude map[string]bool
+	NodeExclude map[string]bool
+	EdgeInclude map[string]bool
+	EdgeExclude map[string]bool
+}
+
+// ParseAttrOptions parses the attr_options string. An empty string selects
+// structure only.
+func ParseAttrOptions(s string) (AttrOptions, error) {
+	o := AttrOptions{
+		NodeInclude: make(map[string]bool),
+		NodeExclude: make(map[string]bool),
+		EdgeInclude: make(map[string]bool),
+		EdgeExclude: make(map[string]bool),
+	}
+	rest := s
+	for rest != "" {
+		sign := rest[0]
+		if sign != '+' && sign != '-' {
+			return o, fmt.Errorf("attr_options %q: expected '+' or '-' at %q", s, rest)
+		}
+		rest = rest[1:]
+		end := strings.IndexAny(rest, "+-")
+		var tok string
+		if end < 0 {
+			tok, rest = rest, ""
+		} else {
+			tok, rest = rest[:end], rest[end:]
+		}
+		kind, name, ok := strings.Cut(tok, ":")
+		if !ok || name == "" {
+			return o, fmt.Errorf("attr_options %q: malformed option %q", s, tok)
+		}
+		switch kind {
+		case "node":
+			o.applyOption(sign == '+', true, name)
+		case "edge":
+			o.applyOption(sign == '+', false, name)
+		default:
+			return o, fmt.Errorf("attr_options %q: unknown kind %q", s, kind)
+		}
+	}
+	return o, nil
+}
+
+// MustParseAttrOptions is ParseAttrOptions but panics on malformed input;
+// for use with constant option strings.
+func MustParseAttrOptions(s string) AttrOptions {
+	o, err := ParseAttrOptions(s)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+func (o *AttrOptions) applyOption(plus, node bool, name string) {
+	if node {
+		if name == "all" {
+			o.NodeAll = plus
+			return
+		}
+		if plus {
+			o.NodeInclude[name] = true
+			delete(o.NodeExclude, name)
+		} else {
+			o.NodeExclude[name] = true
+			delete(o.NodeInclude, name)
+		}
+		return
+	}
+	if name == "all" {
+		o.EdgeAll = plus
+		return
+	}
+	if plus {
+		o.EdgeInclude[name] = true
+		delete(o.EdgeExclude, name)
+	} else {
+		o.EdgeExclude[name] = true
+		delete(o.EdgeInclude, name)
+	}
+}
+
+// WantNodeAttr reports whether the query needs the named node attribute.
+func (o AttrOptions) WantNodeAttr(name string) bool {
+	if o.NodeExclude[name] {
+		return false
+	}
+	return o.NodeAll || o.NodeInclude[name]
+}
+
+// WantEdgeAttr reports whether the query needs the named edge attribute.
+func (o AttrOptions) WantEdgeAttr(name string) bool {
+	if o.EdgeExclude[name] {
+		return false
+	}
+	return o.EdgeAll || o.EdgeInclude[name]
+}
+
+// AnyNodeAttrs reports whether any node attribute may be needed (used to
+// decide whether the ∆nodeattr column must be fetched at all).
+func (o AttrOptions) AnyNodeAttrs() bool { return o.NodeAll || len(o.NodeInclude) > 0 }
+
+// AnyEdgeAttrs reports whether any edge attribute may be needed.
+func (o AttrOptions) AnyEdgeAttrs() bool { return o.EdgeAll || len(o.EdgeInclude) > 0 }
+
+// StructureOnly reports whether the query needs no attributes at all.
+func (o AttrOptions) StructureOnly() bool { return !o.AnyNodeAttrs() && !o.AnyEdgeAttrs() }
+
+// FilterEvent reports whether an event is relevant under the options:
+// structural and transient events always are; attribute events only when the
+// attribute is wanted.
+func (o AttrOptions) FilterEvent(ev Event) bool {
+	switch ev.Type {
+	case SetNodeAttr:
+		return o.WantNodeAttr(ev.Attr)
+	case SetEdgeAttr:
+		return o.WantEdgeAttr(ev.Attr)
+	default:
+		return true
+	}
+}
+
+// FilterSnapshot drops from s (in place) every attribute entry the options
+// do not request, and returns s.
+func (o AttrOptions) FilterSnapshot(s *Snapshot) *Snapshot {
+	if !o.AnyNodeAttrs() {
+		s.NodeAttrs = make(map[NodeID]map[string]string)
+	} else if !o.NodeAll || len(o.NodeExclude) > 0 {
+		for id, attrs := range s.NodeAttrs {
+			for k := range attrs {
+				if !o.WantNodeAttr(k) {
+					delete(attrs, k)
+				}
+			}
+			if len(attrs) == 0 {
+				delete(s.NodeAttrs, id)
+			}
+		}
+	}
+	if !o.AnyEdgeAttrs() {
+		s.EdgeAttrs = make(map[EdgeID]map[string]string)
+	} else if !o.EdgeAll || len(o.EdgeExclude) > 0 {
+		for id, attrs := range s.EdgeAttrs {
+			for k := range attrs {
+				if !o.WantEdgeAttr(k) {
+					delete(attrs, k)
+				}
+			}
+			if len(attrs) == 0 {
+				delete(s.EdgeAttrs, id)
+			}
+		}
+	}
+	return s
+}

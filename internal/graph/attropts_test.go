@@ -1,0 +1,118 @@
+package graph
+
+import "testing"
+
+func TestParseAttrOptions(t *testing.T) {
+	cases := []struct {
+		in        string
+		wantNode  map[string]bool // attr -> wanted
+		wantEdge  map[string]bool
+		structOnl bool
+	}{
+		{"", map[string]bool{"x": false}, map[string]bool{"x": false}, true},
+		{"+node:all", map[string]bool{"x": true, "salary": true}, map[string]bool{"x": false}, false},
+		{"+node:all-node:salary+edge:name",
+			map[string]bool{"x": true, "salary": false},
+			map[string]bool{"name": true, "other": false}, false},
+		{"+node:name", map[string]bool{"name": true, "x": false}, nil, false},
+		{"-node:all", map[string]bool{"x": false}, nil, true},
+		{"+edge:all-edge:weight", nil, map[string]bool{"weight": false, "w2": true}, false},
+	}
+	for _, tc := range cases {
+		o, err := ParseAttrOptions(tc.in)
+		if err != nil {
+			t.Errorf("%q: unexpected error %v", tc.in, err)
+			continue
+		}
+		for attr, want := range tc.wantNode {
+			if got := o.WantNodeAttr(attr); got != want {
+				t.Errorf("%q: WantNodeAttr(%q) = %v, want %v", tc.in, attr, got, want)
+			}
+		}
+		for attr, want := range tc.wantEdge {
+			if got := o.WantEdgeAttr(attr); got != want {
+				t.Errorf("%q: WantEdgeAttr(%q) = %v, want %v", tc.in, attr, got, want)
+			}
+		}
+		if got := o.StructureOnly(); got != tc.structOnl {
+			t.Errorf("%q: StructureOnly = %v, want %v", tc.in, got, tc.structOnl)
+		}
+	}
+}
+
+func TestParseAttrOptionsErrors(t *testing.T) {
+	for _, in := range []string{"node:all", "+nodeall", "+attr:x", "+node:", "x+node:all"} {
+		if _, err := ParseAttrOptions(in); err == nil {
+			t.Errorf("%q: expected parse error", in)
+		}
+	}
+}
+
+func TestMustParseAttrOptionsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseAttrOptions did not panic on bad input")
+		}
+	}()
+	MustParseAttrOptions("bogus")
+}
+
+func TestAttrOptionsOverrides(t *testing.T) {
+	// A named include overrides a later exclude and vice versa: last wins.
+	o := MustParseAttrOptions("+node:x-node:x")
+	if o.WantNodeAttr("x") {
+		t.Error("-node:x should override earlier +node:x")
+	}
+	o = MustParseAttrOptions("-node:x+node:x")
+	if !o.WantNodeAttr("x") {
+		t.Error("+node:x should override earlier -node:x")
+	}
+}
+
+func TestFilterEvent(t *testing.T) {
+	o := MustParseAttrOptions("+node:name")
+	if !o.FilterEvent(Event{Type: AddNode, Node: 1}) {
+		t.Error("structural events must always pass")
+	}
+	if !o.FilterEvent(Event{Type: SetNodeAttr, Attr: "name"}) {
+		t.Error("wanted attr filtered out")
+	}
+	if o.FilterEvent(Event{Type: SetNodeAttr, Attr: "salary"}) {
+		t.Error("unwanted attr passed")
+	}
+	if o.FilterEvent(Event{Type: SetEdgeAttr, Attr: "w"}) {
+		t.Error("edge attr passed though none requested")
+	}
+	if !o.FilterEvent(Event{Type: TransientEdge}) {
+		t.Error("transient events must pass")
+	}
+}
+
+func TestFilterSnapshot(t *testing.T) {
+	s := NewSnapshot()
+	s.Apply(Event{Type: AddNode, Node: 1})
+	s.Apply(Event{Type: SetNodeAttr, Node: 1, Attr: "name", New: "a", HasNew: true})
+	s.Apply(Event{Type: SetNodeAttr, Node: 1, Attr: "salary", New: "9", HasNew: true})
+	s.Apply(Event{Type: AddNode, Node: 2})
+	s.Apply(Event{Type: AddEdge, Edge: 1, Node: 1, Node2: 2})
+	s.Apply(Event{Type: SetEdgeAttr, Edge: 1, Attr: "w", New: "1", HasNew: true})
+
+	filtered := MustParseAttrOptions("+node:all-node:salary").FilterSnapshot(s.Clone())
+	if filtered.NodeAttrs[1]["name"] != "a" {
+		t.Error("wanted node attr dropped")
+	}
+	if _, ok := filtered.NodeAttrs[1]["salary"]; ok {
+		t.Error("excluded node attr kept")
+	}
+	if len(filtered.EdgeAttrs) != 0 {
+		t.Error("edge attrs kept though none requested")
+	}
+
+	structOnly := AttrOptions{}.FilterSnapshot(s.Clone())
+	if len(structOnly.NodeAttrs) != 0 || len(structOnly.EdgeAttrs) != 0 {
+		t.Error("structure-only filter kept attributes")
+	}
+	if len(structOnly.Nodes) != 2 || len(structOnly.Edges) != 1 {
+		t.Error("structure-only filter dropped structure")
+	}
+}

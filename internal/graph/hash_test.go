@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPartitionRangeAndStability(t *testing.T) {
+	for p := 1; p <= 8; p++ {
+		for n := NodeID(0); n < 1000; n++ {
+			got := Partition(n, p)
+			if got < 0 || got >= p {
+				t.Fatalf("Partition(%d, %d) = %d out of range", n, p, got)
+			}
+			if got != Partition(n, p) {
+				t.Fatalf("Partition not deterministic")
+			}
+		}
+	}
+	if Partition(123, 0) != 0 || Partition(123, 1) != 0 {
+		t.Error("p <= 1 must map everything to partition 0")
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	const p = 4
+	counts := make([]int, p)
+	for n := NodeID(0); n < 40000; n++ {
+		counts[Partition(n, p)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("partition %d badly unbalanced: %d of 40000", i, c)
+		}
+	}
+}
+
+func TestHash01Range(t *testing.T) {
+	for i := int64(0); i < 10000; i++ {
+		v := Hash01(HashElement(KindNode, i, ""))
+		if v < 0 || v >= 1 {
+			t.Fatalf("Hash01 out of range: %v", v)
+		}
+	}
+}
+
+// The differential-function sampling relies on Hash01 being roughly uniform:
+// a Balanced parent should take about half of each delta.
+func TestHash01Uniformity(t *testing.T) {
+	const n = 100000
+	var below float64
+	for i := int64(0); i < n; i++ {
+		if Hash01(HashElement(KindEdge, i, "")) < 0.5 {
+			below++
+		}
+	}
+	frac := below / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("fraction below 0.5 = %v, want ~0.5", frac)
+	}
+}
+
+func TestHashElementDistinguishesIdentity(t *testing.T) {
+	a := HashElement(KindNode, 1, "")
+	b := HashElement(KindEdge, 1, "")
+	c := HashElement(KindNodeAttr, 1, "x")
+	d := HashElement(KindNodeAttr, 1, "y")
+	if a == b || c == d || a == c {
+		t.Error("element identities collide trivially")
+	}
+	if HashElement(KindNodeAttr, 1, "x") != c {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestPartitionOfEvent(t *testing.T) {
+	ev := Event{Type: AddEdge, Edge: 7, Node: 100, Node2: 200}
+	if PartitionOfEvent(ev, 4) != Partition(100, 4) {
+		t.Error("edge event must route by its From endpoint")
+	}
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSnapshotCloneIndependent(t *testing.T) {
+	s := NewSnapshot()
+	s.Apply(Event{Type: AddNode, Node: 1})
+	s.Apply(Event{Type: AddNode, Node: 2})
+	s.Apply(Event{Type: AddEdge, Edge: 1, Node: 1, Node2: 2})
+	s.Apply(Event{Type: SetNodeAttr, Node: 1, Attr: "name", New: "alice", HasNew: true})
+
+	c := s.Clone()
+	if !c.Equal(s) {
+		t.Fatal("clone not equal")
+	}
+	c.Apply(Event{Type: DelEdge, Edge: 1, Node: 1, Node2: 2})
+	c.Apply(Event{Type: SetNodeAttr, Node: 1, Attr: "name", Old: "alice", HadOld: true, New: "bob", HasNew: true})
+	if len(s.Edges) != 1 || s.NodeAttrs[1]["name"] != "alice" {
+		t.Error("mutating clone affected original")
+	}
+
+	var nilSnap *Snapshot
+	if got := nilSnap.Clone(); got == nil || got.Size() != 0 {
+		t.Error("nil Clone should be empty snapshot")
+	}
+}
+
+func TestSnapshotSize(t *testing.T) {
+	s := NewSnapshot()
+	if s.Size() != 0 {
+		t.Fatal("empty size != 0")
+	}
+	s.Apply(Event{Type: AddNode, Node: 1})
+	s.Apply(Event{Type: AddNode, Node: 2})
+	s.Apply(Event{Type: AddEdge, Edge: 1, Node: 1, Node2: 2})
+	s.Apply(Event{Type: SetNodeAttr, Node: 1, Attr: "a", New: "x", HasNew: true})
+	s.Apply(Event{Type: SetEdgeAttr, Edge: 1, Attr: "w", New: "3", HasNew: true})
+	if s.Size() != 5 {
+		t.Errorf("Size = %d, want 5", s.Size())
+	}
+}
+
+func TestSnapshotEqualDetectsDiffs(t *testing.T) {
+	build := func() *Snapshot {
+		s := NewSnapshot()
+		s.Apply(Event{Type: AddNode, Node: 1})
+		s.Apply(Event{Type: AddNode, Node: 2})
+		s.Apply(Event{Type: AddEdge, Edge: 1, Node: 1, Node2: 2, Directed: true})
+		s.Apply(Event{Type: SetNodeAttr, Node: 1, Attr: "a", New: "x", HasNew: true})
+		return s
+	}
+	a, b := build(), build()
+	if !a.Equal(b) {
+		t.Fatal("identical snapshots unequal")
+	}
+	b.Apply(Event{Type: SetNodeAttr, Node: 1, Attr: "a", Old: "x", HadOld: true, New: "y", HasNew: true})
+	if a.Equal(b) {
+		t.Error("value change not detected")
+	}
+	b = build()
+	b.Edges[1] = EdgeInfo{From: 2, To: 1, Directed: true}
+	if a.Equal(b) {
+		t.Error("edge endpoint change not detected")
+	}
+	b = build()
+	delete(b.Nodes, 2)
+	if a.Equal(b) {
+		t.Error("missing node not detected")
+	}
+}
+
+func TestDelNodeDropsAttrs(t *testing.T) {
+	s := NewSnapshot()
+	s.Apply(Event{Type: AddNode, Node: 1})
+	s.Apply(Event{Type: SetNodeAttr, Node: 1, Attr: "a", New: "x", HasNew: true})
+	s.Apply(Event{Type: DelNode, Node: 1})
+	if len(s.NodeAttrs) != 0 {
+		t.Error("DelNode left attributes behind")
+	}
+}
+
+func TestTransientEventsDoNotChangeState(t *testing.T) {
+	s := NewSnapshot()
+	s.Apply(Event{Type: AddNode, Node: 1})
+	before := s.Clone()
+	s.Apply(Event{Type: TransientEdge, Edge: 7, Node: 1, Node2: 1})
+	s.Apply(Event{Type: TransientNode, Node: 99})
+	if !s.Equal(before) {
+		t.Error("transient event mutated snapshot")
+	}
+}
+
+func TestEdgeInfoHelpers(t *testing.T) {
+	e := EdgeInfo{From: 1, To: 2}
+	if !e.Touches(1) || !e.Touches(2) || e.Touches(3) {
+		t.Error("Touches wrong")
+	}
+	if e.Other(1) != 2 || e.Other(2) != 1 {
+		t.Error("Other wrong")
+	}
+	loop := EdgeInfo{From: 5, To: 5}
+	if loop.Other(5) != 5 {
+		t.Error("self-loop Other wrong")
+	}
+}
+
+func BenchmarkApplyAll(b *testing.B) {
+	events := randomTrace(rand.New(rand.NewSource(42)), 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSnapshot()
+		s.ApplyAll(events)
+	}
+}

@@ -1,0 +1,264 @@
+package graphpool
+
+import (
+	"fmt"
+
+	"historygraph/internal/graph"
+)
+
+// View is a read-only view of one active graph overlaid in the pool — the
+// HistGraph handle the paper's programmatic API returns. All methods
+// evaluate membership through the bitmap semantics, so a view is always
+// consistent with the pool even as other graphs come and go.
+type View struct {
+	p     *Pool
+	entry *graphEntry
+}
+
+// View returns a read view of the given active graph.
+func (p *Pool) View(id GraphID) (*View, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	entry, ok := p.graphs[id]
+	if !ok || entry.released {
+		return nil, fmt.Errorf("graphpool: graph %d not active", id)
+	}
+	return &View{p: p, entry: entry}, nil
+}
+
+// Current returns a view of the current graph.
+func (p *Pool) Current() *View {
+	v, _ := p.View(CurrentGraph)
+	return v
+}
+
+// ID returns the view's graph ID.
+func (v *View) ID() GraphID { return v.entry.id }
+
+// At returns the timepoint the graph was retrieved for (zero for the
+// current graph and materialized graphs).
+func (v *View) At() graph.Time { return v.entry.at }
+
+// NumNodes returns the node count of this graph.
+func (v *View) NumNodes() int {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	return v.entry.nodeCount
+}
+
+// NumEdges returns the edge count of this graph.
+func (v *View) NumEdges() int {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	return v.entry.edgeCount
+}
+
+// HasNode reports whether the node is in this graph.
+func (v *View) HasNode(n graph.NodeID) bool {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	pn, ok := v.p.nodes[n]
+	return ok && v.p.member(&pn.bm, v.entry)
+}
+
+// HasEdge reports whether the edge is in this graph.
+func (v *View) HasEdge(e graph.EdgeID) bool {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	pe, ok := v.p.edges[e]
+	return ok && v.p.member(&pe.bm, v.entry)
+}
+
+// EdgeInfo returns the endpoints of an edge in this graph.
+func (v *View) EdgeInfo(e graph.EdgeID) (graph.EdgeInfo, bool) {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	pe, ok := v.p.edges[e]
+	if !ok || !v.p.member(&pe.bm, v.entry) {
+		return graph.EdgeInfo{}, false
+	}
+	return pe.info, true
+}
+
+// ForEachNode calls fn for every node in this graph until fn returns false.
+// The pool's read lock is held for the duration; fn must not call pool
+// methods that take the write lock.
+func (v *View) ForEachNode(fn func(graph.NodeID) bool) {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	for id, pn := range v.p.nodes {
+		if v.p.member(&pn.bm, v.entry) {
+			if !fn(id) {
+				return
+			}
+		}
+	}
+}
+
+// ForEachEdge calls fn for every edge in this graph until fn returns false.
+func (v *View) ForEachEdge(fn func(graph.EdgeID, graph.EdgeInfo) bool) {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	for id, pe := range v.p.edges {
+		if v.p.member(&pe.bm, v.entry) {
+			if !fn(id, pe.info) {
+				return
+			}
+		}
+	}
+}
+
+// Nodes returns all node IDs in this graph (unordered).
+func (v *View) Nodes() []graph.NodeID {
+	out := make([]graph.NodeID, 0, v.NumNodes())
+	v.ForEachNode(func(n graph.NodeID) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// IncidentEdges returns the IDs of this graph's edges incident to n.
+func (v *View) IncidentEdges(n graph.NodeID) []graph.EdgeID {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	var out []graph.EdgeID
+	for _, e := range v.p.adj[n] {
+		if pe, ok := v.p.edges[e]; ok && v.p.member(&pe.bm, v.entry) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the distinct nodes adjacent to n in this graph
+// (treating directed edges as traversable both ways, as the paper's
+// getNeighbors example does).
+func (v *View) Neighbors(n graph.NodeID) []graph.NodeID {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	seen := make(map[graph.NodeID]struct{})
+	var out []graph.NodeID
+	for _, e := range v.p.adj[n] {
+		pe, ok := v.p.edges[e]
+		if !ok || !v.p.member(&pe.bm, v.entry) {
+			continue
+		}
+		other := pe.info.Other(n)
+		if _, dup := seen[other]; !dup {
+			seen[other] = struct{}{}
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// Degree returns the number of edges of this graph incident to n.
+func (v *View) Degree(n graph.NodeID) int {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	d := 0
+	for _, e := range v.p.adj[n] {
+		if pe, ok := v.p.edges[e]; ok && v.p.member(&pe.bm, v.entry) {
+			d++
+		}
+	}
+	return d
+}
+
+// NodeAttr returns the value of a node attribute in this graph.
+func (v *View) NodeAttr(n graph.NodeID, attr string) (string, bool) {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	pn, ok := v.p.nodes[n]
+	if !ok || !v.p.member(&pn.bm, v.entry) {
+		return "", false
+	}
+	for _, av := range pn.attrs[attr] {
+		if v.p.member(&av.bm, v.entry) {
+			return av.val, true
+		}
+	}
+	return "", false
+}
+
+// EdgeAttr returns the value of an edge attribute in this graph.
+func (v *View) EdgeAttr(e graph.EdgeID, attr string) (string, bool) {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	pe, ok := v.p.edges[e]
+	if !ok || !v.p.member(&pe.bm, v.entry) {
+		return "", false
+	}
+	for _, av := range pe.attrs[attr] {
+		if v.p.member(&av.bm, v.entry) {
+			return av.val, true
+		}
+	}
+	return "", false
+}
+
+// NodeAttrs returns all attributes of n in this graph.
+func (v *View) NodeAttrs(n graph.NodeID) map[string]string {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	pn, ok := v.p.nodes[n]
+	if !ok || !v.p.member(&pn.bm, v.entry) {
+		return nil
+	}
+	out := make(map[string]string)
+	for name, vals := range pn.attrs {
+		for _, av := range vals {
+			if v.p.member(&av.bm, v.entry) {
+				out[name] = av.val
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Snapshot extracts a full set-based copy of this graph out of the pool.
+func (v *View) Snapshot() *graph.Snapshot {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	s := graph.NewSnapshot()
+	for id, pn := range v.p.nodes {
+		if !v.p.member(&pn.bm, v.entry) {
+			continue
+		}
+		s.Nodes[id] = struct{}{}
+		for name, vals := range pn.attrs {
+			for _, av := range vals {
+				if v.p.member(&av.bm, v.entry) {
+					if s.NodeAttrs[id] == nil {
+						s.NodeAttrs[id] = make(map[string]string)
+					}
+					s.NodeAttrs[id][name] = av.val
+					break
+				}
+			}
+		}
+	}
+	for id, pe := range v.p.edges {
+		if !v.p.member(&pe.bm, v.entry) {
+			continue
+		}
+		s.Edges[id] = pe.info
+		for name, vals := range pe.attrs {
+			for _, av := range vals {
+				if v.p.member(&av.bm, v.entry) {
+					if s.EdgeAttrs[id] == nil {
+						s.EdgeAttrs[id] = make(map[string]string)
+					}
+					s.EdgeAttrs[id][name] = av.val
+					break
+				}
+			}
+		}
+	}
+	return s
+}

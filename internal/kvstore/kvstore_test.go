@@ -1,0 +1,332 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func testStoreBasics(t *testing.T, s Store) {
+	t.Helper()
+	if _, err := s.Get([]byte("missing")); err != ErrNotFound {
+		t.Errorf("Get missing = %v, want ErrNotFound", err)
+	}
+	if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k2"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get([]byte("k1"))
+	if err != nil || string(got) != "v1" {
+		t.Errorf("Get k1 = %q, %v", got, err)
+	}
+	// Overwrite.
+	if err := s.Put([]byte("k1"), []byte("v1b")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get([]byte("k1"))
+	if string(got) != "v1b" {
+		t.Errorf("after overwrite Get k1 = %q", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	// Delete.
+	if err := s.Delete([]byte("k2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get([]byte("k2")); err != ErrNotFound {
+		t.Error("deleted key still readable")
+	}
+	if err := s.Delete([]byte("never-existed")); err != nil {
+		t.Errorf("deleting absent key: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len after delete = %d, want 1", s.Len())
+	}
+	// Empty value round-trips.
+	if err := s.Put([]byte("empty"), nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Get([]byte("empty"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty value: %q, %v", got, err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Errorf("Sync: %v", err)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	testStoreBasics(t, s)
+	if s.SizeOnDisk() <= 0 {
+		t.Error("MemStore should report payload bytes")
+	}
+}
+
+func TestMemStoreGetIsolation(t *testing.T) {
+	s := NewMemStore()
+	defer s.Close()
+	val := []byte("hello")
+	s.Put([]byte("k"), val)
+	val[0] = 'X' // caller mutation must not leak in
+	got, _ := s.Get([]byte("k"))
+	if string(got) != "hello" {
+		t.Error("Put did not copy value")
+	}
+	got[0] = 'Y' // returned mutation must not leak back
+	got2, _ := s.Get([]byte("k"))
+	if string(got2) != "hello" {
+		t.Error("Get did not copy value")
+	}
+}
+
+func openTestFileStore(t *testing.T, opts FileOptions) (*FileStore, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.log")
+	s, err := OpenFileStore(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func TestFileStore(t *testing.T) {
+	s, _ := openTestFileStore(t, FileOptions{})
+	defer s.Close()
+	testStoreBasics(t, s)
+	if s.SizeOnDisk() <= int64(len(fileMagic)) {
+		t.Error("SizeOnDisk should grow with writes")
+	}
+}
+
+func TestFileStoreReopen(t *testing.T) {
+	s, path := openTestFileStore(t, FileOptions{Compress: true})
+	want := map[string]string{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%03d", rng.Intn(200))
+		v := bytes.Repeat([]byte{byte(i)}, rng.Intn(300))
+		if rng.Intn(10) == 0 {
+			s.Delete([]byte(k))
+			delete(want, k)
+		} else {
+			s.Put([]byte(k), v)
+			want[k] = string(v)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(path, FileOptions{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != len(want) {
+		t.Errorf("reopened Len = %d, want %d", s2.Len(), len(want))
+	}
+	for k, v := range want {
+		got, err := s2.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("reopened Get(%q): %q, %v", k, got, err)
+		}
+	}
+}
+
+func TestFileStoreTornTailRecovery(t *testing.T) {
+	s, path := openTestFileStore(t, FileOptions{})
+	s.Put([]byte("a"), []byte("va"))
+	s.Put([]byte("b"), []byte("vb"))
+	s.Close()
+
+	// Simulate a crash mid-append: write a partial garbage record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x05, 0x20, 0x00, 'x'})
+	f.Close()
+
+	s2, err := OpenFileStore(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, err := s2.Get([]byte("a")); err != nil || string(got) != "va" {
+		t.Errorf("a after torn tail: %q %v", got, err)
+	}
+	if got, err := s2.Get([]byte("b")); err != nil || string(got) != "vb" {
+		t.Errorf("b after torn tail: %q %v", got, err)
+	}
+	if s2.Len() != 2 {
+		t.Errorf("Len = %d", s2.Len())
+	}
+	// The store must still accept writes after recovery.
+	if err := s2.Put([]byte("c"), []byte("vc")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s2.Get([]byte("c")); string(got) != "vc" {
+		t.Error("write after recovery failed")
+	}
+}
+
+func TestFileStoreCorruptMiddleStopsScan(t *testing.T) {
+	s, path := openTestFileStore(t, FileOptions{})
+	s.Put([]byte("a"), []byte("va"))
+	s.Close()
+	// Flip a byte inside the only record.
+	data, _ := os.ReadFile(path)
+	data[len(fileMagic)+3] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	s2, err := OpenFileStore(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get([]byte("a")); err != ErrNotFound {
+		t.Error("corrupt record should be dropped")
+	}
+}
+
+func TestFileStoreRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "foreign")
+	os.WriteFile(path, []byte("this is not a log"), 0o644)
+	if _, err := OpenFileStore(path, FileOptions{}); err == nil {
+		t.Error("foreign file accepted")
+	}
+}
+
+func TestFileStoreCompressionSavesSpace(t *testing.T) {
+	big := bytes.Repeat([]byte("abcdefgh"), 4096)
+	sc, _ := openTestFileStore(t, FileOptions{Compress: true})
+	defer sc.Close()
+	sc.Put([]byte("k"), big)
+	sc.Sync()
+	su, _ := openTestFileStore(t, FileOptions{})
+	defer su.Close()
+	su.Put([]byte("k"), big)
+	su.Sync()
+	if sc.SizeOnDisk() >= su.SizeOnDisk() {
+		t.Errorf("compression did not help: %d >= %d", sc.SizeOnDisk(), su.SizeOnDisk())
+	}
+	got, err := sc.Get([]byte("k"))
+	if err != nil || !bytes.Equal(got, big) {
+		t.Error("compressed value did not round-trip")
+	}
+}
+
+func TestKeyCodec(t *testing.T) {
+	for _, tc := range []struct {
+		part int
+		id   uint64
+		comp Component
+	}{{0, 0, ComponentStruct}, {3, 12345, ComponentEdgeAttr}, {65535, 1 << 60, ComponentAuxBase + 2}} {
+		key := EncodeKey(tc.part, tc.id, tc.comp)
+		p, id, c, err := DecodeKey(key)
+		if err != nil || p != tc.part || id != tc.id || c != tc.comp {
+			t.Errorf("round trip (%d,%d,%d) -> (%d,%d,%d,%v)", tc.part, tc.id, tc.comp, p, id, c, err)
+		}
+	}
+	if _, _, _, err := DecodeKey([]byte("short")); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	if ComponentStruct.String() != "struct" || ComponentTransient.String() != "transient" {
+		t.Error("component names wrong")
+	}
+	if ComponentAuxBase.String() != "aux0" || (ComponentAuxBase+1).String() != "aux1" {
+		t.Error("aux component names wrong")
+	}
+}
+
+func TestPartitioned(t *testing.T) {
+	p := NewMemPartitioned(4)
+	defer p.Close()
+	if p.NumPartitions() != 4 {
+		t.Fatal("wrong partition count")
+	}
+	keys := make([][]byte, 40)
+	for i := range keys {
+		keys[i] = EncodeKey(i%4, uint64(i), ComponentStruct)
+		if err := p.Put(keys[i], []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Data landed in the right partitions.
+	for i := 0; i < 4; i++ {
+		if p.Part(i).Len() != 10 {
+			t.Errorf("partition %d has %d keys, want 10", i, p.Part(i).Len())
+		}
+	}
+	if p.Len() != 40 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	// Routed get.
+	got, err := p.Get(keys[7])
+	if err != nil || got[0] != 7 {
+		t.Errorf("routed Get = %v, %v", got, err)
+	}
+	// Parallel multi-get, including a missing key.
+	missing := EncodeKey(2, 9999, ComponentStruct)
+	vals, err := p.GetMany(append([][]byte{missing}, keys...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != nil {
+		t.Error("missing key should yield nil")
+	}
+	for i, v := range vals[1:] {
+		if v == nil || v[0] != byte(i) {
+			t.Errorf("GetMany[%d] = %v", i, v)
+		}
+	}
+	// Out-of-range partition rejected.
+	if _, err := p.Get(EncodeKey(9, 0, ComponentStruct)); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+	if err := p.Delete(keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(keys[0]); err != ErrNotFound {
+		t.Error("delete did not route")
+	}
+}
+
+// Property: MemStore and FileStore agree under a random operation sequence.
+func TestFileStoreMatchesMemStore(t *testing.T) {
+	s, _ := openTestFileStore(t, FileOptions{Compress: true})
+	defer s.Close()
+	m := NewMemStore()
+	defer m.Close()
+	check := func(op uint8, key uint8, val []byte) bool {
+		k := []byte{key % 16}
+		switch op % 3 {
+		case 0:
+			return s.Put(k, val) == nil && m.Put(k, val) == nil
+		case 1:
+			return s.Delete(k) == nil && m.Delete(k) == nil
+		default:
+			gv, gerr := s.Get(k)
+			wv, werr := m.Get(k)
+			return gerr == werr && bytes.Equal(gv, wv)
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+	if s.Len() != m.Len() {
+		t.Errorf("Len mismatch: %d vs %d", s.Len(), m.Len())
+	}
+}

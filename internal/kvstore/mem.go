@@ -1,0 +1,82 @@
+package kvstore
+
+import "sync"
+
+// MemStore is an in-memory Store backed by a map. It is the default backend
+// for tests and for ephemeral indexes that fit in memory.
+type MemStore struct {
+	mu    sync.RWMutex
+	data  map[string][]byte
+	bytes int64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{data: make(map[string][]byte)}
+}
+
+// Get implements Store.
+func (m *MemStore) Get(key []byte) ([]byte, error) {
+	m.mu.RLock()
+	v, ok := m.data[string(key)]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// Put implements Store.
+func (m *MemStore) Put(key, value []byte) error {
+	v := make([]byte, len(value))
+	copy(v, value)
+	m.mu.Lock()
+	if old, ok := m.data[string(key)]; ok {
+		m.bytes -= int64(len(old))
+	} else {
+		m.bytes += int64(len(key))
+	}
+	m.bytes += int64(len(v))
+	m.data[string(key)] = v
+	m.mu.Unlock()
+	return nil
+}
+
+// Delete implements Store.
+func (m *MemStore) Delete(key []byte) error {
+	m.mu.Lock()
+	if old, ok := m.data[string(key)]; ok {
+		m.bytes -= int64(len(old)) + int64(len(key))
+		delete(m.data, string(key))
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// Len implements Store.
+func (m *MemStore) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.data)
+}
+
+// SizeOnDisk implements Store. For MemStore it reports the total payload
+// bytes held in memory, so space comparisons still work for in-memory runs.
+func (m *MemStore) SizeOnDisk() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bytes
+}
+
+// Sync implements Store (no-op).
+func (m *MemStore) Sync() error { return nil }
+
+// Close implements Store.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	m.data = nil
+	m.mu.Unlock()
+	return nil
+}

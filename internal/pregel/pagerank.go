@@ -1,0 +1,59 @@
+package pregel
+
+import "historygraph/internal/graph"
+
+// PageRank is the vertex program the paper's Dataset 3 experiment runs:
+// each superstep a vertex sums incoming rank mass, applies the damping
+// factor, and scatters its rank to its neighbors.
+type PageRank struct {
+	// Damping is the PageRank damping factor; 0 means 0.85.
+	Damping float64
+	// Iterations fixes the number of supersteps; 0 means 20.
+	Iterations int
+}
+
+func (p PageRank) damping() float64 {
+	if p.Damping == 0 {
+		return 0.85
+	}
+	return p.Damping
+}
+
+func (p PageRank) iterations() int {
+	if p.Iterations == 0 {
+		return 20
+	}
+	return p.Iterations
+}
+
+// Init implements Program.
+func (p PageRank) Init(v *Vertex, numVertices int) {
+	if numVertices > 0 {
+		v.Value = 1 / float64(numVertices)
+	}
+}
+
+// Compute implements Program.
+func (p PageRank) Compute(v *Vertex, msgs []float64, ctx *Context) {
+	d := p.damping()
+	if ctx.Superstep() > 0 {
+		sum := 0.0
+		for _, m := range msgs {
+			sum += m
+		}
+		v.Value = (1-d)/float64(ctx.NumVertices()) + d*sum
+	}
+	if ctx.Superstep() < p.iterations() {
+		if deg := len(v.Neighbors); deg > 0 {
+			ctx.SendToNeighbors(v.Value / float64(deg))
+		}
+	} else {
+		ctx.VoteToHalt()
+	}
+}
+
+// RunPageRank is a convenience wrapper: PageRank over g with w workers.
+func RunPageRank(g Graph, w int, iterations int) map[graph.NodeID]float64 {
+	ranks, _ := Run(g, PageRank{Iterations: iterations}, Config{Workers: w, MaxSupersteps: iterations + 2})
+	return ranks
+}

@@ -1,0 +1,193 @@
+// Package pregel is the iterative vertex-centric message-passing framework
+// the paper runs over retrieved snapshots ("we have implemented an
+// iterative vertex-based message-passing system analogous to Pregel",
+// Section 3.2). Vertices are hash-partitioned across workers — the same
+// partitioning used for DeltaGraph storage — and each worker processes its
+// partition independently per superstep, exchanging messages at barriers.
+package pregel
+
+import (
+	"runtime"
+	"sync"
+
+	"historygraph/internal/graph"
+)
+
+// Graph is the read interface a vertex program computes over; both
+// graphpool views and snapshot adapters satisfy it.
+type Graph interface {
+	ForEachNode(fn func(graph.NodeID) bool)
+	Neighbors(n graph.NodeID) []graph.NodeID
+	NumNodes() int
+}
+
+// Vertex is the per-node state handed to the program.
+type Vertex struct {
+	ID        graph.NodeID
+	Value     float64
+	Neighbors []graph.NodeID
+	halted    bool
+}
+
+// Context lets a vertex program emit messages and vote to halt.
+type Context struct {
+	superstep int
+	vertex    *Vertex
+	worker    *worker
+}
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context) Superstep() int { return c.superstep }
+
+// NumVertices returns the graph's vertex count.
+func (c *Context) NumVertices() int { return c.worker.run.numVertices }
+
+// SendTo sends a value to one vertex for the next superstep.
+func (c *Context) SendTo(to graph.NodeID, val float64) {
+	w := c.worker
+	dst := graph.Partition(to, len(w.run.workers))
+	w.outbox[dst] = append(w.outbox[dst], message{to: to, val: val})
+}
+
+// SendToNeighbors sends a value to every neighbor.
+func (c *Context) SendToNeighbors(val float64) {
+	for _, n := range c.vertex.Neighbors {
+		c.SendTo(n, val)
+	}
+}
+
+// VoteToHalt deactivates the vertex; it reactivates when a message
+// arrives.
+func (c *Context) VoteToHalt() { c.vertex.halted = true }
+
+// Program is a vertex program.
+type Program interface {
+	// Init sets the initial vertex value.
+	Init(v *Vertex, numVertices int)
+	// Compute processes incoming messages and may send messages or vote
+	// to halt.
+	Compute(v *Vertex, msgs []float64, ctx *Context)
+}
+
+// Config tunes a run.
+type Config struct {
+	// Workers is the number of partitions/goroutines ("machines");
+	// 0 means GOMAXPROCS.
+	Workers int
+	// MaxSupersteps bounds the run; 0 means 50.
+	MaxSupersteps int
+}
+
+type message struct {
+	to  graph.NodeID
+	val float64
+}
+
+type worker struct {
+	run      *run
+	id       int
+	vertices map[graph.NodeID]*Vertex
+	inbox    map[graph.NodeID][]float64
+	outbox   [][]message // destination worker -> messages
+	active   int
+}
+
+type run struct {
+	workers     []*worker
+	numVertices int
+}
+
+// Run executes the program on g until every vertex has halted with no
+// in-flight messages, or MaxSupersteps is reached. It returns the final
+// vertex values and the number of supersteps executed.
+func Run(g Graph, prog Program, cfg Config) (map[graph.NodeID]float64, int) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = 50
+	}
+	r := &run{numVertices: g.NumNodes()}
+	r.workers = make([]*worker, cfg.Workers)
+	for i := range r.workers {
+		r.workers[i] = &worker{
+			run: r, id: i,
+			vertices: make(map[graph.NodeID]*Vertex),
+			inbox:    make(map[graph.NodeID][]float64),
+			outbox:   make([][]message, cfg.Workers),
+		}
+	}
+	// Load vertices into their partitions.
+	g.ForEachNode(func(n graph.NodeID) bool {
+		w := r.workers[graph.Partition(n, cfg.Workers)]
+		v := &Vertex{ID: n, Neighbors: g.Neighbors(n)}
+		prog.Init(v, r.numVertices)
+		w.vertices[n] = v
+		w.active++
+		return true
+	})
+
+	superstep := 0
+	for ; superstep < cfg.MaxSupersteps; superstep++ {
+		var wg sync.WaitGroup
+		for _, w := range r.workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				w.step(prog, superstep)
+			}(w)
+		}
+		wg.Wait()
+		// Barrier: exchange messages, count activity.
+		pending := 0
+		for _, w := range r.workers {
+			for dst, msgs := range w.outbox {
+				if len(msgs) == 0 {
+					continue
+				}
+				target := r.workers[dst]
+				for _, m := range msgs {
+					target.inbox[m.to] = append(target.inbox[m.to], m.val)
+				}
+				pending += len(msgs)
+				w.outbox[dst] = nil
+			}
+		}
+		active := 0
+		for _, w := range r.workers {
+			active += w.active
+		}
+		if pending == 0 && active == 0 {
+			superstep++
+			break
+		}
+	}
+	out := make(map[graph.NodeID]float64, r.numVertices)
+	for _, w := range r.workers {
+		for id, v := range w.vertices {
+			out[id] = v.Value
+		}
+	}
+	return out, superstep
+}
+
+// step runs one superstep for this worker's partition.
+func (w *worker) step(prog Program, superstep int) {
+	w.active = 0
+	inbox := w.inbox
+	w.inbox = make(map[graph.NodeID][]float64)
+	for id, v := range w.vertices {
+		msgs := inbox[id]
+		if len(msgs) > 0 {
+			v.halted = false // messages reactivate halted vertices
+		}
+		if v.halted {
+			continue
+		}
+		ctx := &Context{superstep: superstep, vertex: v, worker: w}
+		prog.Compute(v, msgs, ctx)
+		if !v.halted {
+			w.active++
+		}
+	}
+}

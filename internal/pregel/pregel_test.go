@@ -1,0 +1,121 @@
+package pregel
+
+import (
+	"math"
+	"testing"
+
+	"historygraph/internal/analytics"
+	"historygraph/internal/graph"
+)
+
+// buildTestGraph: a small graph with a hub and a chain.
+func buildTestGraph() *analytics.SnapshotGraph {
+	s := graph.NewSnapshot()
+	for i := 1; i <= 8; i++ {
+		s.Nodes[graph.NodeID(i)] = struct{}{}
+	}
+	edges := [][2]graph.NodeID{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {4, 5}, {5, 6}, {6, 7}, {7, 8}}
+	for i, e := range edges {
+		s.Edges[graph.EdgeID(i+1)] = graph.EdgeInfo{From: e[0], To: e[1]}
+	}
+	return analytics.FromSnapshot(s)
+}
+
+func TestPageRankMatchesSequential(t *testing.T) {
+	g := buildTestGraph()
+	want := analytics.PageRank(g, 0.85, 20)
+	for _, workers := range []int{1, 2, 4} {
+		got := RunPageRank(g, workers, 20)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d ranks, want %d", workers, len(got), len(want))
+		}
+		for id, w := range want {
+			if math.Abs(got[id]-w) > 1e-9 {
+				t.Errorf("workers=%d node %d: %g != %g", workers, id, got[id], w)
+			}
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := buildTestGraph()
+	ranks := RunPageRank(g, 3, 30)
+	sum := 0.0
+	for _, r := range ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Errorf("rank mass = %g, want ~1", sum)
+	}
+}
+
+func TestPageRankHubRanksHighest(t *testing.T) {
+	g := buildTestGraph()
+	ranks := RunPageRank(g, 2, 25)
+	top := analytics.TopK(ranks, 1)
+	if len(top) != 1 || top[0] != 1 {
+		t.Errorf("top node = %v, want [1]", top)
+	}
+}
+
+func TestRunTerminatesOnHalt(t *testing.T) {
+	g := buildTestGraph()
+	_, steps := Run(g, PageRank{Iterations: 5}, Config{Workers: 2, MaxSupersteps: 100})
+	if steps > 8 {
+		t.Errorf("did not halt early: %d supersteps", steps)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := analytics.FromSnapshot(graph.NewSnapshot())
+	ranks, _ := Run(g, PageRank{}, Config{Workers: 2})
+	if len(ranks) != 0 {
+		t.Error("ranks on empty graph")
+	}
+}
+
+// haltImmediately tests that a program that halts without messaging stops
+// the run at once.
+type haltImmediately struct{}
+
+func (haltImmediately) Init(v *Vertex, _ int) { v.Value = 1 }
+func (haltImmediately) Compute(v *Vertex, _ []float64, ctx *Context) {
+	ctx.VoteToHalt()
+}
+
+func TestVoteToHalt(t *testing.T) {
+	g := buildTestGraph()
+	_, steps := Run(g, haltImmediately{}, Config{Workers: 2, MaxSupersteps: 50})
+	if steps != 1 {
+		t.Errorf("steps = %d, want 1", steps)
+	}
+}
+
+// echoOnce checks message delivery across partitions: vertex 1 sends its ID
+// to everyone in step 0, receivers store the max received value.
+type echoOnce struct{}
+
+func (echoOnce) Init(v *Vertex, _ int) {}
+func (echoOnce) Compute(v *Vertex, msgs []float64, ctx *Context) {
+	if ctx.Superstep() == 0 && v.ID == 1 {
+		for i := 2; i <= 8; i++ {
+			ctx.SendTo(graph.NodeID(i), 42)
+		}
+	}
+	for _, m := range msgs {
+		if m > v.Value {
+			v.Value = m
+		}
+	}
+	ctx.VoteToHalt()
+}
+
+func TestCrossPartitionMessages(t *testing.T) {
+	g := buildTestGraph()
+	vals, _ := Run(g, echoOnce{}, Config{Workers: 4, MaxSupersteps: 5})
+	for i := 2; i <= 8; i++ {
+		if vals[graph.NodeID(i)] != 42 {
+			t.Errorf("node %d did not receive message: %v", i, vals[graph.NodeID(i)])
+		}
+	}
+}
