@@ -7,9 +7,12 @@
 package historygraph_test
 
 import (
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"historygraph"
 	"historygraph/internal/analytics"
 	"historygraph/internal/auxindex"
 	"historygraph/internal/baseline"
@@ -20,6 +23,7 @@ import (
 	"historygraph/internal/graph"
 	"historygraph/internal/graphpool"
 	"historygraph/internal/pregel"
+	"historygraph/internal/server"
 )
 
 const benchScale = 0.5
@@ -378,5 +382,76 @@ func BenchmarkIndexConstruction(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mustBuild(b, d1, deltagraph.Options{LeafSize: L, Arity: 4, Function: delta.Intersection{}})
+	}
+}
+
+// serverSetup starts the query service over a dataset-1 index for the
+// serving-layer benchmarks.
+func serverSetup(b *testing.B) (*server.Client, graph.Time) {
+	b.Helper()
+	d1, _, L := setup(b)
+	gm, err := historygraph.BuildFrom(d1, historygraph.Options{LeafEventlistSize: L, Arity: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { gm.Close() })
+	svc := server.New(gm, server.Config{CacheSize: 8})
+	httpSrv := httptest.NewServer(svc.Handler())
+	b.Cleanup(func() { httpSrv.Close(); svc.Close() })
+	_, last := d1.Span()
+	return server.NewClient(httpSrv.URL), last
+}
+
+// BenchmarkServerSnapshot measures end-to-end queries/sec through the
+// HTTP service: "cached" hammers one hot timepoint (hot-snapshot LRU
+// hit, zero plan executions), "uncached" rotates through more timepoints
+// than the cache holds so every query executes a DeltaGraph plan. The gap
+// between the two is the serving-layer headroom future PRs build on.
+func BenchmarkServerSnapshot(b *testing.B) {
+	b.Run("cached", func(b *testing.B) {
+		client, last := serverSetup(b)
+		if _, err := client.Snapshot(last/2, "", false); err != nil {
+			b.Fatal(err) // warm the cache
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := client.Snapshot(last/2, "", false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("uncached", func(b *testing.B) {
+		client, last := serverSetup(b)
+		var i atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				// 64 distinct timepoints against a cache of 8: every
+				// query misses and pays for plan execution.
+				n := i.Add(1)
+				t := last * graph.Time(n%64+1) / 65
+				if _, err := client.Snapshot(t, "", false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkServerBatch measures the multipoint endpoint (25 timepoints
+// per request through the shared-delta plan).
+func BenchmarkServerBatch(b *testing.B) {
+	client, last := serverSetup(b)
+	ts := make([]graph.Time, 25)
+	for i := range ts {
+		ts[i] = last * graph.Time(i+1) / 26
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Snapshots(ts, "", false); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,114 @@
+// Command dgserve runs the concurrent snapshot query service: a long-lived
+// Historical Graph Index process that many analysts hit over HTTP/JSON,
+// with request coalescing and a hot-snapshot cache in front of the
+// DeltaGraph.
+//
+// Serve an index previously built with dgload (read-mostly, plus live
+// appends):
+//
+//	dgserve -addr :8086 -store /path/to/index
+//
+// Or start empty and ingest over the wire via POST /append:
+//
+//	dgserve -addr :8086 -L 4096 -k 3
+//
+// Endpoints: /snapshot, /neighbors, /batch, /interval, /expr, /append,
+// /stats, /healthz — see internal/server for parameters.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"historygraph"
+	"historygraph/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8086", "listen address")
+	store := flag.String("store", "", "index path prefix; loads an existing checkpoint if present, else creates")
+	cacheSize := flag.Int("cache", server.DefaultCacheSize, "hot-snapshot cache capacity (0 disables)")
+	leafSize := flag.Int("L", 0, "leaf eventlist size (new index only)")
+	arity := flag.Int("k", 0, "DeltaGraph arity (new index only)")
+	partitions := flag.Int("partitions", 0, "horizontal storage partitions (new index only)")
+	compress := flag.Bool("compress", false, "compress stored payloads (new index only)")
+	checkpoint := flag.Bool("checkpoint", true, "checkpoint the index on shutdown when -store is set")
+	flag.Parse()
+
+	opts := historygraph.Options{
+		LeafEventlistSize: *leafSize,
+		Arity:             *arity,
+		Partitions:        *partitions,
+		Compress:          *compress,
+		StorePath:         *store,
+	}
+	gm, loaded, err := open(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)
+		os.Exit(1)
+	}
+	defer gm.Close()
+	if loaded {
+		st := gm.IndexStats()
+		fmt.Printf("dgserve: loaded index from %s (%d leaves, %d interior nodes, last event t=%d)\n",
+			*store, st.Leaves, st.InteriorNodes, gm.LastTime())
+	} else {
+		fmt.Println("dgserve: starting with an empty index (ingest via POST /append)")
+	}
+
+	size := *cacheSize
+	if size <= 0 {
+		size = -1 // disabled
+	}
+	svc := server.New(gm, server.Config{CacheSize: size})
+	defer svc.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("dgserve: serving on %s (cache=%d)\n", *addr, *cacheSize)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Printf("dgserve: %v, shutting down\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	svc.Close()
+	if *store != "" && *checkpoint {
+		if err := gm.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "dgserve: checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dgserve: checkpointed to %s\n", *store)
+	}
+}
+
+// open loads an existing checkpoint when the store file is present,
+// otherwise creates a fresh (possibly persistent) index.
+func open(opts historygraph.Options) (gm *historygraph.GraphManager, loaded bool, err error) {
+	if opts.StorePath != "" {
+		if _, statErr := os.Stat(opts.StorePath); statErr == nil {
+			gm, err = historygraph.Load(opts)
+			return gm, err == nil, err
+		}
+		if _, statErr := os.Stat(opts.StorePath + ".p0"); statErr == nil {
+			gm, err = historygraph.Load(opts)
+			return gm, err == nil, err
+		}
+	}
+	gm, err = historygraph.Open(opts)
+	return gm, false, err
+}

@@ -1,0 +1,3 @@
+module historygraph
+
+go 1.24

@@ -182,6 +182,12 @@ func (o Options) deltagraphOptions(store kvstore.Store, pool *graphpool.Pool) (d
 // GraphManager is the top-level handle: it owns the DeltaGraph index, the
 // GraphPool, and the background cleaner, and exposes the paper's
 // programmatic API (Section 3.2.1).
+//
+// A GraphManager is safe for concurrent use: retrievals take the index's
+// read lock and may run in parallel, while Append/AppendAll serialize
+// against them. Long-lived callers that hold views across requests (the
+// internal/server hot-snapshot cache) should Pin them so the lazy cleaner
+// cannot reclaim a released view mid-read.
 type GraphManager struct {
 	dg      *deltagraph.DeltaGraph
 	pool    *graphpool.Pool
@@ -303,6 +309,18 @@ func (gm *GraphManager) GetHistGraphs(ts []Time, attrOptions string) ([]*HistGra
 	return out, nil
 }
 
+// GetHistSnapshots retrieves many detached set-based snapshots with the
+// shared-delta multi-query plan optimization (Section 4.4) and no
+// GraphPool registration — the batch entry point the query service maps
+// its multi-timepoint endpoint onto.
+func (gm *GraphManager) GetHistSnapshots(ts []Time, attrOptions string) ([]*Snapshot, error) {
+	opts, err := graph.ParseAttrOptions(attrOptions)
+	if err != nil {
+		return nil, err
+	}
+	return gm.dg.GetSnapshots(ts, opts)
+}
+
 // GetHistSnapshot retrieves a detached set-based snapshot (no GraphPool
 // registration) — useful for bulk analysis that immediately discards the
 // graph.
@@ -347,6 +365,22 @@ func (gm *GraphManager) CurrentGraph() *HistGraph { return gm.pool.Current() }
 // cleaner reclaims it.
 func (gm *GraphManager) Release(h *HistGraph) error { return gm.pool.Release(h.ID()) }
 
+// Pin takes a reference on a retrieved historical graph: a pinned graph
+// survives the cleaner even after Release, so a cache can keep serving it
+// while concurrent readers finish. Every Pin must be paired with Unpin.
+func (gm *GraphManager) Pin(h *HistGraph) error { return gm.pool.Pin(h.ID()) }
+
+// Unpin drops a reference taken with Pin.
+func (gm *GraphManager) Unpin(h *HistGraph) error { return gm.pool.Unpin(h.ID()) }
+
+// LastTime returns the timestamp of the newest event in the database (0
+// when empty).
+func (gm *GraphManager) LastTime() Time { return gm.dg.LastTime() }
+
+// ForceClean runs a GraphPool cleanup pass immediately (instead of waiting
+// for the background cleaner) and returns the number of elements evicted.
+func (gm *GraphManager) ForceClean() int { return gm.cleaner.ForceClean() }
+
 // Materialize applies a materialization policy: "root", "children",
 // "grandchildren", or "leaves" (total materialization).
 func (gm *GraphManager) Materialize(policy string) error { return gm.dg.MaterializeLevel(policy) }
@@ -377,3 +411,6 @@ func (gm *GraphManager) Close() error {
 // MustParseAttrOptions re-exports the attr_options parser for callers that
 // need programmatic option structs.
 func MustParseAttrOptions(s string) graph.AttrOptions { return graph.MustParseAttrOptions(s) }
+
+// ParseAttrOptions validates and parses a Table 1 attr_options string.
+func ParseAttrOptions(s string) (graph.AttrOptions, error) { return graph.ParseAttrOptions(s) }

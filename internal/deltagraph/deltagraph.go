@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"historygraph/internal/delta"
 	"historygraph/internal/graph"
@@ -134,6 +135,11 @@ type DeltaGraph struct {
 	auxes     []AuxIndex
 	auxCur    []AuxSnapshot
 	auxRecent [][]AuxEvent
+
+	// planExecs counts query-plan executions (atomic: bumped under the
+	// read lock by concurrent retrievals). The serving layer uses it to
+	// observe how many retrievals its coalescing and caching avoided.
+	planExecs atomic.Int64
 }
 
 // New creates an empty DeltaGraph ready for Append.

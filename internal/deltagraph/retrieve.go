@@ -134,6 +134,7 @@ func (dg *DeltaGraph) eventEdge(i int) *skelEdge {
 
 // executePlan materializes the plan into a snapshot.
 func (dg *DeltaGraph) executePlan(p queryPlan, spec fetchSpec) (*graph.Snapshot, error) {
+	dg.planExecs.Add(1)
 	var s *graph.Snapshot
 	if p.startCurrent {
 		s = dg.current.Clone()

@@ -26,6 +26,10 @@ type IndexStats struct {
 	RootSize int
 	// RecentEvents is the size of the unflushed tail.
 	RecentEvents int
+	// PlanExecutions counts query plans executed since the index was
+	// opened — every singlepoint or multipoint retrieval that actually
+	// walked the skeleton (cache hits at the serving layer skip it).
+	PlanExecutions int64
 }
 
 // Stats computes current index statistics.
@@ -38,6 +42,7 @@ func (dg *DeltaGraph) Stats() IndexStats {
 		DeltaBytesByLevel:   make(map[int]int64),
 		DeltaRecordsByLevel: make(map[int]int),
 		RecentEvents:        len(dg.recent),
+		PlanExecutions:      dg.planExecs.Load(),
 	}
 	height := 0
 	for _, n := range dg.skel.nodes {

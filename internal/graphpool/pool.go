@@ -85,6 +85,7 @@ type graphEntry struct {
 	at         graph.Time
 	released   bool
 	dependents int
+	pins       int
 	nodeCount  int
 	edgeCount  int
 }
@@ -484,6 +485,49 @@ func (p *Pool) ClearRecent() {
 	}
 }
 
+// Pin takes a reference on an active graph: a pinned graph survives
+// CleanNow even after Release, so callers holding long-lived Views (the
+// server's hot-snapshot cache) can guarantee the bits stay valid while a
+// read is in flight. Pinning a released graph is an error.
+func (p *Pool) Pin(id GraphID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entry, ok := p.graphs[id]
+	if !ok || entry.released {
+		return fmt.Errorf("graphpool: graph %d not active", id)
+	}
+	entry.pins++
+	return nil
+}
+
+// Unpin drops a reference taken with Pin. Once a released graph's pin
+// count reaches zero the next CleanNow reclaims it. Unpinning works on
+// released-but-not-yet-cleaned graphs so readers can finish after an
+// eviction.
+func (p *Pool) Unpin(id GraphID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entry, ok := p.graphs[id]
+	if !ok {
+		return fmt.Errorf("graphpool: graph %d not found", id)
+	}
+	if entry.pins <= 0 {
+		return fmt.Errorf("graphpool: graph %d not pinned", id)
+	}
+	entry.pins--
+	return nil
+}
+
+// Pins returns the current pin count of a graph (0 if unknown).
+func (p *Pool) Pins(id GraphID) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if entry, ok := p.graphs[id]; ok {
+		return entry.pins
+	}
+	return 0
+}
+
 // Release marks a graph as no longer needed. Its bits are reclaimed by the
 // next CleanNow. Releasing a materialized graph that other active graphs
 // depend on is an error; the current graph can never be released.
@@ -522,7 +566,7 @@ func (p *Pool) CleanNow() int {
 	defer p.mu.Unlock()
 	var bits []int
 	for id, entry := range p.graphs {
-		if !entry.released {
+		if !entry.released || entry.pins > 0 {
 			continue
 		}
 		bits = append(bits, entry.bit)
@@ -647,6 +691,7 @@ func (p *Pool) MappingTable() []MappingRow {
 // Stats summarizes the pool's contents.
 type Stats struct {
 	ActiveGraphs int
+	PinnedGraphs int // graphs with at least one Pin reference
 	PoolNodes    int // union-graph nodes resident
 	PoolEdges    int
 	Bits         int // bitmap width in use
@@ -656,12 +701,18 @@ type Stats struct {
 func (p *Pool) Stats() Stats {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return Stats{
+	st := Stats{
 		ActiveGraphs: len(p.graphs),
 		PoolNodes:    len(p.nodes),
 		PoolEdges:    len(p.edges),
 		Bits:         p.nextBit,
 	}
+	for _, e := range p.graphs {
+		if e.pins > 0 {
+			st.PinnedGraphs++
+		}
+	}
+	return st
 }
 
 // ApproxBytes estimates the pool's memory footprint: element records,

@@ -276,6 +276,62 @@ func TestReleaseAndCleanup(t *testing.T) {
 	}
 }
 
+func TestPinDefersCleanup(t *testing.T) {
+	p := New()
+	s := buildSnapshot(20)
+	id := p.OverlaySnapshot(s, 1)
+	v, err := p.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Pin(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	// Released graphs are not viewable anew; the pin protects the
+	// pre-existing view, not new ones.
+	if _, err := p.View(id); err == nil {
+		t.Fatal("view of released graph allowed")
+	}
+	// A released-but-pinned graph survives cleanup with its view intact.
+	p.CleanNow()
+	if st := p.Stats(); st.ActiveGraphs != 2 || st.PinnedGraphs != 1 {
+		t.Fatalf("pinned graph reclaimed: %+v", st)
+	}
+	if !v.Snapshot().Equal(s) {
+		t.Fatal("pinned view corrupted by cleanup")
+	}
+	if got := p.Pins(id); got != 1 {
+		t.Fatalf("Pins = %d, want 1", got)
+	}
+	if err := p.Unpin(id); err != nil {
+		t.Fatal(err)
+	}
+	if removed := p.CleanNow(); removed == 0 {
+		t.Fatal("unpinned released graph not reclaimed")
+	}
+	if st := p.Stats(); st.ActiveGraphs != 1 || st.PinnedGraphs != 0 {
+		t.Fatalf("after unpin+clean: %+v", st)
+	}
+}
+
+func TestPinErrors(t *testing.T) {
+	p := New()
+	if err := p.Pin(999); err == nil {
+		t.Error("pinned unknown graph")
+	}
+	id := p.OverlaySnapshot(buildSnapshot(3), 1)
+	if err := p.Unpin(id); err == nil {
+		t.Error("unpinned a graph with no pins")
+	}
+	p.Release(id)
+	if err := p.Pin(id); err == nil {
+		t.Error("pinned a released graph")
+	}
+}
+
 func TestReleaseErrors(t *testing.T) {
 	p := New()
 	if err := p.Release(CurrentGraph); err == nil {

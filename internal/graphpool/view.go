@@ -39,6 +39,14 @@ func (v *View) ID() GraphID { return v.entry.id }
 // current graph and materialized graphs).
 func (v *View) At() graph.Time { return v.entry.at }
 
+// DependsOnCurrent reports whether this graph is overlaid as exceptions
+// against the current graph. Such a view's non-exception membership is
+// evaluated through the current graph's live bits, so it is only valid
+// while the current graph does not change — callers that hold views
+// across updates (the server's hot-snapshot cache) must drop it on
+// append.
+func (v *View) DependsOnCurrent() bool { return v.entry.dep == CurrentGraph }
+
 // NumNodes returns the node count of this graph.
 func (v *View) NumNodes() int {
 	v.p.mu.RLock()

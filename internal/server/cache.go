@@ -1,0 +1,181 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"historygraph"
+)
+
+// snapCache is the hot-snapshot cache: an LRU keyed by (timepoint,
+// attribute-spec) whose values are GraphPool views kept resident with a
+// reference count. A cache hit serves a popular timepoint straight from
+// the pool's overlaid bitmaps and skips DeltaGraph plan execution
+// entirely.
+//
+// Reference counting uses the pool's Pin/Unpin: the cache holds one pin
+// for as long as an entry is resident, and every reader takes an extra pin
+// for the duration of its response. Eviction drops the cache's pin and
+// calls Release — the pool's lazy cleaner (CleanNow) then reclaims the
+// graph's bits as soon as the last reader unpins, never underneath one.
+type snapCache struct {
+	gm       *historygraph.GraphManager
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // values are *cacheEntry
+	lru     *list.List               // front = most recently used
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	at  historygraph.Time
+	// depCur marks views overlaid as exceptions against the current
+	// graph: they read the current graph's live bits, so ANY append
+	// invalidates them regardless of timepoint.
+	depCur bool
+	h      *historygraph.HistGraph
+}
+
+func newSnapCache(gm *historygraph.GraphManager, capacity int) *snapCache {
+	return &snapCache{
+		gm:       gm,
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Acquire returns the cached view for key with a reader pin taken; the
+// release func drops the pin and must be called exactly once. count
+// selects whether the lookup is charged to the hit/miss statistics (the
+// post-coalescing re-lookup is not a cache verdict and passes false).
+func (c *snapCache) Acquire(key string, count bool) (h *historygraph.HistGraph, release func(), ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elem, found := c.entries[key]
+	if !found {
+		if count {
+			c.misses++
+		}
+		return nil, nil, false
+	}
+	ent := elem.Value.(*cacheEntry)
+	if err := c.gm.Pin(ent.h); err != nil {
+		// The view was released out from under the cache (shutdown race);
+		// drop the entry and report a miss.
+		c.removeLocked(elem)
+		if count {
+			c.misses++
+		}
+		return nil, nil, false
+	}
+	c.lru.MoveToFront(elem)
+	if count {
+		c.hits++
+	}
+	return ent.h, func() { c.gm.Unpin(ent.h) }, true
+}
+
+// InsertAcquire hands a freshly retrieved view to the cache, which owns
+// it from now on: the view is pinned until eviction, and eviction
+// Releases it back to the pool. The returned view carries a reader pin
+// (so the inserting request can serve it without a re-lookup that could
+// race an eviction); release must be called once. If the key is already
+// resident (a racing flight finished in between), the incoming duplicate
+// is released and the resident view is returned instead. A nil release
+// means the view could not be cached or pinned.
+func (c *snapCache) InsertAcquire(key string, at historygraph.Time, h *historygraph.HistGraph) (*historygraph.HistGraph, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if elem, dup := c.entries[key]; dup {
+		ent := elem.Value.(*cacheEntry)
+		if err := c.gm.Pin(ent.h); err == nil {
+			c.gm.Release(h)
+			c.lru.MoveToFront(elem)
+			return ent.h, func() { c.gm.Unpin(ent.h) }
+		}
+		c.removeLocked(elem) // resident entry is defunct; replace it
+	}
+	if err := c.gm.Pin(h); err != nil { // the cache's own reference
+		return nil, nil
+	}
+	ent := &cacheEntry{key: key, at: at, depCur: h.DependsOnCurrent(), h: h}
+	c.entries[key] = c.lru.PushFront(ent)
+	for c.lru.Len() > c.capacity {
+		// The new entry is at the front and capacity >= 1, so eviction
+		// can never pop the view we are about to hand out.
+		c.removeLocked(c.lru.Back())
+		c.evictions++
+	}
+	c.gm.Pin(h) // the reader's reference; h is active, this cannot fail
+	return h, func() { c.gm.Unpin(h) }
+}
+
+// Insert is InsertAcquire without keeping the reader reference.
+func (c *snapCache) Insert(key string, at historygraph.Time, h *historygraph.HistGraph) {
+	if _, release := c.InsertAcquire(key, at, h); release != nil {
+		release()
+	}
+}
+
+// removeLocked evicts one entry: the cache pin is dropped and the view is
+// released. Readers still holding pins keep the pool bits alive until
+// their release funcs run; the lazy cleaner reclaims after that.
+func (c *snapCache) removeLocked(elem *list.Element) {
+	ent := elem.Value.(*cacheEntry)
+	c.lru.Remove(elem)
+	delete(c.entries, ent.key)
+	c.gm.Unpin(ent.h)
+	c.gm.Release(ent.h)
+}
+
+// InvalidateFrom evicts every entry whose timepoint is >= t, plus every
+// view that depends on the current graph. Appending an event at time t
+// changes what any snapshot at t or later must contain (history is
+// append-only, so strictly earlier timepoints stay valid) — but a
+// current-dependent view reads the mutated current-graph bits no matter
+// what timepoint it answers for, so it can never survive an append.
+func (c *snapCache) InvalidateFrom(t historygraph.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for elem := c.lru.Front(); elem != nil; {
+		next := elem.Next()
+		ent := elem.Value.(*cacheEntry)
+		if ent.at >= t || ent.depCur {
+			c.removeLocked(elem)
+			n++
+		}
+		elem = next
+	}
+	return n
+}
+
+// Purge evicts everything (server shutdown).
+func (c *snapCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.lru.Len() > 0 {
+		c.removeLocked(c.lru.Back())
+	}
+}
+
+type cacheStats struct {
+	size, capacity          int
+	hits, misses, evictions int64
+}
+
+func (c *snapCache) Stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		size:      c.lru.Len(),
+		capacity:  c.capacity,
+		hits:      c.hits,
+		misses:    c.misses,
+		evictions: c.evictions,
+	}
+}

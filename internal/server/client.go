@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"historygraph"
+)
+
+// Client is a small Go client for the query service — what cmd/dgquery's
+// -remote mode and load drivers use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a dgserve base URL such as
+// "http://localhost:8086".
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+func (c *Client) get(path string, q url.Values, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+func (c *Client) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ej errorJSON
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(raw, &ej) == nil && ej.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", ej.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func timeQuery(ts []historygraph.Time) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = strconv.FormatInt(int64(t), 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+func snapshotQuery(t string, attrs string, full bool) url.Values {
+	q := url.Values{"t": {t}}
+	if attrs != "" {
+		q.Set("attrs", attrs)
+	}
+	if full {
+		q.Set("full", "1")
+	}
+	return q
+}
+
+// Snapshot retrieves the graph as of time t. full includes the element
+// lists, not just counts.
+func (c *Client) Snapshot(t historygraph.Time, attrs string, full bool) (*SnapshotJSON, error) {
+	var out SnapshotJSON
+	if err := c.get("/snapshot", snapshotQuery(strconv.FormatInt(int64(t), 10), attrs, full), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshots retrieves many timepoints in one request; the server executes
+// them as a single multipoint plan.
+func (c *Client) Snapshots(ts []historygraph.Time, attrs string, full bool) ([]SnapshotJSON, error) {
+	var out []SnapshotJSON
+	if err := c.get("/batch", snapshotQuery(timeQuery(ts), attrs, full), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Neighbors retrieves a node's neighborhood as of time t.
+func (c *Client) Neighbors(t historygraph.Time, node historygraph.NodeID, attrs string) (*NeighborsJSON, error) {
+	q := url.Values{
+		"t":    {strconv.FormatInt(int64(t), 10)},
+		"node": {strconv.FormatInt(int64(node), 10)},
+	}
+	if attrs != "" {
+		q.Set("attrs", attrs)
+	}
+	var out NeighborsJSON
+	if err := c.get("/neighbors", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Interval retrieves the elements added during [from, to) and the
+// transient events in that window.
+func (c *Client) Interval(from, to historygraph.Time, attrs string, full bool) (*IntervalJSON, error) {
+	q := url.Values{
+		"from": {strconv.FormatInt(int64(from), 10)},
+		"to":   {strconv.FormatInt(int64(to), 10)},
+	}
+	if attrs != "" {
+		q.Set("attrs", attrs)
+	}
+	if full {
+		q.Set("full", "1")
+	}
+	var out IntervalJSON
+	if err := c.get("/interval", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Expr evaluates a TimeExpression query, e.g. Expr(ExprRequest{Times:
+// []int64{100, 200}, Expr: "0 & !1"}) for "present at 100 but gone by 200".
+func (c *Client) Expr(req ExprRequest) (*SnapshotJSON, error) {
+	var out SnapshotJSON
+	if err := c.post("/expr", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Append records a run of events against the live database.
+func (c *Client) Append(events historygraph.EventList) (*AppendResult, error) {
+	body := make([]EventJSON, len(events))
+	for i, ev := range events {
+		body[i] = EventToJSON(ev)
+	}
+	var out AppendResult
+	if err := c.post("/append", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches index, pool, and serving-layer statistics.
+func (c *Client) Stats() (*StatsJSON, error) {
+	var out StatsJSON
+	if err := c.get("/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,54 @@
+package server
+
+import "sync"
+
+// flightCall is one in-flight execution that late arrivals wait on.
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// flightGroup coalesces concurrent executions of the same key into one
+// (hand-rolled singleflight: the serving layer may not pull in external
+// dependencies). The first caller for a key runs fn; callers that arrive
+// while it is running block and share its result. Once the call finishes
+// the key is forgotten, so later calls execute afresh — the hot-snapshot
+// cache, not the flight group, is responsible for longer-term reuse.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// Do executes fn once per key at a time. shared reports whether the result
+// came from another caller's execution rather than this caller's own.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (v any, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, false, c.err
+}
+
+// InFlight returns the number of keys currently executing.
+func (g *flightGroup) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -1,0 +1,405 @@
+// Package server is the concurrent snapshot query service: an HTTP/JSON
+// layer over historygraph.GraphManager that many clients hit at once —
+// the long-lived Historical Graph Index process the paper assumes
+// (Section 3), exposed over the network.
+//
+// Two serving-layer mechanisms keep concurrent load off the DeltaGraph:
+//
+//   - Request coalescing: concurrent retrievals of the same (timepoint,
+//     attribute-spec) share one in-flight GetHistGraph execution instead
+//     of racing N identical plan walks.
+//   - Hot-snapshot caching: an LRU of recently served GraphPool views,
+//     kept resident with reference-counted pins, serves repeat queries at
+//     popular timepoints with zero plan executions. Eviction releases the
+//     view back to the pool, whose lazy cleaner reclaims the bits once the
+//     last in-flight reader unpins.
+//
+// Endpoints:
+//
+//	GET  /snapshot?t=T[&attrs=SPEC][&full=1]        one timepoint
+//	GET  /neighbors?t=T&node=N[&attrs=SPEC]         neighborhood at T
+//	GET  /batch?t=T1,T2,...[&attrs=SPEC][&full=1]   multipoint (shared-delta plan)
+//	GET  /interval?from=TS&to=TE[&attrs=SPEC][&full=1]
+//	POST /expr    {"times":[...],"expr":"0 & !1",...}
+//	POST /append  [{"type":"NN","at":1,"node":23}, ...]
+//	GET  /stats   index + pool + serving-layer counters
+//	GET  /healthz
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"historygraph"
+)
+
+// Config tunes the service.
+type Config struct {
+	// CacheSize is the number of hot snapshots the LRU keeps pinned in
+	// the GraphPool. 0 picks the default (32); negative disables caching.
+	CacheSize int
+}
+
+// DefaultCacheSize is the hot-snapshot LRU capacity when Config.CacheSize
+// is zero.
+const DefaultCacheSize = 32
+
+// Server serves snapshot queries over an embedded GraphManager.
+type Server struct {
+	gm      *historygraph.GraphManager
+	cache   *snapCache // nil when caching is disabled
+	flights flightGroup
+	mux     *http.ServeMux
+
+	requests   atomic.Int64
+	retrievals atomic.Int64 // underlying GetHistGraph executions
+	coalesced  atomic.Int64 // requests served by another caller's flight
+}
+
+// New wraps an open GraphManager in a query service. The caller keeps
+// ownership of the GraphManager (Close it after the HTTP server stops);
+// Server.Close only drops the cache's pinned views.
+func New(gm *historygraph.GraphManager, cfg Config) *Server {
+	s := &Server{gm: gm}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	if size > 0 {
+		s.cache = newSnapCache(gm, size)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /neighbors", s.handleNeighbors)
+	mux.HandleFunc("GET /batch", s.handleBatch)
+	mux.HandleFunc("GET /interval", s.handleInterval)
+	mux.HandleFunc("POST /expr", s.handleExpr)
+	mux.HandleFunc("POST /append", s.handleAppend)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close evicts and releases every cached view. The underlying
+// GraphManager is not closed.
+func (s *Server) Close() {
+	if s.cache != nil {
+		s.cache.Purge()
+	}
+}
+
+// Retrievals reports how many times the server actually executed
+// GetHistGraph (tests assert coalescing against this).
+func (s *Server) Retrievals() int64 { return s.retrievals.Load() }
+
+// cacheKey identifies one (timepoint, attribute-spec) retrieval.
+func cacheKey(t historygraph.Time, attrs string) string {
+	return strconv.FormatInt(int64(t), 10) + "|" + attrs
+}
+
+// flightView is what a retrieval flight hands its own caller: the cached
+// view with a reader pin already taken (release may be nil if caching the
+// view failed).
+type flightView struct {
+	h       *historygraph.HistGraph
+	release func()
+}
+
+func (s *Server) retrieve(t historygraph.Time, attrs string) (*historygraph.HistGraph, error) {
+	s.retrievals.Add(1)
+	return s.gm.GetHistGraph(t, attrs)
+}
+
+// acquire returns a pool view of the snapshot at t with a reference held;
+// release must be called once the response is built. Concurrent identical
+// requests share one underlying retrieval, and popular timepoints are
+// served from the hot-snapshot cache without touching the DeltaGraph.
+func (s *Server) acquire(t historygraph.Time, attrs string) (h *historygraph.HistGraph, release func(), cached, coalesced bool, err error) {
+	if s.cache == nil {
+		h, err := s.retrieve(t, attrs)
+		if err != nil {
+			return nil, nil, false, false, err
+		}
+		return h, func() { s.gm.Release(h) }, false, false, nil
+	}
+	key := cacheKey(t, attrs)
+	if h, rel, ok := s.cache.Acquire(key, true); ok {
+		return h, rel, true, false, nil
+	}
+	v, shared, err := s.flights.Do(key, func() (any, error) {
+		h, err := s.retrieve(t, attrs)
+		if err != nil {
+			return nil, err
+		}
+		// The flight keeps a reader pin for its own caller, so the
+		// leader serves its handle directly — no re-lookup that could
+		// race an eviction under cache churn.
+		fh, rel := s.cache.InsertAcquire(key, t, h)
+		return flightView{h: fh, release: rel}, nil
+	})
+	if err != nil {
+		return nil, nil, false, shared, err
+	}
+	if !shared {
+		if fv := v.(flightView); fv.release != nil {
+			return fv.h, fv.release, false, false, nil
+		}
+	} else {
+		s.coalesced.Add(1)
+	}
+	// Coalesced waiters (and the leader in the pathological case where
+	// the insert failed) pin the cached entry themselves.
+	if h, rel, ok := s.cache.Acquire(key, false); ok {
+		return h, rel, false, shared, nil
+	}
+	// The entry was evicted between insert and pin (cache under heavy
+	// churn): fall back to a one-off uncached retrieval.
+	h, err = s.retrieve(t, attrs)
+	if err != nil {
+		return nil, nil, false, shared, err
+	}
+	return h, func() { s.gm.Release(h) }, false, shared, nil
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	t, err := parseTime(q.Get("t"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	attrs := q.Get("attrs")
+	if _, err := historygraph.ParseAttrOptions(attrs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	h, release, cached, coalesced, err := s.acquire(t, attrs)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := viewToJSON(h, boolParam(q.Get("full")))
+	release()
+	out.Cached = cached
+	out.Coalesced = coalesced
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	t, err := parseTime(q.Get("t"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	nodeRaw := q.Get("node")
+	node, err := strconv.ParseInt(nodeRaw, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad node %q", nodeRaw))
+		return
+	}
+	h, release, cached, _, err := s.acquire(t, q.Get("attrs"))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	id := historygraph.NodeID(node)
+	neigh := h.Neighbors(id)
+	out := NeighborsJSON{
+		At: int64(t), Node: node,
+		Degree:    h.Degree(id),
+		Neighbors: make([]int64, len(neigh)),
+		Cached:    cached,
+	}
+	release()
+	for i, n := range neigh {
+		out.Neighbors[i] = int64(n)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var times []historygraph.Time
+	for _, part := range strings.Split(q.Get("t"), ",") {
+		t, err := parseTime(strings.TrimSpace(part))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		times = append(times, t)
+	}
+	attrs := q.Get("attrs")
+	if _, err := historygraph.ParseAttrOptions(attrs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The batch goes through GetHistSnapshots so the multipoint
+	// shared-delta plan (Section 4.4) is what executes, not N independent
+	// singlepoint walks.
+	snaps, err := s.gm.GetHistSnapshots(times, attrs)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	full := boolParam(q.Get("full"))
+	out := make([]SnapshotJSON, len(snaps))
+	for i, snap := range snaps {
+		out[i] = SnapshotToJSON(snap, times[i], full)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err1 := parseTime(q.Get("from"))
+	to, err2 := parseTime(q.Get("to"))
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("interval wants numeric from/to"))
+		return
+	}
+	res, err := s.gm.GetHistGraphInterval(from, to, q.Get("attrs"))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := IntervalJSON{
+		Start: int64(res.Start), End: int64(res.End),
+		NumNodes: len(res.Graph.Nodes), NumEdges: len(res.Graph.Edges),
+	}
+	if boolParam(q.Get("full")) {
+		out.Nodes, out.Edges = snapshotElements(res.Graph)
+	}
+	for _, ev := range res.Transients {
+		out.Transients = append(out.Transients, EventToJSON(ev))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
+	var req ExprRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad expr body: %w", err))
+		return
+	}
+	expr, err := ParseTimeExpr(req.Expr, len(req.Times))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tex := historygraph.TimeExpression{Expr: expr}
+	for _, t := range req.Times {
+		tex.Times = append(tex.Times, historygraph.Time(t))
+	}
+	snap, err := s.gm.GetHistGraphExpr(tex, req.Attrs)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotToJSON(snap, 0, req.Full))
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var body []EventJSON
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
+		return
+	}
+	events := make(historygraph.EventList, len(body))
+	minAt := historygraph.Time(0)
+	for i, ej := range body {
+		ev, err := EventFromJSON(ej)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		events[i] = ev
+		if i == 0 || ev.At < minAt {
+			minAt = ev.At
+		}
+	}
+	appendErr := s.gm.AppendAll(events)
+	// Invalidate even when the batch failed partway: AppendAll applies
+	// events one at a time, so a prefix may have landed. Cached snapshots
+	// at or after the earliest appended timestamp — and every view that
+	// reads through the current graph — are stale now; earlier
+	// independent ones are untouched (history is append-only).
+	invalidated := 0
+	if s.cache != nil && len(events) > 0 {
+		invalidated = s.cache.InvalidateFrom(minAt)
+	}
+	if appendErr != nil {
+		writeError(w, http.StatusUnprocessableEntity, appendErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, AppendResult{
+		Appended:    len(events),
+		LastTime:    int64(s.gm.LastTime()),
+		Invalidated: invalidated,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := StatsJSON{
+		Index: s.gm.IndexStats(),
+		Pool:  s.gm.PoolStats(),
+		Server: ServerStatsJSON{
+			Requests:   s.requests.Load(),
+			Retrievals: s.retrievals.Load(),
+			Coalesced:  s.coalesced.Load(),
+		},
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		out.Server.CacheHits = cs.hits
+		out.Server.CacheMisses = cs.misses
+		out.Server.CacheEvictions = cs.evictions
+		out.Server.CacheSize = cs.size
+		out.Server.CacheCapacity = cs.capacity
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func parseTime(s string) (historygraph.Time, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing timepoint parameter t")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad timepoint %q", s)
+	}
+	return historygraph.Time(v), nil
+}
+
+func boolParam(s string) bool {
+	switch strings.ToLower(s) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorJSON{Error: err.Error()})
+}

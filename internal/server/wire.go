@@ -1,0 +1,320 @@
+package server
+
+// This file holds the wire types: the JSON bodies shared by the HTTP
+// handlers and the Go client. Element lists are sorted by ID so responses
+// are deterministic and diffable.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"historygraph"
+)
+
+// NodeJSON is one node of a snapshot response.
+type NodeJSON struct {
+	ID    int64             `json:"id"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// EdgeJSON is one edge of a snapshot response.
+type EdgeJSON struct {
+	ID       int64             `json:"id"`
+	From     int64             `json:"from"`
+	To       int64             `json:"to"`
+	Directed bool              `json:"directed,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// SnapshotJSON answers snapshot, batch and expression queries. Nodes and
+// Edges are populated only when the request asked for full elements.
+type SnapshotJSON struct {
+	At        int64      `json:"at,omitempty"`
+	NumNodes  int        `json:"num_nodes"`
+	NumEdges  int        `json:"num_edges"`
+	Cached    bool       `json:"cached,omitempty"`
+	Coalesced bool       `json:"coalesced,omitempty"`
+	Nodes     []NodeJSON `json:"nodes,omitempty"`
+	Edges     []EdgeJSON `json:"edges,omitempty"`
+}
+
+// NeighborsJSON answers neighborhood queries.
+type NeighborsJSON struct {
+	At        int64   `json:"at"`
+	Node      int64   `json:"node"`
+	Degree    int     `json:"degree"`
+	Neighbors []int64 `json:"neighbors"`
+	Cached    bool    `json:"cached,omitempty"`
+}
+
+// EventJSON is the wire form of one historical event. Old/New are pointers
+// so "attribute removed" (HasNew=false) is distinguishable from "set to
+// empty string".
+type EventJSON struct {
+	Type     string  `json:"type"`
+	At       int64   `json:"at"`
+	Node     int64   `json:"node,omitempty"`
+	Node2    int64   `json:"node2,omitempty"`
+	Edge     int64   `json:"edge,omitempty"`
+	Directed bool    `json:"directed,omitempty"`
+	Attr     string  `json:"attr,omitempty"`
+	Old      *string `json:"old,omitempty"`
+	New      *string `json:"new,omitempty"`
+}
+
+// IntervalJSON answers interval queries: the elements added in [Start,
+// End) plus the transient events in that window.
+type IntervalJSON struct {
+	Start      int64       `json:"start"`
+	End        int64       `json:"end"`
+	NumNodes   int         `json:"num_nodes"`
+	NumEdges   int         `json:"num_edges"`
+	Nodes      []NodeJSON  `json:"nodes,omitempty"`
+	Edges      []EdgeJSON  `json:"edges,omitempty"`
+	Transients []EventJSON `json:"transients,omitempty"`
+}
+
+// ExprRequest is the POST /expr body: a Boolean expression over the listed
+// timepoints, e.g. {"times":[100,200], "expr":"0 & !1"} for "in the graph
+// at t=100 but not at t=200".
+type ExprRequest struct {
+	Times []int64 `json:"times"`
+	Expr  string  `json:"expr"`
+	Attrs string  `json:"attrs,omitempty"`
+	Full  bool    `json:"full,omitempty"`
+}
+
+// AppendResult answers POST /append.
+type AppendResult struct {
+	Appended    int   `json:"appended"`
+	LastTime    int64 `json:"last_time"`
+	Invalidated int   `json:"invalidated,omitempty"`
+}
+
+// ServerStatsJSON is the serving-layer section of /stats.
+type ServerStatsJSON struct {
+	Requests       int64 `json:"requests"`
+	Retrievals     int64 `json:"retrievals"`
+	Coalesced      int64 `json:"coalesced"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheSize      int   `json:"cache_size"`
+	CacheCapacity  int   `json:"cache_capacity"`
+}
+
+// StatsJSON answers GET /stats: index shape, pool contents, and
+// serving-layer counters.
+type StatsJSON struct {
+	Index  historygraph.IndexStats `json:"index"`
+	Pool   historygraph.PoolStats  `json:"pool"`
+	Server ServerStatsJSON         `json:"server"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+var eventTypesByName = map[string]historygraph.EventType{
+	"NN": historygraph.AddNode, "DN": historygraph.DelNode,
+	"NE": historygraph.AddEdge, "DE": historygraph.DelEdge,
+	"UNA": historygraph.SetNodeAttr, "UEA": historygraph.SetEdgeAttr,
+	"TE": historygraph.TransientEdge, "TN": historygraph.TransientNode,
+}
+
+// EventToJSON converts an event to its wire form (type names are the
+// paper's mnemonics: NN, DN, NE, DE, UNA, UEA, TE, TN).
+func EventToJSON(ev historygraph.Event) EventJSON {
+	out := EventJSON{
+		Type:     ev.Type.String(),
+		At:       int64(ev.At),
+		Node:     int64(ev.Node),
+		Node2:    int64(ev.Node2),
+		Edge:     int64(ev.Edge),
+		Directed: ev.Directed,
+		Attr:     ev.Attr,
+	}
+	if ev.HadOld {
+		old := ev.Old
+		out.Old = &old
+	}
+	if ev.HasNew {
+		nw := ev.New
+		out.New = &nw
+	}
+	return out
+}
+
+// EventFromJSON converts a wire event back to the model form.
+func EventFromJSON(ej EventJSON) (historygraph.Event, error) {
+	typ, ok := eventTypesByName[strings.ToUpper(ej.Type)]
+	if !ok {
+		return historygraph.Event{}, fmt.Errorf("unknown event type %q (want NN, DN, NE, DE, UNA, UEA, TE or TN)", ej.Type)
+	}
+	ev := historygraph.Event{
+		Type:     typ,
+		At:       historygraph.Time(ej.At),
+		Node:     historygraph.NodeID(ej.Node),
+		Node2:    historygraph.NodeID(ej.Node2),
+		Edge:     historygraph.EdgeID(ej.Edge),
+		Directed: ej.Directed,
+		Attr:     ej.Attr,
+	}
+	if ej.Old != nil {
+		ev.Old, ev.HadOld = *ej.Old, true
+	}
+	if ej.New != nil {
+		ev.New, ev.HasNew = *ej.New, true
+	}
+	return ev, nil
+}
+
+// snapshotElements extracts sorted node and edge lists from a detached
+// snapshot.
+func snapshotElements(s *historygraph.Snapshot) ([]NodeJSON, []EdgeJSON) {
+	nodes := make([]NodeJSON, 0, len(s.Nodes))
+	for n := range s.Nodes {
+		nodes = append(nodes, NodeJSON{ID: int64(n), Attrs: s.NodeAttrs[n]})
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	edges := make([]EdgeJSON, 0, len(s.Edges))
+	for e, info := range s.Edges {
+		edges = append(edges, EdgeJSON{
+			ID: int64(e), From: int64(info.From), To: int64(info.To),
+			Directed: info.Directed, Attrs: s.EdgeAttrs[e],
+		})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].ID < edges[j].ID })
+	return nodes, edges
+}
+
+// SnapshotToJSON converts a detached snapshot; full controls whether the
+// element lists are included.
+func SnapshotToJSON(s *historygraph.Snapshot, at historygraph.Time, full bool) SnapshotJSON {
+	out := SnapshotJSON{At: int64(at), NumNodes: len(s.Nodes), NumEdges: len(s.Edges)}
+	if full {
+		out.Nodes, out.Edges = snapshotElements(s)
+	}
+	return out
+}
+
+// viewToJSON converts a pooled view. For full responses the view is copied
+// out of the pool under one read-lock acquisition.
+func viewToJSON(h *historygraph.HistGraph, full bool) SnapshotJSON {
+	out := SnapshotJSON{At: int64(h.At()), NumNodes: h.NumNodes(), NumEdges: h.NumEdges()}
+	if full {
+		out.Nodes, out.Edges = snapshotElements(h.Snapshot())
+	}
+	return out
+}
+
+// ParseTimeExpr parses a Boolean expression over timepoint indices into a
+// TimeExpr: "0", "!1", "0 & 1", "(0 | 1) & !2". Operators: | (or),
+// & (and), ! (not); integers are Var indices into the request's Times
+// list and must be < nvars.
+func ParseTimeExpr(s string, nvars int) (historygraph.TimeExpr, error) {
+	p := &exprParser{in: s, nvars: nvars}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("time expression: unexpected %q at offset %d", p.in[p.pos:], p.pos)
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	in    string
+	pos   int
+	nvars int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) eat(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) parseOr() (historygraph.TimeExpr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := historygraph.Or{left}
+	for p.eat('|') {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return left, nil
+	}
+	return terms, nil
+}
+
+func (p *exprParser) parseAnd() (historygraph.TimeExpr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	terms := historygraph.And{left}
+	for p.eat('&') {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return left, nil
+	}
+	return terms, nil
+}
+
+func (p *exprParser) parseUnary() (historygraph.TimeExpr, error) {
+	if p.eat('!') {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return historygraph.Not{E: e}, nil
+	}
+	if p.eat('(') {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(')') {
+			return nil, fmt.Errorf("time expression: missing ')' at offset %d", p.pos)
+		}
+		return e, nil
+	}
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
+		p.pos++
+	}
+	if start == p.pos {
+		return nil, fmt.Errorf("time expression: expected variable index at offset %d", start)
+	}
+	idx, err := strconv.Atoi(p.in[start:p.pos])
+	if err != nil || idx >= p.nvars {
+		return nil, fmt.Errorf("time expression: variable %q out of range (have %d timepoints)", p.in[start:p.pos], p.nvars)
+	}
+	return historygraph.Var(idx), nil
+}
