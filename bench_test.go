@@ -24,6 +24,7 @@ import (
 	"historygraph/internal/graphpool"
 	"historygraph/internal/pregel"
 	"historygraph/internal/server"
+	"historygraph/internal/shard"
 )
 
 const benchScale = 0.5
@@ -444,6 +445,90 @@ func BenchmarkServerSnapshot(b *testing.B) {
 // per request through the shared-delta plan).
 func BenchmarkServerBatch(b *testing.B) {
 	client, last := serverSetup(b)
+	ts := make([]graph.Time, 25)
+	for i := range ts {
+		ts[i] = last * graph.Time(i+1) / 26
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Snapshots(ts, "", false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// shardSetup starts a 4-partition in-process cluster over dataset 1: one
+// server.Server per hash slice of the node space, a shard.Coordinator
+// scatter-gathering in front.
+func shardSetup(b *testing.B) (*server.Client, graph.Time) {
+	b.Helper()
+	d1, _, L := setup(b)
+	var urls []string
+	for _, slice := range shard.PartitionEvents(d1, 4) {
+		gm, err := historygraph.BuildFrom(slice, historygraph.Options{LeafEventlistSize: L, Arity: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { gm.Close() })
+		svc := server.New(gm, server.Config{CacheSize: 8})
+		httpSrv := httptest.NewServer(svc.Handler())
+		b.Cleanup(func() { httpSrv.Close(); svc.Close() })
+		urls = append(urls, httpSrv.URL)
+	}
+	co, err := shard.New(urls, shard.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	front := httptest.NewServer(co.Handler())
+	b.Cleanup(front.Close)
+	_, last := d1.Span()
+	return server.NewClient(front.URL), last
+}
+
+// BenchmarkShardSnapshot measures end-to-end queries/sec through the
+// 4-partition scatter-gather: "cached" hammers one hot timepoint (every
+// partition answers from its hot-snapshot LRU), "uncached" rotates
+// through more timepoints than the per-partition caches hold so every
+// fan-out leg executes a DeltaGraph plan. Compare with
+// BenchmarkServerSnapshot for the coordination overhead.
+func BenchmarkShardSnapshot(b *testing.B) {
+	b.Run("cached", func(b *testing.B) {
+		client, last := shardSetup(b)
+		if _, err := client.Snapshot(last/2, "", false); err != nil {
+			b.Fatal(err) // warm every partition's cache
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := client.Snapshot(last/2, "", false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("uncached", func(b *testing.B) {
+		client, last := shardSetup(b)
+		var i atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				// 64 distinct timepoints against per-partition caches of
+				// 8: every query misses on every partition.
+				n := i.Add(1)
+				t := last * graph.Time(n%64+1) / 65
+				if _, err := client.Snapshot(t, "", false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkShardBatch measures the multipoint endpoint through the
+// scatter-gather (each partition executes its slice of the shared-delta
+// plan in parallel).
+func BenchmarkShardBatch(b *testing.B) {
+	client, last := shardSetup(b)
 	ts := make([]graph.Time, 25)
 	for i := range ts {
 		ts[i] = last * graph.Time(i+1) / 26

@@ -1,0 +1,202 @@
+// Command benchdiff turns `go test -bench` output into a JSON benchmark
+// record and gates CI on regressions against a committed baseline.
+//
+// Parse a bench run into JSON (ns/op per benchmark, GOMAXPROCS suffix
+// stripped so records compare across machines):
+//
+//	go test -run xxx -bench 'BenchmarkServer|BenchmarkShard' -benchtime 3x . \
+//	    | benchdiff parse -o BENCH_2.json
+//
+// Compare a fresh record against the committed baseline; exit non-zero
+// if any benchmark got more than threshold slower:
+//
+//	benchdiff compare -baseline bench_baseline.json -new BENCH_2.json -threshold 0.25
+//
+// With -normalize, each benchmark's slowdown is measured relative to the
+// median slowdown across all shared benchmarks. A hardware change (CI
+// runner vs the machine that produced the baseline) shifts every
+// benchmark together and is divided out; a regression in one code path
+// moves that benchmark against the pack and still trips the gate. The
+// trade-off: a change that slows the majority of benchmarks uniformly is
+// normalized away too — watch the printed raw deltas for that.
+//
+// To refresh the baseline after an intentional change, commit the new
+// record (CI uploads it as the BENCH artifact) as bench_baseline.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Record is the JSON shape of one benchmark run.
+type Record struct {
+	// Note describes where the record came from (informational).
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (without -GOMAXPROCS suffix) to
+	// ns/op. Duplicate names keep the fastest run.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		cmdParse(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchdiff parse [-o out.json] [-note text] < bench-output")
+	fmt.Fprintln(os.Stderr, "       benchdiff compare -baseline old.json -new new.json [-threshold 0.25] [-normalize]")
+	os.Exit(2)
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkShardSnapshot/cached-64   3   294842 ns/op  1234 B/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func cmdParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	out := fs.String("o", "", "output path (default stdout)")
+	note := fs.String("note", "", "provenance note stored in the record")
+	fs.Parse(args)
+
+	rec := Record{Note: *note, Benchmarks: map[string]float64{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := rec.Benchmarks[m[1]]; !ok || ns < prev {
+			rec.Benchmarks[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "committed baseline record")
+	newPath := fs.String("new", "", "fresh record to check")
+	threshold := fs.Float64("threshold", 0.25, "allowed slowdown fraction (0.25 = +25%)")
+	normalize := fs.Bool("normalize", false, "divide out the median slowdown (machine-speed shift) before gating")
+	fs.Parse(args)
+	if *basePath == "" || *newPath == "" {
+		usage()
+	}
+
+	base := load(*basePath)
+	fresh := load(*newPath)
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// The median new/old ratio estimates the machine-wide speed shift
+	// between the baseline's hardware and this run's.
+	shift := 1.0
+	if *normalize {
+		var ratios []float64
+		for _, name := range names {
+			if now, ok := fresh.Benchmarks[name]; ok {
+				ratios = append(ratios, now/base.Benchmarks[name])
+			}
+		}
+		if n := len(ratios); n > 0 {
+			sort.Float64s(ratios)
+			shift = ratios[n/2]
+			if n%2 == 0 {
+				shift = (ratios[n/2-1] + ratios[n/2]) / 2
+			}
+			fmt.Printf("normalizing by median speed shift %+.1f%%\n", (shift-1)*100)
+		}
+	}
+
+	failed := false
+	fmt.Printf("%-45s %14s %14s %9s\n", "benchmark", "baseline ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		old := base.Benchmarks[name]
+		now, ok := fresh.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-45s %14.0f %14s %9s  MISSING (refresh bench_baseline.json?)\n", name, old, "-", "-")
+			failed = true
+			continue
+		}
+		delta := now/old/shift - 1
+		status := ""
+		if delta > *threshold {
+			status = fmt.Sprintf("  REGRESSION (> +%.0f%%)", *threshold*100)
+			failed = true
+		}
+		fmt.Printf("%-45s %14.0f %14.0f %+8.1f%%%s\n", name, old, now, delta*100, status)
+	}
+	for name := range fresh.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("%-45s %14s %14.0f %9s  new (not in baseline)\n", name, "-", fresh.Benchmarks[name], "-")
+		}
+	}
+	if failed {
+		fmt.Println("benchdiff: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
+
+func load(path string) Record {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if len(rec.Benchmarks) == 0 {
+		fatal(fmt.Errorf("%s: no benchmarks in record", path))
+	}
+	return rec
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

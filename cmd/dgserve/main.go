@@ -12,6 +12,20 @@
 //
 //	dgserve -addr :8086 -L 4096 -k 3
 //
+// One binary also runs either role of a horizontally sharded cluster
+// (internal/shard): partition workers are ordinary servers, each owning
+// one hash slice of the node space, and a coordinator scatter-gathers
+// across them:
+//
+//	dgserve -shard worker -addr :8186        # one per partition
+//	dgserve -shard worker -addr :8187
+//	dgserve -shard coordinator -addr :8086 \
+//	        -peers http://h1:8186,http://h2:8187
+//
+// The order of -peers defines partition IDs: partition i must hold the
+// events graph.PartitionOfEvent routes to i (appending through the
+// coordinator maintains this automatically).
+//
 // Endpoints: /snapshot, /neighbors, /batch, /interval, /expr, /append,
 // /stats, /healthz — see internal/server for parameters.
 package main
@@ -23,11 +37,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"historygraph"
 	"historygraph/internal/server"
+	"historygraph/internal/shard"
 )
 
 func main() {
@@ -36,10 +52,25 @@ func main() {
 	cacheSize := flag.Int("cache", server.DefaultCacheSize, "hot-snapshot cache capacity (0 disables)")
 	leafSize := flag.Int("L", 0, "leaf eventlist size (new index only)")
 	arity := flag.Int("k", 0, "DeltaGraph arity (new index only)")
-	partitions := flag.Int("partitions", 0, "horizontal storage partitions (new index only)")
+	partitions := flag.Int("partitions", 0, "storage partitions (new index only); in -shard coordinator mode, expected number of peers")
 	compress := flag.Bool("compress", false, "compress stored payloads (new index only)")
 	checkpoint := flag.Bool("checkpoint", true, "checkpoint the index on shutdown when -store is set")
+	role := flag.String("shard", "", `cluster role: "" or "worker" serve an index; "coordinator" scatter-gathers across -peers`)
+	peers := flag.String("peers", "", "comma-separated partition base URLs (coordinator role only; order defines partition IDs)")
+	peerTimeout := flag.Duration("peer-timeout", shard.DefaultPartitionTimeout, "per-partition fan-out timeout (coordinator role only)")
 	flag.Parse()
+
+	switch *role {
+	case "coordinator", "coord":
+		runCoordinator(*addr, *peers, *partitions, *peerTimeout)
+		return
+	case "", "worker", "single":
+		// An index-serving process; a worker is just a server whose
+		// GraphManager holds one partition's slice of the trace.
+	default:
+		fmt.Fprintf(os.Stderr, "dgserve: unknown -shard role %q (want worker or coordinator)\n", *role)
+		os.Exit(2)
+	}
 
 	opts := historygraph.Options{
 		LeafEventlistSize: *leafSize,
@@ -94,6 +125,51 @@ func main() {
 		}
 		fmt.Printf("dgserve: checkpointed to %s\n", *store)
 	}
+}
+
+// runCoordinator serves the scatter-gather front of a sharded cluster: no
+// local index, every query fans out across the -peers partition servers
+// and merges.
+func runCoordinator(addr, peers string, expected int, timeout time.Duration) {
+	var urls []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			urls = append(urls, p)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "dgserve: -shard coordinator requires -peers url1,url2,...")
+		os.Exit(2)
+	}
+	if expected > 0 && expected != len(urls) {
+		fmt.Fprintf(os.Stderr, "dgserve: -partitions %d but %d peers listed\n", expected, len(urls))
+		os.Exit(2)
+	}
+	co, err := shard.New(urls, shard.Config{PartitionTimeout: timeout})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: co.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("dgserve: coordinating %d partitions on %s (peer timeout %v)\n", len(urls), addr, timeout)
+	for i, u := range urls {
+		fmt.Printf("dgserve:   partition %d -> %s\n", i, u)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Printf("dgserve: %v, shutting down\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
 }
 
 // open loads an existing checkpoint when the store file is present,

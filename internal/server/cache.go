@@ -25,6 +25,12 @@ type snapCache struct {
 	mu      sync.Mutex
 	entries map[string]*list.Element // values are *cacheEntry
 	lru     *list.List               // front = most recently used
+	// gen counts invalidation passes. A retrieval that overlapped an
+	// append must not register its view: the view may predate events the
+	// invalidation already declared visible, and inserting it after the
+	// pass would serve stale data as a cache hit. Callers snapshot Gen
+	// before retrieving; InsertAcquire refuses when it moved.
+	gen int64
 
 	hits, misses, evictions int64
 }
@@ -79,6 +85,14 @@ func (c *snapCache) Acquire(key string, count bool) (h *historygraph.HistGraph, 
 	return ent.h, func() { c.gm.Unpin(ent.h) }, true
 }
 
+// Gen returns the current invalidation generation; pass it to
+// InsertAcquire after a retrieval that started at this generation.
+func (c *snapCache) Gen() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
 // InsertAcquire hands a freshly retrieved view to the cache, which owns
 // it from now on: the view is pinned until eviction, and eviction
 // Releases it back to the pool. The returned view carries a reader pin
@@ -86,10 +100,15 @@ func (c *snapCache) Acquire(key string, count bool) (h *historygraph.HistGraph, 
 // race an eviction); release must be called once. If the key is already
 // resident (a racing flight finished in between), the incoming duplicate
 // is released and the resident view is returned instead. A nil release
-// means the view could not be cached or pinned.
-func (c *snapCache) InsertAcquire(key string, at historygraph.Time, h *historygraph.HistGraph) (*historygraph.HistGraph, func()) {
+// means the view was not cached — an invalidation pass ran since gen was
+// snapshotted (the view may be stale) or pinning failed — and the caller
+// still owns h.
+func (c *snapCache) InsertAcquire(key string, at historygraph.Time, h *historygraph.HistGraph, gen int64) (*historygraph.HistGraph, func()) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.gen != gen {
+		return nil, nil
+	}
 	if elem, dup := c.entries[key]; dup {
 		ent := elem.Value.(*cacheEntry)
 		if err := c.gm.Pin(ent.h); err == nil {
@@ -115,8 +134,8 @@ func (c *snapCache) InsertAcquire(key string, at historygraph.Time, h *historygr
 }
 
 // Insert is InsertAcquire without keeping the reader reference.
-func (c *snapCache) Insert(key string, at historygraph.Time, h *historygraph.HistGraph) {
-	if _, release := c.InsertAcquire(key, at, h); release != nil {
+func (c *snapCache) Insert(key string, at historygraph.Time, h *historygraph.HistGraph, gen int64) {
+	if _, release := c.InsertAcquire(key, at, h, gen); release != nil {
 		release()
 	}
 }
@@ -141,6 +160,7 @@ func (c *snapCache) removeLocked(elem *list.Element) {
 func (c *snapCache) InvalidateFrom(t historygraph.Time) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++ // in-flight retrievals that predate this pass must not register
 	n := 0
 	for elem := c.lru.Front(); elem != nil; {
 		next := elem.Next()

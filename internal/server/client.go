@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,7 +16,10 @@ import (
 )
 
 // Client is a small Go client for the query service — what cmd/dgquery's
-// -remote mode and load drivers use.
+// -remote mode, load drivers, and the shard coordinator's fan-out use. It
+// speaks to an unsharded dgserve and to a shard coordinator transparently:
+// the wire types are identical, and scatter-gather responses surface any
+// failed partitions in their Partial field.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -30,24 +34,43 @@ func NewClient(base string) *Client {
 	}
 }
 
-func (c *Client) get(path string, q url.Values, out any) error {
+// NewClientHTTP is NewClient with a caller-supplied http.Client (the shard
+// coordinator shares one transport across partitions and bounds each
+// request with a context instead of the client-wide timeout).
+func NewClientHTTP(base string, hc *http.Client) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// BaseURL returns the server base URL the client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
 	u := c.base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	resp, err := c.hc.Get(u)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	return decodeResponse(resp, out)
 }
 
-func (c *Client) post(path string, body, out any) error {
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -89,8 +112,14 @@ func snapshotQuery(t string, attrs string, full bool) url.Values {
 // Snapshot retrieves the graph as of time t. full includes the element
 // lists, not just counts.
 func (c *Client) Snapshot(t historygraph.Time, attrs string, full bool) (*SnapshotJSON, error) {
+	return c.SnapshotCtx(context.Background(), t, attrs, full)
+}
+
+// SnapshotCtx is Snapshot bounded by a context (the coordinator's
+// per-partition timeout).
+func (c *Client) SnapshotCtx(ctx context.Context, t historygraph.Time, attrs string, full bool) (*SnapshotJSON, error) {
 	var out SnapshotJSON
-	if err := c.get("/snapshot", snapshotQuery(strconv.FormatInt(int64(t), 10), attrs, full), &out); err != nil {
+	if err := c.get(ctx, "/snapshot", snapshotQuery(strconv.FormatInt(int64(t), 10), attrs, full), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -99,8 +128,13 @@ func (c *Client) Snapshot(t historygraph.Time, attrs string, full bool) (*Snapsh
 // Snapshots retrieves many timepoints in one request; the server executes
 // them as a single multipoint plan.
 func (c *Client) Snapshots(ts []historygraph.Time, attrs string, full bool) ([]SnapshotJSON, error) {
+	return c.SnapshotsCtx(context.Background(), ts, attrs, full)
+}
+
+// SnapshotsCtx is Snapshots bounded by a context.
+func (c *Client) SnapshotsCtx(ctx context.Context, ts []historygraph.Time, attrs string, full bool) ([]SnapshotJSON, error) {
 	var out []SnapshotJSON
-	if err := c.get("/batch", snapshotQuery(timeQuery(ts), attrs, full), &out); err != nil {
+	if err := c.get(ctx, "/batch", snapshotQuery(timeQuery(ts), attrs, full), &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -108,6 +142,11 @@ func (c *Client) Snapshots(ts []historygraph.Time, attrs string, full bool) ([]S
 
 // Neighbors retrieves a node's neighborhood as of time t.
 func (c *Client) Neighbors(t historygraph.Time, node historygraph.NodeID, attrs string) (*NeighborsJSON, error) {
+	return c.NeighborsCtx(context.Background(), t, node, attrs)
+}
+
+// NeighborsCtx is Neighbors bounded by a context.
+func (c *Client) NeighborsCtx(ctx context.Context, t historygraph.Time, node historygraph.NodeID, attrs string) (*NeighborsJSON, error) {
 	q := url.Values{
 		"t":    {strconv.FormatInt(int64(t), 10)},
 		"node": {strconv.FormatInt(int64(node), 10)},
@@ -116,7 +155,7 @@ func (c *Client) Neighbors(t historygraph.Time, node historygraph.NodeID, attrs 
 		q.Set("attrs", attrs)
 	}
 	var out NeighborsJSON
-	if err := c.get("/neighbors", q, &out); err != nil {
+	if err := c.get(ctx, "/neighbors", q, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -125,6 +164,11 @@ func (c *Client) Neighbors(t historygraph.Time, node historygraph.NodeID, attrs 
 // Interval retrieves the elements added during [from, to) and the
 // transient events in that window.
 func (c *Client) Interval(from, to historygraph.Time, attrs string, full bool) (*IntervalJSON, error) {
+	return c.IntervalCtx(context.Background(), from, to, attrs, full)
+}
+
+// IntervalCtx is Interval bounded by a context.
+func (c *Client) IntervalCtx(ctx context.Context, from, to historygraph.Time, attrs string, full bool) (*IntervalJSON, error) {
 	q := url.Values{
 		"from": {strconv.FormatInt(int64(from), 10)},
 		"to":   {strconv.FormatInt(int64(to), 10)},
@@ -136,7 +180,7 @@ func (c *Client) Interval(from, to historygraph.Time, attrs string, full bool) (
 		q.Set("full", "1")
 	}
 	var out IntervalJSON
-	if err := c.get("/interval", q, &out); err != nil {
+	if err := c.get(ctx, "/interval", q, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -145,8 +189,13 @@ func (c *Client) Interval(from, to historygraph.Time, attrs string, full bool) (
 // Expr evaluates a TimeExpression query, e.g. Expr(ExprRequest{Times:
 // []int64{100, 200}, Expr: "0 & !1"}) for "present at 100 but gone by 200".
 func (c *Client) Expr(req ExprRequest) (*SnapshotJSON, error) {
+	return c.ExprCtx(context.Background(), req)
+}
+
+// ExprCtx is Expr bounded by a context.
+func (c *Client) ExprCtx(ctx context.Context, req ExprRequest) (*SnapshotJSON, error) {
 	var out SnapshotJSON
-	if err := c.post("/expr", req, &out); err != nil {
+	if err := c.post(ctx, "/expr", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -154,12 +203,17 @@ func (c *Client) Expr(req ExprRequest) (*SnapshotJSON, error) {
 
 // Append records a run of events against the live database.
 func (c *Client) Append(events historygraph.EventList) (*AppendResult, error) {
+	return c.AppendCtx(context.Background(), events)
+}
+
+// AppendCtx is Append bounded by a context.
+func (c *Client) AppendCtx(ctx context.Context, events historygraph.EventList) (*AppendResult, error) {
 	body := make([]EventJSON, len(events))
 	for i, ev := range events {
 		body[i] = EventToJSON(ev)
 	}
 	var out AppendResult
-	if err := c.post("/append", body, &out); err != nil {
+	if err := c.post(ctx, "/append", body, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -167,9 +221,25 @@ func (c *Client) Append(events historygraph.EventList) (*AppendResult, error) {
 
 // Stats fetches index, pool, and serving-layer statistics.
 func (c *Client) Stats() (*StatsJSON, error) {
+	return c.StatsCtx(context.Background())
+}
+
+// StatsCtx is Stats bounded by a context.
+func (c *Client) StatsCtx(ctx context.Context) (*StatsJSON, error) {
 	var out StatsJSON
-	if err := c.get("/stats", nil, &out); err != nil {
+	if err := c.get(ctx, "/stats", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Health checks GET /healthz; nil means the server answered ok.
+func (c *Client) Health() error {
+	return c.HealthCtx(context.Background())
+}
+
+// HealthCtx is Health bounded by a context.
+func (c *Client) HealthCtx(ctx context.Context) error {
+	var out map[string]any
+	return c.get(ctx, "/healthz", nil, &out)
 }

@@ -9,20 +9,22 @@ type flightCall struct {
 	err error
 }
 
-// flightGroup coalesces concurrent executions of the same key into one
+// FlightGroup coalesces concurrent executions of the same key into one
 // (hand-rolled singleflight: the serving layer may not pull in external
 // dependencies). The first caller for a key runs fn; callers that arrive
 // while it is running block and share its result. Once the call finishes
 // the key is forgotten, so later calls execute afresh — the hot-snapshot
 // cache, not the flight group, is responsible for longer-term reuse.
-type flightGroup struct {
+// The zero value is ready to use. The shard coordinator reuses it to
+// coalesce whole scatter-gather fan-outs.
+type FlightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flightCall
 }
 
 // Do executes fn once per key at a time. shared reports whether the result
 // came from another caller's execution rather than this caller's own.
-func (g *flightGroup) Do(key string, fn func() (any, error)) (v any, shared bool, err error) {
+func (g *FlightGroup) Do(key string, fn func() (any, error)) (v any, shared bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
@@ -47,7 +49,7 @@ func (g *flightGroup) Do(key string, fn func() (any, error)) (v any, shared bool
 }
 
 // InFlight returns the number of keys currently executing.
-func (g *flightGroup) InFlight() int {
+func (g *FlightGroup) InFlight() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return len(g.m)

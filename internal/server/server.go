@@ -52,7 +52,7 @@ const DefaultCacheSize = 32
 type Server struct {
 	gm      *historygraph.GraphManager
 	cache   *snapCache // nil when caching is disabled
-	flights flightGroup
+	flights FlightGroup
 	mux     *http.ServeMux
 
 	requests   atomic.Int64
@@ -81,7 +81,7 @@ func New(gm *historygraph.GraphManager, cfg Config) *Server {
 	mux.HandleFunc("POST /append", s.handleAppend)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	s.mux = mux
 	return s
@@ -142,6 +142,7 @@ func (s *Server) acquire(t historygraph.Time, attrs string) (h *historygraph.His
 		return h, rel, true, false, nil
 	}
 	v, shared, err := s.flights.Do(key, func() (any, error) {
+		gen := s.cache.Gen()
 		h, err := s.retrieve(t, attrs)
 		if err != nil {
 			return nil, err
@@ -149,7 +150,14 @@ func (s *Server) acquire(t historygraph.Time, attrs string) (h *historygraph.His
 		// The flight keeps a reader pin for its own caller, so the
 		// leader serves its handle directly — no re-lookup that could
 		// race an eviction under cache churn.
-		fh, rel := s.cache.InsertAcquire(key, t, h)
+		fh, rel := s.cache.InsertAcquire(key, t, h, gen)
+		if rel == nil {
+			// Not cached (an append's invalidation pass overlapped the
+			// retrieval, so the view may be stale as a cache entry —
+			// though exact for this request's moment — or the cache is
+			// shutting down): the leader serves its own view uncached.
+			return flightView{h: h, release: func() { s.gm.Release(h) }}, nil
+		}
 		return flightView{h: fh, release: rel}, nil
 	})
 	if err != nil {
@@ -178,44 +186,44 @@ func (s *Server) acquire(t historygraph.Time, attrs string) (h *historygraph.His
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	t, err := parseTime(q.Get("t"))
+	t, err := ParseTimeParam(q.Get("t"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	attrs := q.Get("attrs")
 	if _, err := historygraph.ParseAttrOptions(attrs); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	h, release, cached, coalesced, err := s.acquire(t, attrs)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		WriteError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	out := viewToJSON(h, boolParam(q.Get("full")))
+	out := viewToJSON(h, BoolParam(q.Get("full")))
 	release()
 	out.Cached = cached
 	out.Coalesced = coalesced
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	t, err := parseTime(q.Get("t"))
+	t, err := ParseTimeParam(q.Get("t"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	nodeRaw := q.Get("node")
 	node, err := strconv.ParseInt(nodeRaw, 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad node %q", nodeRaw))
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad node %q", nodeRaw))
 		return
 	}
 	h, release, cached, _, err := s.acquire(t, q.Get("attrs"))
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		WriteError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	id := historygraph.NodeID(node)
@@ -230,76 +238,146 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	for i, n := range neigh {
 		out.Neighbors[i] = int64(n)
 	}
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	var times []historygraph.Time
 	for _, part := range strings.Split(q.Get("t"), ",") {
-		t, err := parseTime(strings.TrimSpace(part))
+		t, err := ParseTimeParam(strings.TrimSpace(part))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			WriteError(w, http.StatusBadRequest, err)
 			return
 		}
 		times = append(times, t)
 	}
 	attrs := q.Get("attrs")
 	if _, err := historygraph.ParseAttrOptions(attrs); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
-	// The batch goes through GetHistSnapshots so the multipoint
-	// shared-delta plan (Section 4.4) is what executes, not N independent
-	// singlepoint walks.
-	snaps, err := s.gm.GetHistSnapshots(times, attrs)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+	full := BoolParam(q.Get("full"))
+	out := make([]SnapshotJSON, len(times))
+
+	if s.cache == nil {
+		// Caching disabled: detached snapshots through the multipoint
+		// shared-delta plan (Section 4.4), as before.
+		snaps, err := s.gm.GetHistSnapshots(times, attrs)
+		if err != nil {
+			WriteError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		for i, snap := range snaps {
+			out[i] = SnapshotToJSON(snap, times[i], full)
+		}
+		WriteJSON(w, http.StatusOK, out)
 		return
 	}
-	full := boolParam(q.Get("full"))
-	out := make([]SnapshotJSON, len(snaps))
-	for i, snap := range snaps {
-		out[i] = SnapshotToJSON(snap, times[i], full)
+
+	// Probe the hot-snapshot cache per timepoint; the misses execute as
+	// one multipoint shared-delta plan (Section 4.4) into the GraphPool
+	// and register in the cache, so a repeat batch — or a later
+	// singlepoint query at any of its timepoints — costs zero plan
+	// executions.
+	var missTimes []historygraph.Time
+	missIdx := make(map[historygraph.Time][]int)
+	for i, t := range times {
+		if h, rel, ok := s.cache.Acquire(cacheKey(t, attrs), true); ok {
+			out[i] = viewToJSON(h, full)
+			rel()
+			out[i].At = int64(t)
+			out[i].Cached = true
+			continue
+		}
+		if _, seen := missIdx[t]; !seen {
+			missTimes = append(missTimes, t)
+		}
+		missIdx[t] = append(missIdx[t], i)
 	}
-	writeJSON(w, http.StatusOK, out)
+	switch {
+	case len(missTimes) == 0:
+	case len(missTimes) >= s.cache.capacity:
+		// Admission guard: registering a batch as large as the whole LRU
+		// would evict the entire hot set (including the batch's own
+		// earlier entries) for zero reuse. Serve it detached instead.
+		s.retrievals.Add(int64(len(missTimes)))
+		snaps, err := s.gm.GetHistSnapshots(missTimes, attrs)
+		if err != nil {
+			WriteError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		for j, snap := range snaps {
+			t := missTimes[j]
+			for _, i := range missIdx[t] {
+				out[i] = SnapshotToJSON(snap, t, full)
+			}
+		}
+	default:
+		s.retrievals.Add(int64(len(missTimes)))
+		gen := s.cache.Gen()
+		hs, err := s.gm.GetHistGraphs(missTimes, attrs)
+		if err != nil {
+			WriteError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		for j, h := range hs {
+			t := missTimes[j]
+			var sj SnapshotJSON
+			if fh, rel := s.cache.InsertAcquire(cacheKey(t, attrs), t, h, gen); rel != nil {
+				sj = viewToJSON(fh, full)
+				rel()
+			} else {
+				// Not cached (concurrent append invalidation, or
+				// shutdown): serve this view directly and hand it
+				// straight back to the pool.
+				sj = viewToJSON(h, full)
+				s.gm.Release(h)
+			}
+			sj.At = int64(t)
+			for _, i := range missIdx[t] {
+				out[i] = sj
+			}
+		}
+	}
+	WriteJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	from, err1 := parseTime(q.Get("from"))
-	to, err2 := parseTime(q.Get("to"))
+	from, err1 := ParseTimeParam(q.Get("from"))
+	to, err2 := ParseTimeParam(q.Get("to"))
 	if err1 != nil || err2 != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("interval wants numeric from/to"))
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("interval wants numeric from/to"))
 		return
 	}
 	res, err := s.gm.GetHistGraphInterval(from, to, q.Get("attrs"))
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		WriteError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	out := IntervalJSON{
 		Start: int64(res.Start), End: int64(res.End),
 		NumNodes: len(res.Graph.Nodes), NumEdges: len(res.Graph.Edges),
 	}
-	if boolParam(q.Get("full")) {
+	if BoolParam(q.Get("full")) {
 		out.Nodes, out.Edges = snapshotElements(res.Graph)
 	}
 	for _, ev := range res.Transients {
 		out.Transients = append(out.Transients, EventToJSON(ev))
 	}
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 	var req ExprRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad expr body: %w", err))
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad expr body: %w", err))
 		return
 	}
 	expr, err := ParseTimeExpr(req.Expr, len(req.Times))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	tex := historygraph.TimeExpression{Expr: expr}
@@ -308,16 +386,16 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 	}
 	snap, err := s.gm.GetHistGraphExpr(tex, req.Attrs)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		WriteError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SnapshotToJSON(snap, 0, req.Full))
+	WriteJSON(w, http.StatusOK, SnapshotToJSON(snap, 0, req.Full))
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	var body []EventJSON
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
 		return
 	}
 	events := make(historygraph.EventList, len(body))
@@ -325,7 +403,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	for i, ej := range body {
 		ev, err := EventFromJSON(ej)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			WriteError(w, http.StatusBadRequest, err)
 			return
 		}
 		events[i] = ev
@@ -344,10 +422,10 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		invalidated = s.cache.InvalidateFrom(minAt)
 	}
 	if appendErr != nil {
-		writeError(w, http.StatusUnprocessableEntity, appendErr)
+		WriteError(w, http.StatusUnprocessableEntity, appendErr)
 		return
 	}
-	writeJSON(w, http.StatusOK, AppendResult{
+	WriteJSON(w, http.StatusOK, AppendResult{
 		Appended:    len(events),
 		LastTime:    int64(s.gm.LastTime()),
 		Invalidated: invalidated,
@@ -372,10 +450,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out.Server.CacheSize = cs.size
 		out.Server.CacheCapacity = cs.capacity
 	}
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
-func parseTime(s string) (historygraph.Time, error) {
+// ParseTimeParam parses a timepoint query parameter. Exported so the
+// shard coordinator parses requests exactly like a worker.
+func ParseTimeParam(s string) (historygraph.Time, error) {
 	if s == "" {
 		return 0, fmt.Errorf("missing timepoint parameter t")
 	}
@@ -386,7 +466,8 @@ func parseTime(s string) (historygraph.Time, error) {
 	return historygraph.Time(v), nil
 }
 
-func boolParam(s string) bool {
+// BoolParam parses a boolean query parameter ("1", "true", "yes").
+func BoolParam(s string) bool {
 	switch strings.ToLower(s) {
 	case "1", "true", "yes":
 		return true
@@ -394,12 +475,15 @@ func boolParam(s string) bool {
 	return false
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON writes v as the JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorJSON{Error: err.Error()})
+// WriteError writes the wire error shape ({"error": "..."}) the Client
+// decodes; the shard coordinator reuses it so error bodies stay uniform.
+func WriteError(w http.ResponseWriter, code int, err error) {
+	WriteJSON(w, code, errorJSON{Error: err.Error()})
 }

@@ -240,7 +240,7 @@ func TestCoalescing(t *testing.T) {
 // TestFlightGroup exercises the coalescing primitive directly: callers
 // that arrive while a key is in flight share one execution.
 func TestFlightGroup(t *testing.T) {
-	var g flightGroup
+	var g FlightGroup
 	var executions atomic.Int64
 	gate := make(chan struct{})
 
@@ -320,8 +320,8 @@ func TestCacheEvictionRefcount(t *testing.T) {
 
 	baseline := pool.Stats().ActiveGraphs
 	h1, h2 := get(last/4), get(last/2)
-	cache.Insert(key(1), last/4, h1)
-	cache.Insert(key(2), last/2, h2)
+	cache.Insert(key(1), last/4, h1, cache.Gen())
+	cache.Insert(key(2), last/2, h2, cache.Gen())
 	if got := pool.Stats().ActiveGraphs; got != baseline+2 {
 		t.Fatalf("after 2 inserts: %d active graphs, want %d", got, baseline+2)
 	}
@@ -336,7 +336,7 @@ func TestCacheEvictionRefcount(t *testing.T) {
 	// Inserting a third entry evicts the LRU entry — which is h1, since
 	// the Acquire refreshed h2.
 	h3 := get(last)
-	cache.Insert(key(3), last, h3)
+	cache.Insert(key(3), last, h3, cache.Gen())
 	if _, _, ok := cache.Acquire(key(1), true); ok {
 		t.Fatal("h1 should have been evicted")
 	}
@@ -350,7 +350,7 @@ func TestCacheEvictionRefcount(t *testing.T) {
 	// Evict h2 while the reader still holds it: Release happens, but the
 	// pin defers reclamation, so the view stays fully readable.
 	h4 := get(last / 3)
-	cache.Insert(key(4), last/3, h4)
+	cache.Insert(key(4), last/3, h4, cache.Gen())
 	if _, _, ok := cache.Acquire(key(2), true); ok {
 		t.Fatal("h2 should have been evicted")
 	}
@@ -516,6 +516,175 @@ func TestAppendInvalidatesCurrentDependentView(t *testing.T) {
 			t.Fatal("future node leaked into a past snapshot")
 		}
 	}
+}
+
+// TestBatchRegistersInCache: a multipoint batch registers its snapshots
+// in the GraphPool and the hot-snapshot cache, so a repeat batch — or a
+// singlepoint query at any of its timepoints — executes zero plans.
+func TestBatchRegistersInCache(t *testing.T) {
+	gm := newTestManager(t)
+	_, client := newTestServer(t, gm, Config{CacheSize: 16})
+	last := gm.LastTime()
+	ts := []historygraph.Time{last / 4, last / 2, last * 3 / 4}
+
+	before := gm.IndexStats().PlanExecutions
+	first, err := client.Snapshots(ts, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := gm.IndexStats().PlanExecutions
+	if afterFirst == before {
+		t.Fatal("cold batch executed no plans")
+	}
+	for i := range first {
+		if first[i].Cached {
+			t.Fatalf("cold batch snapshot %d claims cache hit", i)
+		}
+	}
+
+	repeat, err := client.Snapshots(ts, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gm.IndexStats().PlanExecutions; got != afterFirst {
+		t.Fatalf("repeat batch executed %d plans, want 0", got-afterFirst)
+	}
+	for i := range repeat {
+		if !repeat[i].Cached {
+			t.Fatalf("repeat batch snapshot %d missed the cache", i)
+		}
+		if repeat[i].NumNodes != first[i].NumNodes || repeat[i].NumEdges != first[i].NumEdges {
+			t.Fatalf("repeat batch snapshot %d diverged: %d/%d vs %d/%d", i,
+				repeat[i].NumNodes, repeat[i].NumEdges, first[i].NumNodes, first[i].NumEdges)
+		}
+	}
+
+	// The cache is shared across endpoints: a singlepoint query at a
+	// batch timepoint is a hit too.
+	single, err := client.Snapshot(ts[1], "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single.Cached {
+		t.Fatal("singlepoint query at a batched timepoint missed the cache")
+	}
+	if got := gm.IndexStats().PlanExecutions; got != afterFirst {
+		t.Fatalf("cross-endpoint hit executed %d plans, want 0", got-afterFirst)
+	}
+
+	// Duplicate timepoints within one batch resolve to one retrieval and
+	// identical answers.
+	dup, err := client.Snapshots([]historygraph.Time{last / 8, last / 8, ts[1]}, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup[0].NumNodes != dup[1].NumNodes || dup[0].NumEdges != dup[1].NumEdges {
+		t.Fatalf("duplicate timepoints diverged: %+v vs %+v", dup[0], dup[1])
+	}
+	if !dup[2].Cached {
+		t.Fatal("cached timepoint inside a mixed batch missed the cache")
+	}
+
+	// Appends still invalidate batch-registered entries at or after the
+	// appended time; strictly earlier ones survive.
+	tail := last + 5
+	tb, err := client.Snapshots([]historygraph.Time{ts[0], tail}, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Append(historygraph.EventList{
+		{Type: historygraph.AddNode, At: last + 1, Node: 777001},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	post, err := client.Snapshots([]historygraph.Time{ts[0], tail}, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !post[0].Cached {
+		t.Fatal("append invalidated a batch entry before the appended time")
+	}
+	if post[1].Cached {
+		t.Fatal("append left a stale batch entry after the appended time")
+	}
+	if post[1].NumNodes != tb[1].NumNodes+1 {
+		t.Fatalf("stale batch snapshot: %d nodes, want %d", post[1].NumNodes, tb[1].NumNodes+1)
+	}
+}
+
+// TestBatchAdmissionGuard: a batch with at least as many distinct
+// timepoints as the LRU holds is served detached instead of flushing the
+// whole hot set through the cache.
+func TestBatchAdmissionGuard(t *testing.T) {
+	gm := newTestManager(t)
+	_, client := newTestServer(t, gm, Config{CacheSize: 4})
+	last := gm.LastTime()
+
+	hot, err := client.Snapshot(last/2, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := make([]historygraph.Time, 8)
+	for i := range ts {
+		ts[i] = last * historygraph.Time(i+1) / 17
+	}
+	if _, err := client.Snapshots(ts, "", false); err != nil {
+		t.Fatal(err)
+	}
+	// The big batch must not have evicted the hot entry...
+	again, err := client.Snapshot(last/2, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.NumNodes != hot.NumNodes {
+		t.Fatalf("oversized batch evicted the hot singlepoint entry (cached=%v)", again.Cached)
+	}
+	// ...and must not have registered its own timepoints either.
+	repeat, err := client.Snapshots(ts, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range repeat {
+		if repeat[i].Cached {
+			t.Fatalf("oversized batch timepoint %d was admitted to the cache", i)
+		}
+	}
+}
+
+// TestInsertRefusedAfterInvalidation: a view retrieved before an
+// invalidation pass must not register afterwards — it may predate the
+// events the pass declared visible.
+func TestInsertRefusedAfterInvalidation(t *testing.T) {
+	gm := newTestManager(t)
+	cache := newSnapCache(gm, 4)
+	last := gm.LastTime()
+
+	gen := cache.Gen()
+	h, err := gm.GetHistGraph(last/2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.InvalidateFrom(last) // a concurrent append's pass
+	if _, rel := cache.InsertAcquire("k", last/2, h, gen); rel != nil {
+		t.Fatal("stale view registered despite an intervening invalidation")
+	}
+	gm.Release(h)
+
+	// A retrieval started after the pass registers normally.
+	gen = cache.Gen()
+	h2, err := gm.GetHistGraph(last/2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh, rel := cache.InsertAcquire("k", last/2, h2, gen)
+	if rel == nil {
+		t.Fatal("fresh view refused")
+	}
+	if fh.NumNodes() != h2.NumNodes() {
+		t.Fatal("cached view diverged from inserted view")
+	}
+	rel()
+	cache.Purge()
 }
 
 // TestParseTimeExpr covers the expression grammar.

@@ -28,25 +28,36 @@ type EdgeJSON struct {
 	Attrs    map[string]string `json:"attrs,omitempty"`
 }
 
+// PartitionError reports one partition's failure inside a scatter-gather
+// response assembled by a shard coordinator (internal/shard). Unsharded
+// responses never carry these; a sharded response whose Partial list is
+// non-empty is missing the named partitions' contributions.
+type PartitionError struct {
+	Partition int    `json:"partition"`
+	Error     string `json:"error"`
+}
+
 // SnapshotJSON answers snapshot, batch and expression queries. Nodes and
 // Edges are populated only when the request asked for full elements.
 type SnapshotJSON struct {
-	At        int64      `json:"at,omitempty"`
-	NumNodes  int        `json:"num_nodes"`
-	NumEdges  int        `json:"num_edges"`
-	Cached    bool       `json:"cached,omitempty"`
-	Coalesced bool       `json:"coalesced,omitempty"`
-	Nodes     []NodeJSON `json:"nodes,omitempty"`
-	Edges     []EdgeJSON `json:"edges,omitempty"`
+	At        int64            `json:"at,omitempty"`
+	NumNodes  int              `json:"num_nodes"`
+	NumEdges  int              `json:"num_edges"`
+	Cached    bool             `json:"cached,omitempty"`
+	Coalesced bool             `json:"coalesced,omitempty"`
+	Nodes     []NodeJSON       `json:"nodes,omitempty"`
+	Edges     []EdgeJSON       `json:"edges,omitempty"`
+	Partial   []PartitionError `json:"partial,omitempty"`
 }
 
 // NeighborsJSON answers neighborhood queries.
 type NeighborsJSON struct {
-	At        int64   `json:"at"`
-	Node      int64   `json:"node"`
-	Degree    int     `json:"degree"`
-	Neighbors []int64 `json:"neighbors"`
-	Cached    bool    `json:"cached,omitempty"`
+	At        int64            `json:"at"`
+	Node      int64            `json:"node"`
+	Degree    int              `json:"degree"`
+	Neighbors []int64          `json:"neighbors"`
+	Cached    bool             `json:"cached,omitempty"`
+	Partial   []PartitionError `json:"partial,omitempty"`
 }
 
 // EventJSON is the wire form of one historical event. Old/New are pointers
@@ -67,13 +78,14 @@ type EventJSON struct {
 // IntervalJSON answers interval queries: the elements added in [Start,
 // End) plus the transient events in that window.
 type IntervalJSON struct {
-	Start      int64       `json:"start"`
-	End        int64       `json:"end"`
-	NumNodes   int         `json:"num_nodes"`
-	NumEdges   int         `json:"num_edges"`
-	Nodes      []NodeJSON  `json:"nodes,omitempty"`
-	Edges      []EdgeJSON  `json:"edges,omitempty"`
-	Transients []EventJSON `json:"transients,omitempty"`
+	Start      int64            `json:"start"`
+	End        int64            `json:"end"`
+	NumNodes   int              `json:"num_nodes"`
+	NumEdges   int              `json:"num_edges"`
+	Nodes      []NodeJSON       `json:"nodes,omitempty"`
+	Edges      []EdgeJSON       `json:"edges,omitempty"`
+	Transients []EventJSON      `json:"transients,omitempty"`
+	Partial    []PartitionError `json:"partial,omitempty"`
 }
 
 // ExprRequest is the POST /expr body: a Boolean expression over the listed
@@ -88,9 +100,10 @@ type ExprRequest struct {
 
 // AppendResult answers POST /append.
 type AppendResult struct {
-	Appended    int   `json:"appended"`
-	LastTime    int64 `json:"last_time"`
-	Invalidated int   `json:"invalidated,omitempty"`
+	Appended    int              `json:"appended"`
+	LastTime    int64            `json:"last_time"`
+	Invalidated int              `json:"invalidated,omitempty"`
+	Partial     []PartitionError `json:"partial,omitempty"`
 }
 
 // ServerStatsJSON is the serving-layer section of /stats.

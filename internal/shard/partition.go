@@ -1,0 +1,26 @@
+package shard
+
+import (
+	"historygraph"
+	"historygraph/internal/graph"
+)
+
+// PartitionOf returns the partition that owns an event under the shared
+// node-hash space (graph.PartitionOfEvent): node events hash by node ID,
+// edge events by their From endpoint.
+func PartitionOf(ev historygraph.Event, n int) int {
+	return graph.PartitionOfEvent(ev, n)
+}
+
+// PartitionEvents splits a chronological event list into the n
+// per-partition slices a sharded cluster's workers each own. Relative
+// order is preserved within every slice, so each worker sees a
+// chronological sub-trace and BuildFrom/AppendAll accept it unchanged.
+func PartitionEvents(events historygraph.EventList, n int) []historygraph.EventList {
+	out := make([]historygraph.EventList, n)
+	for _, ev := range events {
+		p := PartitionOf(ev, n)
+		out[p] = append(out[p], ev)
+	}
+	return out
+}

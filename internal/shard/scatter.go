@@ -1,0 +1,55 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"historygraph/internal/server"
+)
+
+// reqCtx is the context handed to one fan-out leg: the per-partition
+// deadline plus the partition index the leg is talking to.
+type reqCtx struct {
+	context.Context
+	part int
+}
+
+// scatter runs call against every partition concurrently, each leg
+// bounded by the coordinator's partition timeout. results[i] holds
+// partition i's answer (the zero value where it failed); errs lists the
+// failed partitions in partition order. The call itself never fails —
+// total failure is the caller's decision (len(errs) == NumPartitions).
+func scatter[T any](co *Coordinator, call func(ctx reqCtx, cl *server.Client) (T, error)) (results []T, errs []server.PartitionError) {
+	results = make([]T, len(co.peers))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := range co.peers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), co.timeout)
+			defer cancel()
+			v, err := call(reqCtx{Context: ctx, part: i}, co.peers[i])
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, server.PartitionError{Partition: i, Error: err.Error()})
+				mu.Unlock()
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	sort.Slice(errs, func(a, b int) bool { return errs[a].Partition < errs[b].Partition })
+	return results, errs
+}
+
+// notePartial charges a partial data response (some but not all
+// partitions failed) to the partial_responses stat. Data endpoints call
+// it; /stats and /healthz probes and total failures do not count.
+func (co *Coordinator) notePartial(errs []server.PartitionError) {
+	if len(errs) > 0 && len(errs) < len(co.peers) {
+		co.partials.Add(1)
+	}
+}

@@ -1,0 +1,401 @@
+// Package shard implements the horizontally sharded deployment of the
+// snapshot query service: a coordinator that fans every query out across N
+// partition servers and merges the partial answers into one response —
+// the paper's distributed architecture (Section 4.6) lifted from the
+// storage layer (internal/kvstore.Partitioned splits one index across
+// stores) to the serving layer (one full query-processor process per
+// horizontal slice of the node space).
+//
+// Each partition worker is an ordinary internal/server.Server whose
+// GraphManager holds only the events routed to it by the node-hash
+// partitioning (graph.PartitionOfEvent — the same hash space
+// kvstore.Partitioned routes storage keys by). Every graph element's
+// entire event history lands on exactly one partition: node events hash
+// by node ID, and edge events (including edge-attribute updates) hash by
+// their From endpoint. Partial snapshots are therefore disjoint, and
+// merging is a union — counts add, element lists concatenate and re-sort.
+//
+// The coordinator preserves the serving-layer mechanisms end-to-end:
+//
+//   - Coalescing: concurrent identical /snapshot and /neighbors requests
+//     share one scatter-gather via a FlightGroup, so N clients asking for
+//     the same timepoint cost one fan-out — and each worker coalesces and
+//     caches its own slice underneath.
+//   - Per-partition timeouts: every fan-out leg is bounded by
+//     Config.PartitionTimeout.
+//   - Partial failure: if some (not all) partitions fail or time out, the
+//     merged response still carries the live partitions' data, with the
+//     failed partitions reported in the wire types' "partial" field.
+//
+// Endpoints mirror internal/server exactly, so server.Client speaks to a
+// coordinator transparently.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"historygraph"
+	"historygraph/internal/server"
+)
+
+// DefaultPartitionTimeout bounds each fan-out leg when Config leaves
+// PartitionTimeout zero.
+const DefaultPartitionTimeout = 15 * time.Second
+
+// Config tunes the coordinator.
+type Config struct {
+	// PartitionTimeout bounds every fan-out leg; a partition that does
+	// not answer in time is dropped from the merge and reported in the
+	// response's partial list. 0 picks DefaultPartitionTimeout.
+	PartitionTimeout time.Duration
+	// HTTPClient overrides the pooled transport used for fan-out
+	// requests (tests inject clients wired to in-process servers).
+	HTTPClient *http.Client
+}
+
+// Coordinator scatters queries across partition servers and gathers the
+// partial answers. It is safe for concurrent use.
+type Coordinator struct {
+	peers   []*server.Client
+	urls    []string
+	timeout time.Duration
+	mux     *http.ServeMux
+	flights server.FlightGroup
+
+	requests  atomic.Int64
+	fanouts   atomic.Int64 // scatter-gather executions
+	coalesced atomic.Int64 // requests served by another caller's fan-out
+	partials  atomic.Int64 // responses missing >= 1 partition
+}
+
+// New builds a coordinator over the given partition base URLs. The slice
+// order defines partition IDs and must match the hash space the workers'
+// event slices were split by (PartitionEvents with n = len(peerURLs)).
+func New(peerURLs []string, cfg Config) (*Coordinator, error) {
+	if len(peerURLs) == 0 {
+		return nil, fmt.Errorf("shard: coordinator needs at least one partition peer")
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        4 * len(peerURLs),
+			MaxIdleConnsPerHost: 4,
+		}}
+	}
+	timeout := cfg.PartitionTimeout
+	if timeout <= 0 {
+		timeout = DefaultPartitionTimeout
+	}
+	co := &Coordinator{timeout: timeout}
+	for _, u := range peerURLs {
+		co.urls = append(co.urls, strings.TrimRight(u, "/"))
+		co.peers = append(co.peers, server.NewClientHTTP(u, hc))
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /snapshot", co.handleSnapshot)
+	mux.HandleFunc("GET /neighbors", co.handleNeighbors)
+	mux.HandleFunc("GET /batch", co.handleBatch)
+	mux.HandleFunc("GET /interval", co.handleInterval)
+	mux.HandleFunc("POST /expr", co.handleExpr)
+	mux.HandleFunc("POST /append", co.handleAppend)
+	mux.HandleFunc("GET /stats", co.handleStats)
+	mux.HandleFunc("GET /healthz", co.handleHealthz)
+	co.mux = mux
+	return co, nil
+}
+
+// NumPartitions returns the number of partition servers.
+func (co *Coordinator) NumPartitions() int { return len(co.peers) }
+
+// Fanouts reports how many scatter-gathers actually executed (tests
+// assert coordinator-level coalescing against this).
+func (co *Coordinator) Fanouts() int64 { return co.fanouts.Load() }
+
+// Handler returns the coordinator's HTTP handler.
+func (co *Coordinator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		co.requests.Add(1)
+		co.mux.ServeHTTP(w, r)
+	})
+}
+
+// allFailed converts a total fan-out failure into one error.
+func (co *Coordinator) allFailed(errs []server.PartitionError) error {
+	return fmt.Errorf("shard: all %d partitions failed (partition 0: %s)", len(co.peers), errs[0].Error)
+}
+
+func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	t, err := server.ParseTimeParam(q.Get("t"))
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	attrs := q.Get("attrs")
+	if _, err := historygraph.ParseAttrOptions(attrs); err != nil {
+		server.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	full := server.BoolParam(q.Get("full"))
+	key := fmt.Sprintf("snap|%d|%s|%t", t, attrs, full)
+	v, shared, err := co.flights.Do(key, func() (any, error) {
+		co.fanouts.Add(1)
+		parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
+			return cl.SnapshotCtx(ctx, t, attrs, full)
+		})
+		if len(errs) == len(co.peers) {
+			return nil, co.allFailed(errs)
+		}
+		co.notePartial(errs)
+		return mergeSnapshots(int64(t), parts, errs), nil
+	})
+	if err != nil {
+		server.WriteError(w, http.StatusBadGateway, err)
+		return
+	}
+	out := v.(server.SnapshotJSON)
+	if shared {
+		co.coalesced.Add(1)
+		out.Coalesced = true
+	}
+	server.WriteJSON(w, http.StatusOK, out)
+}
+
+func (co *Coordinator) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	t, err := server.ParseTimeParam(q.Get("t"))
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	nodeRaw := q.Get("node")
+	node, err := strconv.ParseInt(nodeRaw, 10, 64)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad node %q", nodeRaw))
+		return
+	}
+	attrs := q.Get("attrs")
+	if _, err := historygraph.ParseAttrOptions(attrs); err != nil {
+		server.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	// A node's incident edges are scattered across partitions (each edge
+	// lives with its From endpoint), so the neighborhood is the union of
+	// every partition's local adjacency.
+	key := fmt.Sprintf("nbr|%d|%d|%s", t, node, attrs)
+	v, shared, err := co.flights.Do(key, func() (any, error) {
+		co.fanouts.Add(1)
+		parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (*server.NeighborsJSON, error) {
+			return cl.NeighborsCtx(ctx, t, historygraph.NodeID(node), attrs)
+		})
+		if len(errs) == len(co.peers) {
+			return nil, co.allFailed(errs)
+		}
+		co.notePartial(errs)
+		return mergeNeighbors(int64(t), node, parts, errs), nil
+	})
+	if err != nil {
+		server.WriteError(w, http.StatusBadGateway, err)
+		return
+	}
+	if shared {
+		co.coalesced.Add(1)
+	}
+	server.WriteJSON(w, http.StatusOK, v.(server.NeighborsJSON))
+}
+
+func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var times []historygraph.Time
+	for _, part := range strings.Split(q.Get("t"), ",") {
+		t, err := server.ParseTimeParam(strings.TrimSpace(part))
+		if err != nil {
+			server.WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		times = append(times, t)
+	}
+	attrs := q.Get("attrs")
+	if _, err := historygraph.ParseAttrOptions(attrs); err != nil {
+		server.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	full := server.BoolParam(q.Get("full"))
+	parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) ([]server.SnapshotJSON, error) {
+		batch, err := cl.SnapshotsCtx(ctx, times, attrs, full)
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) != len(times) {
+			return nil, fmt.Errorf("partition answered %d snapshots for %d timepoints", len(batch), len(times))
+		}
+		return batch, nil
+	})
+	if len(errs) == len(co.peers) {
+		server.WriteError(w, http.StatusBadGateway, co.allFailed(errs))
+		return
+	}
+	co.notePartial(errs)
+	out := make([]server.SnapshotJSON, len(times))
+	for i, t := range times {
+		slice := make([]*server.SnapshotJSON, len(parts))
+		for p, batch := range parts {
+			if batch != nil {
+				slice[p] = &batch[i]
+			}
+		}
+		out[i] = mergeSnapshots(int64(t), slice, errs)
+	}
+	server.WriteJSON(w, http.StatusOK, out)
+}
+
+func (co *Coordinator) handleInterval(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err1 := server.ParseTimeParam(q.Get("from"))
+	to, err2 := server.ParseTimeParam(q.Get("to"))
+	if err1 != nil || err2 != nil {
+		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("interval wants numeric from/to"))
+		return
+	}
+	attrs := q.Get("attrs")
+	if _, err := historygraph.ParseAttrOptions(attrs); err != nil {
+		server.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	full := server.BoolParam(q.Get("full"))
+	parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (*server.IntervalJSON, error) {
+		return cl.IntervalCtx(ctx, from, to, attrs, full)
+	})
+	if len(errs) == len(co.peers) {
+		server.WriteError(w, http.StatusBadGateway, co.allFailed(errs))
+		return
+	}
+	co.notePartial(errs)
+	server.WriteJSON(w, http.StatusOK, mergeIntervals(parts, errs))
+}
+
+func (co *Coordinator) handleExpr(w http.ResponseWriter, r *http.Request) {
+	var req server.ExprRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad expr body: %w", err))
+		return
+	}
+	if _, err := server.ParseTimeExpr(req.Expr, len(req.Times)); err != nil {
+		server.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	// A TimeExpression decides membership element by element, and every
+	// element's history is confined to one partition — so evaluating the
+	// expression per partition and unioning is exact.
+	parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
+		return cl.ExprCtx(ctx, req)
+	})
+	if len(errs) == len(co.peers) {
+		server.WriteError(w, http.StatusBadGateway, co.allFailed(errs))
+		return
+	}
+	co.notePartial(errs)
+	server.WriteJSON(w, http.StatusOK, mergeSnapshots(0, parts, errs))
+}
+
+func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var body []server.EventJSON
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
+		return
+	}
+	perPart := make([]historygraph.EventList, len(co.peers))
+	for _, ej := range body {
+		ev, err := server.EventFromJSON(ej)
+		if err != nil {
+			server.WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		p := PartitionOf(ev, len(co.peers))
+		perPart[p] = append(perPart[p], ev)
+	}
+	// Every worker gets its slice (possibly empty — an empty append still
+	// reports the worker's last_time, keeping the merged clock exact).
+	parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (*server.AppendResult, error) {
+		return cl.AppendCtx(ctx, perPart[ctx.part])
+	})
+	if len(errs) == len(co.peers) {
+		server.WriteError(w, http.StatusBadGateway, co.allFailed(errs))
+		return
+	}
+	co.notePartial(errs)
+	out := server.AppendResult{Partial: errs}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Appended += p.Appended
+		out.Invalidated += p.Invalidated
+		if p.LastTime > out.LastTime {
+			out.LastTime = p.LastTime
+		}
+	}
+	server.WriteJSON(w, http.StatusOK, out)
+}
+
+// PartitionStatsJSON is one partition's section of the coordinator's
+// /stats answer.
+type PartitionStatsJSON struct {
+	Partition int               `json:"partition"`
+	URL       string            `json:"url"`
+	Error     string            `json:"error,omitempty"`
+	Stats     *server.StatsJSON `json:"stats,omitempty"`
+}
+
+// StatsJSON answers the coordinator's GET /stats: fan-out counters plus
+// every partition's own stats.
+type StatsJSON struct {
+	Partitions       int                  `json:"partitions"`
+	Requests         int64                `json:"requests"`
+	Fanouts          int64                `json:"fanouts"`
+	Coalesced        int64                `json:"coalesced"`
+	PartialResponses int64                `json:"partial_responses"`
+	PerPartition     []PartitionStatsJSON `json:"per_partition"`
+}
+
+func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (*server.StatsJSON, error) {
+		return cl.StatsCtx(ctx)
+	})
+	out := StatsJSON{
+		Partitions:       len(co.peers),
+		Requests:         co.requests.Load(),
+		Fanouts:          co.fanouts.Load(),
+		Coalesced:        co.coalesced.Load(),
+		PartialResponses: co.partials.Load(),
+	}
+	failed := make(map[int]string, len(errs))
+	for _, pe := range errs {
+		failed[pe.Partition] = pe.Error
+	}
+	for p := range co.peers {
+		ps := PartitionStatsJSON{Partition: p, URL: co.urls[p], Stats: parts[p]}
+		ps.Error = failed[p]
+		out.PerPartition = append(out.PerPartition, ps)
+	}
+	server.WriteJSON(w, http.StatusOK, out)
+}
+
+func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	_, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (struct{}, error) {
+		return struct{}{}, cl.HealthCtx(ctx)
+	})
+	if len(errs) == 0 {
+		server.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok", "partitions": len(co.peers)})
+		return
+	}
+	server.WriteJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"status": "degraded", "partitions": len(co.peers), "partial": errs,
+	})
+}

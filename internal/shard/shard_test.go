@@ -1,0 +1,488 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"historygraph"
+	"historygraph/internal/datagen"
+	"historygraph/internal/graph"
+	"historygraph/internal/server"
+)
+
+// testEvents is a deterministic co-authorship trace with a few transient
+// events mixed in so interval merging is exercised.
+func testEvents() historygraph.EventList {
+	events := datagen.Coauthorship(datagen.CoauthorshipConfig{
+		Authors: 200, Edges: 600, Years: 4, AttrsPerNode: 2, Seed: 42,
+	})
+	_, last := events.Span()
+	for i := 0; i < 8; i++ {
+		events = append(events, historygraph.Event{
+			Type: historygraph.TransientEdge,
+			At:   last * historygraph.Time(i+1) / 10,
+			Edge: historygraph.EdgeID(1<<40) + historygraph.EdgeID(i),
+			Node: historygraph.NodeID(i * 17), Node2: historygraph.NodeID(i*17 + 1),
+		})
+	}
+	events.Sort()
+	return events
+}
+
+func buildManager(t testing.TB, events historygraph.EventList) *historygraph.GraphManager {
+	t.Helper()
+	gm, err := historygraph.BuildFrom(events, historygraph.Options{
+		LeafEventlistSize: 128,
+		CleanerInterval:   time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gm.Close() })
+	return gm
+}
+
+// cluster is an in-process sharded deployment: n partition workers, each
+// an ordinary server.Server over its slice of the trace, plus a
+// coordinator in front.
+type cluster struct {
+	co       *Coordinator
+	client   *server.Client
+	workers  []*historygraph.GraphManager
+	services []*server.Server
+	httpSrvs []*httptest.Server
+}
+
+func newCluster(t testing.TB, events historygraph.EventList, n int, cfg Config) *cluster {
+	t.Helper()
+	c := &cluster{}
+	var urls []string
+	for _, slice := range PartitionEvents(events, n) {
+		gm := buildManager(t, slice)
+		svc := server.New(gm, server.Config{CacheSize: 32})
+		hs := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() { hs.Close(); svc.Close() })
+		c.workers = append(c.workers, gm)
+		c.services = append(c.services, svc)
+		c.httpSrvs = append(c.httpSrvs, hs)
+		urls = append(urls, hs.URL)
+	}
+	co, err := New(urls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.co = co
+	front := httptest.NewServer(co.Handler())
+	t.Cleanup(front.Close)
+	c.client = server.NewClient(front.URL)
+	return c
+}
+
+// oracle is the unsharded reference deployment over the same trace.
+func oracle(t testing.TB, events historygraph.EventList) (*historygraph.GraphManager, *server.Client, string) {
+	t.Helper()
+	gm := buildManager(t, events)
+	svc := server.New(gm, server.Config{CacheSize: 32})
+	hs := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { hs.Close(); svc.Close() })
+	return gm, server.NewClient(hs.URL), hs.URL
+}
+
+func rawGET(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestShardedMatchesUnsharded is the acceptance check: a 4-partition
+// cluster must answer /snapshot byte-identically to the unsharded server
+// over the same event log, and every other endpoint must merge to the
+// oracle's content.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	events := testEvents()
+	gm, oclient, ourl := oracle(t, events)
+	c := newCluster(t, events, 4, Config{})
+	last := gm.LastTime()
+
+	frontURL := c.client.BaseURL()
+	for _, tp := range []historygraph.Time{last / 4, last / 2, last} {
+		for _, query := range []string{
+			fmt.Sprintf("/snapshot?t=%d&full=1", tp),
+			fmt.Sprintf("/snapshot?t=%d&attrs=%%2Bnode:all%%2Bedge:all&full=1", tp),
+			fmt.Sprintf("/snapshot?t=%d", tp),
+		} {
+			want := rawGET(t, ourl+query)
+			got := rawGET(t, frontURL+query)
+			if string(got) != string(want) {
+				t.Fatalf("sharded %s diverges from unsharded:\n got: %.400s\nwant: %.400s", query, got, want)
+			}
+		}
+	}
+
+	// Repeat queries: both deployments serve from their hot caches and
+	// still agree byte for byte (cached flag included).
+	query := fmt.Sprintf("/snapshot?t=%d&full=1", last/2)
+	want := rawGET(t, ourl+query)
+	got := rawGET(t, frontURL+query)
+	if string(got) != string(want) {
+		t.Fatalf("cached sharded response diverges:\n got: %.400s\nwant: %.400s", got, want)
+	}
+
+	// Batch merges per timepoint.
+	ts := []historygraph.Time{last / 4, last / 2, last * 3 / 4}
+	batch, err := c.client.Snapshots(ts, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tp := range ts {
+		direct, err := gm.GetHistSnapshot(tp, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].NumNodes != len(direct.Nodes) || batch[i].NumEdges != len(direct.Edges) {
+			t.Fatalf("batch[%d] t=%d: got %d/%d, want %d/%d",
+				i, tp, batch[i].NumNodes, batch[i].NumEdges, len(direct.Nodes), len(direct.Edges))
+		}
+	}
+
+	// Neighbors: union of per-partition adjacency equals the oracle's
+	// neighborhood, for nodes on every partition.
+	h, err := gm.GetHistGraph(last/2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := map[int]historygraph.NodeID{}
+	for _, n := range h.Nodes() {
+		p := graph.Partition(n, 4)
+		if _, ok := probes[p]; !ok && h.Degree(n) > 0 {
+			probes[p] = n
+		}
+	}
+	for _, probe := range probes {
+		sharded, err := c.client.Neighbors(last/2, probe, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := h.Degree(probe); sharded.Degree != want {
+			t.Fatalf("node %d degree: sharded %d, oracle %d", probe, sharded.Degree, want)
+		}
+		want := map[int64]struct{}{}
+		for _, n := range h.Neighbors(probe) {
+			want[int64(n)] = struct{}{}
+		}
+		if len(sharded.Neighbors) != len(want) {
+			t.Fatalf("node %d: sharded %d neighbors, oracle %d", probe, len(sharded.Neighbors), len(want))
+		}
+		for _, n := range sharded.Neighbors {
+			if _, ok := want[n]; !ok {
+				t.Fatalf("node %d: sharded neighbor %d not in oracle set", probe, n)
+			}
+		}
+	}
+	gm.Release(h)
+
+	// Interval: disjoint adds union, transients interleave by timestamp.
+	iv, err := c.client.Interval(0, last/2, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oiv, err := oclient.Interval(0, last/2, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.NumNodes != oiv.NumNodes || iv.NumEdges != oiv.NumEdges || len(iv.Transients) != len(oiv.Transients) {
+		t.Fatalf("interval: sharded %d/%d/%d transients %d, oracle %d/%d transients %d",
+			iv.NumNodes, iv.NumEdges, len(iv.Transients), len(iv.Transients),
+			oiv.NumNodes, oiv.NumEdges, len(oiv.Transients))
+	}
+	for i := 1; i < len(iv.Transients); i++ {
+		if iv.Transients[i-1].At > iv.Transients[i].At {
+			t.Fatal("merged transients out of time order")
+		}
+	}
+
+	// TimeExpression: per-partition evaluation unions to the oracle's.
+	req := server.ExprRequest{Times: []int64{int64(last / 2), int64(last)}, Expr: "0 & !1"}
+	expr, err := c.client.Expr(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oexpr, err := oclient.Expr(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expr.NumNodes != oexpr.NumNodes || expr.NumEdges != oexpr.NumEdges {
+		t.Fatalf("expr: sharded %d/%d, oracle %d/%d", expr.NumNodes, expr.NumEdges, oexpr.NumNodes, oexpr.NumEdges)
+	}
+}
+
+// TestShardAppendRouting: events appended through the coordinator land
+// only on their owning partition, and subsequent queries merge them back.
+func TestShardAppendRouting(t *testing.T) {
+	events := testEvents()
+	gm, _, _ := oracle(t, events)
+	c := newCluster(t, events, 4, Config{})
+	last := gm.LastTime()
+
+	newT := last + 10
+	var appended historygraph.EventList
+	for i := 0; i < 8; i++ {
+		appended = append(appended, historygraph.Event{
+			Type: historygraph.AddNode, At: newT, Node: historygraph.NodeID(1000000 + i),
+		})
+	}
+	res, err := c.client.Append(appended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != len(appended) || res.LastTime != int64(newT) || len(res.Partial) != 0 {
+		t.Fatalf("append result %+v", res)
+	}
+	if err := gm.AppendAll(appended); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each new node must live on exactly its hash partition.
+	for i := range appended {
+		node := appended[i].Node
+		owner := graph.Partition(node, 4)
+		for p, w := range c.workers {
+			direct, err := w.GetHistSnapshot(newT, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, has := direct.Nodes[node]
+			if has != (p == owner) {
+				t.Fatalf("node %d on partition %d: has=%v, owner=%d", node, p, has, owner)
+			}
+		}
+	}
+
+	// Merged snapshot equals the oracle after the same appends.
+	snap, err := c.client.Snapshot(newT, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := gm.GetHistSnapshot(newT, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumNodes != len(direct.Nodes) || snap.NumEdges != len(direct.Edges) {
+		t.Fatalf("post-append snapshot: sharded %d/%d, oracle %d/%d",
+			snap.NumNodes, snap.NumEdges, len(direct.Nodes), len(direct.Edges))
+	}
+}
+
+// TestShardPartialFailure: with one partition down, queries still answer
+// from the live partitions and report the dead one.
+func TestShardPartialFailure(t *testing.T) {
+	events := testEvents()
+	c := newCluster(t, events, 4, Config{})
+	gm, _, _ := oracle(t, events)
+	last := gm.LastTime()
+
+	// Measure the doomed partition's share first.
+	deadShare, err := c.workers[2].GetHistSnapshot(last/2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := c.client.Snapshot(last/2, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.httpSrvs[2].Close()
+
+	// New timepoint so neither coordinator flight nor worker caches mask
+	// the fan-out... and t differs from the warm query above.
+	snap, err := c.client.Snapshot(last/2+1, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Partial) != 1 || snap.Partial[0].Partition != 2 || snap.Partial[0].Error == "" {
+		t.Fatalf("partial list %+v, want exactly partition 2", snap.Partial)
+	}
+	if want := full.NumNodes - len(deadShare.Nodes); snap.NumNodes != want {
+		t.Fatalf("partial snapshot has %d nodes, want %d (total %d minus dead partition's %d)",
+			snap.NumNodes, want, full.NumNodes, len(deadShare.Nodes))
+	}
+	if snap.Cached {
+		t.Fatal("partial response must not claim cluster-wide cache hit")
+	}
+
+	// healthz degrades but still enumerates the failure.
+	resp, err := http.Get(c.client.BaseURL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with a dead partition: HTTP %d, want 503", resp.StatusCode)
+	}
+
+	// Appends routed at the dead partition report partial failure; other
+	// partitions' events land.
+	var evs historygraph.EventList
+	for i := 0; i < 16; i++ {
+		evs = append(evs, historygraph.Event{Type: historygraph.AddNode, At: last + 50, Node: historygraph.NodeID(2000000 + i)})
+	}
+	res, err := c.client.Append(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partial) != 1 || res.Partial[0].Partition != 2 {
+		t.Fatalf("append partial %+v, want partition 2", res.Partial)
+	}
+	if res.Appended >= len(evs) || res.Appended == 0 {
+		t.Fatalf("append with a dead partition appended %d of %d", res.Appended, len(evs))
+	}
+}
+
+// TestShardAllPartitionsDown: total failure is an error, not an empty
+// 200.
+func TestShardAllPartitionsDown(t *testing.T) {
+	events := testEvents()
+	c := newCluster(t, events, 2, Config{})
+	for _, hs := range c.httpSrvs {
+		hs.Close()
+	}
+	if _, err := c.client.Snapshot(100, "", false); err == nil {
+		t.Fatal("snapshot with every partition down should fail")
+	}
+}
+
+// TestShardPartitionTimeout: a hung partition is cut off at the
+// per-partition timeout and reported, without stalling the response.
+func TestShardPartitionTimeout(t *testing.T) {
+	events := testEvents()
+	gm, _, _ := oracle(t, events)
+	last := gm.LastTime()
+
+	slices := PartitionEvents(events, 2)
+	fast := buildManager(t, slices[0])
+	svc := server.New(fast, server.Config{CacheSize: 8})
+	fastSrv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { fastSrv.Close(); svc.Close() })
+
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	slowSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(slowSrv.Close)
+
+	co, err := New([]string{fastSrv.URL, slowSrv.URL}, Config{PartitionTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(co.Handler())
+	t.Cleanup(front.Close)
+	client := server.NewClient(front.URL)
+
+	start := time.Now()
+	snap, err := client.Snapshot(last/2, "", false)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("response took %v; the hung partition stalled the gather", elapsed)
+	}
+	if len(snap.Partial) != 1 || snap.Partial[0].Partition != 1 {
+		t.Fatalf("partial list %+v, want the hung partition 1", snap.Partial)
+	}
+	fastShare, err := fast.GetHistSnapshot(last/2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumNodes != len(fastShare.Nodes) {
+		t.Fatalf("timed-out response has %d nodes, want the fast partition's %d", snap.NumNodes, len(fastShare.Nodes))
+	}
+}
+
+// TestShardCoalescing: concurrent identical snapshot queries share one
+// scatter-gather at the coordinator AND one plan execution per worker.
+func TestShardCoalescing(t *testing.T) {
+	events := testEvents()
+	c := newCluster(t, events, 4, Config{})
+	var last historygraph.Time
+	for _, w := range c.workers {
+		if lt := w.LastTime(); lt > last {
+			last = lt
+		}
+	}
+	target := last / 2
+
+	const N = 24
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	var failures atomic.Int64
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := c.client.Snapshot(target, "", false); err != nil {
+				failures.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d requests failed", failures.Load())
+	}
+	if got := c.co.Fanouts(); got != 1 {
+		t.Fatalf("%d parallel identical queries caused %d fan-outs, want 1", N, got)
+	}
+	for p, svc := range c.services {
+		if got := svc.Retrievals(); got != 1 {
+			t.Fatalf("partition %d executed %d retrievals, want 1", p, got)
+		}
+	}
+}
+
+// TestPartitionEvents checks the routing invariants the whole design
+// rests on: ownership matches the hash, order is preserved, nothing is
+// lost.
+func TestPartitionEvents(t *testing.T) {
+	events := testEvents()
+	slices := PartitionEvents(events, 4)
+	total := 0
+	for p, slice := range slices {
+		total += len(slice)
+		if !slice.Sorted() {
+			t.Fatalf("partition %d slice lost chronological order", p)
+		}
+		for _, ev := range slice {
+			if got := PartitionOf(ev, 4); got != p {
+				t.Fatalf("event %v routed to %d but landed on %d", ev, got, p)
+			}
+		}
+		if len(slice) == 0 {
+			t.Fatalf("partition %d got no events; trace too small or hash degenerate", p)
+		}
+	}
+	if total != len(events) {
+		t.Fatalf("partitioning lost events: %d in, %d out", len(events), total)
+	}
+}
