@@ -7,7 +7,9 @@
 package historygraph_test
 
 import (
+	"fmt"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -23,6 +25,7 @@ import (
 	"historygraph/internal/graph"
 	"historygraph/internal/graphpool"
 	"historygraph/internal/pregel"
+	"historygraph/internal/replica"
 	"historygraph/internal/server"
 	"historygraph/internal/shard"
 )
@@ -460,7 +463,7 @@ func BenchmarkServerBatch(b *testing.B) {
 // shardSetup starts a 4-partition in-process cluster over dataset 1: one
 // server.Server per hash slice of the node space, a shard.Coordinator
 // scatter-gathering in front.
-func shardSetup(b *testing.B) (*server.Client, graph.Time) {
+func shardSetup(b *testing.B, cfg shard.Config) (*server.Client, graph.Time) {
 	b.Helper()
 	d1, _, L := setup(b)
 	var urls []string
@@ -475,10 +478,11 @@ func shardSetup(b *testing.B) (*server.Client, graph.Time) {
 		b.Cleanup(func() { httpSrv.Close(); svc.Close() })
 		urls = append(urls, httpSrv.URL)
 	}
-	co, err := shard.New(urls, shard.Config{})
+	co, err := shard.New(urls, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(co.Close)
 	front := httptest.NewServer(co.Handler())
 	b.Cleanup(front.Close)
 	_, last := d1.Span()
@@ -486,14 +490,15 @@ func shardSetup(b *testing.B) (*server.Client, graph.Time) {
 }
 
 // BenchmarkShardSnapshot measures end-to-end queries/sec through the
-// 4-partition scatter-gather: "cached" hammers one hot timepoint (every
-// partition answers from its hot-snapshot LRU), "uncached" rotates
-// through more timepoints than the per-partition caches hold so every
-// fan-out leg executes a DeltaGraph plan. Compare with
-// BenchmarkServerSnapshot for the coordination overhead.
+// 4-partition scatter-gather: "cached" hammers one hot timepoint (served
+// from the coordinator's merged-response LRU with no fan-out at all),
+// "uncached" disables that cache and rotates through more timepoints
+// than the per-partition caches hold so every fan-out leg executes a
+// DeltaGraph plan. Compare with BenchmarkServerSnapshot for the
+// coordination overhead.
 func BenchmarkShardSnapshot(b *testing.B) {
 	b.Run("cached", func(b *testing.B) {
-		client, last := shardSetup(b)
+		client, last := shardSetup(b, shard.Config{})
 		if _, err := client.Snapshot(last/2, "", false); err != nil {
 			b.Fatal(err) // warm every partition's cache
 		}
@@ -507,7 +512,7 @@ func BenchmarkShardSnapshot(b *testing.B) {
 		})
 	})
 	b.Run("uncached", func(b *testing.B) {
-		client, last := shardSetup(b)
+		client, last := shardSetup(b, shard.Config{CacheSize: -1})
 		var i atomic.Int64
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
@@ -524,11 +529,115 @@ func BenchmarkShardSnapshot(b *testing.B) {
 	})
 }
 
+// BenchmarkWALAppend measures the durable write-ahead log's append path:
+// JSON-encode a 16-event batch, write it as sequenced CRC-checked
+// records, and fsync once — the per-batch durability tax every
+// replicated append pays before it can be acked.
+func BenchmarkWALAppend(b *testing.B) {
+	wal, err := replica.OpenLog(filepath.Join(b.TempDir(), "wal.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wal.Close()
+	batch := make(graph.EventList, 16)
+	for i := range batch {
+		batch[i] = graph.Event{Type: graph.AddNode, At: graph.Time(i + 1), Node: graph.NodeID(i + 1)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wal.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// replicatedSetup starts a 2-partition × 2-replica in-process cluster
+// over dataset 1: each member a replica.Node (WAL-backed server) over its
+// partition's slice, followers tailing their primaries, the coordinator
+// spreading reads across both members of each set.
+func replicatedSetup(b *testing.B, cfg shard.Config) (*server.Client, graph.Time) {
+	b.Helper()
+	d1, _, L := setup(b)
+	dir := b.TempDir()
+	startMember := func(p, r int, slice graph.EventList, nodeCfg replica.Config) string {
+		gm, err := historygraph.BuildFrom(slice, historygraph.Options{LeafEventlistSize: L, Arity: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { gm.Close() })
+		svc := server.New(gm, server.Config{CacheSize: 8})
+		wal, err := replica.OpenLog(filepath.Join(dir, fmt.Sprintf("p%d-r%d.wal", p, r)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		node, err := replica.NewNode(svc, wal, nodeCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		httpSrv := httptest.NewServer(node.Handler())
+		b.Cleanup(func() { httpSrv.Close(); node.Close(); svc.Close(); wal.Close() })
+		return httpSrv.URL
+	}
+	var sets [][]string
+	for p, slice := range shard.PartitionEvents(d1, 2) {
+		primary := startMember(p, 0, slice, replica.Config{Role: replica.RolePrimary})
+		follower := startMember(p, 1, slice, replica.Config{Role: replica.RoleFollower, PrimaryURL: primary})
+		sets = append(sets, []string{primary, follower})
+	}
+	co, err := shard.NewReplicated(sets, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(co.Close)
+	front := httptest.NewServer(co.Handler())
+	b.Cleanup(front.Close)
+	_, last := d1.Span()
+	return server.NewClient(front.URL), last
+}
+
+// BenchmarkReplicatedSnapshot measures end-to-end queries/sec through
+// the replicated 2×2 cluster: "cached" hammers one hot timepoint
+// (merged-response LRU hit), "uncached" disables the coordinator cache
+// and rotates timepoints so every query fans out with replica selection
+// and retry bookkeeping on each leg. Compare with BenchmarkShardSnapshot
+// for the replication layer's routing overhead.
+func BenchmarkReplicatedSnapshot(b *testing.B) {
+	b.Run("cached", func(b *testing.B) {
+		client, last := replicatedSetup(b, shard.Config{})
+		if _, err := client.Snapshot(last/2, "", false); err != nil {
+			b.Fatal(err) // warm the merged-response cache
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := client.Snapshot(last/2, "", false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("uncached", func(b *testing.B) {
+		client, last := replicatedSetup(b, shard.Config{CacheSize: -1})
+		var i atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				n := i.Add(1)
+				t := last * graph.Time(n%64+1) / 65
+				if _, err := client.Snapshot(t, "", false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
 // BenchmarkShardBatch measures the multipoint endpoint through the
 // scatter-gather (each partition executes its slice of the shared-delta
-// plan in parallel).
+// plan in parallel). The coordinator cache is off so every iteration
+// pays the fan-out.
 func BenchmarkShardBatch(b *testing.B) {
-	client, last := shardSetup(b)
+	client, last := shardSetup(b, shard.Config{CacheSize: -1})
 	ts := make([]graph.Time, 25)
 	for i := range ts {
 		ts[i] = last * graph.Time(i+1) / 26

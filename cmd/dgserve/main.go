@@ -12,22 +12,39 @@
 //
 //	dgserve -addr :8086 -L 4096 -k 3
 //
+// With -wal-dir every append is written to a durable, CRC-checked
+// write-ahead log and synced before it is acked; on restart the WAL
+// replays and the process resumes exactly where its log ends:
+//
+//	dgserve -addr :8086 -wal-dir /var/lib/dg/wal
+//
 // One binary also runs either role of a horizontally sharded cluster
 // (internal/shard): partition workers are ordinary servers, each owning
 // one hash slice of the node space, and a coordinator scatter-gathers
-// across them:
+// across them. With -wal-dir a worker is a replica-set member
+// (internal/replica): the first URL of each "|"-separated peer group is
+// the partition's initial primary, the rest are followers started with
+// -primary, tailing the primary's WAL and applying events in order.
+// -sync-followers 1 on the primary delays append acks until a follower
+// has durably logged the batch, so promoting a follower after a primary
+// failure loses no acked event — the coordinator health-checks members,
+// spreads reads over in-sync replicas, and promotes the most-caught-up
+// follower when a primary goes dark:
 //
-//	dgserve -shard worker -addr :8186        # one per partition
-//	dgserve -shard worker -addr :8187
-//	dgserve -shard coordinator -addr :8086 \
-//	        -peers http://h1:8186,http://h2:8187
+//	dgserve -shard worker -addr :8186 -wal-dir /d/p0a -sync-followers 1
+//	dgserve -shard worker -addr :8286 -wal-dir /d/p0b -primary http://h1:8186
+//	dgserve -shard worker -addr :8187 -wal-dir /d/p1a -sync-followers 1
+//	dgserve -shard worker -addr :8287 -wal-dir /d/p1b -primary http://h1:8187
+//	dgserve -shard coordinator -addr :8086 -replicas 2 \
+//	        -peers "http://h1:8186|http://h2:8286,http://h1:8187|http://h2:8287"
 //
 // The order of -peers defines partition IDs: partition i must hold the
 // events graph.PartitionOfEvent routes to i (appending through the
 // coordinator maintains this automatically).
 //
 // Endpoints: /snapshot, /neighbors, /batch, /interval, /expr, /append,
-// /stats, /healthz — see internal/server for parameters.
+// /stats, /healthz — see internal/server for parameters — plus, on
+// WAL-backed workers, /replicate, /replstatus and /role (internal/replica).
 package main
 
 import (
@@ -37,11 +54,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"historygraph"
+	"historygraph/internal/replica"
 	"historygraph/internal/server"
 	"historygraph/internal/shard"
 )
@@ -49,26 +68,35 @@ import (
 func main() {
 	addr := flag.String("addr", ":8086", "listen address")
 	store := flag.String("store", "", "index path prefix; loads an existing checkpoint if present, else creates")
-	cacheSize := flag.Int("cache", server.DefaultCacheSize, "hot-snapshot cache capacity (0 disables)")
+	cacheSize := flag.Int("cache", server.DefaultCacheSize, "hot-snapshot cache capacity (0 disables); in coordinator role, the merged-response cache capacity")
 	leafSize := flag.Int("L", 0, "leaf eventlist size (new index only)")
 	arity := flag.Int("k", 0, "DeltaGraph arity (new index only)")
-	partitions := flag.Int("partitions", 0, "storage partitions (new index only); in -shard coordinator mode, expected number of peers")
+	partitions := flag.Int("partitions", 0, "storage partitions (new index only); in -shard coordinator mode, expected number of peer groups")
 	compress := flag.Bool("compress", false, "compress stored payloads (new index only)")
 	checkpoint := flag.Bool("checkpoint", true, "checkpoint the index on shutdown when -store is set")
 	role := flag.String("shard", "", `cluster role: "" or "worker" serve an index; "coordinator" scatter-gathers across -peers`)
-	peers := flag.String("peers", "", "comma-separated partition base URLs (coordinator role only; order defines partition IDs)")
+	peers := flag.String("peers", "", `comma-separated partition peer groups (coordinator role only; order defines partition IDs, "|" separates a group's replicas, first replica is the initial primary)`)
 	peerTimeout := flag.Duration("peer-timeout", shard.DefaultPartitionTimeout, "per-partition fan-out timeout (coordinator role only)")
+	replicas := flag.Int("replicas", 0, "expected replicas per partition (coordinator role only; validates -peers)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "replica health-check period (coordinator role only; 0 disables)")
+	walDir := flag.String("wal-dir", "", "directory for the durable write-ahead event log; enables WAL durability and the replication endpoints")
+	primary := flag.String("primary", "", "base URL of this replica's primary; makes the node a follower tailing that WAL (requires -wal-dir)")
+	syncFollowers := flag.Int("sync-followers", 0, "followers that must durably log a batch before the primary acks the append (requires -wal-dir)")
 	flag.Parse()
 
 	switch *role {
 	case "coordinator", "coord":
-		runCoordinator(*addr, *peers, *partitions, *peerTimeout)
+		runCoordinator(*addr, *peers, *partitions, *replicas, *peerTimeout, *healthInterval, *cacheSize)
 		return
 	case "", "worker", "single":
 		// An index-serving process; a worker is just a server whose
 		// GraphManager holds one partition's slice of the trace.
 	default:
 		fmt.Fprintf(os.Stderr, "dgserve: unknown -shard role %q (want worker or coordinator)\n", *role)
+		os.Exit(2)
+	}
+	if *walDir == "" && (*primary != "" || *syncFollowers > 0) {
+		fmt.Fprintln(os.Stderr, "dgserve: -primary and -sync-followers require -wal-dir")
 		os.Exit(2)
 	}
 
@@ -100,7 +128,45 @@ func main() {
 	svc := server.New(gm, server.Config{CacheSize: size})
 	defer svc.Close()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	var node *replica.Node
+	var wal *replica.Log
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)
+			os.Exit(1)
+		}
+		wal, err = replica.OpenLog(filepath.Join(*walDir, "wal.log"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer wal.Close()
+		// The ack identity must be unique per node across the whole
+		// replica set; a bare listen address like ":8086" repeats on
+		// every host, which would collapse distinct followers into one
+		// ack-table entry and starve -sync-followers waits.
+		selfID := *addr
+		if hn, herr := os.Hostname(); herr == nil {
+			selfID = hn + selfID
+		}
+		cfg := replica.Config{SyncFollowers: *syncFollowers, SelfID: selfID}
+		if *primary != "" {
+			cfg.Role = replica.RoleFollower
+			cfg.PrimaryURL = *primary
+		}
+		node, err = replica.NewNode(svc, wal, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer node.Close()
+		handler = node.Handler()
+		fmt.Printf("dgserve: WAL at %s (%d events logged, role %s)\n",
+			*walDir, wal.LastSeq(), node.Role())
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("dgserve: serving on %s (cache=%d)\n", *addr, *cacheSize)
@@ -117,6 +183,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	httpSrv.Shutdown(ctx)
+	if node != nil {
+		node.Close()
+	}
 	svc.Close()
 	if *store != "" && *checkpoint {
 		if err := gm.Checkpoint(); err != nil {
@@ -128,34 +197,56 @@ func main() {
 }
 
 // runCoordinator serves the scatter-gather front of a sharded cluster: no
-// local index, every query fans out across the -peers partition servers
-// and merges.
-func runCoordinator(addr, peers string, expected int, timeout time.Duration) {
-	var urls []string
-	for _, p := range strings.Split(peers, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			urls = append(urls, p)
+// local index, every query fans out across the -peers partition replica
+// sets and merges.
+func runCoordinator(addr, peers string, expected, replicas int, timeout, healthInterval time.Duration, cacheSize int) {
+	// shard.New owns the peer-spec grammar ("," between partitions, "|"
+	// between a partition's replicas); this just splits the flag.
+	var specs []string
+	for _, group := range strings.Split(peers, ",") {
+		if group = strings.TrimSpace(group); group != "" {
+			specs = append(specs, group)
 		}
 	}
-	if len(urls) == 0 {
-		fmt.Fprintln(os.Stderr, "dgserve: -shard coordinator requires -peers url1,url2,...")
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, `dgserve: -shard coordinator requires -peers "url1|url1b,url2|url2b,..."`)
 		os.Exit(2)
 	}
-	if expected > 0 && expected != len(urls) {
-		fmt.Fprintf(os.Stderr, "dgserve: -partitions %d but %d peers listed\n", expected, len(urls))
+	if expected > 0 && expected != len(specs) {
+		fmt.Fprintf(os.Stderr, "dgserve: -partitions %d but %d peer groups listed\n", expected, len(specs))
 		os.Exit(2)
 	}
-	co, err := shard.New(urls, shard.Config{PartitionTimeout: timeout})
+	if cacheSize <= 0 {
+		cacheSize = -1 // disabled
+	}
+	co, err := shard.New(specs, shard.Config{
+		PartitionTimeout: timeout,
+		HealthInterval:   healthInterval,
+		CacheSize:        cacheSize,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)
 		os.Exit(1)
 	}
+	defer co.Close()
+	for p := 0; p < co.NumPartitions(); p++ {
+		if set := co.Members(p); replicas > 0 && replicas != len(set) {
+			fmt.Fprintf(os.Stderr, "dgserve: -replicas %d but partition %d lists %d members\n", replicas, p, len(set))
+			os.Exit(2)
+		}
+	}
 	httpSrv := &http.Server{Addr: addr, Handler: co.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("dgserve: coordinating %d partitions on %s (peer timeout %v)\n", len(urls), addr, timeout)
-	for i, u := range urls {
-		fmt.Printf("dgserve:   partition %d -> %s\n", i, u)
+	fmt.Printf("dgserve: coordinating %d partitions on %s (peer timeout %v, health interval %v)\n",
+		co.NumPartitions(), addr, timeout, healthInterval)
+	for p := 0; p < co.NumPartitions(); p++ {
+		set := co.Members(p)
+		if len(set) == 1 {
+			fmt.Printf("dgserve:   partition %d -> %s\n", p, set[0])
+		} else {
+			fmt.Printf("dgserve:   partition %d -> primary %s, replicas %s\n", p, set[0], strings.Join(set[1:], " "))
+		}
 	}
 
 	sigc := make(chan os.Signal, 1)
@@ -170,6 +261,7 @@ func runCoordinator(addr, peers string, expected int, timeout time.Duration) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	httpSrv.Shutdown(ctx)
+	co.Close()
 }
 
 // open loads an existing checkpoint when the store file is present,

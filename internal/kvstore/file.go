@@ -307,6 +307,19 @@ func (s *FileStore) appendRecord(key, val []byte, flags byte) (recordLoc, error)
 	return recordLoc{valOff: valOff, valLen: int32(len(val)), compressed: flags&2 != 0}, nil
 }
 
+// ForEachKey calls fn for every live key in unspecified order, stopping if
+// fn returns false. The key slice is shared; fn must not retain or mutate
+// it. SeqLog uses this to recover its sequence bound on open.
+func (s *FileStore) ForEachKey(fn func(key []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k := range s.index {
+		if !fn([]byte(k)) {
+			return
+		}
+	}
+}
+
 // Len implements Store.
 func (s *FileStore) Len() int {
 	s.mu.RLock()

@@ -1,0 +1,64 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Status fetches a node's GET /replstatus — the coordinator's view into a
+// replica-set member's role and catch-up position.
+func Status(ctx context.Context, hc *http.Client, baseURL string) (*StatusJSON, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(baseURL, "/")+"/replstatus", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return nil, fmt.Errorf("replica: %s/replstatus: HTTP %d: %s",
+			baseURL, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var out StatusJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SetRole posts a node's POST /role: promote to primary (primaryURL
+// ignored) or point at a new primary as follower. The coordinator's
+// failover path drives promotions through it.
+func SetRole(ctx context.Context, hc *http.Client, baseURL string, role Role, primaryURL string) error {
+	body := RoleRequest{Role: role.String(), Primary: primaryURL}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(baseURL, "/")+"/role", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("replica: %s/role: HTTP %d: %s",
+			baseURL, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return nil
+}

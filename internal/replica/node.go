@@ -1,0 +1,565 @@
+package replica
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"historygraph"
+	"historygraph/internal/server"
+)
+
+// Role is a replica-set member's current role.
+type Role int32
+
+// Replica roles.
+const (
+	// RolePrimary accepts external appends, logs them durably, and serves
+	// its WAL to followers.
+	RolePrimary Role = iota
+	// RoleFollower rejects external appends and tails a primary's WAL.
+	RoleFollower
+)
+
+// String names the role for wire and log output.
+func (r Role) String() string {
+	if r == RoleFollower {
+		return "follower"
+	}
+	return "primary"
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultPollWait   = 2 * time.Second
+	DefaultAckTimeout = 5 * time.Second
+	DefaultFetchMax   = 512
+	// DefaultRetryDelay paces a follower's reconnect attempts after its
+	// primary stops answering.
+	DefaultRetryDelay = 200 * time.Millisecond
+)
+
+// Config tunes a Node.
+type Config struct {
+	// Role selects the starting role; POST /role can change it live.
+	Role Role
+	// PrimaryURL is the primary's base URL (follower role only).
+	PrimaryURL string
+	// SelfID identifies this node in its primary's follower-ack table and
+	// in /replstatus; defaults to a random hex ID. Operators usually pass
+	// the node's own base URL so ack tables read naturally.
+	SelfID string
+	// SyncFollowers is how many followers must have durably logged a
+	// batch before the primary acks the append. 0 acks after the local
+	// WAL sync only — durable on this node, but an acked batch can be
+	// lost if the primary dies before any follower fetches it. Deploy
+	// replica sets with >= 1 for the no-acked-loss guarantee.
+	SyncFollowers int
+	// AckTimeout bounds the SyncFollowers wait; on expiry the append
+	// fails with 503 (the events stay in the WAL and keep replicating,
+	// but were never acked). 0 picks DefaultAckTimeout.
+	AckTimeout time.Duration
+	// PollWait is the long-poll window a tailing follower asks its
+	// primary to hold an empty /replicate for. 0 picks DefaultPollWait.
+	PollWait time.Duration
+	// FetchMax caps records per /replicate response. 0 picks
+	// DefaultFetchMax.
+	FetchMax int
+	// HTTPClient overrides the follower's transport (tests inject clients
+	// wired to in-process servers).
+	HTTPClient *http.Client
+}
+
+// Node is one member of a replica set: an internal/server.Server with a
+// durable WAL under its append path and primary/follower replication on
+// top. Construction replays the local WAL into the embedded GraphManager,
+// so a restarted node resumes exactly where its log ends.
+type Node struct {
+	srv *server.Server
+	log *Log
+	hc  *http.Client
+	mux *http.ServeMux
+
+	selfID        string
+	syncFollowers int
+	ackTimeout    time.Duration
+	pollWait      time.Duration
+	fetchMax      int
+
+	role       atomic.Int32
+	appliedSeq atomic.Uint64
+	tailErr    atomic.Value // string: last tail-loop failure, "" when healthy
+
+	// appendMu serializes the WAL-write + graph-apply pair so the graph
+	// is always applied in WAL sequence order. Without it, two concurrent
+	// appends could durably log as A then B but apply as B then A — the
+	// later-timestamped B would raise the index's clock and A's apply
+	// would be rejected as out of order, leaving the primary's in-memory
+	// graph diverged from its own WAL (and from every follower, which
+	// applies in strict sequence order).
+	appendMu sync.Mutex
+
+	mu         sync.Mutex
+	primaryURL string
+	acks       map[string]uint64
+	ackNotify  chan struct{}
+	tailCancel context.CancelFunc
+	tailDone   chan struct{}
+	closed     bool
+}
+
+// NewNode wraps srv with the replication layer over log. It replays the
+// WAL into srv's GraphManager (events at or before the manager's LastTime
+// are skipped, so a checkpointed index is topped up rather than
+// double-applied) and, in the follower role, starts tailing the primary.
+func NewNode(srv *server.Server, log *Log, cfg Config) (*Node, error) {
+	n := &Node{
+		srv:           srv,
+		log:           log,
+		selfID:        cfg.SelfID,
+		syncFollowers: cfg.SyncFollowers,
+		ackTimeout:    cfg.AckTimeout,
+		pollWait:      cfg.PollWait,
+		fetchMax:      cfg.FetchMax,
+		acks:          make(map[string]uint64),
+		ackNotify:     make(chan struct{}),
+	}
+	if n.selfID == "" {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return nil, err
+		}
+		n.selfID = hex.EncodeToString(b[:])
+	}
+	if n.ackTimeout <= 0 {
+		n.ackTimeout = DefaultAckTimeout
+	}
+	if n.pollWait <= 0 {
+		n.pollWait = DefaultPollWait
+	}
+	if n.fetchMax <= 0 {
+		n.fetchMax = DefaultFetchMax
+	}
+	n.hc = cfg.HTTPClient
+	if n.hc == nil {
+		n.hc = &http.Client{}
+	}
+	n.tailErr.Store("")
+	if err := n.replay(); err != nil {
+		return nil, err
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /append", n.handleAppend)
+	mux.HandleFunc("GET /replicate", n.handleReplicate)
+	mux.HandleFunc("GET /replstatus", n.handleStatus)
+	mux.HandleFunc("POST /role", n.handleRole)
+	mux.Handle("/", srv.Handler())
+	n.mux = mux
+
+	if cfg.Role == RoleFollower {
+		if cfg.PrimaryURL == "" {
+			return nil, fmt.Errorf("replica: follower role requires PrimaryURL")
+		}
+		n.role.Store(int32(RoleFollower))
+		n.mu.Lock()
+		n.primaryURL = cfg.PrimaryURL
+		n.startTailLocked()
+		n.mu.Unlock()
+	}
+	return n, nil
+}
+
+// replay rebuilds the in-memory graph from the local WAL. Events at or
+// before the manager's current LastTime are skipped: a fresh manager
+// replays everything, a checkpoint-loaded one only the suffix the
+// checkpoint predates.
+func (n *Node) replay() error {
+	floor := n.srv.Manager().LastTime()
+	err := n.log.Replay(func(events historygraph.EventList) error {
+		if floor > 0 {
+			kept := events[:0:len(events)]
+			for _, ev := range events {
+				if ev.At > floor {
+					kept = append(kept, ev)
+				}
+			}
+			events = kept
+		}
+		if len(events) == 0 {
+			return nil
+		}
+		if _, err := n.srv.ApplyEvents(events); err != nil {
+			return fmt.Errorf("replica: WAL replay: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	n.appliedSeq.Store(n.log.LastSeq())
+	return nil
+}
+
+// Role returns the node's current role.
+func (n *Node) Role() Role { return Role(n.role.Load()) }
+
+// AppliedSeq returns the last WAL sequence applied to the in-memory graph.
+func (n *Node) AppliedSeq() uint64 { return n.appliedSeq.Load() }
+
+// SelfID returns the node's follower-ack identity.
+func (n *Node) SelfID() string { return n.selfID }
+
+// Handler returns the node's HTTP handler: the wrapped server's endpoints
+// plus /replicate, /replstatus and /role, with /append intercepted.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// Close stops the tail loop (the wrapped server and WAL are the caller's
+// to close, in that order).
+func (n *Node) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.stopTailLocked()
+	n.mu.Unlock()
+}
+
+// --- append path (primary) -------------------------------------------
+
+func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if n.Role() != RolePrimary {
+		n.mu.Lock()
+		primary := n.primaryURL
+		n.mu.Unlock()
+		server.WriteJSON(w, http.StatusMisdirectedRequest, map[string]string{
+			"error":   "replica: this node is a follower; appends go to the primary",
+			"primary": primary,
+		})
+		return
+	}
+	var body []server.EventJSON
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
+		return
+	}
+	events, err := server.DecodeEvents(body)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Durability order: WAL first (synced), then the in-memory graph, then
+	// — when configured — the follower-ack wait. Every acked event is on
+	// disk here and on SyncFollowers followers. appendMu keeps the two
+	// steps atomic with respect to concurrent appends, so apply order
+	// always matches WAL order.
+	n.appendMu.Lock()
+	_, last, err := n.log.Append(events)
+	if err != nil {
+		n.appendMu.Unlock()
+		server.WriteError(w, http.StatusInternalServerError, fmt.Errorf("replica: WAL append: %w", err))
+		return
+	}
+	res, appendErr := n.srv.ApplyEvents(events)
+	if appendErr == nil && last > 0 {
+		// On a partial apply failure appliedSeq stays put: overstating it
+		// would mislead the coordinator's most-caught-up promotion and
+		// in-sync read routing.
+		n.appliedSeq.Store(last)
+	}
+	n.appendMu.Unlock()
+	if appendErr != nil {
+		server.WriteError(w, http.StatusUnprocessableEntity, appendErr)
+		return
+	}
+	if len(events) > 0 && n.syncFollowers > 0 {
+		if !n.waitForAcks(last, n.syncFollowers) {
+			server.WriteError(w, http.StatusServiceUnavailable, fmt.Errorf(
+				"replica: %d follower(s) did not confirm seq %d within %v (events are logged and will replicate; batch was NOT acked)",
+				n.syncFollowers, last, n.ackTimeout))
+			return
+		}
+	}
+	res.Seq = last
+	server.WriteJSON(w, http.StatusOK, res)
+}
+
+// recordAck notes that follower id has durably logged every record up to
+// seq.
+func (n *Node) recordAck(id string, seq uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.acks[id] >= seq {
+		return
+	}
+	n.acks[id] = seq
+	close(n.ackNotify)
+	n.ackNotify = make(chan struct{})
+}
+
+// waitForAcks blocks until count followers have acked seq or AckTimeout
+// elapses.
+func (n *Node) waitForAcks(seq uint64, count int) bool {
+	deadline := time.NewTimer(n.ackTimeout)
+	defer deadline.Stop()
+	for {
+		n.mu.Lock()
+		got := 0
+		for _, a := range n.acks {
+			if a >= seq {
+				got++
+			}
+		}
+		ch := n.ackNotify
+		n.mu.Unlock()
+		if got >= count {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return false
+		}
+	}
+}
+
+// --- replication stream (primary side) --------------------------------
+
+// replicateResponse is the GET /replicate body.
+type replicateResponse struct {
+	Records []Record `json:"records"`
+	LastSeq uint64   `json:"last_seq"`
+}
+
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("replicate wants from=<seq> >= 1"))
+		return
+	}
+	max := n.fetchMax
+	if mq := q.Get("max"); mq != "" {
+		if m, err := strconv.Atoi(mq); err == nil && m > 0 && m < max {
+			max = m
+		}
+	}
+	// from=N acknowledges that the caller has durably logged 1..N-1.
+	if id := q.Get("id"); id != "" && from > 1 {
+		n.recordAck(id, from-1)
+	}
+	if wq := q.Get("wait"); wq != "" {
+		if wait, err := time.ParseDuration(wq); err == nil && wait > 0 {
+			if wait > n.pollWait {
+				wait = n.pollWait
+			}
+			n.log.Wait(from-1, wait) // long-poll until the log grows past from-1
+		}
+	}
+	recs, err := n.log.Read(from, max)
+	if err != nil {
+		server.WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, replicateResponse{Records: recs, LastSeq: n.log.LastSeq()})
+}
+
+// --- status and role control ------------------------------------------
+
+// StatusJSON answers GET /replstatus; the shard coordinator's health
+// checks and failover decisions read it.
+type StatusJSON struct {
+	ID         string `json:"id"`
+	Role       string `json:"role"`
+	Primary    string `json:"primary,omitempty"`
+	LastSeq    uint64 `json:"last_seq"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	TailError  string `json:"tail_error,omitempty"`
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	primary := n.primaryURL
+	n.mu.Unlock()
+	server.WriteJSON(w, http.StatusOK, StatusJSON{
+		ID:         n.selfID,
+		Role:       n.Role().String(),
+		Primary:    primary,
+		LastSeq:    n.log.LastSeq(),
+		AppliedSeq: n.appliedSeq.Load(),
+		TailError:  n.tailErr.Load().(string),
+	})
+}
+
+// RoleRequest is the POST /role body: {"role":"primary"} promotes,
+// {"role":"follower","primary":"http://..."} (re)points a follower.
+type RoleRequest struct {
+	Role    string `json:"role"`
+	Primary string `json:"primary,omitempty"`
+}
+
+func (n *Node) handleRole(w http.ResponseWriter, r *http.Request) {
+	var req RoleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad role body: %w", err))
+		return
+	}
+	switch req.Role {
+	case "primary":
+		n.Promote()
+	case "follower":
+		if req.Primary == "" {
+			server.WriteError(w, http.StatusBadRequest, fmt.Errorf("follower role wants a primary URL"))
+			return
+		}
+		n.Follow(req.Primary)
+	default:
+		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("unknown role %q (want primary or follower)", req.Role))
+		return
+	}
+	n.handleStatus(w, r)
+}
+
+// Promote switches the node to the primary role: the tail loop stops and
+// external appends are accepted from now on. Idempotent.
+func (n *Node) Promote() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stopTailLocked()
+	n.primaryURL = ""
+	n.role.Store(int32(RolePrimary))
+	n.tailErr.Store("")
+}
+
+// Follow switches the node to the follower role tailing primaryURL,
+// restarting the tail loop if it was already following elsewhere.
+func (n *Node) Follow(primaryURL string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stopTailLocked()
+	n.primaryURL = primaryURL
+	n.role.Store(int32(RoleFollower))
+	if !n.closed {
+		n.startTailLocked()
+	}
+}
+
+// --- follower tail loop -----------------------------------------------
+
+func (n *Node) startTailLocked() {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	n.tailCancel = cancel
+	n.tailDone = done
+	primary := n.primaryURL
+	go n.tailLoop(ctx, primary, done)
+}
+
+func (n *Node) stopTailLocked() {
+	if n.tailCancel != nil {
+		n.tailCancel()
+		<-n.tailDone
+		n.tailCancel = nil
+		n.tailDone = nil
+	}
+}
+
+// tailLoop fetches records from the primary and applies them in order:
+// local WAL first (synced), then the in-memory graph — the same
+// durability order the primary itself uses, so a follower crash replays
+// its own log and re-fetches only what it never stored.
+func (n *Node) tailLoop(ctx context.Context, primary string, done chan struct{}) {
+	defer close(done)
+	for ctx.Err() == nil {
+		recs, err := n.fetch(ctx, primary)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			n.tailErr.Store(err.Error())
+			select {
+			case <-time.After(DefaultRetryDelay):
+			case <-ctx.Done():
+				return
+			}
+			continue
+		}
+		n.tailErr.Store("")
+		if len(recs) == 0 {
+			continue // long-poll expired with nothing new
+		}
+		if err := n.apply(recs); err != nil {
+			// A sequence gap or apply failure means the logs diverged
+			// (e.g. this node outlived a deposed primary's unacked tail).
+			// Surface it in /replstatus and keep retrying — the operator
+			// must re-seed the WAL dir.
+			n.tailErr.Store(err.Error())
+			select {
+			case <-time.After(DefaultRetryDelay):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// fetch long-polls the primary for records past the local log end.
+func (n *Node) fetch(ctx context.Context, primary string) ([]Record, error) {
+	from := n.log.LastSeq() + 1
+	url := fmt.Sprintf("%s/replicate?from=%d&max=%d&wait=%s&id=%s",
+		primary, from, n.fetchMax, n.pollWait, n.selfID)
+	reqCtx, cancel := context.WithTimeout(ctx, n.pollWait+10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: primary answered HTTP %d", resp.StatusCode)
+	}
+	var body replicateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Records, nil
+}
+
+// apply mirrors fetched records into the local WAL, then the graph.
+func (n *Node) apply(recs []Record) error {
+	n.appendMu.Lock()
+	defer n.appendMu.Unlock()
+	if err := n.log.AppendRecords(recs); err != nil {
+		return err
+	}
+	events := make(historygraph.EventList, 0, len(recs))
+	lastSeq := n.appliedSeq.Load()
+	for _, rec := range recs {
+		if rec.Seq <= lastSeq {
+			continue
+		}
+		ev, err := server.EventFromJSON(rec.Event)
+		if err != nil {
+			return err
+		}
+		events = append(events, ev)
+		lastSeq = rec.Seq
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	if _, err := n.srv.ApplyEvents(events); err != nil {
+		return err
+	}
+	n.appliedSeq.Store(lastSeq)
+	return nil
+}

@@ -1,0 +1,431 @@
+package replica_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"historygraph"
+	"historygraph/internal/replica"
+	"historygraph/internal/server"
+)
+
+// testNode bundles one replica-set member's moving parts so tests can kill
+// and restart it.
+type testNode struct {
+	gm      *historygraph.GraphManager
+	svc     *server.Server
+	log     *replica.Log
+	node    *replica.Node
+	hs      *httptest.Server
+	stopped bool
+}
+
+func (tn *testNode) stop() {
+	if tn.stopped {
+		return
+	}
+	tn.stopped = true
+	tn.hs.Close()
+	tn.node.Close()
+	tn.svc.Close()
+	tn.log.Close()
+	tn.gm.Close()
+}
+
+// startNode opens (or reopens) a node over the WAL at walPath. The caller
+// stops it, either explicitly (to simulate a crash-restart cycle) or via
+// the test cleanup.
+func startNode(t testing.TB, walPath string, cfg replica.Config) *testNode {
+	t.Helper()
+	gm, err := historygraph.Open(historygraph.Options{LeafEventlistSize: 128, CleanerInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := server.New(gm, server.Config{CacheSize: 16})
+	log, err := replica.OpenLog(walPath)
+	if err != nil {
+		gm.Close()
+		t.Fatal(err)
+	}
+	node, err := replica.NewNode(svc, log, cfg)
+	if err != nil {
+		log.Close()
+		gm.Close()
+		t.Fatal(err)
+	}
+	tn := &testNode{gm: gm, svc: svc, log: log, node: node, hs: httptest.NewServer(node.Handler())}
+	t.Cleanup(tn.stop)
+	return tn
+}
+
+func testEvents(n int, startT historygraph.Time) historygraph.EventList {
+	var events historygraph.EventList
+	for i := 0; i < n; i++ {
+		at := startT + historygraph.Time(i)
+		events = append(events,
+			historygraph.Event{Type: historygraph.AddNode, At: at, Node: historygraph.NodeID(i + 1)},
+		)
+		if i > 0 {
+			events = append(events, historygraph.Event{
+				Type: historygraph.AddEdge, At: at,
+				Edge: historygraph.EdgeID(i), Node: historygraph.NodeID(i), Node2: historygraph.NodeID(i + 1),
+			})
+		}
+	}
+	return events
+}
+
+func waitApplied(t testing.TB, baseURL string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := replica.Status(context.Background(), http.DefaultClient, baseURL)
+		if err == nil && st.AppliedSeq >= want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("follower %s never applied seq %d", baseURL, want)
+}
+
+// TestWALRoundTrip: events encoded into the log come back in order, from
+// both Read and Replay.
+func TestWALRoundTrip(t *testing.T) {
+	log, err := replica.OpenLog(filepath.Join(t.TempDir(), "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	events := testEvents(50, 1)
+	first, last, err := log.Append(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || last != uint64(len(events)) {
+		t.Fatalf("append assigned [%d,%d], want [1,%d]", first, last, len(events))
+	}
+	recs, err := log.Read(1, len(events)+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(events) {
+		t.Fatalf("read %d records, want %d", len(recs), len(events))
+	}
+	var replayed historygraph.EventList
+	if err := log.Replay(func(chunk historygraph.EventList) error {
+		replayed = append(replayed, chunk...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(events) {
+		t.Fatalf("replayed %d events, want %d", len(replayed), len(events))
+	}
+	for i := range events {
+		if replayed[i] != events[i] {
+			t.Fatalf("event %d replayed as %+v, want %+v", i, replayed[i], events[i])
+		}
+	}
+}
+
+// TestNodeRestartReplay: a primary that dies and restarts over its WAL
+// answers /snapshot byte-identically to before — the single-node
+// durability path dgserve -wal-dir enables.
+func TestNodeRestartReplay(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.log")
+	tn := startNode(t, walPath, replica.Config{Role: replica.RolePrimary})
+	client := server.NewClient(tn.hs.URL)
+
+	events := testEvents(64, 1)
+	res, err := client.Append(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq == 0 {
+		t.Fatal("append through a WAL-backed node reported no sequence number")
+	}
+	_, last := events.Span()
+	query := fmt.Sprintf("/snapshot?t=%d&full=1", last)
+	before := rawGET(t, tn.hs.URL+query)
+
+	tn.stop() // crash
+
+	tn2 := startNode(t, walPath, replica.Config{Role: replica.RolePrimary})
+	after := rawGET(t, tn2.hs.URL+query)
+	if string(after) != string(before) {
+		t.Fatalf("restarted node diverges:\n got: %.300s\nwant: %.300s", after, before)
+	}
+	// And it keeps accepting appends at the recovered sequence.
+	res2, err := server.NewClient(tn2.hs.URL).Append(testEvents(4, last+10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Seq <= res.Seq {
+		t.Fatalf("post-restart append seq %d, want > %d", res2.Seq, res.Seq)
+	}
+}
+
+// TestWALTornTailReplay drives kvstore.FileStore's torn-tail crash
+// recovery through the WAL replay path: a record half-written at the
+// moment of the crash is dropped on reopen, every synced record replays.
+func TestWALTornTailReplay(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.log")
+	log, err := replica.OpenLog(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := testEvents(32, 1)
+	_, last, err := log.Append(events) // synced
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a kill mid-append: garbage where the next record's bytes
+	// were being written when the process died.
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x07, 0x42, 0x00, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tn := startNode(t, walPath, replica.Config{Role: replica.RolePrimary})
+	st, err := replica.Status(context.Background(), http.DefaultClient, tn.hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LastSeq != last || st.AppliedSeq != last {
+		t.Fatalf("recovered last=%d applied=%d, want both %d", st.LastSeq, st.AppliedSeq, last)
+	}
+	// The replayed graph holds every synced event.
+	_, lastT := events.Span()
+	snap, err := server.NewClient(tn.hs.URL).Snapshot(lastT, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := historygraph.BuildFrom(events, historygraph.Options{LeafEventlistSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	want, err := direct.GetHistSnapshot(lastT, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumNodes != len(want.Nodes) || snap.NumEdges != len(want.Edges) {
+		t.Fatalf("replayed %d/%d, want %d/%d", snap.NumNodes, snap.NumEdges, len(want.Nodes), len(want.Edges))
+	}
+	// Appends continue over the torn region.
+	if _, err := server.NewClient(tn.hs.URL).Append(testEvents(4, lastT+5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFollowerTailAndCatchUp: a follower tails the primary's WAL live,
+// serves identical reads, and — after being down across further appends —
+// catches up from its last applied sequence on restart.
+func TestFollowerTailAndCatchUp(t *testing.T) {
+	dir := t.TempDir()
+	primary := startNode(t, filepath.Join(dir, "p.wal"), replica.Config{Role: replica.RolePrimary})
+	follower := startNode(t, filepath.Join(dir, "f.wal"), replica.Config{
+		Role: replica.RoleFollower, PrimaryURL: primary.hs.URL, PollWait: 200 * time.Millisecond,
+	})
+
+	client := server.NewClient(primary.hs.URL)
+	events := testEvents(64, 1)
+	res, err := client.Append(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, follower.hs.URL, res.Seq)
+
+	_, lastT := events.Span()
+	query := fmt.Sprintf("/snapshot?t=%d&full=1", lastT)
+	if got, want := rawGET(t, follower.hs.URL+query), rawGET(t, primary.hs.URL+query); string(got) != string(want) {
+		t.Fatalf("follower snapshot diverges:\n got: %.300s\nwant: %.300s", got, want)
+	}
+
+	// Follower down; primary keeps appending.
+	follower.stop()
+	more := testEvents(16, lastT+10)
+	res2, err := client.Append(more)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same WAL: catch-up resumes from the stored
+	// sequence, not from scratch.
+	follower2 := startNode(t, filepath.Join(dir, "f.wal"), replica.Config{
+		Role: replica.RoleFollower, PrimaryURL: primary.hs.URL, PollWait: 200 * time.Millisecond,
+	})
+	waitApplied(t, follower2.hs.URL, res2.Seq)
+	_, lastT2 := more.Span()
+	query2 := fmt.Sprintf("/snapshot?t=%d&full=1", lastT2)
+	if got, want := rawGET(t, follower2.hs.URL+query2), rawGET(t, primary.hs.URL+query2); string(got) != string(want) {
+		t.Fatalf("caught-up follower diverges:\n got: %.300s\nwant: %.300s", got, want)
+	}
+}
+
+// TestConcurrentAppendsMatchWAL: concurrent appends must reach the
+// in-memory graph in WAL sequence order, so the graph a restart replays
+// is the graph that was being served (a batch must never be durably
+// logged yet rejected by the apply step because a later-logged batch
+// applied first).
+func TestConcurrentAppendsMatchWAL(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.log")
+	tn := startNode(t, walPath, replica.Config{Role: replica.RolePrimary})
+	client := server.NewClient(tn.hs.URL)
+
+	const writers, perWriter = 8, 16
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for wtr := 0; wtr < writers; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ev := historygraph.Event{
+					Type: historygraph.AddNode, At: 7, // one shared timestamp keeps every interleaving chronological
+					Node: historygraph.NodeID(wtr*perWriter + i + 1),
+				}
+				if _, err := client.Append(historygraph.EventList{ev}); err != nil {
+					failures.Add(1)
+				}
+			}
+		}(wtr)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d concurrent appends failed", failures.Load())
+	}
+	before := rawGET(t, tn.hs.URL+"/snapshot?t=7&full=1")
+
+	tn.stop()
+	tn2 := startNode(t, walPath, replica.Config{Role: replica.RolePrimary})
+	st, err := replica.Status(context.Background(), http.DefaultClient, tn2.hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(writers * perWriter); st.LastSeq != want || st.AppliedSeq != want {
+		t.Fatalf("recovered last=%d applied=%d, want both %d", st.LastSeq, st.AppliedSeq, want)
+	}
+	after := rawGET(t, tn2.hs.URL+"/snapshot?t=7&full=1")
+	if string(after) != string(before) {
+		t.Fatalf("replayed graph diverges from the served one:\n got: %.300s\nwant: %.300s", after, before)
+	}
+}
+
+// TestFollowerRejectsAppend: external appends at a follower are
+// misdirected, naming the primary.
+func TestFollowerRejectsAppend(t *testing.T) {
+	dir := t.TempDir()
+	primary := startNode(t, filepath.Join(dir, "p.wal"), replica.Config{Role: replica.RolePrimary})
+	follower := startNode(t, filepath.Join(dir, "f.wal"), replica.Config{
+		Role: replica.RoleFollower, PrimaryURL: primary.hs.URL,
+	})
+	_, err := server.NewClient(follower.hs.URL).Append(testEvents(2, 1))
+	if err == nil {
+		t.Fatal("append at a follower should be rejected")
+	}
+}
+
+// TestSyncFollowerAck: with SyncFollowers=1 an append is acked only once
+// a follower has durably fetched it — no follower, no ack.
+func TestSyncFollowerAck(t *testing.T) {
+	dir := t.TempDir()
+	primary := startNode(t, filepath.Join(dir, "p.wal"), replica.Config{
+		Role: replica.RolePrimary, SyncFollowers: 1, AckTimeout: 300 * time.Millisecond,
+	})
+	client := server.NewClient(primary.hs.URL)
+	if _, err := client.Append(testEvents(4, 1)); err == nil {
+		t.Fatal("append with no follower attached should time out unacked")
+	}
+
+	follower := startNode(t, filepath.Join(dir, "f.wal"), replica.Config{
+		Role: replica.RoleFollower, PrimaryURL: primary.hs.URL, PollWait: 100 * time.Millisecond,
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		// The earlier batch is already in the WAL; the follower pulls it,
+		// after which appends ack within the follower's poll cadence.
+		if _, err := client.Append(testEvents(4, 100)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("append never acked despite an attached follower")
+		}
+	}
+	st, err := replica.Status(context.Background(), http.DefaultClient, follower.hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AppliedSeq == 0 {
+		t.Fatal("follower applied nothing")
+	}
+}
+
+// TestPromote: a promoted follower accepts appends and a demoted-to-
+// follower node re-points its tail.
+func TestPromote(t *testing.T) {
+	dir := t.TempDir()
+	primary := startNode(t, filepath.Join(dir, "p.wal"), replica.Config{Role: replica.RolePrimary})
+	follower := startNode(t, filepath.Join(dir, "f.wal"), replica.Config{
+		Role: replica.RoleFollower, PrimaryURL: primary.hs.URL, PollWait: 100 * time.Millisecond,
+	})
+	client := server.NewClient(primary.hs.URL)
+	res, err := client.Append(testEvents(16, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, follower.hs.URL, res.Seq)
+
+	primary.stop() // primary goes dark
+	if err := replica.SetRole(context.Background(), http.DefaultClient, follower.hs.URL, replica.RolePrimary, ""); err != nil {
+		t.Fatal(err)
+	}
+	st, err := replica.Status(context.Background(), http.DefaultClient, follower.hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "primary" {
+		t.Fatalf("promoted node reports role %q", st.Role)
+	}
+	res2, err := server.NewClient(follower.hs.URL).Append(testEvents(8, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Seq <= res.Seq {
+		t.Fatalf("promoted primary assigned seq %d, want > %d", res2.Seq, res.Seq)
+	}
+}
+
+func rawGET(t testing.TB, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}

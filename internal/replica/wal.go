@@ -1,0 +1,214 @@
+// Package replica makes a snapshot-serving deployment survive the
+// failures a heavy-traffic cluster actually sees. Three mechanisms,
+// stacked:
+//
+//   - Durable write-ahead log: every event batch is appended to a
+//     sequenced, CRC-checked on-disk log (kvstore.SeqLog over the
+//     FileStore append-only format) and synced before the append is
+//     acked, so a process restart replays the log and loses nothing that
+//     was ever acknowledged. A torn tail from a crash mid-write is
+//     detected by the CRC on reopen and dropped.
+//
+//   - Primary/follower replication: a partition becomes a replica set —
+//     one primary that accepts appends plus N followers that tail the
+//     primary's WAL over GET /replicate?from=<seq> (long-poll) and apply
+//     events in order, each into its own WAL first. Sequence numbers make
+//     catch-up trivial: a follower that was down resumes from its last
+//     applied sequence. With SyncFollowers >= 1 the primary delays the
+//     append ack until that many followers have durably logged the batch,
+//     so promoting the most-caught-up follower after a primary failure
+//     loses no acked event.
+//
+//   - Role switching: POST /role promotes a follower to primary (the
+//     shard coordinator does this when a primary goes dark) or points a
+//     follower at a new primary.
+//
+// A Node wraps an ordinary internal/server.Server: reads pass straight
+// through (coalescing and the hot-snapshot cache keep working), appends
+// gain the WAL hook, and three control endpoints are added. The shard
+// coordinator (internal/shard) stacks replica sets into a sharded cluster
+// with failover.
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"historygraph"
+	"historygraph/internal/kvstore"
+	"historygraph/internal/server"
+)
+
+// Record is one WAL entry: a single event under its sequence number.
+// Appending a batch of k events produces k consecutive records followed by
+// one sync, so durability is paid once per batch.
+type Record struct {
+	Seq   uint64           `json:"seq"`
+	Event server.EventJSON `json:"event"`
+}
+
+// Log is the durable write-ahead event log: historygraph events encoded
+// onto a kvstore.SeqLog. It is safe for concurrent use.
+type Log struct {
+	sl *kvstore.SeqLog
+
+	mu     sync.Mutex
+	notify chan struct{} // closed and replaced on every append (tail wake-up)
+}
+
+// OpenLog opens or creates the WAL at path, recovering the sequence bound
+// (and dropping any torn tail) via the underlying store's CRC scan.
+func OpenLog(path string) (*Log, error) {
+	sl, err := kvstore.OpenSeqLog(path, kvstore.FileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Log{sl: sl, notify: make(chan struct{})}, nil
+}
+
+func encodeEvent(ev historygraph.Event) ([]byte, error) {
+	return json.Marshal(server.EventToJSON(ev))
+}
+
+// Append logs a batch of events as consecutive records and syncs once.
+// When it returns, every event in the batch is durable; first and last
+// bound the assigned sequence numbers (first > last means the batch was
+// empty).
+func (l *Log) Append(events historygraph.EventList) (first, last uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	first = l.sl.Last() + 1
+	for _, ev := range events {
+		payload, err := encodeEvent(ev)
+		if err != nil {
+			return 0, 0, err
+		}
+		if last, err = l.sl.Append(payload); err != nil {
+			return 0, 0, err
+		}
+	}
+	if len(events) == 0 {
+		return first, first - 1, nil
+	}
+	if err := l.sl.Sync(); err != nil {
+		return 0, 0, err
+	}
+	l.wakeLocked()
+	return first, last, nil
+}
+
+// AppendRecords mirrors records fetched from a primary into this log and
+// syncs once — the follower's durable-before-apply step. Records at or
+// below the current sequence bound are skipped (an overlapping re-fetch is
+// idempotent); a gap beyond it is an error, since the logs would diverge.
+func (l *Log) AppendRecords(recs []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	appended := false
+	for _, rec := range recs {
+		if rec.Seq <= l.sl.Last() {
+			continue
+		}
+		payload, err := json.Marshal(rec.Event)
+		if err != nil {
+			return err
+		}
+		if _, err := l.sl.AppendAt(rec.Seq, payload); err != nil {
+			return err
+		}
+		appended = true
+	}
+	if !appended {
+		return nil
+	}
+	if err := l.sl.Sync(); err != nil {
+		return err
+	}
+	l.wakeLocked()
+	return nil
+}
+
+// wakeLocked wakes every Wait-er; the caller holds l.mu.
+func (l *Log) wakeLocked() {
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// LastSeq returns the highest logged sequence number (0 when empty).
+func (l *Log) LastSeq() uint64 { return l.sl.Last() }
+
+// Read returns up to max records starting at sequence from (inclusive).
+// An empty result means from is past the end of the log.
+func (l *Log) Read(from uint64, max int) ([]Record, error) {
+	if from == 0 {
+		from = 1
+	}
+	last := l.sl.Last()
+	var out []Record
+	for seq := from; seq <= last && len(out) < max; seq++ {
+		payload, err := l.sl.Get(seq)
+		if err != nil {
+			return nil, fmt.Errorf("replica: WAL read seq %d: %w", seq, err)
+		}
+		var ej server.EventJSON
+		if err := json.Unmarshal(payload, &ej); err != nil {
+			return nil, fmt.Errorf("replica: corrupt WAL record %d: %w", seq, err)
+		}
+		out = append(out, Record{Seq: seq, Event: ej})
+	}
+	return out, nil
+}
+
+// Wait blocks until the log grows past seq or the timeout elapses; it
+// reports whether records past seq exist. GET /replicate long-polls
+// through it so followers tail with one round-trip per batch.
+func (l *Log) Wait(seq uint64, timeout time.Duration) bool {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		l.mu.Lock()
+		ch := l.notify
+		l.mu.Unlock()
+		if l.sl.Last() > seq {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return l.sl.Last() > seq
+		}
+	}
+}
+
+// Replay feeds every logged event in sequence order to fn in chunks — the
+// restart path that rebuilds a node's in-memory graph from its local WAL.
+func (l *Log) Replay(fn func(historygraph.EventList) error) error {
+	const chunk = 1024
+	for from := uint64(1); ; {
+		recs, err := l.Read(from, chunk)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			return nil
+		}
+		events := make(historygraph.EventList, len(recs))
+		for i, rec := range recs {
+			if events[i], err = server.EventFromJSON(rec.Event); err != nil {
+				return fmt.Errorf("replica: WAL record %d: %w", rec.Seq, err)
+			}
+		}
+		if err := fn(events); err != nil {
+			return err
+		}
+		from = recs[len(recs)-1].Seq + 1
+	}
+}
+
+// SizeOnDisk returns the WAL's file footprint in bytes.
+func (l *Log) SizeOnDisk() int64 { return l.sl.SizeOnDisk() }
+
+// Close releases the underlying file.
+func (l *Log) Close() error { return l.sl.Close() }

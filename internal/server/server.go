@@ -392,44 +392,71 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, http.StatusOK, SnapshotToJSON(snap, 0, req.Full))
 }
 
+// DecodeEvents converts a wire event batch to the model form. The append
+// handler and the replication node share it.
+func DecodeEvents(body []EventJSON) (historygraph.EventList, error) {
+	events := make(historygraph.EventList, len(body))
+	for i, ej := range body {
+		ev, err := EventFromJSON(ej)
+		if err != nil {
+			return nil, err
+		}
+		events[i] = ev
+	}
+	return events, nil
+}
+
+// ApplyEvents records a run of events against the embedded GraphManager
+// and invalidates the affected hot-snapshot cache entries — the single
+// append-application path, shared by the HTTP handler and the replication
+// subsystem (internal/replica), whose WAL replay and follower apply loops
+// must invalidate exactly like a live append. The cache is invalidated
+// even when the batch failed partway: AppendAll applies events one at a
+// time, so a prefix may have landed. Cached snapshots at or after the
+// earliest appended timestamp — and every view that reads through the
+// current graph — are stale then; earlier independent ones are untouched
+// (history is append-only).
+func (s *Server) ApplyEvents(events historygraph.EventList) (AppendResult, error) {
+	minAt := historygraph.Time(0)
+	for i, ev := range events {
+		if i == 0 || ev.At < minAt {
+			minAt = ev.At
+		}
+	}
+	appendErr := s.gm.AppendAll(events)
+	invalidated := 0
+	if s.cache != nil && len(events) > 0 {
+		invalidated = s.cache.InvalidateFrom(minAt)
+	}
+	res := AppendResult{
+		Appended:    len(events),
+		LastTime:    int64(s.gm.LastTime()),
+		Invalidated: invalidated,
+	}
+	return res, appendErr
+}
+
+// Manager returns the embedded GraphManager (the replication node uses it
+// to bound WAL replay).
+func (s *Server) Manager() *historygraph.GraphManager { return s.gm }
+
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	var body []EventJSON
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
 		return
 	}
-	events := make(historygraph.EventList, len(body))
-	minAt := historygraph.Time(0)
-	for i, ej := range body {
-		ev, err := EventFromJSON(ej)
-		if err != nil {
-			WriteError(w, http.StatusBadRequest, err)
-			return
-		}
-		events[i] = ev
-		if i == 0 || ev.At < minAt {
-			minAt = ev.At
-		}
+	events, err := DecodeEvents(body)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err)
+		return
 	}
-	appendErr := s.gm.AppendAll(events)
-	// Invalidate even when the batch failed partway: AppendAll applies
-	// events one at a time, so a prefix may have landed. Cached snapshots
-	// at or after the earliest appended timestamp — and every view that
-	// reads through the current graph — are stale now; earlier
-	// independent ones are untouched (history is append-only).
-	invalidated := 0
-	if s.cache != nil && len(events) > 0 {
-		invalidated = s.cache.InvalidateFrom(minAt)
-	}
+	res, appendErr := s.ApplyEvents(events)
 	if appendErr != nil {
 		WriteError(w, http.StatusUnprocessableEntity, appendErr)
 		return
 	}
-	WriteJSON(w, http.StatusOK, AppendResult{
-		Appended:    len(events),
-		LastTime:    int64(s.gm.LastTime()),
-		Invalidated: invalidated,
-	})
+	WriteJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

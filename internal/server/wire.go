@@ -98,11 +98,14 @@ type ExprRequest struct {
 	Full  bool    `json:"full,omitempty"`
 }
 
-// AppendResult answers POST /append.
+// AppendResult answers POST /append. Seq is the WAL sequence number of the
+// batch's last event when the serving node writes a durable write-ahead
+// log (internal/replica); nodes without a WAL leave it zero.
 type AppendResult struct {
 	Appended    int              `json:"appended"`
 	LastTime    int64            `json:"last_time"`
 	Invalidated int              `json:"invalidated,omitempty"`
+	Seq         uint64           `json:"seq,omitempty"`
 	Partial     []PartitionError `json:"partial,omitempty"`
 }
 

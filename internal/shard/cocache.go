@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+
+	"historygraph"
+)
+
+// coCache is the coordinator-side merged-response cache: a small LRU over
+// fully merged response bodies, keyed by the same strings the flight group
+// coalesces on. A hit serves a hot timepoint without any fan-out at all —
+// the N scatter legs, the N JSON decodes, and the merge all disappear.
+//
+// Only complete responses are admitted (a partial one is missing a
+// partition's data and must not be replayed once the partition returns).
+// Invalidation mirrors the worker-side hot-snapshot cache: appending at
+// time t evicts every entry that depends on any timepoint >= t, and a
+// generation counter keeps a fan-out that overlapped an append from
+// registering its pre-append merge afterwards.
+type coCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // values are *coEntry
+	lru      *list.List               // front = most recently used
+	gen      int64
+
+	hits, misses, evictions int64
+}
+
+// coEntry is one cached merged response. maxT is the latest timepoint the
+// response depends on: an append at or before it invalidates the entry.
+type coEntry struct {
+	key  string
+	maxT historygraph.Time
+	val  any
+}
+
+func newCoCache(capacity int) *coCache {
+	return &coCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the cached merged response for key.
+func (c *coCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elem, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(elem)
+	c.hits++
+	return elem.Value.(*coEntry).val, true
+}
+
+// Gen returns the invalidation generation; snapshot it before a fan-out
+// and pass it to Insert.
+func (c *coCache) Gen() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Insert registers a complete merged response, unless an invalidation pass
+// ran since gen was snapshotted (the merge may predate events an append
+// already made visible).
+func (c *coCache) Insert(key string, maxT historygraph.Time, val any, gen int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
+	if elem, dup := c.entries[key]; dup {
+		elem.Value = &coEntry{key: key, maxT: maxT, val: val}
+		c.lru.MoveToFront(elem)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&coEntry{key: key, maxT: maxT, val: val})
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		delete(c.entries, back.Value.(*coEntry).key)
+		c.lru.Remove(back)
+		c.evictions++
+	}
+}
+
+// InvalidateFrom evicts every entry depending on a timepoint >= t (history
+// is append-only, so responses built purely from earlier timepoints stay
+// exact) and bumps the generation so overlapping fan-outs do not register.
+func (c *coCache) InvalidateFrom(t historygraph.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	n := 0
+	for elem := c.lru.Front(); elem != nil; {
+		next := elem.Next()
+		if ent := elem.Value.(*coEntry); ent.maxT >= t {
+			delete(c.entries, ent.key)
+			c.lru.Remove(elem)
+			n++
+		}
+		elem = next
+	}
+	return n
+}
+
+type coCacheStats struct {
+	size, capacity          int
+	hits, misses, evictions int64
+}
+
+func (c *coCache) Stats() coCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return coCacheStats{
+		size: c.lru.Len(), capacity: c.capacity,
+		hits: c.hits, misses: c.misses, evictions: c.evictions,
+	}
+}

@@ -1,0 +1,260 @@
+package shard
+
+// A partition served by one process is a single point of loss; a replica
+// set makes it survivable. Each partition's peers form one set: member 0
+// is the initial primary (appends), and reads spread round-robin across
+// every in-sync member. The coordinator health-checks members, retries a
+// failed read leg on the next replica, and — when a primary goes dark —
+// promotes the most-caught-up reachable follower (internal/replica's
+// POST /role) and re-points the rest, so the PR-2 "partial" response hole
+// closes for replicated deployments: appends keep landing and no acked
+// event is lost (given replica.Config.SyncFollowers >= 1 on the workers).
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"historygraph"
+	"historygraph/internal/replica"
+	"historygraph/internal/server"
+)
+
+// member is one replica-set node as the coordinator sees it.
+type member struct {
+	url    string
+	client *server.Client
+
+	healthy atomic.Bool   // last contact attempt succeeded
+	insync  atomic.Bool   // within MaxLag of the set's replication head
+	applied atomic.Uint64 // last known applied WAL sequence
+}
+
+// replicaSet is one partition's members plus routing state.
+type replicaSet struct {
+	members []*member
+	primary atomic.Int32  // index of the member appends go to
+	rr      atomic.Uint32 // read round-robin cursor
+	failMu  sync.Mutex    // serializes failovers for this set
+}
+
+func newReplicaSet(urls []string, hc *http.Client) *replicaSet {
+	rs := &replicaSet{}
+	for _, u := range urls {
+		m := &member{url: strings.TrimRight(u, "/"), client: server.NewClientHTTP(u, hc)}
+		m.healthy.Store(true)
+		m.insync.Store(true)
+		rs.members = append(rs.members, m)
+	}
+	return rs
+}
+
+func (rs *replicaSet) primaryMember() *member {
+	return rs.members[int(rs.primary.Load())%len(rs.members)]
+}
+
+// urls lists the member base URLs in declaration order.
+func (rs *replicaSet) urls() []string {
+	out := make([]string, len(rs.members))
+	for i, m := range rs.members {
+		out[i] = m.url
+	}
+	return out
+}
+
+// readOrder returns the members to try for a read: in-sync healthy
+// replicas first (rotated round-robin so load spreads), then healthy but
+// lagging ones, then everything else as a last resort — a marked-down
+// member may have recovered since the last health pass.
+func (rs *replicaSet) readOrder() []*member {
+	n := len(rs.members)
+	if n == 1 {
+		return rs.members
+	}
+	start := int(rs.rr.Add(1)) % n
+	var ready, lagging, down []*member
+	for i := 0; i < n; i++ {
+		m := rs.members[(start+i)%n]
+		switch {
+		case m.healthy.Load() && m.insync.Load():
+			ready = append(ready, m)
+		case m.healthy.Load():
+			lagging = append(lagging, m)
+		default:
+			down = append(down, m)
+		}
+	}
+	return append(append(ready, lagging...), down...)
+}
+
+// readFrom runs call against the set's replicas in readOrder until one
+// answers, marking members up or down along the way. Spreading reads over
+// followers is safe because every member serves the same merged-exact
+// slice once caught up; a lagging or dead member is simply skipped.
+func readFrom[T any](ctx context.Context, rs *replicaSet, call func(cl *server.Client) (T, error)) (T, error) {
+	var zero T
+	var lastErr error
+	for _, m := range rs.readOrder() {
+		v, err := call(m.client)
+		if err == nil {
+			m.healthy.Store(true)
+			return v, nil
+		}
+		m.healthy.Store(false)
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return zero, lastErr
+}
+
+// appendToSet routes an append to the set's primary. On failure it runs a
+// failover (promote the most-caught-up reachable member) and retries once
+// against the new primary.
+func (co *Coordinator) appendToSet(ctx context.Context, rs *replicaSet, events historygraph.EventList) (*server.AppendResult, error) {
+	pm := rs.primaryMember()
+	res, err := pm.client.AppendCtx(ctx, events)
+	if err == nil {
+		pm.healthy.Store(true)
+		return res, nil
+	}
+	pm.healthy.Store(false)
+	if len(rs.members) == 1 {
+		return nil, err
+	}
+	if ferr := co.failover(rs, pm); ferr != nil {
+		return nil, fmt.Errorf("%s (failover: %s)", err, ferr)
+	}
+	if next := rs.primaryMember(); next != pm {
+		return next.client.AppendCtx(ctx, events)
+	}
+	return nil, err
+}
+
+// failover re-elects a primary for the set: probe every member's
+// /replstatus, keep an already-promoted or recovered primary if one
+// answers, otherwise promote the most-caught-up reachable member and
+// re-point the others at it. The suspect is the member the caller just
+// watched fail; it is never promoted.
+func (co *Coordinator) failover(rs *replicaSet, suspect *member) error {
+	rs.failMu.Lock()
+	defer rs.failMu.Unlock()
+	if rs.primaryMember() != suspect {
+		return nil // a concurrent caller already failed over
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), co.probeTimeout())
+	defer cancel()
+
+	best := -1
+	var bestApplied uint64
+	promoted := -1
+	for i, m := range rs.members {
+		st, err := replica.Status(ctx, co.hc, m.url)
+		if err != nil {
+			m.healthy.Store(false)
+			continue
+		}
+		m.healthy.Store(true)
+		m.applied.Store(st.AppliedSeq)
+		if m == suspect {
+			if st.Role == replica.RolePrimary.String() {
+				// The append failure was transient: the primary still
+				// answers and still leads. Keep it.
+				return nil
+			}
+			continue
+		}
+		if st.Role == replica.RolePrimary.String() {
+			promoted = i // someone already promoted this member
+		}
+		if best == -1 || st.AppliedSeq > bestApplied {
+			best, bestApplied = i, st.AppliedSeq
+		}
+	}
+	if promoted >= 0 {
+		best = promoted
+	} else {
+		if best < 0 {
+			return fmt.Errorf("no reachable replica to promote")
+		}
+		if err := replica.SetRole(ctx, co.hc, rs.members[best].url, replica.RolePrimary, ""); err != nil {
+			return err
+		}
+	}
+	rs.primary.Store(int32(best))
+	co.failovers.Add(1)
+	// Best effort: surviving members follow the new primary; the deposed
+	// suspect is told too in case it is merely partitioned from us.
+	for i, m := range rs.members {
+		if i == best {
+			continue
+		}
+		_ = replica.SetRole(ctx, co.hc, m.url, replica.RoleFollower, rs.members[best].url)
+	}
+	return nil
+}
+
+// healthLoop periodically probes every replica-set member, refreshing
+// healthy/in-sync routing state and triggering failover when a primary
+// has gone dark. Single-member sets are plain workers and are skipped.
+func (co *Coordinator) healthLoop(interval time.Duration) {
+	defer close(co.healthDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-ticker.C:
+		}
+		for _, rs := range co.sets {
+			if len(rs.members) > 1 {
+				co.checkSet(rs)
+			}
+		}
+	}
+}
+
+// checkSet refreshes one set's member state from /replstatus probes.
+func (co *Coordinator) checkSet(rs *replicaSet) {
+	ctx, cancel := context.WithTimeout(context.Background(), co.probeTimeout())
+	defer cancel()
+	var head uint64 // replication head: the highest sequence any member holds
+	stats := make([]*replica.StatusJSON, len(rs.members))
+	for i, m := range rs.members {
+		st, err := replica.Status(ctx, co.hc, m.url)
+		if err != nil {
+			m.healthy.Store(false)
+			continue
+		}
+		m.healthy.Store(true)
+		m.applied.Store(st.AppliedSeq)
+		stats[i] = st
+		if st.LastSeq > head {
+			head = st.LastSeq
+		}
+	}
+	for i, m := range rs.members {
+		if stats[i] == nil {
+			continue
+		}
+		lag := head - stats[i].AppliedSeq
+		m.insync.Store(lag <= co.maxLag)
+	}
+	if pm := rs.primaryMember(); !pm.healthy.Load() {
+		_ = co.failover(rs, pm) // promote the most-caught-up survivor
+	}
+}
+
+// probeTimeout bounds one failover/health status probe.
+func (co *Coordinator) probeTimeout() time.Duration {
+	if co.timeout < 3*time.Second {
+		return co.timeout
+	}
+	return 3 * time.Second
+}

@@ -15,22 +15,22 @@ type reqCtx struct {
 	part int
 }
 
-// scatter runs call against every partition concurrently, each leg
-// bounded by the coordinator's partition timeout. results[i] holds
-// partition i's answer (the zero value where it failed); errs lists the
-// failed partitions in partition order. The call itself never fails —
+// scatter runs call against every partition's replica set concurrently,
+// each leg bounded by the coordinator's partition timeout. results[i]
+// holds partition i's answer (the zero value where it failed); errs lists
+// the failed partitions in partition order. The call itself never fails —
 // total failure is the caller's decision (len(errs) == NumPartitions).
-func scatter[T any](co *Coordinator, call func(ctx reqCtx, cl *server.Client) (T, error)) (results []T, errs []server.PartitionError) {
-	results = make([]T, len(co.peers))
+func scatter[T any](co *Coordinator, call func(ctx reqCtx, rs *replicaSet) (T, error)) (results []T, errs []server.PartitionError) {
+	results = make([]T, len(co.sets))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	for i := range co.peers {
+	for i := range co.sets {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), co.timeout)
 			defer cancel()
-			v, err := call(reqCtx{Context: ctx, part: i}, co.peers[i])
+			v, err := call(reqCtx{Context: ctx, part: i}, co.sets[i])
 			if err != nil {
 				mu.Lock()
 				errs = append(errs, server.PartitionError{Partition: i, Error: err.Error()})
@@ -45,11 +45,22 @@ func scatter[T any](co *Coordinator, call func(ctx reqCtx, cl *server.Client) (T
 	return results, errs
 }
 
+// scatterRead is scatter for read queries: each leg tries the partition's
+// replicas in round-robin in-sync-first order until one answers, so a
+// single dead or lagging member costs a retry, not a partial response.
+func scatterRead[T any](co *Coordinator, call func(ctx reqCtx, cl *server.Client) (T, error)) ([]T, []server.PartitionError) {
+	return scatter(co, func(ctx reqCtx, rs *replicaSet) (T, error) {
+		return readFrom(ctx, rs, func(cl *server.Client) (T, error) {
+			return call(ctx, cl)
+		})
+	})
+}
+
 // notePartial charges a partial data response (some but not all
 // partitions failed) to the partial_responses stat. Data endpoints call
 // it; /stats and /healthz probes and total failures do not count.
 func (co *Coordinator) notePartial(errs []server.PartitionError) {
-	if len(errs) > 0 && len(errs) < len(co.peers) {
+	if len(errs) > 0 && len(errs) < len(co.sets) {
 		co.partials.Add(1)
 	}
 }

@@ -1,26 +1,36 @@
 // Package shard implements the horizontally sharded deployment of the
 // snapshot query service: a coordinator that fans every query out across N
-// partition servers and merges the partial answers into one response —
-// the paper's distributed architecture (Section 4.6) lifted from the
-// storage layer (internal/kvstore.Partitioned splits one index across
-// stores) to the serving layer (one full query-processor process per
-// horizontal slice of the node space).
+// partitions and merges the partial answers into one response — the
+// paper's distributed architecture (Section 4.6) lifted from the storage
+// layer (internal/kvstore.Partitioned splits one index across stores) to
+// the serving layer (one full query-processor process per horizontal slice
+// of the node space).
 //
-// Each partition worker is an ordinary internal/server.Server whose
-// GraphManager holds only the events routed to it by the node-hash
-// partitioning (graph.PartitionOfEvent — the same hash space
+// Each partition is served by a replica set: one or more ordinary
+// internal/server.Server processes (optionally wrapped in
+// internal/replica.Node for WAL durability and replication) whose
+// GraphManagers hold only the events routed to the partition by the
+// node-hash partitioning (graph.PartitionOfEvent — the same hash space
 // kvstore.Partitioned routes storage keys by). Every graph element's
 // entire event history lands on exactly one partition: node events hash
 // by node ID, and edge events (including edge-attribute updates) hash by
 // their From endpoint. Partial snapshots are therefore disjoint, and
 // merging is a union — counts add, element lists concatenate and re-sort.
 //
-// The coordinator preserves the serving-layer mechanisms end-to-end:
+// The coordinator preserves the serving-layer mechanisms end-to-end and
+// adds the availability layer:
 //
 //   - Coalescing: concurrent identical /snapshot and /neighbors requests
 //     share one scatter-gather via a FlightGroup, so N clients asking for
 //     the same timepoint cost one fan-out — and each worker coalesces and
 //     caches its own slice underneath.
+//   - Merged-response cache: a small LRU over complete merged responses
+//     (append-invalidated, like the worker caches) serves hot timepoints
+//     with no fan-out at all.
+//   - Replica routing: reads spread round-robin across each set's in-sync
+//     members and retry the next replica when one fails; appends go to
+//     the set's primary, and a dark primary triggers promotion of the
+//     most-caught-up follower (internal/replica).
 //   - Per-partition timeouts: every fan-out leg is bounded by
 //     Config.PartitionTimeout.
 //   - Partial failure: if some (not all) partitions fail or time out, the
@@ -32,11 +42,14 @@
 package shard
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -48,43 +61,94 @@ import (
 // PartitionTimeout zero.
 const DefaultPartitionTimeout = 15 * time.Second
 
+// DefaultCacheSize is the merged-response LRU capacity when Config leaves
+// CacheSize zero.
+const DefaultCacheSize = 64
+
+// DefaultMaxLag is how many WAL records behind the replication head a
+// member may be and still serve reads, when Config leaves MaxLag zero.
+const DefaultMaxLag = 1024
+
 // Config tunes the coordinator.
 type Config struct {
-	// PartitionTimeout bounds every fan-out leg; a partition that does
-	// not answer in time is dropped from the merge and reported in the
-	// response's partial list. 0 picks DefaultPartitionTimeout.
+	// PartitionTimeout bounds every fan-out leg; a partition whose
+	// replicas do not answer in time is dropped from the merge and
+	// reported in the response's partial list. 0 picks
+	// DefaultPartitionTimeout.
 	PartitionTimeout time.Duration
+	// CacheSize is the merged-response LRU capacity. 0 picks the default
+	// (64); negative disables the coordinator cache.
+	CacheSize int
+	// HealthInterval is the period of the background replica health
+	// checker (marks members up/down and in-/out-of-sync, and promotes a
+	// follower when a primary stays dark). 0 disables it; failover still
+	// happens on demand when an append hits a dead primary.
+	HealthInterval time.Duration
+	// MaxLag is the in-sync read threshold in WAL records. 0 picks
+	// DefaultMaxLag.
+	MaxLag uint64
 	// HTTPClient overrides the pooled transport used for fan-out
 	// requests (tests inject clients wired to in-process servers).
 	HTTPClient *http.Client
 }
 
-// Coordinator scatters queries across partition servers and gathers the
-// partial answers. It is safe for concurrent use.
+// Coordinator scatters queries across partition replica sets and gathers
+// the partial answers. It is safe for concurrent use.
 type Coordinator struct {
-	peers   []*server.Client
-	urls    []string
+	sets    []*replicaSet
+	hc      *http.Client
 	timeout time.Duration
+	maxLag  uint64
 	mux     *http.ServeMux
 	flights server.FlightGroup
+	cache   *coCache // nil when disabled
+
+	stop       chan struct{}
+	healthDone chan struct{}
+	closeOnce  sync.Once
 
 	requests  atomic.Int64
 	fanouts   atomic.Int64 // scatter-gather executions
 	coalesced atomic.Int64 // requests served by another caller's fan-out
 	partials  atomic.Int64 // responses missing >= 1 partition
+	failovers atomic.Int64 // primary promotions
 }
 
-// New builds a coordinator over the given partition base URLs. The slice
+// New builds a coordinator over the given partition peer specs. The slice
 // order defines partition IDs and must match the hash space the workers'
 // event slices were split by (PartitionEvents with n = len(peerURLs)).
+// Each spec is either one base URL (an unreplicated partition) or a
+// "|"-separated replica set, first member the initial primary:
+//
+//	http://h1:8186|http://h2:8186,http://h1:8187|http://h2:8187
 func New(peerURLs []string, cfg Config) (*Coordinator, error) {
-	if len(peerURLs) == 0 {
-		return nil, fmt.Errorf("shard: coordinator needs at least one partition peer")
+	sets := make([][]string, 0, len(peerURLs))
+	for _, spec := range peerURLs {
+		var members []string
+		for _, u := range strings.Split(spec, "|") {
+			if u = strings.TrimSpace(u); u != "" {
+				members = append(members, u)
+			}
+		}
+		sets = append(sets, members)
+	}
+	return NewReplicated(sets, cfg)
+}
+
+// NewReplicated is New with the replica sets already split out: one inner
+// slice per partition, first member the initial primary.
+func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
+	if len(peerSets) == 0 {
+		return nil, fmt.Errorf("shard: coordinator needs at least one partition")
+	}
+	total := 0
+	for _, set := range peerSets {
+		total += len(set)
 	}
 	hc := cfg.HTTPClient
 	if hc == nil {
 		hc = &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        4 * len(peerURLs),
+			MaxIdleConns:        4 * total,
 			MaxIdleConnsPerHost: 4,
 		}}
 	}
@@ -92,10 +156,26 @@ func New(peerURLs []string, cfg Config) (*Coordinator, error) {
 	if timeout <= 0 {
 		timeout = DefaultPartitionTimeout
 	}
-	co := &Coordinator{timeout: timeout}
-	for _, u := range peerURLs {
-		co.urls = append(co.urls, strings.TrimRight(u, "/"))
-		co.peers = append(co.peers, server.NewClientHTTP(u, hc))
+	maxLag := cfg.MaxLag
+	if maxLag == 0 {
+		maxLag = DefaultMaxLag
+	}
+	co := &Coordinator{
+		hc: hc, timeout: timeout, maxLag: maxLag,
+		stop: make(chan struct{}),
+	}
+	for p, set := range peerSets {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("shard: partition %d has no members", p)
+		}
+		co.sets = append(co.sets, newReplicaSet(set, hc))
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	if size > 0 {
+		co.cache = newCoCache(size)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /snapshot", co.handleSnapshot)
@@ -107,15 +187,39 @@ func New(peerURLs []string, cfg Config) (*Coordinator, error) {
 	mux.HandleFunc("GET /stats", co.handleStats)
 	mux.HandleFunc("GET /healthz", co.handleHealthz)
 	co.mux = mux
+	if cfg.HealthInterval > 0 {
+		co.healthDone = make(chan struct{})
+		go co.healthLoop(cfg.HealthInterval)
+	}
 	return co, nil
 }
 
-// NumPartitions returns the number of partition servers.
-func (co *Coordinator) NumPartitions() int { return len(co.peers) }
+// NumPartitions returns the number of partitions.
+func (co *Coordinator) NumPartitions() int { return len(co.sets) }
 
 // Fanouts reports how many scatter-gathers actually executed (tests
-// assert coordinator-level coalescing against this).
+// assert coordinator-level coalescing and cache hits against this).
 func (co *Coordinator) Fanouts() int64 { return co.fanouts.Load() }
+
+// Failovers reports how many primary promotions the coordinator ran.
+func (co *Coordinator) Failovers() int64 { return co.failovers.Load() }
+
+// Primary returns the current primary base URL of partition p.
+func (co *Coordinator) Primary(p int) string { return co.sets[p].primaryMember().url }
+
+// Members returns partition p's member base URLs in declaration order.
+func (co *Coordinator) Members(p int) []string { return co.sets[p].urls() }
+
+// Close stops the background health checker. In-flight requests finish
+// normally; the coordinator itself remains usable.
+func (co *Coordinator) Close() {
+	co.closeOnce.Do(func() {
+		close(co.stop)
+		if co.healthDone != nil {
+			<-co.healthDone
+		}
+	})
+}
 
 // Handler returns the coordinator's HTTP handler.
 func (co *Coordinator) Handler() http.Handler {
@@ -127,7 +231,31 @@ func (co *Coordinator) Handler() http.Handler {
 
 // allFailed converts a total fan-out failure into one error.
 func (co *Coordinator) allFailed(errs []server.PartitionError) error {
-	return fmt.Errorf("shard: all %d partitions failed (partition 0: %s)", len(co.peers), errs[0].Error)
+	return fmt.Errorf("shard: all %d partitions failed (partition 0: %s)", len(co.sets), errs[0].Error)
+}
+
+// cacheGen snapshots the merged-response cache generation (0 when the
+// cache is disabled).
+func (co *Coordinator) cacheGen() int64 {
+	if co.cache == nil {
+		return 0
+	}
+	return co.cache.Gen()
+}
+
+// cacheGet probes the merged-response cache.
+func (co *Coordinator) cacheGet(key string) (any, bool) {
+	if co.cache == nil {
+		return nil, false
+	}
+	return co.cache.Get(key)
+}
+
+// cacheInsert registers a complete merged response.
+func (co *Coordinator) cacheInsert(key string, maxT historygraph.Time, val any, gen int64) {
+	if co.cache != nil {
+		co.cache.Insert(key, maxT, val, gen)
+	}
 }
 
 func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -144,16 +272,27 @@ func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	full := server.BoolParam(q.Get("full"))
 	key := fmt.Sprintf("snap|%d|%s|%t", t, attrs, full)
+	if v, ok := co.cacheGet(key); ok {
+		out := v.(server.SnapshotJSON)
+		out.Cached = true // a coordinator-cache hit, like a worker-cache one
+		server.WriteJSON(w, http.StatusOK, out)
+		return
+	}
 	v, shared, err := co.flights.Do(key, func() (any, error) {
 		co.fanouts.Add(1)
-		parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
+		gen := co.cacheGen()
+		parts, errs := scatterRead(co, func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
 			return cl.SnapshotCtx(ctx, t, attrs, full)
 		})
-		if len(errs) == len(co.peers) {
+		if len(errs) == len(co.sets) {
 			return nil, co.allFailed(errs)
 		}
 		co.notePartial(errs)
-		return mergeSnapshots(int64(t), parts, errs), nil
+		merged := mergeSnapshots(int64(t), parts, errs)
+		if len(errs) == 0 {
+			co.cacheInsert(key, t, merged, gen)
+		}
+		return merged, nil
 	})
 	if err != nil {
 		server.WriteError(w, http.StatusBadGateway, err)
@@ -189,16 +328,27 @@ func (co *Coordinator) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	// lives with its From endpoint), so the neighborhood is the union of
 	// every partition's local adjacency.
 	key := fmt.Sprintf("nbr|%d|%d|%s", t, node, attrs)
+	if v, ok := co.cacheGet(key); ok {
+		out := v.(server.NeighborsJSON)
+		out.Cached = true
+		server.WriteJSON(w, http.StatusOK, out)
+		return
+	}
 	v, shared, err := co.flights.Do(key, func() (any, error) {
 		co.fanouts.Add(1)
-		parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (*server.NeighborsJSON, error) {
+		gen := co.cacheGen()
+		parts, errs := scatterRead(co, func(ctx reqCtx, cl *server.Client) (*server.NeighborsJSON, error) {
 			return cl.NeighborsCtx(ctx, t, historygraph.NodeID(node), attrs)
 		})
-		if len(errs) == len(co.peers) {
+		if len(errs) == len(co.sets) {
 			return nil, co.allFailed(errs)
 		}
 		co.notePartial(errs)
-		return mergeNeighbors(int64(t), node, parts, errs), nil
+		merged := mergeNeighbors(int64(t), node, parts, errs)
+		if len(errs) == 0 {
+			co.cacheInsert(key, t, merged, gen)
+		}
+		return merged, nil
 	})
 	if err != nil {
 		server.WriteError(w, http.StatusBadGateway, err)
@@ -213,6 +363,7 @@ func (co *Coordinator) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	var times []historygraph.Time
+	maxT := historygraph.Time(0)
 	for _, part := range strings.Split(q.Get("t"), ",") {
 		t, err := server.ParseTimeParam(strings.TrimSpace(part))
 		if err != nil {
@@ -220,6 +371,9 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		times = append(times, t)
+		if t > maxT {
+			maxT = t
+		}
 	}
 	attrs := q.Get("attrs")
 	if _, err := historygraph.ParseAttrOptions(attrs); err != nil {
@@ -227,7 +381,14 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	full := server.BoolParam(q.Get("full"))
-	parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) ([]server.SnapshotJSON, error) {
+	key := fmt.Sprintf("batch|%s|%s|%t", q.Get("t"), attrs, full)
+	if v, ok := co.cacheGet(key); ok {
+		server.WriteJSON(w, http.StatusOK, v)
+		return
+	}
+	gen := co.cacheGen()
+	co.fanouts.Add(1)
+	parts, errs := scatterRead(co, func(ctx reqCtx, cl *server.Client) ([]server.SnapshotJSON, error) {
 		batch, err := cl.SnapshotsCtx(ctx, times, attrs, full)
 		if err != nil {
 			return nil, err
@@ -237,7 +398,7 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		return batch, nil
 	})
-	if len(errs) == len(co.peers) {
+	if len(errs) == len(co.sets) {
 		server.WriteError(w, http.StatusBadGateway, co.allFailed(errs))
 		return
 	}
@@ -251,6 +412,9 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		out[i] = mergeSnapshots(int64(t), slice, errs)
+	}
+	if len(errs) == 0 {
+		co.cacheInsert(key, maxT, out, gen)
 	}
 	server.WriteJSON(w, http.StatusOK, out)
 }
@@ -269,10 +433,10 @@ func (co *Coordinator) handleInterval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	full := server.BoolParam(q.Get("full"))
-	parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (*server.IntervalJSON, error) {
+	parts, errs := scatterRead(co, func(ctx reqCtx, cl *server.Client) (*server.IntervalJSON, error) {
 		return cl.IntervalCtx(ctx, from, to, attrs, full)
 	})
-	if len(errs) == len(co.peers) {
+	if len(errs) == len(co.sets) {
 		server.WriteError(w, http.StatusBadGateway, co.allFailed(errs))
 		return
 	}
@@ -293,10 +457,10 @@ func (co *Coordinator) handleExpr(w http.ResponseWriter, r *http.Request) {
 	// A TimeExpression decides membership element by element, and every
 	// element's history is confined to one partition — so evaluating the
 	// expression per partition and unioning is exact.
-	parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
+	parts, errs := scatterRead(co, func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
 		return cl.ExprCtx(ctx, req)
 	})
-	if len(errs) == len(co.peers) {
+	if len(errs) == len(co.sets) {
 		server.WriteError(w, http.StatusBadGateway, co.allFailed(errs))
 		return
 	}
@@ -310,22 +474,33 @@ func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
 		return
 	}
-	perPart := make([]historygraph.EventList, len(co.peers))
-	for _, ej := range body {
+	perPart := make([]historygraph.EventList, len(co.sets))
+	minAt := historygraph.Time(0)
+	for i, ej := range body {
 		ev, err := server.EventFromJSON(ej)
 		if err != nil {
 			server.WriteError(w, http.StatusBadRequest, err)
 			return
 		}
-		p := PartitionOf(ev, len(co.peers))
+		p := PartitionOf(ev, len(co.sets))
 		perPart[p] = append(perPart[p], ev)
+		if i == 0 || ev.At < minAt {
+			minAt = ev.At
+		}
 	}
-	// Every worker gets its slice (possibly empty — an empty append still
-	// reports the worker's last_time, keeping the merged clock exact).
-	parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (*server.AppendResult, error) {
-		return cl.AppendCtx(ctx, perPart[ctx.part])
+	// Every partition's primary gets its slice (possibly empty — an empty
+	// append still reports the worker's last_time, keeping the merged
+	// clock exact). A dead primary triggers failover inside appendToSet.
+	parts, errs := scatter(co, func(ctx reqCtx, rs *replicaSet) (*server.AppendResult, error) {
+		return co.appendToSet(ctx, rs, perPart[ctx.part])
 	})
-	if len(errs) == len(co.peers) {
+	// Invalidate merged responses even on partial failure: some
+	// partitions' slices landed, so any cached merge depending on a
+	// timepoint >= minAt is stale.
+	if co.cache != nil && len(body) > 0 {
+		co.cache.InvalidateFrom(minAt)
+	}
+	if len(errs) == len(co.sets) {
 		server.WriteError(w, http.StatusBadGateway, co.allFailed(errs))
 		return
 	}
@@ -345,12 +520,32 @@ func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 }
 
 // PartitionStatsJSON is one partition's section of the coordinator's
-// /stats answer.
+// /stats answer. URL is the current primary; Replicas lists every member.
 type PartitionStatsJSON struct {
 	Partition int               `json:"partition"`
 	URL       string            `json:"url"`
+	Replicas  []ReplicaInfoJSON `json:"replicas,omitempty"`
 	Error     string            `json:"error,omitempty"`
 	Stats     *server.StatsJSON `json:"stats,omitempty"`
+}
+
+// ReplicaInfoJSON is the coordinator's routing view of one replica-set
+// member.
+type ReplicaInfoJSON struct {
+	URL     string `json:"url"`
+	Primary bool   `json:"primary,omitempty"`
+	Healthy bool   `json:"healthy"`
+	InSync  bool   `json:"in_sync"`
+	Applied uint64 `json:"applied,omitempty"`
+}
+
+// CoCacheStatsJSON is the merged-response cache section of /stats.
+type CoCacheStatsJSON struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
 }
 
 // StatsJSON answers the coordinator's GET /stats: fan-out counters plus
@@ -361,41 +556,85 @@ type StatsJSON struct {
 	Fanouts          int64                `json:"fanouts"`
 	Coalesced        int64                `json:"coalesced"`
 	PartialResponses int64                `json:"partial_responses"`
+	Failovers        int64                `json:"failovers"`
+	Cache            *CoCacheStatsJSON    `json:"cache,omitempty"`
 	PerPartition     []PartitionStatsJSON `json:"per_partition"`
 }
 
 func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
-	parts, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (*server.StatsJSON, error) {
-		return cl.StatsCtx(ctx)
+	// Stats come from each partition's current primary, not the read
+	// round-robin: PartitionStatsJSON.URL names the primary, and rotating
+	// the source would misattribute follower counters to it (and make
+	// totals jump backwards between polls).
+	parts, errs := scatter(co, func(ctx reqCtx, rs *replicaSet) (*server.StatsJSON, error) {
+		return rs.primaryMember().client.StatsCtx(ctx)
 	})
 	out := StatsJSON{
-		Partitions:       len(co.peers),
+		Partitions:       len(co.sets),
 		Requests:         co.requests.Load(),
 		Fanouts:          co.fanouts.Load(),
 		Coalesced:        co.coalesced.Load(),
 		PartialResponses: co.partials.Load(),
+		Failovers:        co.failovers.Load(),
+	}
+	if co.cache != nil {
+		cs := co.cache.Stats()
+		out.Cache = &CoCacheStatsJSON{
+			Hits: cs.hits, Misses: cs.misses, Evictions: cs.evictions,
+			Size: cs.size, Capacity: cs.capacity,
+		}
 	}
 	failed := make(map[int]string, len(errs))
 	for _, pe := range errs {
 		failed[pe.Partition] = pe.Error
 	}
-	for p := range co.peers {
-		ps := PartitionStatsJSON{Partition: p, URL: co.urls[p], Stats: parts[p]}
+	for p, rs := range co.sets {
+		ps := PartitionStatsJSON{Partition: p, URL: rs.primaryMember().url, Stats: parts[p]}
 		ps.Error = failed[p]
+		if len(rs.members) > 1 {
+			pm := rs.primaryMember()
+			for _, m := range rs.members {
+				ps.Replicas = append(ps.Replicas, ReplicaInfoJSON{
+					URL: m.url, Primary: m == pm,
+					Healthy: m.healthy.Load(), InSync: m.insync.Load(),
+					Applied: m.applied.Load(),
+				})
+			}
+		}
 		out.PerPartition = append(out.PerPartition, ps)
 	}
 	server.WriteJSON(w, http.StatusOK, out)
 }
 
 func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	_, errs := scatter(co, func(ctx reqCtx, cl *server.Client) (struct{}, error) {
-		return struct{}{}, cl.HealthCtx(ctx)
-	})
+	// Health probes every member of every set — a partition with one live
+	// replica still serves reads, but a dead member means lost redundancy
+	// and must surface as degraded, not hide behind the read retry.
+	var mu sync.Mutex
+	var errs []server.PartitionError
+	var wg sync.WaitGroup
+	for p, rs := range co.sets {
+		for _, m := range rs.members {
+			wg.Add(1)
+			go func(p int, m *member) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), co.timeout)
+				defer cancel()
+				if err := m.client.HealthCtx(ctx); err != nil {
+					mu.Lock()
+					errs = append(errs, server.PartitionError{Partition: p, Error: m.url + ": " + err.Error()})
+					mu.Unlock()
+				}
+			}(p, m)
+		}
+	}
+	wg.Wait()
 	if len(errs) == 0 {
-		server.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok", "partitions": len(co.peers)})
+		server.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok", "partitions": len(co.sets)})
 		return
 	}
+	sort.Slice(errs, func(a, b int) bool { return errs[a].Partition < errs[b].Partition })
 	server.WriteJSON(w, http.StatusServiceUnavailable, map[string]any{
-		"status": "degraded", "partitions": len(co.peers), "partial": errs,
+		"status": "degraded", "partitions": len(co.sets), "partial": errs,
 	})
 }

@@ -461,6 +461,112 @@ func TestShardCoalescing(t *testing.T) {
 	}
 }
 
+// TestCoordinatorCache: a repeat query at a hot timepoint is served from
+// the coordinator's merged-response LRU — no second fan-out — and an
+// append at or before that timepoint invalidates it.
+func TestCoordinatorCache(t *testing.T) {
+	events := testEvents()
+	c := newCluster(t, events, 2, Config{})
+	var last historygraph.Time
+	for _, w := range c.workers {
+		if lt := w.LastTime(); lt > last {
+			last = lt
+		}
+	}
+	// The appended probe event below must stay chronological (>= last) yet
+	// still invalidate the cached timepoint, so the hot timepoint is the
+	// history's end.
+	target := last
+
+	first, err := c.client.Snapshot(target, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.co.Fanouts(); got != 1 {
+		t.Fatalf("first query: %d fan-outs, want 1", got)
+	}
+	again, err := c.client.Snapshot(target, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.co.Fanouts(); got != 1 {
+		t.Fatalf("repeat query re-scattered: %d fan-outs, want 1", got)
+	}
+	if !again.Cached {
+		t.Fatal("repeat query not marked cached")
+	}
+	if again.NumNodes != first.NumNodes || again.NumEdges != first.NumEdges || len(again.Nodes) != len(first.Nodes) {
+		t.Fatalf("cached response diverged: %d/%d vs %d/%d", again.NumNodes, again.NumEdges, first.NumNodes, first.NumEdges)
+	}
+
+	// Batches are cached whole too.
+	ts := []historygraph.Time{last / 4, last / 3}
+	if _, err := c.client.Snapshots(ts, "", false); err != nil {
+		t.Fatal(err)
+	}
+	batchFanouts := c.co.Fanouts()
+	if _, err := c.client.Snapshots(ts, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.co.Fanouts(); got != batchFanouts {
+		t.Fatalf("repeat batch re-scattered: %d fan-outs, want %d", got, batchFanouts)
+	}
+
+	// An append at the cached timepoint invalidates every dependent entry.
+	res, err := c.client.Append(historygraph.EventList{{
+		Type: historygraph.AddNode, At: target, Node: historygraph.NodeID(900001),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partial) != 0 || res.Appended != 1 {
+		t.Fatalf("append result %+v", res)
+	}
+	fresh, err := c.client.Snapshot(target, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.co.Fanouts(); got != batchFanouts+1 {
+		t.Fatalf("post-append query should re-scatter: %d fan-outs, want %d", got, batchFanouts+1)
+	}
+	if fresh.NumNodes != first.NumNodes+1 {
+		t.Fatalf("post-append snapshot has %d nodes, want %d", fresh.NumNodes, first.NumNodes+1)
+	}
+}
+
+// TestCoordinatorCachePartialNotAdmitted: a response missing a partition
+// must not be served from the merged-response cache once the partition is
+// back.
+func TestCoordinatorCachePartialNotAdmitted(t *testing.T) {
+	events := testEvents()
+	c := newCluster(t, events, 2, Config{PartitionTimeout: 2 * time.Second})
+	var last historygraph.Time
+	for _, w := range c.workers {
+		if lt := w.LastTime(); lt > last {
+			last = lt
+		}
+	}
+	c.httpSrvs[1].Close()
+	partial, err := c.client.Snapshot(last/2, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial.Partial) != 1 {
+		t.Fatalf("partial list %+v, want one dead partition", partial.Partial)
+	}
+	before := c.co.Fanouts()
+	again, err := c.client.Snapshot(last/2, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.co.Fanouts() == before {
+		t.Fatal("partial response was served from the merged-response cache")
+	}
+	if again.Cached {
+		t.Fatal("partial response must not claim a cache hit")
+	}
+}
+
 // TestPartitionEvents checks the routing invariants the whole design
 // rests on: ownership matches the hash, order is preserved, nothing is
 // lost.
