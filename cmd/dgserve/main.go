@@ -79,6 +79,7 @@ func main() {
 	peerTimeout := flag.Duration("peer-timeout", shard.DefaultPartitionTimeout, "per-partition fan-out timeout (coordinator role only)")
 	replicas := flag.Int("replicas", 0, "expected replicas per partition (coordinator role only; validates -peers)")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "replica health-check period (coordinator role only; 0 disables)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "max age of a merged-response cache entry (coordinator role only; 0 keeps entries until an append through this coordinator invalidates them — set when writers can reach partition primaries directly)")
 	walDir := flag.String("wal-dir", "", "directory for the durable write-ahead event log; enables WAL durability and the replication endpoints")
 	primary := flag.String("primary", "", "base URL of this replica's primary; makes the node a follower tailing that WAL (requires -wal-dir)")
 	syncFollowers := flag.Int("sync-followers", 0, "followers that must durably log a batch before the primary acks the append (requires -wal-dir)")
@@ -86,7 +87,7 @@ func main() {
 
 	switch *role {
 	case "coordinator", "coord":
-		runCoordinator(*addr, *peers, *partitions, *replicas, *peerTimeout, *healthInterval, *cacheSize)
+		runCoordinator(*addr, *peers, *partitions, *replicas, *peerTimeout, *healthInterval, *cacheSize, *cacheTTL)
 		return
 	case "", "worker", "single":
 		// An index-serving process; a worker is just a server whose
@@ -199,7 +200,7 @@ func main() {
 // runCoordinator serves the scatter-gather front of a sharded cluster: no
 // local index, every query fans out across the -peers partition replica
 // sets and merges.
-func runCoordinator(addr, peers string, expected, replicas int, timeout, healthInterval time.Duration, cacheSize int) {
+func runCoordinator(addr, peers string, expected, replicas int, timeout, healthInterval time.Duration, cacheSize int, cacheTTL time.Duration) {
 	// shard.New owns the peer-spec grammar ("," between partitions, "|"
 	// between a partition's replicas); this just splits the flag.
 	var specs []string
@@ -223,6 +224,7 @@ func runCoordinator(addr, peers string, expected, replicas int, timeout, healthI
 		PartitionTimeout: timeout,
 		HealthInterval:   healthInterval,
 		CacheSize:        cacheSize,
+		CacheTTL:         cacheTTL,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)

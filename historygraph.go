@@ -274,6 +274,14 @@ func (gm *GraphManager) Append(ev Event) error { return gm.dg.Append(ev) }
 // AppendAll records a run of events.
 func (gm *GraphManager) AppendAll(events EventList) error { return gm.dg.AppendAll(events) }
 
+// AppendAllCounted is AppendAll reporting how many events applied before
+// the first failure (== len(events) on success); the replication
+// subsystem's recovery uses the count to resume exactly where a partial
+// apply stopped.
+func (gm *GraphManager) AppendAllCounted(events EventList) (int, error) {
+	return gm.dg.AppendAllCounted(events)
+}
+
 // GetHistGraph retrieves the graph as of time t into the GraphPool. The
 // attrOptions string follows the paper's Table 1 syntax (e.g.
 // "+node:all-node:salary+edge:name"; "" fetches structure only).

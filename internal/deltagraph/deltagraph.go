@@ -219,14 +219,24 @@ func (dg *DeltaGraph) Append(ev graph.Event) error {
 
 // AppendAll appends a run of events.
 func (dg *DeltaGraph) AppendAll(events graph.EventList) error {
+	_, err := dg.AppendAllCounted(events)
+	return err
+}
+
+// AppendAllCounted is AppendAll reporting how many events of the run were
+// applied before the first failure (== len(events) on success). Events
+// apply one at a time, so on error a prefix of exactly that length has
+// landed — recovery paths (the replication WAL drain) use the count to
+// resume precisely instead of re-applying or skipping the prefix.
+func (dg *DeltaGraph) AppendAllCounted(events graph.EventList) (int, error) {
 	dg.mu.Lock()
 	defer dg.mu.Unlock()
-	for _, ev := range events {
+	for i, ev := range events {
 		if err := dg.appendLocked(ev); err != nil {
-			return err
+			return i, err
 		}
 	}
-	return nil
+	return len(events), nil
 }
 
 func (dg *DeltaGraph) appendLocked(ev graph.Event) error {

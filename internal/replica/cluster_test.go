@@ -8,11 +8,14 @@ package replica_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -240,6 +243,131 @@ func TestReplicatedClusterOracle(t *testing.T) {
 		t.Fatal(err)
 	}
 	compare("after failover", last/2+1, last+1, newT)
+}
+
+// TestFailoverRetryDeduped: the worst-case duplicate scenario — an append
+// commits on the primary and replicates to the follower, but the response
+// is lost, so the coordinator sees an error, fails over, and retries the
+// whole batch against the promoted follower. The batch ID must make that
+// retry idempotent: acked once, logged once, applied once.
+func TestFailoverRetryDeduped(t *testing.T) {
+	dir := t.TempDir()
+	// SyncFollowers=1: the primary acks only after the follower has
+	// durably mirrored the batch, so by the time the proxy discards the
+	// response the events are guaranteed to be on both nodes.
+	primary := launch(t, filepath.Join(dir, "p.wal"), "", replica.Config{
+		Role: replica.RolePrimary, SyncFollowers: 1, AckTimeout: 10 * time.Second,
+	})
+	follower := launch(t, filepath.Join(dir, "f.wal"), "", replica.Config{
+		Role: replica.RoleFollower, PrimaryURL: primary.url, PollWait: 100 * time.Millisecond,
+	})
+
+	// The proxy fronts the primary for the coordinator: it forwards
+	// appends (they commit and replicate) but answers 502 — a response
+	// lost after the WAL sync. Everything else (health probes, status)
+	// fails too, so the coordinator treats the primary as dark and
+	// promotes the follower.
+	var swallowed atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/append" {
+			req, err := http.NewRequest(http.MethodPost, primary.url+r.URL.RequestURI(), r.Body)
+			if err == nil {
+				req.Header = r.Header
+				if resp, err := http.DefaultClient.Do(req); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					swallowed.Add(1)
+				}
+			}
+		}
+		http.Error(w, "proxy: connection reset", http.StatusBadGateway)
+	}))
+	defer proxy.Close()
+
+	co, err := shard.NewReplicated([][]string{{proxy.URL, follower.url}}, shard.Config{
+		PartitionTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	front := httptest.NewServer(co.Handler())
+	defer front.Close()
+
+	events := testEvents(8, 1)
+	res, err := server.NewClient(front.URL).Append(events)
+	if err != nil {
+		t.Fatalf("append across lost response: %v", err)
+	}
+	if swallowed.Load() == 0 {
+		t.Fatal("proxy never forwarded the first attempt; the scenario did not happen")
+	}
+	if co.Failovers() == 0 {
+		t.Fatal("no failover despite the dark primary")
+	}
+	if res.Appended != len(events) {
+		t.Fatalf("appended %d, want %d", res.Appended, len(events))
+	}
+
+	// Exactly one copy: the follower's WAL holds the batch once, and the
+	// graph holds each node once.
+	if got, want := follower.log.LastSeq(), uint64(len(events)); got != want {
+		t.Fatalf("follower WAL holds %d records, want %d (batch logged twice?)", got, want)
+	}
+	_, lastT := events.Span()
+	snap, err := server.NewClient(follower.url).Snapshot(lastT, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumNodes != 8 {
+		t.Fatalf("follower graph holds %d nodes, want 8", snap.NumNodes)
+	}
+}
+
+// TestClientErrorDoesNotFailOver: a 422 from the primary (out-of-order
+// batch — the node deliberately said no) must surface to the client
+// without deposing the primary; failover is for nodes that stop
+// answering, not for requests they reject.
+func TestClientErrorDoesNotFailOver(t *testing.T) {
+	dir := t.TempDir()
+	primary := launch(t, filepath.Join(dir, "p.wal"), "", replica.Config{Role: replica.RolePrimary})
+	follower := launch(t, filepath.Join(dir, "f.wal"), "", replica.Config{
+		Role: replica.RoleFollower, PrimaryURL: primary.url, PollWait: 100 * time.Millisecond,
+	})
+	co, err := shard.NewReplicated([][]string{{primary.url, follower.url}}, shard.Config{
+		PartitionTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	front := httptest.NewServer(co.Handler())
+	defer front.Close()
+	client := server.NewClient(front.URL)
+
+	if _, err := client.Append(testEvents(4, 100)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Append(testEvents(2, 1))
+	if err == nil {
+		t.Fatal("out-of-order batch should be rejected")
+	}
+	// The rejection surfaces as the client error it is, not as a gateway
+	// fault a caller would blindly retry.
+	var he *server.HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("coordinator answered %v, want HTTP 422", err)
+	}
+	if got := co.Failovers(); got != 0 {
+		t.Fatalf("client rejection triggered %d failover(s)", got)
+	}
+	if got := co.Primary(0); got != primary.url {
+		t.Fatalf("partition 0 primary is %s after a client error, want %s", got, primary.url)
+	}
+	// The primary stays in rotation: the next good append lands first try.
+	if _, err := client.Append(testEvents(2, 200)); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestHealthLoopPromotesDarkPrimary: with the background health checker

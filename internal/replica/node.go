@@ -95,7 +95,8 @@ type Node struct {
 
 	role       atomic.Int32
 	appliedSeq atomic.Uint64
-	tailErr    atomic.Value // string: last tail-loop failure, "" when healthy
+	walSkipped atomic.Uint64 // records in the WAL the graph rejected (skipped, not fatal)
+	tailErr    atomic.Value  // string: last tail-loop failure, "" when healthy
 
 	// appendMu serializes the WAL-write + graph-apply pair so the graph
 	// is always applied in WAL sequence order. Without it, two concurrent
@@ -106,6 +107,16 @@ type Node struct {
 	// applies in strict sequence order).
 	appendMu sync.Mutex
 
+	// batches is the append-dedup table (guarded by appendMu): batch ID ->
+	// extent of the WAL records carrying it. It is rebuilt from the WAL on
+	// replay and extended by follower mirroring, so both a restarted node
+	// and a promoted follower recognize a batch a coordinator retries
+	// after a failover or a lost response, and ack it instead of logging
+	// and applying the events twice. batchOrder evicts oldest-first once
+	// maxBatchIDs is reached.
+	batches    map[string]batchSpan
+	batchOrder []string
+
 	mu         sync.Mutex
 	primaryURL string
 	acks       map[string]uint64
@@ -114,6 +125,17 @@ type Node struct {
 	tailDone   chan struct{}
 	closed     bool
 }
+
+// batchSpan is one dedup-table entry: how many WAL records carry the batch
+// ID and the highest sequence number among them.
+type batchSpan struct {
+	events  int
+	lastSeq uint64
+}
+
+// maxBatchIDs bounds the dedup table. IDs are forgotten oldest-first, long
+// after any coordinator retry of the batch could still be in flight.
+const maxBatchIDs = 4096
 
 // NewNode wraps srv with the replication layer over log. It replays the
 // WAL into srv's GraphManager (events at or before the manager's LastTime
@@ -130,6 +152,7 @@ func NewNode(srv *server.Server, log *Log, cfg Config) (*Node, error) {
 		fetchMax:      cfg.FetchMax,
 		acks:          make(map[string]uint64),
 		ackNotify:     make(chan struct{}),
+		batches:       make(map[string]batchSpan),
 	}
 	if n.selfID == "" {
 		var b [8]byte
@@ -182,30 +205,123 @@ func NewNode(srv *server.Server, log *Log, cfg Config) (*Node, error) {
 // replays everything, a checkpoint-loaded one only the suffix the
 // checkpoint predates.
 func (n *Node) replay() error {
-	floor := n.srv.Manager().LastTime()
-	err := n.log.Replay(func(events historygraph.EventList) error {
-		if floor > 0 {
-			kept := events[:0:len(events)]
-			for _, ev := range events {
-				if ev.At > floor {
-					kept = append(kept, ev)
-				}
-			}
-			events = kept
+	n.appendMu.Lock()
+	defer n.appendMu.Unlock()
+	if err := n.applyLoggedLocked(n.srv.Manager().LastTime()); err != nil {
+		return fmt.Errorf("replica: WAL replay: %w", err)
+	}
+	return nil
+}
+
+// applyLoggedLocked drives the in-memory graph forward from the local WAL
+// until every record past appliedSeq is applied or deliberately skipped;
+// the caller holds appendMu. It is the one path from log to graph —
+// construction-time replay, the follower tail loop, and the post-failure
+// retry all run through it — so a record that was durably logged but never
+// applied (the process died between the two steps, or a previous apply
+// failed) is re-driven from the log instead of silently skipped when later
+// records arrive.
+//
+// checkpointFloor > 0 skips events at or before the checkpoint the graph
+// was loaded from (replay tops a checkpoint up, it must not double-apply
+// it). Independently, events older than the index clock — which the graph
+// rejects — are dropped and counted in wal_skipped rather than treated as
+// fatal: the live append path refuses such batches before logging them
+// (see handleAppend), so they only exist in WALs written before that guard
+// or mirrored from one, and recovery must degrade exactly like the live
+// path did — reject the event, keep the node serving.
+func (n *Node) applyLoggedLocked(checkpointFloor historygraph.Time) error {
+	for {
+		recs, err := n.log.Read(n.appliedSeq.Load()+1, n.fetchMax)
+		if err != nil {
+			return err
 		}
-		if len(events) == 0 {
+		if len(recs) == 0 {
 			return nil
 		}
-		if _, err := n.srv.ApplyEvents(events); err != nil {
-			return fmt.Errorf("replica: WAL replay: %w", err)
+		if err := n.applyRecordsLocked(recs, checkpointFloor); err != nil {
+			return err
 		}
-		return nil
-	})
-	if err != nil {
-		return err
 	}
-	n.appliedSeq.Store(n.log.LastSeq())
-	return nil
+}
+
+// applyRecordsLocked applies one contiguous run of records (starting at
+// appliedSeq+1) to the graph; the caller holds appendMu. Counters, dedup
+// spans, and appliedSeq advance only for the settled prefix: on a partial
+// apply failure the exact applied count (AppendResult.Appended) marks
+// where the run stopped, so the retry resumes at the failing event —
+// never re-applying an event that landed (equal timestamps make At-based
+// dedup impossible) and never double-counting wal_skipped or inflating a
+// batch's dedup span.
+func (n *Node) applyRecordsLocked(recs []Record, checkpointFloor historygraph.Time) error {
+	clock := n.srv.Manager().LastTime()
+	events := make(historygraph.EventList, 0, len(recs))
+	seqOf := make([]uint64, 0, len(recs)) // record seq per kept event
+	stale := make([]bool, len(recs))      // record was poison (not checkpoint-covered)
+	for i, rec := range recs {
+		ev, err := server.EventFromJSON(rec.Event)
+		if err != nil {
+			return fmt.Errorf("replica: WAL record %d: %w", rec.Seq, err)
+		}
+		switch {
+		case checkpointFloor > 0 && ev.At <= checkpointFloor:
+			// Already part of the loaded checkpoint.
+		case ev.At < clock:
+			stale[i] = true // poison record a pre-guard WAL logged
+		default:
+			events = append(events, ev)
+			seqOf = append(seqOf, rec.Seq)
+			clock = ev.At
+		}
+	}
+	res, appendErr := n.srv.ApplyEvents(events)
+	settled := recs[len(recs)-1].Seq
+	if appendErr != nil && res.Appended < len(events) {
+		// Everything before the first unapplied event's record is settled
+		// (applied or deliberately skipped).
+		settled = seqOf[res.Appended] - 1
+	}
+	skipped := uint64(0)
+	for i, rec := range recs {
+		if rec.Seq > settled {
+			break
+		}
+		n.recordBatchLocked(rec.Batch, 1, rec.Seq)
+		if stale[i] {
+			skipped++
+		}
+	}
+	n.walSkipped.Add(skipped)
+	if settled > n.appliedSeq.Load() {
+		n.appliedSeq.Store(settled)
+	}
+	return appendErr
+}
+
+// recordBatchLocked extends the dedup table with events more records of
+// batch, the highest at lastSeq; the caller holds appendMu. Records at or
+// below a known span's lastSeq are already counted (the backlog path can
+// re-read records the primary's append path registered) and are skipped.
+func (n *Node) recordBatchLocked(batch string, events int, lastSeq uint64) {
+	if batch == "" {
+		return
+	}
+	span, known := n.batches[batch]
+	if known && lastSeq <= span.lastSeq {
+		return
+	}
+	if !known {
+		if len(n.batchOrder) >= maxBatchIDs {
+			delete(n.batches, n.batchOrder[0])
+			n.batchOrder = n.batchOrder[1:]
+		}
+		n.batchOrder = append(n.batchOrder, batch)
+	}
+	span.events += events
+	if lastSeq > span.lastSeq {
+		span.lastSeq = lastSeq
+	}
+	n.batches[batch] = span
 }
 
 // Role returns the node's current role.
@@ -253,28 +369,91 @@ func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Durability order: WAL first (synced), then the in-memory graph, then
-	// — when configured — the follower-ack wait. Every acked event is on
-	// disk here and on SyncFollowers followers. appendMu keeps the two
-	// steps atomic with respect to concurrent appends, so apply order
+	batch := r.URL.Query().Get("batch")
+	// Durability order: validate, then WAL (synced), then the in-memory
+	// graph, then — when configured — the follower-ack wait. Every acked
+	// event is on disk here and on SyncFollowers followers. appendMu keeps
+	// the steps atomic with respect to concurrent appends, so apply order
 	// always matches WAL order.
 	n.appendMu.Lock()
-	_, last, err := n.log.Append(events)
+	// Drain any logged-but-unapplied backlog before accepting more: if a
+	// previous apply failed after its WAL write, the graph clock is behind
+	// the log tail, and validating or applying against it would let this
+	// batch jump the hole — appliedSeq would advance past records the
+	// graph never saw, and a batch admitted under the stale clock would be
+	// acked live yet skipped as out-of-order by every replay and follower.
+	if err := n.applyLoggedLocked(0); err != nil {
+		n.appendMu.Unlock()
+		server.WriteError(w, http.StatusInternalServerError, fmt.Errorf("replica: WAL backlog apply: %w", err))
+		return
+	}
+	resumed := 0
+	if span, seen := n.batches[batch]; seen && batch != "" {
+		if span.events >= len(events) {
+			// The whole batch is already in the WAL — a coordinator
+			// retrying after a failover or a lost response must not log
+			// and apply it twice. Ack it as the original append would
+			// have.
+			n.appendMu.Unlock()
+			if n.syncFollowers > 0 && !n.waitForAcks(span.lastSeq, n.syncFollowers) {
+				server.WriteError(w, http.StatusServiceUnavailable, fmt.Errorf(
+					"replica: %d follower(s) did not confirm seq %d within %v (events are logged and will replicate; batch was NOT acked)",
+					n.syncFollowers, span.lastSeq, n.ackTimeout))
+				return
+			}
+			server.WriteJSON(w, http.StatusOK, server.AppendResult{
+				Appended: span.events,
+				LastTime: int64(n.srv.Manager().LastTime()),
+				Seq:      span.lastSeq,
+				Deduped:  true,
+			})
+			return
+		}
+		// The node holds only a prefix of the batch: a mid-batch primary
+		// failure cut the replication stream short of the last records.
+		// Retries resend the identical batch, so append the remainder
+		// under the same ID, picking up exactly where the mirrored
+		// records stop — a full re-append would duplicate the prefix, a
+		// full dedup ack would silently drop the suffix.
+		resumed = span.events
+		events = events[resumed:]
+	}
+	// Reject what the graph would reject while the log is still clean: the
+	// graph refuses events older than its clock (an ordinary 422), and
+	// logging such a batch first would leave poison records that every
+	// restart replay and every follower re-hits forever.
+	if err := validateOrder(n.srv.Manager().LastTime(), events); err != nil {
+		n.appendMu.Unlock()
+		server.WriteError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	_, last, err := n.log.AppendBatch(events, batch)
 	if err != nil {
 		n.appendMu.Unlock()
 		server.WriteError(w, http.StatusInternalServerError, fmt.Errorf("replica: WAL append: %w", err))
 		return
 	}
+	if len(events) > 0 {
+		n.recordBatchLocked(batch, len(events), last)
+	}
 	res, appendErr := n.srv.ApplyEvents(events)
-	if appendErr == nil && last > 0 {
-		// On a partial apply failure appliedSeq stays put: overstating it
-		// would mislead the coordinator's most-caught-up promotion and
-		// in-sync read routing.
-		n.appliedSeq.Store(last)
+	if last > 0 {
+		// res.Appended is the exact applied count even on failure, so
+		// appliedSeq settles precisely at the last applied record — never
+		// past a hole (which would mislead most-caught-up promotion and
+		// in-sync routing) and never behind the true position (which
+		// would make the backlog drain re-apply landed events).
+		if settled := last - uint64(len(events)-res.Appended); settled > n.appliedSeq.Load() {
+			n.appliedSeq.Store(settled)
+		}
 	}
 	n.appendMu.Unlock()
 	if appendErr != nil {
-		server.WriteError(w, http.StatusUnprocessableEntity, appendErr)
+		// Ordering was validated before the WAL write, so this is an
+		// internal failure (index store I/O), not a client error; the
+		// batch is durably logged and the backlog drain re-applies the
+		// unapplied tail on the next append or restart.
+		server.WriteError(w, http.StatusInternalServerError, appendErr)
 		return
 	}
 	if len(events) > 0 && n.syncFollowers > 0 {
@@ -286,7 +465,23 @@ func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	res.Seq = last
+	res.Appended += resumed
+	res.Deduped = resumed > 0
 	server.WriteJSON(w, http.StatusOK, res)
+}
+
+// validateOrder rejects a batch the graph would refuse: events must be
+// time-ordered within the batch and none may predate clock (the index
+// only ever moves forward). It mirrors the deltagraph append check so a
+// rejection happens before anything reaches the WAL.
+func validateOrder(clock historygraph.Time, events historygraph.EventList) error {
+	for _, ev := range events {
+		if ev.At < clock {
+			return fmt.Errorf("replica: event at %d is older than last event at %d", ev.At, clock)
+		}
+		clock = ev.At
+	}
+	return nil
 }
 
 // recordAck notes that follower id has durably logged every record up to
@@ -379,6 +574,11 @@ type StatusJSON struct {
 	Primary    string `json:"primary,omitempty"`
 	LastSeq    uint64 `json:"last_seq"`
 	AppliedSeq uint64 `json:"applied_seq"`
+	// WALSkipped counts logged records the graph rejected as out of order
+	// and recovery deliberately skipped (poison from a WAL written before
+	// the validate-before-log guard). Non-zero means the log holds records
+	// that are not in the graph — worth an operator's look, not fatal.
+	WALSkipped uint64 `json:"wal_skipped,omitempty"`
 	TailError  string `json:"tail_error,omitempty"`
 }
 
@@ -392,6 +592,7 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Primary:    primary,
 		LastSeq:    n.log.LastSeq(),
 		AppliedSeq: n.appliedSeq.Load(),
+		WALSkipped: n.walSkipped.Load(),
 		TailError:  n.tailErr.Load().(string),
 	})
 }
@@ -475,16 +676,35 @@ func (n *Node) stopTailLocked() {
 // its own log and re-fetches only what it never stored.
 func (n *Node) tailLoop(ctx context.Context, primary string, done chan struct{}) {
 	defer close(done)
+	backoff := func() bool {
+		select {
+		case <-time.After(DefaultRetryDelay):
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
 	for ctx.Err() == nil {
+		// Logged-but-unapplied records come first: fetch resumes from the
+		// log's end, so anything a failed or interrupted apply left behind
+		// must catch up from the local log, not the network — otherwise a
+		// later successful batch would advance appliedSeq past the hole
+		// and the member would report in-sync with events missing from its
+		// graph.
+		if err := n.applyBacklog(); err != nil {
+			n.tailErr.Store(err.Error())
+			if !backoff() {
+				return
+			}
+			continue
+		}
 		recs, err := n.fetch(ctx, primary)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
 			}
 			n.tailErr.Store(err.Error())
-			select {
-			case <-time.After(DefaultRetryDelay):
-			case <-ctx.Done():
+			if !backoff() {
 				return
 			}
 			continue
@@ -499,9 +719,7 @@ func (n *Node) tailLoop(ctx context.Context, primary string, done chan struct{})
 			// Surface it in /replstatus and keep retrying — the operator
 			// must re-seed the WAL dir.
 			n.tailErr.Store(err.Error())
-			select {
-			case <-time.After(DefaultRetryDelay):
-			case <-ctx.Done():
+			if !backoff() {
 				return
 			}
 		}
@@ -534,32 +752,33 @@ func (n *Node) fetch(ctx context.Context, primary string) ([]Record, error) {
 	return body.Records, nil
 }
 
-// apply mirrors fetched records into the local WAL, then the graph.
+// apply mirrors fetched records into the local WAL, then drives the graph
+// forward. In the steady state (no backlog) the fetched records are
+// applied straight from memory; only when logged-but-unapplied records
+// precede them does the slower read-back-from-the-log path run.
 func (n *Node) apply(recs []Record) error {
 	n.appendMu.Lock()
 	defer n.appendMu.Unlock()
+	caughtUp := n.appliedSeq.Load() == n.log.LastSeq()
 	if err := n.log.AppendRecords(recs); err != nil {
 		return err
 	}
-	events := make(historygraph.EventList, 0, len(recs))
-	lastSeq := n.appliedSeq.Load()
-	for _, rec := range recs {
-		if rec.Seq <= lastSeq {
-			continue
-		}
-		ev, err := server.EventFromJSON(rec.Event)
-		if err != nil {
-			return err
-		}
-		events = append(events, ev)
-		lastSeq = rec.Seq
+	if !caughtUp {
+		return n.applyLoggedLocked(0)
 	}
-	if len(events) == 0 {
+	for len(recs) > 0 && recs[0].Seq <= n.appliedSeq.Load() {
+		recs = recs[1:] // overlapping re-fetch, already settled
+	}
+	if len(recs) == 0 {
 		return nil
 	}
-	if _, err := n.srv.ApplyEvents(events); err != nil {
-		return err
-	}
-	n.appliedSeq.Store(lastSeq)
-	return nil
+	return n.applyRecordsLocked(recs, 0)
+}
+
+// applyBacklog applies any records sitting in the local WAL but not yet in
+// the graph — the recovery half of the tail loop's fetch/apply cycle.
+func (n *Node) applyBacklog() error {
+	n.appendMu.Lock()
+	defer n.appendMu.Unlock()
+	return n.applyLoggedLocked(0)
 }

@@ -97,8 +97,8 @@ func waitApplied(t testing.TB, baseURL string, want uint64) {
 	t.Fatalf("follower %s never applied seq %d", baseURL, want)
 }
 
-// TestWALRoundTrip: events encoded into the log come back in order, from
-// both Read and Replay.
+// TestWALRoundTrip: events encoded into the log come back from Read in
+// order and decode to the events that went in.
 func TestWALRoundTrip(t *testing.T) {
 	log, err := replica.OpenLog(filepath.Join(t.TempDir(), "wal.log"))
 	if err != nil {
@@ -120,19 +120,16 @@ func TestWALRoundTrip(t *testing.T) {
 	if len(recs) != len(events) {
 		t.Fatalf("read %d records, want %d", len(recs), len(events))
 	}
-	var replayed historygraph.EventList
-	if err := log.Replay(func(chunk historygraph.EventList) error {
-		replayed = append(replayed, chunk...)
-		return nil
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if len(replayed) != len(events) {
-		t.Fatalf("replayed %d events, want %d", len(replayed), len(events))
-	}
-	for i := range events {
-		if replayed[i] != events[i] {
-			t.Fatalf("event %d replayed as %+v, want %+v", i, replayed[i], events[i])
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d, want %d", i, rec.Seq, i+1)
+		}
+		ev, err := server.EventFromJSON(rec.Event)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != events[i] {
+			t.Fatalf("event %d read back as %+v, want %+v", i, ev, events[i])
 		}
 	}
 }
@@ -410,6 +407,264 @@ func TestPromote(t *testing.T) {
 	}
 	if res2.Seq <= res.Seq {
 		t.Fatalf("promoted primary assigned seq %d, want > %d", res2.Seq, res.Seq)
+	}
+}
+
+// TestOutOfOrderAppendKeepsWALClean: a batch the graph rejects (events
+// older than the index clock — an ordinary client error) must be refused
+// before it reaches the WAL. Without the validate-first guard the
+// rejected batch was durably logged anyway, and every restart re-hit the
+// rejection during replay: the node crash-looped until the WAL was
+// repaired by hand.
+func TestOutOfOrderAppendKeepsWALClean(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.log")
+	tn := startNode(t, walPath, replica.Config{Role: replica.RolePrimary})
+	client := server.NewClient(tn.hs.URL)
+
+	events := testEvents(8, 100)
+	res, err := client.Append(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Append(testEvents(2, 1)); err == nil {
+		t.Fatal("out-of-order batch should be rejected")
+	}
+	if got := tn.log.LastSeq(); got != res.Seq {
+		t.Fatalf("rejected batch reached the WAL: last seq %d, want %d", got, res.Seq)
+	}
+	_, lastT := events.Span()
+	query := fmt.Sprintf("/snapshot?t=%d&full=1", lastT)
+	before := rawGET(t, tn.hs.URL+query)
+
+	tn.stop() // restart must not crash-loop on a poison record
+	tn2 := startNode(t, walPath, replica.Config{Role: replica.RolePrimary})
+	st, err := replica.Status(context.Background(), http.DefaultClient, tn2.hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LastSeq != res.Seq || st.AppliedSeq != res.Seq || st.WALSkipped != 0 {
+		t.Fatalf("recovered last=%d applied=%d skipped=%d, want %d/%d/0",
+			st.LastSeq, st.AppliedSeq, st.WALSkipped, res.Seq, res.Seq)
+	}
+	if after := rawGET(t, tn2.hs.URL+query); string(after) != string(before) {
+		t.Fatalf("restarted node diverges:\n got: %.300s\nwant: %.300s", after, before)
+	}
+}
+
+// poisonedWAL writes a log holding good records bracketing one the graph
+// rejects (an event older than the index clock) — the shape a WAL written
+// before the validate-before-log guard could be left in.
+func poisonedWAL(t testing.TB, walPath string) (lastSeq uint64, lastT historygraph.Time) {
+	t.Helper()
+	log, err := replica.OpenLog(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	batches := []historygraph.EventList{
+		{
+			{Type: historygraph.AddNode, At: 10, Node: 1},
+			{Type: historygraph.AddNode, At: 11, Node: 2},
+		},
+		{{Type: historygraph.AddNode, At: 3, Node: 99}}, // poison: predates the clock
+		{{Type: historygraph.AddNode, At: 20, Node: 3}},
+	}
+	for _, b := range batches {
+		var err error
+		if _, lastSeq, err = log.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return lastSeq, 20
+}
+
+// TestPoisonWALReplayTolerated: replay over a WAL holding records the
+// graph rejects must skip and count them — exactly what the live append
+// path did (a 422, never applied) — instead of refusing to start.
+func TestPoisonWALReplayTolerated(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.log")
+	lastSeq, lastT := poisonedWAL(t, walPath)
+
+	tn := startNode(t, walPath, replica.Config{Role: replica.RolePrimary})
+	st, err := replica.Status(context.Background(), http.DefaultClient, tn.hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LastSeq != lastSeq || st.AppliedSeq != lastSeq {
+		t.Fatalf("recovered last=%d applied=%d, want both %d", st.LastSeq, st.AppliedSeq, lastSeq)
+	}
+	if st.WALSkipped != 1 {
+		t.Fatalf("wal_skipped = %d, want 1", st.WALSkipped)
+	}
+	snap, err := server.NewClient(tn.hs.URL).Snapshot(lastT, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumNodes != 3 {
+		t.Fatalf("replayed %d nodes, want 3 (poison skipped, good events kept)", snap.NumNodes)
+	}
+	for _, n := range snap.Nodes {
+		if n.ID == 99 {
+			t.Fatal("poison event reached the graph")
+		}
+	}
+	// The node keeps accepting appends past the poison.
+	if _, err := server.NewClient(tn.hs.URL).Append(testEvents(2, lastT+5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFollowerSkipsPoisonRecords: poison records replicate to the
+// follower (the logs must stay identical) but are skipped there the same
+// way — the follower keeps applying later records instead of wedging
+// behind the rejection with appliedSeq stuck.
+func TestFollowerSkipsPoisonRecords(t *testing.T) {
+	dir := t.TempDir()
+	lastSeq, lastT := poisonedWAL(t, filepath.Join(dir, "p.wal"))
+
+	primary := startNode(t, filepath.Join(dir, "p.wal"), replica.Config{Role: replica.RolePrimary})
+	follower := startNode(t, filepath.Join(dir, "f.wal"), replica.Config{
+		Role: replica.RoleFollower, PrimaryURL: primary.hs.URL, PollWait: 100 * time.Millisecond,
+	})
+	waitApplied(t, follower.hs.URL, lastSeq)
+
+	// Live appends past the poison still replicate and apply.
+	res, err := server.NewClient(primary.hs.URL).Append(testEvents(4, lastT+10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, follower.hs.URL, res.Seq)
+
+	st, err := replica.Status(context.Background(), http.DefaultClient, follower.hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LastSeq != res.Seq || st.AppliedSeq != res.Seq {
+		t.Fatalf("follower last=%d applied=%d, want both %d", st.LastSeq, st.AppliedSeq, res.Seq)
+	}
+	if st.WALSkipped != 1 {
+		t.Fatalf("follower wal_skipped = %d, want 1", st.WALSkipped)
+	}
+	query := fmt.Sprintf("/snapshot?t=%d&full=1", lastT+20)
+	if got, want := rawGET(t, follower.hs.URL+query), rawGET(t, primary.hs.URL+query); string(got) != string(want) {
+		t.Fatalf("follower snapshot diverges:\n got: %.300s\nwant: %.300s", got, want)
+	}
+}
+
+// TestAppendBatchDedup: retrying a batch ID the node has already logged
+// acks without appending twice — immediately, after a restart (table
+// rebuilt from the WAL), and on a promoted follower (table extended by
+// mirrored records). This is what makes the coordinator's post-failover
+// append retry idempotent.
+func TestAppendBatchDedup(t *testing.T) {
+	dir := t.TempDir()
+	primary := startNode(t, filepath.Join(dir, "p.wal"), replica.Config{Role: replica.RolePrimary})
+	follower := startNode(t, filepath.Join(dir, "f.wal"), replica.Config{
+		Role: replica.RoleFollower, PrimaryURL: primary.hs.URL, PollWait: 100 * time.Millisecond,
+	})
+	ctx := context.Background()
+	client := server.NewClient(primary.hs.URL)
+	events := testEvents(8, 1)
+	_, lastT := events.Span()
+
+	res, err := client.AppendBatchCtx(ctx, events, "batch-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deduped {
+		t.Fatal("first append reported deduped")
+	}
+	// Same ID again: acked, nothing new in the WAL.
+	res2, err := client.AppendBatchCtx(ctx, events, "batch-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Deduped || res2.Seq != res.Seq || res2.Appended != res.Appended {
+		t.Fatalf("retry answered %+v, want deduped with seq %d appended %d", res2, res.Seq, res.Appended)
+	}
+	if got := primary.log.LastSeq(); got != res.Seq {
+		t.Fatalf("retry appended to the WAL: last seq %d, want %d", got, res.Seq)
+	}
+	waitApplied(t, follower.hs.URL, res.Seq)
+
+	// The promoted follower recognizes the batch from mirrored records.
+	primary.stop()
+	if err := replica.SetRole(ctx, http.DefaultClient, follower.hs.URL, replica.RolePrimary, ""); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := server.NewClient(follower.hs.URL).AppendBatchCtx(ctx, events, "batch-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.Deduped || res3.Seq != res.Seq {
+		t.Fatalf("promoted follower answered %+v, want deduped with seq %d", res3, res.Seq)
+	}
+	snap, err := server.NewClient(follower.hs.URL).Snapshot(lastT, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumNodes != 8 {
+		t.Fatalf("follower holds %d nodes, want 8 (no duplicate apply)", snap.NumNodes)
+	}
+
+	// And a restarted node rebuilds the table from its own WAL.
+	follower.stop()
+	restarted := startNode(t, filepath.Join(dir, "f.wal"), replica.Config{Role: replica.RolePrimary})
+	res4, err := server.NewClient(restarted.hs.URL).AppendBatchCtx(ctx, events, "batch-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res4.Deduped || res4.Seq != res.Seq {
+		t.Fatalf("restarted node answered %+v, want deduped with seq %d", res4, res.Seq)
+	}
+}
+
+// TestAppendBatchResume: a retried batch of which the node holds only a
+// prefix (a mid-batch primary failure cut the replication stream short)
+// must resume from the mirrored records — not re-append the prefix, and
+// not full-ack while silently dropping the suffix.
+func TestAppendBatchResume(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "wal.log")
+	events := testEvents(8, 1)
+	// The dead primary managed to replicate only the first 5 records of
+	// the batch before going dark.
+	log, err := replica.OpenLog(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := log.AppendBatch(events[:5], "batch-r"); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	tn := startNode(t, walPath, replica.Config{Role: replica.RolePrimary})
+	ctx := context.Background()
+	res, err := server.NewClient(tn.hs.URL).AppendBatchCtx(ctx, events, "batch-r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(len(events))
+	if !res.Deduped || res.Appended != len(events) || res.Seq != want {
+		t.Fatalf("resume answered %+v, want deduped with appended %d seq %d", res, len(events), want)
+	}
+	if got := tn.log.LastSeq(); got != want {
+		t.Fatalf("WAL holds %d records, want %d (prefix re-appended?)", got, want)
+	}
+	_, lastT := events.Span()
+	snap, err := server.NewClient(tn.hs.URL).Snapshot(lastT, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumNodes != 8 || snap.NumEdges != 7 {
+		t.Fatalf("graph holds %d/%d, want 8/7", snap.NumNodes, snap.NumEdges)
+	}
+	// A further retry of the now-complete batch is a plain dedup ack.
+	res2, err := server.NewClient(tn.hs.URL).AppendBatchCtx(ctx, events, "batch-r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Deduped || res2.Appended != len(events) || res2.Seq != want || tn.log.LastSeq() != want {
+		t.Fatalf("post-resume retry answered %+v (log at %d), want full dedup at seq %d", res2, tn.log.LastSeq(), want)
 	}
 }
 

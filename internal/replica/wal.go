@@ -43,10 +43,22 @@ import (
 
 // Record is one WAL entry: a single event under its sequence number.
 // Appending a batch of k events produces k consecutive records followed by
-// one sync, so durability is paid once per batch.
+// one sync, so durability is paid once per batch. Batch, when set, is the
+// append's idempotency ID: every record of the batch carries it, it
+// survives in the on-disk payload, and it replicates with the record — so
+// both a restarted node and a promoted follower can recognize a retried
+// batch they already hold (Node's dedup table).
 type Record struct {
 	Seq   uint64           `json:"seq"`
 	Event server.EventJSON `json:"event"`
+	Batch string           `json:"batch,omitempty"`
+}
+
+// walPayload is a record's on-disk body: the event's wire form with the
+// optional batch ID flattened into the same JSON object.
+type walPayload struct {
+	server.EventJSON
+	Batch string `json:"batch,omitempty"`
 }
 
 // Log is the durable write-ahead event log: historygraph events encoded
@@ -68,29 +80,37 @@ func OpenLog(path string) (*Log, error) {
 	return &Log{sl: sl, notify: make(chan struct{})}, nil
 }
 
-func encodeEvent(ev historygraph.Event) ([]byte, error) {
-	return json.Marshal(server.EventToJSON(ev))
-}
-
 // Append logs a batch of events as consecutive records and syncs once.
 // When it returns, every event in the batch is durable; first and last
 // bound the assigned sequence numbers (first > last means the batch was
 // empty).
 func (l *Log) Append(events historygraph.EventList) (first, last uint64, err error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	first = l.sl.Last() + 1
-	for _, ev := range events {
-		payload, err := encodeEvent(ev)
+	return l.AppendBatch(events, "")
+}
+
+// AppendBatch is Append tagging every record with the batch's idempotency
+// ID (empty for untagged appends). The whole batch is encoded before the
+// first record is written: a marshal failure must reject the batch while
+// the log is still clean, not strand a prefix of never-applied records
+// that followers would replicate.
+func (l *Log) AppendBatch(events historygraph.EventList, batch string) (first, last uint64, err error) {
+	payloads := make([][]byte, len(events))
+	for i, ev := range events {
+		payloads[i], err = json.Marshal(walPayload{EventJSON: server.EventToJSON(ev), Batch: batch})
 		if err != nil {
 			return 0, 0, err
 		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	first = l.sl.Last() + 1
+	if len(payloads) == 0 {
+		return first, first - 1, nil
+	}
+	for _, payload := range payloads {
 		if last, err = l.sl.Append(payload); err != nil {
 			return 0, 0, err
 		}
-	}
-	if len(events) == 0 {
-		return first, first - 1, nil
 	}
 	if err := l.sl.Sync(); err != nil {
 		return 0, 0, err
@@ -111,7 +131,7 @@ func (l *Log) AppendRecords(recs []Record) error {
 		if rec.Seq <= l.sl.Last() {
 			continue
 		}
-		payload, err := json.Marshal(rec.Event)
+		payload, err := json.Marshal(walPayload{EventJSON: rec.Event, Batch: rec.Batch})
 		if err != nil {
 			return err
 		}
@@ -152,11 +172,11 @@ func (l *Log) Read(from uint64, max int) ([]Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("replica: WAL read seq %d: %w", seq, err)
 		}
-		var ej server.EventJSON
-		if err := json.Unmarshal(payload, &ej); err != nil {
+		var p walPayload
+		if err := json.Unmarshal(payload, &p); err != nil {
 			return nil, fmt.Errorf("replica: corrupt WAL record %d: %w", seq, err)
 		}
-		out = append(out, Record{Seq: seq, Event: ej})
+		out = append(out, Record{Seq: seq, Event: p.EventJSON, Batch: p.Batch})
 	}
 	return out, nil
 }
@@ -179,31 +199,6 @@ func (l *Log) Wait(seq uint64, timeout time.Duration) bool {
 		case <-deadline.C:
 			return l.sl.Last() > seq
 		}
-	}
-}
-
-// Replay feeds every logged event in sequence order to fn in chunks — the
-// restart path that rebuilds a node's in-memory graph from its local WAL.
-func (l *Log) Replay(fn func(historygraph.EventList) error) error {
-	const chunk = 1024
-	for from := uint64(1); ; {
-		recs, err := l.Read(from, chunk)
-		if err != nil {
-			return err
-		}
-		if len(recs) == 0 {
-			return nil
-		}
-		events := make(historygraph.EventList, len(recs))
-		for i, rec := range recs {
-			if events[i], err = server.EventFromJSON(rec.Event); err != nil {
-				return fmt.Errorf("replica: WAL record %d: %w", rec.Seq, err)
-			}
-		}
-		if err := fn(events); err != nil {
-			return err
-		}
-		from = recs[len(recs)-1].Seq + 1
 	}
 }
 

@@ -77,15 +77,30 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	return decodeResponse(resp, out)
 }
 
+// HTTPError is a non-200 answer from the server. It preserves the status
+// code so callers can tell a deliberate rejection (4xx — the server is
+// healthy and said no) from a failure worth retrying or failing over on.
+type HTTPError struct {
+	Status int
+	Msg    string // the server's error body, "" when it sent none
+}
+
+func (e *HTTPError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("server: %s (HTTP %d)", e.Msg, e.Status)
+	}
+	return fmt.Sprintf("server: HTTP %d", e.Status)
+}
+
 func decodeResponse(resp *http.Response, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var ej errorJSON
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		if json.Unmarshal(raw, &ej) == nil && ej.Error != "" {
-			return fmt.Errorf("server: %s (HTTP %d)", ej.Error, resp.StatusCode)
+			return &HTTPError{Status: resp.StatusCode, Msg: ej.Error}
 		}
-		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		return &HTTPError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(raw))}
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
@@ -208,12 +223,26 @@ func (c *Client) Append(events historygraph.EventList) (*AppendResult, error) {
 
 // AppendCtx is Append bounded by a context.
 func (c *Client) AppendCtx(ctx context.Context, events historygraph.EventList) (*AppendResult, error) {
+	return c.AppendBatchCtx(ctx, events, "")
+}
+
+// AppendBatchCtx is AppendCtx carrying an idempotency batch ID. A
+// WAL-backed replica node (internal/replica) remembers the IDs of batches
+// it has durably logged — including batches mirrored from a former
+// primary — so retrying the same batch after a failover or a lost
+// response acks without appending twice. Servers without a WAL ignore the
+// ID; an empty ID is an ordinary append.
+func (c *Client) AppendBatchCtx(ctx context.Context, events historygraph.EventList, batch string) (*AppendResult, error) {
 	body := make([]EventJSON, len(events))
 	for i, ev := range events {
 		body[i] = EventToJSON(ev)
 	}
+	path := "/append"
+	if batch != "" {
+		path += "?batch=" + url.QueryEscape(batch)
+	}
 	var out AppendResult
-	if err := c.post(ctx, "/append", body, &out); err != nil {
+	if err := c.post(ctx, path, body, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -423,13 +423,16 @@ func (s *Server) ApplyEvents(events historygraph.EventList) (AppendResult, error
 			minAt = ev.At
 		}
 	}
-	appendErr := s.gm.AppendAll(events)
+	applied, appendErr := s.gm.AppendAllCounted(events)
 	invalidated := 0
 	if s.cache != nil && len(events) > 0 {
 		invalidated = s.cache.InvalidateFrom(minAt)
 	}
+	// Appended is the exact applied count even on failure (a prefix may
+	// have landed); the replication recovery paths read it to resume
+	// precisely where a partial apply stopped.
 	res := AppendResult{
-		Appended:    len(events),
+		Appended:    applied,
 		LastTime:    int64(s.gm.LastTime()),
 		Invalidated: invalidated,
 	}

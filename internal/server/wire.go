@@ -31,10 +31,14 @@ type EdgeJSON struct {
 // PartitionError reports one partition's failure inside a scatter-gather
 // response assembled by a shard coordinator (internal/shard). Unsharded
 // responses never carry these; a sharded response whose Partial list is
-// non-empty is missing the named partitions' contributions.
+// non-empty is missing the named partitions' contributions. Status is the
+// partition's HTTP status when it answered with one (an HTTPError), 0 for
+// transport-level failures — it lets the coordinator surface a deliberate
+// 4xx rejection as a client error instead of a gateway failure.
 type PartitionError struct {
 	Partition int    `json:"partition"`
 	Error     string `json:"error"`
+	Status    int    `json:"status,omitempty"`
 }
 
 // SnapshotJSON answers snapshot, batch and expression queries. Nodes and
@@ -100,12 +104,15 @@ type ExprRequest struct {
 
 // AppendResult answers POST /append. Seq is the WAL sequence number of the
 // batch's last event when the serving node writes a durable write-ahead
-// log (internal/replica); nodes without a WAL leave it zero.
+// log (internal/replica); nodes without a WAL leave it zero. Deduped means
+// the node recognized the request's idempotency batch ID (?batch=) from
+// records it already holds and acked without appending again.
 type AppendResult struct {
 	Appended    int              `json:"appended"`
 	LastTime    int64            `json:"last_time"`
 	Invalidated int              `json:"invalidated,omitempty"`
 	Seq         uint64           `json:"seq,omitempty"`
+	Deduped     bool             `json:"deduped,omitempty"`
 	Partial     []PartitionError `json:"partial,omitempty"`
 }
 

@@ -3,6 +3,7 @@ package shard
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"historygraph"
 )
@@ -18,9 +19,17 @@ import (
 // time t evicts every entry that depends on any timepoint >= t, and a
 // generation counter keeps a fan-out that overlapped an append from
 // registering its pre-append merge afterwards.
+//
+// That invalidation only sees appends routed through this coordinator. An
+// append sent directly to a partition primary (the replica /append
+// endpoint accepts them) bypasses it, and a hot cached merge would stay
+// stale indefinitely — so deployments must either route every write
+// through the coordinator (the supported topology) or set Config.CacheTTL
+// to bound how old a served entry can be.
 type coCache struct {
 	mu       sync.Mutex
 	capacity int
+	ttl      time.Duration            // 0: entries live until invalidation/eviction
 	entries  map[string]*list.Element // values are *coEntry
 	lru      *list.List               // front = most recently used
 	gen      int64
@@ -31,20 +40,23 @@ type coCache struct {
 // coEntry is one cached merged response. maxT is the latest timepoint the
 // response depends on: an append at or before it invalidates the entry.
 type coEntry struct {
-	key  string
-	maxT historygraph.Time
-	val  any
+	key   string
+	maxT  historygraph.Time
+	val   any
+	added time.Time
 }
 
-func newCoCache(capacity int) *coCache {
+func newCoCache(capacity int, ttl time.Duration) *coCache {
 	return &coCache{
 		capacity: capacity,
+		ttl:      ttl,
 		entries:  make(map[string]*list.Element),
 		lru:      list.New(),
 	}
 }
 
-// Get returns the cached merged response for key.
+// Get returns the cached merged response for key. A TTL-expired entry is
+// evicted and reported as a miss.
 func (c *coCache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -53,9 +65,17 @@ func (c *coCache) Get(key string) (any, bool) {
 		c.misses++
 		return nil, false
 	}
+	ent := elem.Value.(*coEntry)
+	if c.ttl > 0 && time.Since(ent.added) > c.ttl {
+		delete(c.entries, ent.key)
+		c.lru.Remove(elem)
+		c.evictions++
+		c.misses++
+		return nil, false
+	}
 	c.lru.MoveToFront(elem)
 	c.hits++
-	return elem.Value.(*coEntry).val, true
+	return ent.val, true
 }
 
 // Gen returns the invalidation generation; snapshot it before a fan-out
@@ -75,12 +95,13 @@ func (c *coCache) Insert(key string, maxT historygraph.Time, val any, gen int64)
 	if c.gen != gen {
 		return
 	}
+	ent := &coEntry{key: key, maxT: maxT, val: val, added: time.Now()}
 	if elem, dup := c.entries[key]; dup {
-		elem.Value = &coEntry{key: key, maxT: maxT, val: val}
+		elem.Value = ent
 		c.lru.MoveToFront(elem)
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&coEntry{key: key, maxT: maxT, val: val})
+	c.entries[key] = c.lru.PushFront(ent)
 	for c.lru.Len() > c.capacity {
 		back := c.lru.Back()
 		delete(c.entries, back.Value.(*coEntry).key)

@@ -12,6 +12,9 @@ package shard
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -104,6 +107,14 @@ func readFrom[T any](ctx context.Context, rs *replicaSet, call func(cl *server.C
 			m.healthy.Store(true)
 			return v, nil
 		}
+		// A 4xx means the member answered and rejected the request — it is
+		// healthy, and every replica would reject the same way, so neither
+		// marking it down nor retrying elsewhere is right.
+		var he *server.HTTPError
+		if errors.As(err, &he) && he.Status >= 400 && he.Status < 500 {
+			m.healthy.Store(true)
+			return zero, err
+		}
 		m.healthy.Store(false)
 		lastErr = err
 		if ctx.Err() != nil {
@@ -113,15 +124,39 @@ func readFrom[T any](ctx context.Context, rs *replicaSet, call func(cl *server.C
 	return zero, lastErr
 }
 
+// newBatchID mints the idempotency ID appendToSet tags a batch with.
+func newBatchID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "" // degrade to an untagged (non-idempotent) append
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // appendToSet routes an append to the set's primary. On failure it runs a
 // failover (promote the most-caught-up reachable member) and retries once
-// against the new primary.
+// against the new primary. One batch ID covers both attempts: if the
+// failed append actually committed on the old primary and replicated
+// before the error surfaced (a follower-ack timeout, or a response lost
+// after the WAL sync), the new primary recognizes the ID from the records
+// it mirrored and acks instead of logging and applying the events twice.
 func (co *Coordinator) appendToSet(ctx context.Context, rs *replicaSet, events historygraph.EventList) (*server.AppendResult, error) {
+	batch := newBatchID()
 	pm := rs.primaryMember()
-	res, err := pm.client.AppendCtx(ctx, events)
+	res, err := pm.client.AppendBatchCtx(ctx, events, batch)
 	if err == nil {
 		pm.healthy.Store(true)
 		return res, nil
+	}
+	// A 400/422 is the primary deliberately rejecting the batch (bad body,
+	// out-of-order events) — the node is healthy and a retry elsewhere
+	// would get the same answer. Deposing it over a client error would run
+	// a probe sweep per bad request and could promote away a live primary.
+	var he *server.HTTPError
+	if errors.As(err, &he) &&
+		(he.Status == http.StatusBadRequest || he.Status == http.StatusUnprocessableEntity) {
+		pm.healthy.Store(true)
+		return nil, err
 	}
 	pm.healthy.Store(false)
 	if len(rs.members) == 1 {
@@ -131,7 +166,7 @@ func (co *Coordinator) appendToSet(ctx context.Context, rs *replicaSet, events h
 		return nil, fmt.Errorf("%s (failover: %s)", err, ferr)
 	}
 	if next := rs.primaryMember(); next != pm {
-		return next.client.AppendCtx(ctx, events)
+		return next.client.AppendBatchCtx(ctx, events, batch)
 	}
 	return nil, err
 }

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 
@@ -32,8 +33,13 @@ func scatter[T any](co *Coordinator, call func(ctx reqCtx, rs *replicaSet) (T, e
 			defer cancel()
 			v, err := call(reqCtx{Context: ctx, part: i}, co.sets[i])
 			if err != nil {
+				pe := server.PartitionError{Partition: i, Error: err.Error()}
+				var he *server.HTTPError
+				if errors.As(err, &he) {
+					pe.Status = he.Status
+				}
 				mu.Lock()
-				errs = append(errs, server.PartitionError{Partition: i, Error: err.Error()})
+				errs = append(errs, pe)
 				mu.Unlock()
 				return
 			}

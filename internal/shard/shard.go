@@ -44,6 +44,7 @@ package shard
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -79,6 +80,14 @@ type Config struct {
 	// CacheSize is the merged-response LRU capacity. 0 picks the default
 	// (64); negative disables the coordinator cache.
 	CacheSize int
+	// CacheTTL bounds the age of a merged-response cache entry. Appends
+	// routed through this coordinator invalidate the cache exactly, but an
+	// append sent directly to a partition primary (which the replica
+	// /append endpoint accepts) bypasses that invalidation — deployments
+	// that cannot guarantee every write flows through the coordinator
+	// should set a TTL. 0 keeps entries until invalidation or LRU
+	// eviction.
+	CacheTTL time.Duration
 	// HealthInterval is the period of the background replica health
 	// checker (marks members up/down and in-/out-of-sync, and promotes a
 	// follower when a primary stays dark). 0 disables it; failover still
@@ -175,7 +184,7 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 		size = DefaultCacheSize
 	}
 	if size > 0 {
-		co.cache = newCoCache(size)
+		co.cache = newCoCache(size, cfg.CacheTTL)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /snapshot", co.handleSnapshot)
@@ -229,9 +238,43 @@ func (co *Coordinator) Handler() http.Handler {
 	})
 }
 
-// allFailed converts a total fan-out failure into one error.
-func (co *Coordinator) allFailed(errs []server.PartitionError) error {
-	return fmt.Errorf("shard: all %d partitions failed (partition 0: %s)", len(co.sets), errs[0].Error)
+// allFailedError is a total fan-out failure plus the response status it
+// should surface with; it crosses the flight-group boundary as an error.
+type allFailedError struct {
+	status int
+	msg    string
+}
+
+func (e *allFailedError) Error() string { return e.msg }
+
+// allFailed converts a total fan-out failure into one error. The status
+// is 502 when any partition failed at the transport level or with a 5xx
+// — the cluster is at fault; when every partition answered with a 4xx,
+// the request itself was bad and the first rejection's status propagates
+// (retrying a deliberately rejected request elsewhere can never succeed,
+// so it must not look like a gateway fault).
+func (co *Coordinator) allFailed(errs []server.PartitionError) *allFailedError {
+	status := errs[0].Status
+	for _, pe := range errs {
+		if pe.Status < 400 || pe.Status >= 500 {
+			status = http.StatusBadGateway
+			break
+		}
+	}
+	return &allFailedError{
+		status: status,
+		msg:    fmt.Sprintf("shard: all %d partitions failed (partition 0: %s)", len(co.sets), errs[0].Error),
+	}
+}
+
+// writeAllFailed answers a request whose every partition leg failed.
+func writeAllFailed(w http.ResponseWriter, err error) {
+	status := http.StatusBadGateway
+	var fe *allFailedError
+	if errors.As(err, &fe) {
+		status = fe.status
+	}
+	server.WriteError(w, status, err)
 }
 
 // cacheGen snapshots the merged-response cache generation (0 when the
@@ -295,7 +338,7 @@ func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return merged, nil
 	})
 	if err != nil {
-		server.WriteError(w, http.StatusBadGateway, err)
+		writeAllFailed(w, err)
 		return
 	}
 	out := v.(server.SnapshotJSON)
@@ -351,7 +394,7 @@ func (co *Coordinator) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		return merged, nil
 	})
 	if err != nil {
-		server.WriteError(w, http.StatusBadGateway, err)
+		writeAllFailed(w, err)
 		return
 	}
 	if shared {
@@ -399,7 +442,7 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return batch, nil
 	})
 	if len(errs) == len(co.sets) {
-		server.WriteError(w, http.StatusBadGateway, co.allFailed(errs))
+		writeAllFailed(w, co.allFailed(errs))
 		return
 	}
 	co.notePartial(errs)
@@ -437,7 +480,7 @@ func (co *Coordinator) handleInterval(w http.ResponseWriter, r *http.Request) {
 		return cl.IntervalCtx(ctx, from, to, attrs, full)
 	})
 	if len(errs) == len(co.sets) {
-		server.WriteError(w, http.StatusBadGateway, co.allFailed(errs))
+		writeAllFailed(w, co.allFailed(errs))
 		return
 	}
 	co.notePartial(errs)
@@ -461,7 +504,7 @@ func (co *Coordinator) handleExpr(w http.ResponseWriter, r *http.Request) {
 		return cl.ExprCtx(ctx, req)
 	})
 	if len(errs) == len(co.sets) {
-		server.WriteError(w, http.StatusBadGateway, co.allFailed(errs))
+		writeAllFailed(w, co.allFailed(errs))
 		return
 	}
 	co.notePartial(errs)
@@ -501,7 +544,7 @@ func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 		co.cache.InvalidateFrom(minAt)
 	}
 	if len(errs) == len(co.sets) {
-		server.WriteError(w, http.StatusBadGateway, co.allFailed(errs))
+		writeAllFailed(w, co.allFailed(errs))
 		return
 	}
 	co.notePartial(errs)

@@ -534,6 +534,44 @@ func TestCoordinatorCache(t *testing.T) {
 	}
 }
 
+// TestCoordinatorCacheTTL: with CacheTTL set, a cached merged response
+// expires even though no append flowed through the coordinator — the
+// safety valve for deployments where a writer can reach a partition
+// primary directly, bypassing the coordinator's append invalidation.
+func TestCoordinatorCacheTTL(t *testing.T) {
+	events := testEvents()
+	c := newCluster(t, events, 2, Config{CacheTTL: 300 * time.Millisecond})
+	var last historygraph.Time
+	for _, w := range c.workers {
+		if lt := w.LastTime(); lt > last {
+			last = lt
+		}
+	}
+	target := last / 2
+
+	if _, err := c.client.Snapshot(target, "", false); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := c.client.Snapshot(target, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || c.co.Fanouts() != 1 {
+		t.Fatalf("pre-TTL repeat should be a cache hit (cached=%v, fanouts=%d)", hit.Cached, c.co.Fanouts())
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	// The merged Cached flag can still be true after expiry (each worker
+	// answers from its own hot cache); the fan-out counter is the proof
+	// that the coordinator's entry expired and the query re-scattered.
+	if _, err := c.client.Snapshot(target, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.co.Fanouts(); got != 2 {
+		t.Fatalf("expired entry should re-scatter: %d fan-outs, want 2", got)
+	}
+}
+
 // TestCoordinatorCachePartialNotAdmitted: a response missing a partition
 // must not be served from the merged-response cache once the partition is
 // back.
