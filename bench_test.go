@@ -28,6 +28,7 @@ import (
 	"historygraph/internal/replica"
 	"historygraph/internal/server"
 	"historygraph/internal/shard"
+	"historygraph/internal/wire"
 )
 
 const benchScale = 0.5
@@ -530,8 +531,8 @@ func BenchmarkShardSnapshot(b *testing.B) {
 }
 
 // BenchmarkWALAppend measures the durable write-ahead log's append path:
-// JSON-encode a 16-event batch, write it as sequenced CRC-checked
-// records, and fsync once — the per-batch durability tax every
+// encode a 16-event batch, write it as sequenced CRC-checked records, and
+// wait for the covering group sync — the per-batch durability tax every
 // replicated append pays before it can be acked.
 func BenchmarkWALAppend(b *testing.B) {
 	wal, err := replica.OpenLog(filepath.Join(b.TempDir(), "wal.log"))
@@ -549,6 +550,30 @@ func BenchmarkWALAppend(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkWALAppendConcurrent is BenchmarkWALAppend under concurrency:
+// many appenders hammer one log, and the single-flusher group commit
+// amortizes the fsync across everything in flight — per-append cost drops
+// well below the serial sync tax as parallelism rises.
+func BenchmarkWALAppendConcurrent(b *testing.B) {
+	wal, err := replica.OpenLog(filepath.Join(b.TempDir(), "wal.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wal.Close()
+	batch := make(graph.EventList, 16)
+	for i := range batch {
+		batch[i] = graph.Event{Type: graph.AddNode, At: graph.Time(i + 1), Node: graph.NodeID(i + 1)}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := wal.Append(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // replicatedSetup starts a 2-partition × 2-replica in-process cluster
@@ -630,6 +655,121 @@ func BenchmarkReplicatedSnapshot(b *testing.B) {
 			}
 		})
 	})
+}
+
+// benchWireSnapshot builds a large full-element snapshot response (>=10k
+// elements with attributes) for the codec benchmarks.
+func benchWireSnapshot() wire.Snapshot {
+	const nodes, edges = 6000, 6000
+	s := wire.Snapshot{At: 123456, NumNodes: nodes, NumEdges: edges}
+	for i := 0; i < nodes; i++ {
+		s.Nodes = append(s.Nodes, wire.Node{
+			ID: int64(i * 3),
+			Attrs: map[string]string{
+				"affiliation": fmt.Sprintf("institute-%d", i%37),
+				"name":        fmt.Sprintf("author-%d", i),
+			},
+		})
+	}
+	for i := 0; i < edges; i++ {
+		s.Edges = append(s.Edges, wire.Edge{
+			ID: int64(i * 5), From: int64((i * 3) % (nodes * 3)), To: int64((i * 7) % (nodes * 3)),
+			Attrs: map[string]string{"year": fmt.Sprintf("%d", 1990+i%30)},
+		})
+	}
+	return s
+}
+
+// BenchmarkWireEncode compares the codecs on a large (12k-element) full
+// snapshot: encode and decode, JSON vs binary. The binary format's win
+// here (varint deltas, interned keys, no field names) is what the
+// scatter-leg and replication-stream refactors cash in end-to-end.
+func BenchmarkWireEncode(b *testing.B) {
+	snap := benchWireSnapshot()
+	codecs := []wire.Codec{wire.JSON{}, wire.Binary{}}
+	for _, codec := range codecs {
+		data, err := codec.Encode(&snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("%s body: %d bytes", codec.Name(), len(data))
+		b.Run(codec.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Encode(&snap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(codec.Name()+"-decode", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var out wire.Snapshot
+				if err := codec.Decode(data, &out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardSnapshotBinary measures the data plane the wire refactor
+// targets end-to-end: large full-element snapshots through the
+// 4-partition scatter-gather, JSON legs + JSON client vs binary legs +
+// binary client. The coordinator cache is off so every request pays leg
+// decode + merge + response encode + client decode; worker hot caches are
+// on so the DeltaGraph plan cost (identical either way) does not drown
+// the wire path being compared.
+func BenchmarkShardSnapshotBinary(b *testing.B) {
+	events := datagen.Coauthorship(datagen.CoauthorshipConfig{
+		Authors: 6000, Edges: 7000, Years: 6, AttrsPerNode: 2, Seed: 7,
+	})
+	_, last := events.Span()
+	setup := func(b *testing.B, wireName string) *server.Client {
+		b.Helper()
+		var urls []string
+		for _, slice := range shard.PartitionEvents(events, 4) {
+			gm, err := historygraph.BuildFrom(slice, historygraph.Options{LeafEventlistSize: 2048, Arity: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { gm.Close() })
+			svc := server.New(gm, server.Config{CacheSize: 8})
+			httpSrv := httptest.NewServer(svc.Handler())
+			b.Cleanup(func() { httpSrv.Close(); svc.Close() })
+			urls = append(urls, httpSrv.URL)
+		}
+		co, err := shard.New(urls, shard.Config{CacheSize: -1, Wire: wireName})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(co.Close)
+		front := httptest.NewServer(co.Handler())
+		b.Cleanup(front.Close)
+		client, err := server.NewClient(front.URL).SetWire(wireName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return client
+	}
+	for _, wireName := range []string{"json", "binary"} {
+		b.Run(wireName, func(b *testing.B) {
+			client := setup(b, wireName)
+			snap, err := client.Snapshot(last, "+node:all+edge:all", true)
+			if err != nil {
+				b.Fatal(err) // warm the worker caches
+			}
+			if snap.NumNodes+snap.NumEdges < 10000 {
+				b.Fatalf("benchmark snapshot too small: %d nodes + %d edges", snap.NumNodes, snap.NumEdges)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Snapshot(last, "+node:all+edge:all", true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkShardBatch measures the multipoint endpoint through the

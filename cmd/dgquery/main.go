@@ -30,6 +30,7 @@ func main() {
 	interval := flag.String("interval", "", "interval query ts:te")
 	attrs := flag.String("attrs", "", "attr_options string (Table 1 syntax)")
 	verbose := flag.Bool("v", false, "print elements, not just counts")
+	wireName := flag.String("wire", "json", `wire codec for -remote requests: "json" or "binary"`)
 	flag.Parse()
 	if (*store == "") == (*remote == "") || (*ts == "" && *interval == "") {
 		fmt.Fprintln(os.Stderr, "dgquery: exactly one of -store/-remote plus one of -t/-interval are required")
@@ -37,7 +38,7 @@ func main() {
 	}
 
 	if *remote != "" {
-		if err := runRemote(*remote, *ts, *interval, *attrs, *verbose); err != nil {
+		if err := runRemote(*remote, *ts, *interval, *attrs, *verbose, *wireName); err != nil {
 			fmt.Fprintf(os.Stderr, "dgquery: %v\n", err)
 			os.Exit(1)
 		}
@@ -90,8 +91,11 @@ func main() {
 }
 
 // runRemote answers the same queries through a dgserve instance.
-func runRemote(base, ts, interval, attrs string, verbose bool) error {
-	c := server.NewClient(base)
+func runRemote(base, ts, interval, attrs string, verbose bool, wireName string) error {
+	c, err := server.NewClient(base).SetWire(wireName)
+	if err != nil {
+		return err
+	}
 
 	if interval != "" {
 		tsv, tev, err := parseInterval(interval)

@@ -63,6 +63,7 @@ import (
 	"historygraph/internal/replica"
 	"historygraph/internal/server"
 	"historygraph/internal/shard"
+	"historygraph/internal/wire"
 )
 
 func main() {
@@ -80,14 +81,20 @@ func main() {
 	replicas := flag.Int("replicas", 0, "expected replicas per partition (coordinator role only; validates -peers)")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "replica health-check period (coordinator role only; 0 disables)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "max age of a merged-response cache entry (coordinator role only; 0 keeps entries until an append through this coordinator invalidates them — set when writers can reach partition primaries directly)")
+	wireName := flag.String("wire", "json", `codec for this process's outbound data-plane requests: "json" (default) or "binary"; in coordinator role it selects the scatter-leg encoding (external responses negotiate per request via Accept and are byte-identical either way)`)
 	walDir := flag.String("wal-dir", "", "directory for the durable write-ahead event log; enables WAL durability and the replication endpoints")
 	primary := flag.String("primary", "", "base URL of this replica's primary; makes the node a follower tailing that WAL (requires -wal-dir)")
 	syncFollowers := flag.Int("sync-followers", 0, "followers that must durably log a batch before the primary acks the append (requires -wal-dir)")
 	flag.Parse()
 
+	if _, err := wire.ByName(*wireName); err != nil {
+		fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)
+		os.Exit(2)
+	}
+
 	switch *role {
 	case "coordinator", "coord":
-		runCoordinator(*addr, *peers, *partitions, *replicas, *peerTimeout, *healthInterval, *cacheSize, *cacheTTL)
+		runCoordinator(*addr, *peers, *partitions, *replicas, *peerTimeout, *healthInterval, *cacheSize, *cacheTTL, *wireName)
 		return
 	case "", "worker", "single":
 		// An index-serving process; a worker is just a server whose
@@ -200,7 +207,7 @@ func main() {
 // runCoordinator serves the scatter-gather front of a sharded cluster: no
 // local index, every query fans out across the -peers partition replica
 // sets and merges.
-func runCoordinator(addr, peers string, expected, replicas int, timeout, healthInterval time.Duration, cacheSize int, cacheTTL time.Duration) {
+func runCoordinator(addr, peers string, expected, replicas int, timeout, healthInterval time.Duration, cacheSize int, cacheTTL time.Duration, wireName string) {
 	// shard.New owns the peer-spec grammar ("," between partitions, "|"
 	// between a partition's replicas); this just splits the flag.
 	var specs []string
@@ -225,6 +232,7 @@ func runCoordinator(addr, peers string, expected, replicas int, timeout, healthI
 		HealthInterval:   healthInterval,
 		CacheSize:        cacheSize,
 		CacheTTL:         cacheTTL,
+		Wire:             wireName,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)

@@ -334,15 +334,23 @@ func (s *FileStore) SizeOnDisk() int64 {
 	return s.off
 }
 
-// Sync implements Store.
+// Sync implements Store. The buffered writer is flushed under the store
+// lock, but the fsync itself runs outside it: flushed bytes are already
+// in the kernel, so concurrent appenders may keep writing while the disk
+// syncs — which is what lets a group-commit caller (replica.Log's single
+// flusher) overlap one batch's durability wait with the next batch's
+// writes. Records appended after the flush are not covered by this call;
+// callers track their own durable watermark.
 func (s *FileStore) Sync() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.w.Flush(); err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	s.dirty = false
-	return s.f.Sync()
+	f := s.f
+	s.mu.Unlock()
+	return f.Sync()
 }
 
 // Close implements Store.

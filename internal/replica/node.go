@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"historygraph"
 	"historygraph/internal/server"
+	"historygraph/internal/wire"
 )
 
 // Role is a replica-set member's current role.
@@ -360,7 +362,7 @@ func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var body []server.EventJSON
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+	if err := server.ReadBody(r, &body); err != nil {
 		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
 		return
 	}
@@ -401,7 +403,7 @@ func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
 					n.syncFollowers, span.lastSeq, n.ackTimeout))
 				return
 			}
-			server.WriteJSON(w, http.StatusOK, server.AppendResult{
+			server.WriteWire(w, r, http.StatusOK, server.AppendResult{
 				Appended: span.events,
 				LastTime: int64(n.srv.Manager().LastTime()),
 				Seq:      span.lastSeq,
@@ -467,7 +469,7 @@ func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
 	res.Seq = last
 	res.Appended += resumed
 	res.Deduped = resumed > 0
-	server.WriteJSON(w, http.StatusOK, res)
+	server.WriteWire(w, r, http.StatusOK, res)
 }
 
 // validateOrder rejects a batch the graph would refuse: events must be
@@ -559,6 +561,15 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	recs, err := n.log.Read(from, max)
 	if err != nil {
 		server.WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Followers ask for the binary stream (one encoder per batch, interned
+	// keys, no per-record JSON); anything else gets the JSON body so old
+	// followers keep tailing a new primary.
+	if wire.Negotiate(r.Header.Get("Accept")).Name() == wire.NameBinary {
+		w.Header().Set("Content-Type", wire.ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		w.Write(encodeReplicate(recs, n.log.LastSeq()))
 		return
 	}
 	server.WriteJSON(w, http.StatusOK, replicateResponse{Records: recs, LastSeq: n.log.LastSeq()})
@@ -726,7 +737,9 @@ func (n *Node) tailLoop(ctx context.Context, primary string, done chan struct{})
 	}
 }
 
-// fetch long-polls the primary for records past the local log end.
+// fetch long-polls the primary for records past the local log end. It
+// advertises the binary stream; a primary that predates it answers JSON
+// and the Content-Type tells the two apart.
 func (n *Node) fetch(ctx context.Context, primary string) ([]Record, error) {
 	from := n.log.LastSeq() + 1
 	url := fmt.Sprintf("%s/replicate?from=%d&max=%d&wait=%s&id=%s",
@@ -737,6 +750,7 @@ func (n *Node) fetch(ctx context.Context, primary string) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set("Accept", wire.ContentTypeBinary)
 	resp, err := n.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -745,8 +759,19 @@ func (n *Node) fetch(ctx context.Context, primary string) ([]Record, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("replica: primary answered HTTP %d", resp.StatusCode)
 	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if wire.ForContentType(resp.Header.Get("Content-Type")).Name() == wire.NameBinary {
+		body, err := decodeReplicate(raw)
+		if err != nil {
+			return nil, err
+		}
+		return body.Records, nil
+	}
 	var body replicateResponse
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+	if err := json.Unmarshal(raw, &body); err != nil {
 		return nil, err
 	}
 	return body.Records, nil

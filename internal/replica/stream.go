@@ -1,0 +1,63 @@
+package replica
+
+// The binary replication stream: GET /replicate's response in the wire
+// package's binary encoding. A catch-up fetch moves up to FetchMax
+// records per round trip, and with JSON each of them paid a full
+// per-field encode on the primary and decode on the follower — on the
+// catch-up path that dominated the transfer. The binary body reuses the
+// exact event encoding WAL payloads are stored in (wire.EncodeEventTo),
+// with one encoder per response so attribute keys and event type names
+// intern across the whole batch.
+//
+// Layout after the standard wire frame ('D', version, kindReplicate):
+//
+//	uvarint last_seq
+//	uvarint record count
+//	per record: uvarint seq | string batch | event
+
+import (
+	"fmt"
+
+	"historygraph/internal/wire"
+)
+
+// kindReplicate frames the /replicate binary body. Kinds 0x20+ are the
+// replica package's slice of the wire kind space.
+const kindReplicate = 0x21
+
+// encodeReplicate renders a /replicate response in the binary format.
+func encodeReplicate(recs []Record, lastSeq uint64) []byte {
+	e := wire.NewEncoder()
+	e.Header(kindReplicate)
+	e.Uvarint(lastSeq)
+	e.Uvarint(uint64(len(recs)))
+	for _, rec := range recs {
+		e.Uvarint(rec.Seq)
+		e.String(rec.Batch)
+		wire.EncodeEventTo(e, rec.Event)
+	}
+	return e.Bytes()
+}
+
+// decodeReplicate reads a binary /replicate response.
+func decodeReplicate(data []byte) (replicateResponse, error) {
+	d := wire.NewDecoder(data)
+	kind, err := d.Header()
+	if err != nil {
+		return replicateResponse{}, err
+	}
+	if kind != kindReplicate {
+		return replicateResponse{}, fmt.Errorf("replica: message kind 0x%02x, want 0x%02x", kind, kindReplicate)
+	}
+	out := replicateResponse{LastSeq: d.Uvarint()}
+	n := d.Len()
+	out.Records = make([]Record, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out.Records = append(out.Records, Record{
+			Seq:   d.Uvarint(),
+			Batch: d.String(),
+			Event: wire.DecodeEventFrom(d),
+		})
+	}
+	return out, d.Err()
+}

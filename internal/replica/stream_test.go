@@ -1,0 +1,49 @@
+package replica
+
+import (
+	"reflect"
+	"testing"
+
+	"historygraph/internal/server"
+)
+
+func strp(s string) *string { return &s }
+
+// TestReplicateStreamRoundTrip pins the binary /replicate body: records
+// (sequence, batch ID, full event incl. old/new attribute pointers) must
+// decode exactly, empty batches included.
+func TestReplicateStreamRoundTrip(t *testing.T) {
+	for _, recs := range [][]Record{
+		nil,
+		{
+			{Seq: 1, Event: server.EventJSON{Type: "NN", At: 1, Node: 7}},
+			{Seq: 2, Event: server.EventJSON{Type: "NE", At: 2, Node: 7, Node2: 9, Edge: 3, Directed: true}, Batch: "b1"},
+			{Seq: 3, Event: server.EventJSON{Type: "UNA", At: 3, Node: 7, Attr: "name", Old: strp("x"), New: strp("")}, Batch: "b1"},
+		},
+	} {
+		body := encodeReplicate(recs, 99)
+		got, err := decodeReplicate(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.LastSeq != 99 {
+			t.Fatalf("last_seq %d, want 99", got.LastSeq)
+		}
+		want := recs
+		if want == nil {
+			want = []Record{}
+		}
+		if !reflect.DeepEqual(got.Records, want) {
+			t.Fatalf("records mismatch:\n got: %#v\nwant: %#v", got.Records, want)
+		}
+	}
+
+	// Corrupt input errors instead of panicking.
+	if _, err := decodeReplicate([]byte("{}")); err == nil {
+		t.Fatal("JSON body accepted as binary stream")
+	}
+	body := encodeReplicate([]Record{{Seq: 1, Event: server.EventJSON{Type: "NN", At: 1}}}, 1)
+	for cut := 0; cut < len(body); cut++ {
+		_, _ = decodeReplicate(body[:cut])
+	}
+}

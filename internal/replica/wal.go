@@ -7,7 +7,10 @@
 //     FileStore append-only format) and synced before the append is
 //     acked, so a process restart replays the log and loses nothing that
 //     was ever acknowledged. A torn tail from a crash mid-write is
-//     detected by the CRC on reopen and dropped.
+//     detected by the CRC on reopen and dropped. Syncs are group-committed:
+//     a single flusher goroutine runs one fsync covering every append in
+//     flight, so concurrent appenders share the durability tax instead of
+//     each paying their own.
 //
 //   - Primary/follower replication: a partition becomes a replica set —
 //     one primary that accepts appends plus N followers that tail the
@@ -32,6 +35,7 @@ package replica
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -39,35 +43,89 @@ import (
 	"historygraph"
 	"historygraph/internal/kvstore"
 	"historygraph/internal/server"
+	"historygraph/internal/wire"
 )
 
 // Record is one WAL entry: a single event under its sequence number.
-// Appending a batch of k events produces k consecutive records followed by
-// one sync, so durability is paid once per batch. Batch, when set, is the
-// append's idempotency ID: every record of the batch carries it, it
-// survives in the on-disk payload, and it replicates with the record — so
-// both a restarted node and a promoted follower can recognize a retried
-// batch they already hold (Node's dedup table).
+// Appending a batch of k events produces k consecutive records covered by
+// one group-committed sync, so durability is paid at most once per batch
+// — less under concurrency. Batch, when set, is the append's idempotency
+// ID: every record of the batch carries it, it survives in the on-disk
+// payload, and it replicates with the record — so both a restarted node
+// and a promoted follower can recognize a retried batch they already hold
+// (Node's dedup table).
 type Record struct {
 	Seq   uint64           `json:"seq"`
 	Event server.EventJSON `json:"event"`
 	Batch string           `json:"batch,omitempty"`
 }
 
-// walPayload is a record's on-disk body: the event's wire form with the
-// optional batch ID flattened into the same JSON object.
+// walPayload is the legacy JSON on-disk record body: the event's wire
+// form with the optional batch ID flattened into the same object. New
+// records are written in the wire package's binary event encoding (about
+// a third the bytes and none of the per-field JSON costs); payloads
+// starting with '{' decode through this struct so WAL directories written
+// before the binary format replay unchanged.
 type walPayload struct {
 	server.EventJSON
 	Batch string `json:"batch,omitempty"`
 }
 
+// walBinaryMarker is the first byte of a binary record payload. JSON
+// payloads start with '{', so one byte disambiguates.
+const walBinaryMarker = 0x00
+
+// encodePayload renders a record body in the binary format.
+func encodePayload(ev server.EventJSON, batch string) []byte {
+	e := wire.NewEncoder()
+	e.Byte(walBinaryMarker)
+	e.String(batch)
+	wire.EncodeEventTo(e, ev)
+	return e.Bytes()
+}
+
+// decodePayload reads either payload format.
+func decodePayload(payload []byte) (server.EventJSON, string, error) {
+	if len(payload) == 0 {
+		return server.EventJSON{}, "", fmt.Errorf("replica: empty WAL payload")
+	}
+	if payload[0] == '{' {
+		var p walPayload
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return server.EventJSON{}, "", err
+		}
+		return p.EventJSON, p.Batch, nil
+	}
+	d := wire.NewDecoder(payload)
+	if d.Byte() != walBinaryMarker {
+		return server.EventJSON{}, "", fmt.Errorf("replica: unknown WAL payload format (leading byte 0x%02x)", payload[0])
+	}
+	batch := d.String()
+	ev := wire.DecodeEventFrom(d)
+	return ev, batch, d.Err()
+}
+
+// errLogClosed is returned to appenders caught by Close.
+var errLogClosed = errors.New("replica: WAL closed")
+
 // Log is the durable write-ahead event log: historygraph events encoded
-// onto a kvstore.SeqLog. It is safe for concurrent use.
+// onto a kvstore.SeqLog. It is safe for concurrent use. Durability is
+// group-committed: appenders enqueue their records and then wait for the
+// single flusher goroutine to run a sync covering them, so N concurrent
+// appends cost one fsync, not N.
 type Log struct {
 	sl *kvstore.SeqLog
 
 	mu     sync.Mutex
-	notify chan struct{} // closed and replaced on every append (tail wake-up)
+	notify chan struct{} // closed and replaced on every durable append (tail wake-up)
+
+	flushMu   sync.Mutex
+	flushCond *sync.Cond
+	want      uint64 // highest written sequence awaiting durability
+	synced    uint64 // highest sequence covered by a completed sync
+	syncErr   error  // sticky: a failed sync leaves stranded buffered records
+	closed    bool
+	flushDone chan struct{}
 }
 
 // OpenLog opens or creates the WAL at path, recovering the sequence bound
@@ -77,13 +135,82 @@ func OpenLog(path string) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Log{sl: sl, notify: make(chan struct{})}, nil
+	l := &Log{
+		sl:        sl,
+		notify:    make(chan struct{}),
+		flushDone: make(chan struct{}),
+	}
+	l.flushCond = sync.NewCond(&l.flushMu)
+	l.want, l.synced = sl.Last(), sl.Last() // everything recovered is durable
+	go l.flusher()
+	return l, nil
 }
 
-// Append logs a batch of events as consecutive records and syncs once.
-// When it returns, every event in the batch is durable; first and last
-// bound the assigned sequence numbers (first > last means the batch was
-// empty).
+// flusher is the single group-commit goroutine: whenever records are
+// written past the synced watermark it runs one Sync covering all of
+// them, then wakes every appender the sync covered. It exits on Close or
+// on the first sync failure (after which the log is permanently failed —
+// buffered records of unknown durability must not be acked).
+func (l *Log) flusher() {
+	defer close(l.flushDone)
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	for {
+		for !l.closed && l.want <= l.synced && l.syncErr == nil {
+			l.flushCond.Wait()
+		}
+		if l.closed || l.syncErr != nil {
+			return
+		}
+		// Everything at or below want was fully written before the waiters
+		// arrived, so one Sync covers the whole group; records written
+		// while the Sync runs are picked up by the next round.
+		target := l.want
+		l.flushMu.Unlock()
+		err := l.sl.Sync()
+		l.flushMu.Lock()
+		if err != nil {
+			l.syncErr = err
+		} else if target > l.synced {
+			l.synced = target
+		}
+		l.flushCond.Broadcast()
+	}
+}
+
+// waitDurable blocks until a completed sync covers seq (joining whatever
+// group commit is in flight), the log fails, or it is closed.
+func (l *Log) waitDurable(seq uint64) error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	if seq > l.want {
+		l.want = seq
+		l.flushCond.Broadcast() // wake the flusher
+	}
+	for l.synced < seq && l.syncErr == nil && !l.closed {
+		l.flushCond.Wait()
+	}
+	if l.synced >= seq {
+		return nil
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	return errLogClosed
+}
+
+// DurableSeq returns the highest sequence number a completed sync covers
+// — the log's logical end: everything at or below it survives a crash.
+func (l *Log) DurableSeq() uint64 {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	return l.synced
+}
+
+// Append logs a batch of events as consecutive records and waits for the
+// covering group sync. When it returns, every event in the batch is
+// durable; first and last bound the assigned sequence numbers (first >
+// last means the batch was empty).
 func (l *Log) Append(events historygraph.EventList) (first, last uint64, err error) {
 	return l.AppendBatch(events, "")
 }
@@ -96,94 +223,102 @@ func (l *Log) Append(events historygraph.EventList) (first, last uint64, err err
 func (l *Log) AppendBatch(events historygraph.EventList, batch string) (first, last uint64, err error) {
 	payloads := make([][]byte, len(events))
 	for i, ev := range events {
-		payloads[i], err = json.Marshal(walPayload{EventJSON: server.EventToJSON(ev), Batch: batch})
-		if err != nil {
-			return 0, 0, err
-		}
+		payloads[i] = encodePayload(server.EventToJSON(ev), batch)
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	first = l.sl.Last() + 1
 	if len(payloads) == 0 {
+		l.mu.Unlock()
 		return first, first - 1, nil
 	}
 	for _, payload := range payloads {
 		if last, err = l.sl.Append(payload); err != nil {
+			l.mu.Unlock()
 			return 0, 0, err
 		}
 	}
-	if err := l.sl.Sync(); err != nil {
+	l.mu.Unlock()
+	if err := l.waitDurable(last); err != nil {
 		return 0, 0, err
 	}
-	l.wakeLocked()
+	l.wake()
 	return first, last, nil
 }
 
 // AppendRecords mirrors records fetched from a primary into this log and
-// syncs once — the follower's durable-before-apply step. Records at or
-// below the current sequence bound are skipped (an overlapping re-fetch is
-// idempotent); a gap beyond it is an error, since the logs would diverge.
+// joins the group sync — the follower's durable-before-apply step.
+// Records at or below the current sequence bound are skipped (an
+// overlapping re-fetch is idempotent); a gap beyond it is an error, since
+// the logs would diverge.
 func (l *Log) AppendRecords(recs []Record) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	var last uint64
 	appended := false
 	for _, rec := range recs {
 		if rec.Seq <= l.sl.Last() {
 			continue
 		}
-		payload, err := json.Marshal(walPayload{EventJSON: rec.Event, Batch: rec.Batch})
-		if err != nil {
-			return err
-		}
-		if _, err := l.sl.AppendAt(rec.Seq, payload); err != nil {
+		var err error
+		if last, err = l.sl.AppendAt(rec.Seq, encodePayload(rec.Event, rec.Batch)); err != nil {
+			l.mu.Unlock()
 			return err
 		}
 		appended = true
 	}
+	l.mu.Unlock()
 	if !appended {
 		return nil
 	}
-	if err := l.sl.Sync(); err != nil {
+	if err := l.waitDurable(last); err != nil {
 		return err
 	}
-	l.wakeLocked()
+	l.wake()
 	return nil
 }
 
-// wakeLocked wakes every Wait-er; the caller holds l.mu.
-func (l *Log) wakeLocked() {
+// wake rouses every Wait-er after records became durable.
+func (l *Log) wake() {
+	l.mu.Lock()
 	close(l.notify)
 	l.notify = make(chan struct{})
+	l.mu.Unlock()
 }
 
-// LastSeq returns the highest logged sequence number (0 when empty).
-func (l *Log) LastSeq() uint64 { return l.sl.Last() }
+// LastSeq returns the highest durably logged sequence number (0 when
+// empty). Records an in-flight append has written but whose group sync
+// has not completed are excluded — they do not exist yet as far as
+// replication and status reporting are concerned.
+func (l *Log) LastSeq() uint64 { return l.DurableSeq() }
 
-// Read returns up to max records starting at sequence from (inclusive).
-// An empty result means from is past the end of the log.
+// Read returns up to max records starting at sequence from (inclusive),
+// bounded by the durable watermark: a record is never served to a
+// follower before the sync that guarantees the primary itself will still
+// have it after a crash (otherwise a follower could hold acked state the
+// restarted primary lost, and the logs would diverge).
 func (l *Log) Read(from uint64, max int) ([]Record, error) {
 	if from == 0 {
 		from = 1
 	}
-	last := l.sl.Last()
+	last := l.DurableSeq()
 	var out []Record
 	for seq := from; seq <= last && len(out) < max; seq++ {
 		payload, err := l.sl.Get(seq)
 		if err != nil {
 			return nil, fmt.Errorf("replica: WAL read seq %d: %w", seq, err)
 		}
-		var p walPayload
-		if err := json.Unmarshal(payload, &p); err != nil {
+		ev, batch, err := decodePayload(payload)
+		if err != nil {
 			return nil, fmt.Errorf("replica: corrupt WAL record %d: %w", seq, err)
 		}
-		out = append(out, Record{Seq: seq, Event: p.EventJSON, Batch: p.Batch})
+		out = append(out, Record{Seq: seq, Event: ev, Batch: batch})
 	}
 	return out, nil
 }
 
-// Wait blocks until the log grows past seq or the timeout elapses; it
-// reports whether records past seq exist. GET /replicate long-polls
-// through it so followers tail with one round-trip per batch.
+// Wait blocks until the durable log grows past seq or the timeout
+// elapses; it reports whether durable records past seq exist. GET
+// /replicate long-polls through it so followers tail with one round-trip
+// per batch.
 func (l *Log) Wait(seq uint64, timeout time.Duration) bool {
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
@@ -191,13 +326,13 @@ func (l *Log) Wait(seq uint64, timeout time.Duration) bool {
 		l.mu.Lock()
 		ch := l.notify
 		l.mu.Unlock()
-		if l.sl.Last() > seq {
+		if l.DurableSeq() > seq {
 			return true
 		}
 		select {
 		case <-ch:
 		case <-deadline.C:
-			return l.sl.Last() > seq
+			return l.DurableSeq() > seq
 		}
 	}
 }
@@ -205,5 +340,16 @@ func (l *Log) Wait(seq uint64, timeout time.Duration) bool {
 // SizeOnDisk returns the WAL's file footprint in bytes.
 func (l *Log) SizeOnDisk() int64 { return l.sl.SizeOnDisk() }
 
-// Close releases the underlying file.
-func (l *Log) Close() error { return l.sl.Close() }
+// Close stops the flusher (failing any appender still waiting on a sync)
+// and releases the underlying file.
+func (l *Log) Close() error {
+	l.flushMu.Lock()
+	alreadyClosed := l.closed
+	l.closed = true
+	l.flushCond.Broadcast()
+	l.flushMu.Unlock()
+	if !alreadyClosed {
+		<-l.flushDone
+	}
+	return l.sl.Close()
+}

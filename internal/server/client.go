@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"historygraph"
+	"historygraph/internal/wire"
 )
 
 // Client is a small Go client for the query service — what cmd/dgquery's
@@ -20,17 +21,29 @@ import (
 // speaks to an unsharded dgserve and to a shard coordinator transparently:
 // the wire types are identical, and scatter-gather responses surface any
 // failed partitions in their Partial field.
+//
+// The client defaults to the JSON codec. SetWire("binary") switches the
+// data plane to the compact binary encoding: requests advertise it via
+// Accept and encode POST bodies with it, and responses are decoded by
+// whatever Content-Type the server actually answered with. For reads
+// that makes mixed versions safe — a server that does not speak binary
+// just answers JSON. POST bodies are different: the server must
+// understand the binary Content-Type, so select binary only against
+// binary-aware servers (any build containing internal/wire); in a
+// rolling upgrade, flip writers to binary after every server upgraded.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	codec wire.Codec
 }
 
 // NewClient returns a client for a dgserve base URL such as
 // "http://localhost:8086".
 func NewClient(base string) *Client {
 	return &Client{
-		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Timeout: 60 * time.Second},
+		base:  strings.TrimRight(base, "/"),
+		hc:    &http.Client{Timeout: 60 * time.Second},
+		codec: wire.JSON{},
 	}
 }
 
@@ -38,11 +51,25 @@ func NewClient(base string) *Client {
 // coordinator shares one transport across partitions and bounds each
 // request with a context instead of the client-wide timeout).
 func NewClientHTTP(base string, hc *http.Client) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, codec: wire.JSON{}}
 }
 
 // BaseURL returns the server base URL the client talks to.
 func (c *Client) BaseURL() string { return c.base }
+
+// SetWire selects the wire codec by name ("json" or "binary") and returns
+// the client for chaining.
+func (c *Client) SetWire(name string) (*Client, error) {
+	codec, err := wire.ByName(name)
+	if err != nil {
+		return c, err
+	}
+	c.codec = codec
+	return c, nil
+}
+
+// Wire reports the selected codec name.
+func (c *Client) Wire() string { return c.codec.Name() }
 
 func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
 	u := c.base + path
@@ -53,6 +80,9 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 	if err != nil {
 		return err
 	}
+	if c.codec.Name() != wire.NameJSON {
+		req.Header.Set("Accept", c.codec.ContentType())
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -61,15 +91,24 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
-	buf, err := json.Marshal(body)
+	codec := wire.Codec(c.codec)
+	buf, err := codec.Encode(body)
 	if err != nil {
-		return err
+		// The selected codec has no encoding for this body (e.g. a shape
+		// the binary format does not cover): fall back to JSON.
+		codec = wire.JSON{}
+		if buf, err = codec.Encode(body); err != nil {
+			return err
+		}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", codec.ContentType())
+	if c.codec.Name() != wire.NameJSON {
+		req.Header.Set("Accept", c.codec.ContentType())
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -95,6 +134,7 @@ func (e *HTTPError) Error() string {
 func decodeResponse(resp *http.Response, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		// Error bodies are always JSON, regardless of the negotiated codec.
 		var ej errorJSON
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		if json.Unmarshal(raw, &ej) == nil && ej.Error != "" {
@@ -102,7 +142,13 @@ func decodeResponse(resp *http.Response, out any) error {
 		}
 		return &HTTPError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(raw))}
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	// Decode with whatever codec the server answered in — the negotiated
+	// one for data-plane endpoints, JSON for everything else.
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return wire.ForContentType(resp.Header.Get("Content-Type")).Decode(data, out)
 }
 
 func timeQuery(ts []historygraph.Time) string {

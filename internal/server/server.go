@@ -29,12 +29,14 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync/atomic"
 
 	"historygraph"
+	"historygraph/internal/wire"
 )
 
 // Config tunes the service.
@@ -205,7 +207,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	release()
 	out.Cached = cached
 	out.Coalesced = coalesced
-	WriteJSON(w, http.StatusOK, out)
+	WriteWire(w, r, http.StatusOK, out)
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
@@ -238,7 +240,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	for i, n := range neigh {
 		out.Neighbors[i] = int64(n)
 	}
-	WriteJSON(w, http.StatusOK, out)
+	WriteWire(w, r, http.StatusOK, out)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -271,7 +273,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for i, snap := range snaps {
 			out[i] = SnapshotToJSON(snap, times[i], full)
 		}
-		WriteJSON(w, http.StatusOK, out)
+		WriteWire(w, r, http.StatusOK, out)
 		return
 	}
 
@@ -340,7 +342,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	WriteJSON(w, http.StatusOK, out)
+	WriteWire(w, r, http.StatusOK, out)
 }
 
 func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request) {
@@ -366,12 +368,12 @@ func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request) {
 	for _, ev := range res.Transients {
 		out.Transients = append(out.Transients, EventToJSON(ev))
 	}
-	WriteJSON(w, http.StatusOK, out)
+	WriteWire(w, r, http.StatusOK, out)
 }
 
 func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 	var req ExprRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := ReadBody(r, &req); err != nil {
 		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad expr body: %w", err))
 		return
 	}
@@ -389,7 +391,7 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	WriteJSON(w, http.StatusOK, SnapshotToJSON(snap, 0, req.Full))
+	WriteWire(w, r, http.StatusOK, SnapshotToJSON(snap, 0, req.Full))
 }
 
 // DecodeEvents converts a wire event batch to the model form. The append
@@ -445,7 +447,7 @@ func (s *Server) Manager() *historygraph.GraphManager { return s.gm }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	var body []EventJSON
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+	if err := ReadBody(r, &body); err != nil {
 		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
 		return
 	}
@@ -459,7 +461,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusUnprocessableEntity, appendErr)
 		return
 	}
-	WriteJSON(w, http.StatusOK, res)
+	WriteWire(w, r, http.StatusOK, res)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -510,6 +512,34 @@ func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
+}
+
+// WriteWire writes v encoded with the codec the request's Accept header
+// negotiated (wire.Negotiate): JSON unless the client asked for binary.
+// Types the negotiated codec cannot encode fall back to JSON, so adding a
+// binary-unaware response shape never breaks a binary client — it just
+// answers JSON, which the Content-Type header declares.
+func WriteWire(w http.ResponseWriter, r *http.Request, code int, v any) {
+	codec := wire.Negotiate(r.Header.Get("Accept"))
+	data, err := codec.Encode(v)
+	if err != nil {
+		WriteJSON(w, code, v)
+		return
+	}
+	w.Header().Set("Content-Type", codec.ContentType())
+	w.WriteHeader(code)
+	w.Write(data)
+}
+
+// ReadBody decodes a request body with the codec its Content-Type names
+// (JSON unless the binary type is declared). The shard coordinator and
+// replica node share it so every append path accepts both encodings.
+func ReadBody(r *http.Request, v any) error {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return err
+	}
+	return wire.ForContentType(r.Header.Get("Content-Type")).Decode(data, v)
 }
 
 // WriteError writes the wire error shape ({"error": "..."}) the Client

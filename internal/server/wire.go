@@ -1,8 +1,11 @@
 package server
 
-// This file holds the wire types: the JSON bodies shared by the HTTP
-// handlers and the Go client. Element lists are sorted by ID so responses
-// are deterministic and diffable.
+// The wire types themselves live in internal/wire (one definition shared
+// by the server handlers, the Go client, the shard coordinator's merge
+// layer, and the replication stream); this file aliases them under their
+// historical *JSON names and holds the model<->wire conversions plus the
+// time-expression parser. Element lists are sorted by ID so responses are
+// deterministic and diffable.
 
 import (
 	"fmt"
@@ -11,134 +14,38 @@ import (
 	"strings"
 
 	"historygraph"
+	"historygraph/internal/wire"
 )
 
-// NodeJSON is one node of a snapshot response.
-type NodeJSON struct {
-	ID    int64             `json:"id"`
-	Attrs map[string]string `json:"attrs,omitempty"`
-}
+// Aliases for the shared wire structs. The *JSON names predate the wire
+// package; both spellings are the same types.
+type (
+	// NodeJSON is one node of a snapshot response.
+	NodeJSON = wire.Node
+	// EdgeJSON is one edge of a snapshot response.
+	EdgeJSON = wire.Edge
+	// PartitionError reports one partition's failure inside a
+	// scatter-gather response (see wire.PartitionError).
+	PartitionError = wire.PartitionError
+	// SnapshotJSON answers snapshot, batch and expression queries.
+	SnapshotJSON = wire.Snapshot
+	// NeighborsJSON answers neighborhood queries.
+	NeighborsJSON = wire.Neighbors
+	// EventJSON is the wire form of one historical event.
+	EventJSON = wire.Event
+	// IntervalJSON answers interval queries.
+	IntervalJSON = wire.Interval
+	// ExprRequest is the POST /expr body.
+	ExprRequest = wire.ExprRequest
+	// AppendResult answers POST /append.
+	AppendResult = wire.AppendResult
+	// ServerStatsJSON is the serving-layer section of /stats.
+	ServerStatsJSON = wire.ServerStats
+	// StatsJSON answers GET /stats.
+	StatsJSON = wire.Stats
 
-// EdgeJSON is one edge of a snapshot response.
-type EdgeJSON struct {
-	ID       int64             `json:"id"`
-	From     int64             `json:"from"`
-	To       int64             `json:"to"`
-	Directed bool              `json:"directed,omitempty"`
-	Attrs    map[string]string `json:"attrs,omitempty"`
-}
-
-// PartitionError reports one partition's failure inside a scatter-gather
-// response assembled by a shard coordinator (internal/shard). Unsharded
-// responses never carry these; a sharded response whose Partial list is
-// non-empty is missing the named partitions' contributions. Status is the
-// partition's HTTP status when it answered with one (an HTTPError), 0 for
-// transport-level failures — it lets the coordinator surface a deliberate
-// 4xx rejection as a client error instead of a gateway failure.
-type PartitionError struct {
-	Partition int    `json:"partition"`
-	Error     string `json:"error"`
-	Status    int    `json:"status,omitempty"`
-}
-
-// SnapshotJSON answers snapshot, batch and expression queries. Nodes and
-// Edges are populated only when the request asked for full elements.
-type SnapshotJSON struct {
-	At        int64            `json:"at,omitempty"`
-	NumNodes  int              `json:"num_nodes"`
-	NumEdges  int              `json:"num_edges"`
-	Cached    bool             `json:"cached,omitempty"`
-	Coalesced bool             `json:"coalesced,omitempty"`
-	Nodes     []NodeJSON       `json:"nodes,omitempty"`
-	Edges     []EdgeJSON       `json:"edges,omitempty"`
-	Partial   []PartitionError `json:"partial,omitempty"`
-}
-
-// NeighborsJSON answers neighborhood queries.
-type NeighborsJSON struct {
-	At        int64            `json:"at"`
-	Node      int64            `json:"node"`
-	Degree    int              `json:"degree"`
-	Neighbors []int64          `json:"neighbors"`
-	Cached    bool             `json:"cached,omitempty"`
-	Partial   []PartitionError `json:"partial,omitempty"`
-}
-
-// EventJSON is the wire form of one historical event. Old/New are pointers
-// so "attribute removed" (HasNew=false) is distinguishable from "set to
-// empty string".
-type EventJSON struct {
-	Type     string  `json:"type"`
-	At       int64   `json:"at"`
-	Node     int64   `json:"node,omitempty"`
-	Node2    int64   `json:"node2,omitempty"`
-	Edge     int64   `json:"edge,omitempty"`
-	Directed bool    `json:"directed,omitempty"`
-	Attr     string  `json:"attr,omitempty"`
-	Old      *string `json:"old,omitempty"`
-	New      *string `json:"new,omitempty"`
-}
-
-// IntervalJSON answers interval queries: the elements added in [Start,
-// End) plus the transient events in that window.
-type IntervalJSON struct {
-	Start      int64            `json:"start"`
-	End        int64            `json:"end"`
-	NumNodes   int              `json:"num_nodes"`
-	NumEdges   int              `json:"num_edges"`
-	Nodes      []NodeJSON       `json:"nodes,omitempty"`
-	Edges      []EdgeJSON       `json:"edges,omitempty"`
-	Transients []EventJSON      `json:"transients,omitempty"`
-	Partial    []PartitionError `json:"partial,omitempty"`
-}
-
-// ExprRequest is the POST /expr body: a Boolean expression over the listed
-// timepoints, e.g. {"times":[100,200], "expr":"0 & !1"} for "in the graph
-// at t=100 but not at t=200".
-type ExprRequest struct {
-	Times []int64 `json:"times"`
-	Expr  string  `json:"expr"`
-	Attrs string  `json:"attrs,omitempty"`
-	Full  bool    `json:"full,omitempty"`
-}
-
-// AppendResult answers POST /append. Seq is the WAL sequence number of the
-// batch's last event when the serving node writes a durable write-ahead
-// log (internal/replica); nodes without a WAL leave it zero. Deduped means
-// the node recognized the request's idempotency batch ID (?batch=) from
-// records it already holds and acked without appending again.
-type AppendResult struct {
-	Appended    int              `json:"appended"`
-	LastTime    int64            `json:"last_time"`
-	Invalidated int              `json:"invalidated,omitempty"`
-	Seq         uint64           `json:"seq,omitempty"`
-	Deduped     bool             `json:"deduped,omitempty"`
-	Partial     []PartitionError `json:"partial,omitempty"`
-}
-
-// ServerStatsJSON is the serving-layer section of /stats.
-type ServerStatsJSON struct {
-	Requests       int64 `json:"requests"`
-	Retrievals     int64 `json:"retrievals"`
-	Coalesced      int64 `json:"coalesced"`
-	CacheHits      int64 `json:"cache_hits"`
-	CacheMisses    int64 `json:"cache_misses"`
-	CacheEvictions int64 `json:"cache_evictions"`
-	CacheSize      int   `json:"cache_size"`
-	CacheCapacity  int   `json:"cache_capacity"`
-}
-
-// StatsJSON answers GET /stats: index shape, pool contents, and
-// serving-layer counters.
-type StatsJSON struct {
-	Index  historygraph.IndexStats `json:"index"`
-	Pool   historygraph.PoolStats  `json:"pool"`
-	Server ServerStatsJSON         `json:"server"`
-}
-
-type errorJSON struct {
-	Error string `json:"error"`
-}
+	errorJSON = wire.Error
+)
 
 var eventTypesByName = map[string]historygraph.EventType{
 	"NN": historygraph.AddNode, "DN": historygraph.DelNode,

@@ -9,9 +9,12 @@ import (
 )
 
 // coCache is the coordinator-side merged-response cache: a small LRU over
-// fully merged response bodies, keyed by the same strings the flight group
-// coalesces on. A hit serves a hot timepoint without any fan-out at all —
-// the N scatter legs, the N JSON decodes, and the merge all disappear.
+// fully *encoded* response bodies, keyed by the flight-group key plus the
+// codec name ("snap|120|…|json"). A hit serves a hot timepoint without any
+// fan-out at all — and, since the body was encoded when it was inserted,
+// without any encode work either: the handler's hit path is one Write of
+// the stored bytes. The N scatter legs, the N decodes, the merge, and the
+// re-encode all disappear.
 //
 // Only complete responses are admitted (a partial one is missing a
 // partition's data and must not be replayed once the partition returns).
@@ -37,13 +40,16 @@ type coCache struct {
 	hits, misses, evictions int64
 }
 
-// coEntry is one cached merged response. maxT is the latest timepoint the
-// response depends on: an append at or before it invalidates the entry.
+// coEntry is one cached merged response, already encoded. maxT is the
+// latest timepoint the response depends on: an append at or before it
+// invalidates the entry. contentType names the codec the body was encoded
+// with, so a hit replays the exact headers of the original answer.
 type coEntry struct {
-	key   string
-	maxT  historygraph.Time
-	val   any
-	added time.Time
+	key         string
+	maxT        historygraph.Time
+	body        []byte
+	contentType string
+	added       time.Time
 }
 
 func newCoCache(capacity int, ttl time.Duration) *coCache {
@@ -55,15 +61,15 @@ func newCoCache(capacity int, ttl time.Duration) *coCache {
 	}
 }
 
-// Get returns the cached merged response for key. A TTL-expired entry is
-// evicted and reported as a miss.
-func (c *coCache) Get(key string) (any, bool) {
+// Get returns the cached encoded body and content type for key. A
+// TTL-expired entry is evicted and reported as a miss.
+func (c *coCache) Get(key string) ([]byte, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	elem, ok := c.entries[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, "", false
 	}
 	ent := elem.Value.(*coEntry)
 	if c.ttl > 0 && time.Since(ent.added) > c.ttl {
@@ -71,11 +77,11 @@ func (c *coCache) Get(key string) (any, bool) {
 		c.lru.Remove(elem)
 		c.evictions++
 		c.misses++
-		return nil, false
+		return nil, "", false
 	}
 	c.lru.MoveToFront(elem)
 	c.hits++
-	return ent.val, true
+	return ent.body, ent.contentType, true
 }
 
 // Gen returns the invalidation generation; snapshot it before a fan-out
@@ -86,16 +92,16 @@ func (c *coCache) Gen() int64 {
 	return c.gen
 }
 
-// Insert registers a complete merged response, unless an invalidation pass
-// ran since gen was snapshotted (the merge may predate events an append
-// already made visible).
-func (c *coCache) Insert(key string, maxT historygraph.Time, val any, gen int64) {
+// Insert registers a complete merged response's encoded body, unless an
+// invalidation pass ran since gen was snapshotted (the merge may predate
+// events an append already made visible).
+func (c *coCache) Insert(key string, maxT historygraph.Time, body []byte, contentType string, gen int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.gen != gen {
 		return
 	}
-	ent := &coEntry{key: key, maxT: maxT, val: val, added: time.Now()}
+	ent := &coEntry{key: key, maxT: maxT, body: body, contentType: contentType, added: time.Now()}
 	if elem, dup := c.entries[key]; dup {
 		elem.Value = ent
 		c.lru.MoveToFront(elem)

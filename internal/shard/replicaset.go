@@ -35,6 +35,38 @@ type member struct {
 	healthy atomic.Bool   // last contact attempt succeeded
 	insync  atomic.Bool   // within MaxLag of the set's replication head
 	applied atomic.Uint64 // last known applied WAL sequence
+	ewma    atomic.Int64  // EWMA of answered-read latency in ns; 0 = unsampled
+	samples atomic.Int64  // answered reads folded into the EWMA
+}
+
+// observeLatency folds one answered read into the member's latency EWMA
+// (weight 1/4 — reactive enough to notice a member going slow within a
+// few reads, smooth enough to ride out one GC pause).
+func (m *member) observeLatency(d time.Duration) {
+	for {
+		old := m.ewma.Load()
+		nw := int64(d)
+		if old != 0 {
+			nw = old + (int64(d)-old)/4
+		}
+		if nw <= 0 {
+			nw = 1 // 0 is the unsampled sentinel
+		}
+		if m.ewma.CompareAndSwap(old, nw) {
+			m.samples.Add(1)
+			return
+		}
+	}
+}
+
+// trustedEwma returns the member's latency EWMA once enough reads back it
+// (0 otherwise): one or two samples are noise — a single cold-cache plan
+// execution must not re-route the whole set.
+func (m *member) trustedEwma() int64 {
+	if m.samples.Load() < minLatencySamples {
+		return 0
+	}
+	return m.ewma.Load()
 }
 
 // replicaSet is one partition's members plus routing state.
@@ -45,10 +77,16 @@ type replicaSet struct {
 	failMu  sync.Mutex    // serializes failovers for this set
 }
 
-func newReplicaSet(urls []string, hc *http.Client) *replicaSet {
+func newReplicaSet(urls []string, hc *http.Client, wireName string) *replicaSet {
 	rs := &replicaSet{}
 	for _, u := range urls {
-		m := &member{url: strings.TrimRight(u, "/"), client: server.NewClientHTTP(u, hc)}
+		cl, err := server.NewClientHTTP(u, hc).SetWire(wireName)
+		if err != nil {
+			// The coordinator validated the name already; fall back to the
+			// client's JSON default rather than fail a whole set.
+			cl = server.NewClientHTTP(u, hc)
+		}
+		m := &member{url: strings.TrimRight(u, "/"), client: cl}
 		m.healthy.Store(true)
 		m.insync.Store(true)
 		rs.members = append(rs.members, m)
@@ -69,19 +107,48 @@ func (rs *replicaSet) urls() []string {
 	return out
 }
 
+// probeEvery is the read cadence at which latency-aware ordering inverts:
+// every probeEvery-th read tries the currently demoted members first, so
+// a member the EWMA has learned to avoid keeps getting sampled and can
+// win reads back once it recovers.
+const probeEvery = 16
+
+// slowFactor is the routing hysteresis: a member is demoted behind its
+// peers only when its latency EWMA exceeds the tier's fastest by this
+// factor. Comparable members keep the plain rotation (which spreads load
+// and keeps per-member caches warm deterministically); the demotion only
+// kicks in for a member that is genuinely slow — overloaded, GC-bound, or
+// on a bad link.
+const slowFactor = 2
+
+// minLatencySamples is how many answered reads a member needs before its
+// EWMA participates in demotion decisions.
+const minLatencySamples = 4
+
+// slowFloor is the absolute half of the hysteresis: however lopsided the
+// EWMAs, a member is only demoted when its average answer time actually
+// hurts (a loaded box, a cross-zone link, a saturated disk — not the
+// microsecond-scale jitter between two healthy members, where rerouting
+// would only churn their hot caches for no latency win).
+const slowFloor = 25 * time.Millisecond
+
 // readOrder returns the members to try for a read: in-sync healthy
 // replicas first (rotated round-robin so load spreads), then healthy but
 // lagging ones, then everything else as a last resort — a marked-down
-// member may have recovered since the last health pass.
+// member may have recovered since the last health pass. Within the ready
+// tier, members whose latency EWMA is more than slowFactor times the
+// tier's fastest (and above slowFloor) are moved to the back, so reads
+// prefer the low-latency members; every probeEvery-th read inverts that
+// order, re-probing demoted members so their EWMA can recover.
 func (rs *replicaSet) readOrder() []*member {
 	n := len(rs.members)
 	if n == 1 {
 		return rs.members
 	}
-	start := int(rs.rr.Add(1)) % n
+	tick := rs.rr.Add(1)
 	var ready, lagging, down []*member
 	for i := 0; i < n; i++ {
-		m := rs.members[(start+i)%n]
+		m := rs.members[(int(tick)+i)%n]
 		switch {
 		case m.healthy.Load() && m.insync.Load():
 			ready = append(ready, m)
@@ -91,28 +158,71 @@ func (rs *replicaSet) readOrder() []*member {
 			down = append(down, m)
 		}
 	}
+	fast, slow := splitSlow(ready)
+	if tick%probeEvery == 0 {
+		// A probe deliberately fronts the members routing currently avoids
+		// — wherever they sit in the rotation — so a demoted member keeps
+		// being measured and its EWMA can recover. With nothing demoted a
+		// probe is an ordinary rotation read, so steady-state order is
+		// untouched.
+		ready = append(slow, fast...)
+	} else {
+		ready = append(fast, slow...)
+	}
 	return append(append(ready, lagging...), down...)
 }
 
+// splitSlow stably partitions a tier into the members reads should prefer
+// and those slower than slowFactor x the fastest trusted EWMA (relative)
+// AND slowFloor (absolute). Members without a trusted EWMA (too few
+// samples) count as fast so every member gets measured before routing
+// reacts to it.
+func splitSlow(tier []*member) (fast, slow []*member) {
+	min := int64(0)
+	for _, m := range tier {
+		if w := m.trustedEwma(); w > 0 && (min == 0 || w < min) {
+			min = w
+		}
+	}
+	if min == 0 {
+		return tier, nil // no member measured enough yet
+	}
+	fast = make([]*member, 0, len(tier))
+	for _, m := range tier {
+		if w := m.trustedEwma(); w > slowFactor*min && w > int64(slowFloor) {
+			slow = append(slow, m)
+		} else {
+			fast = append(fast, m)
+		}
+	}
+	return fast, slow
+}
+
 // readFrom runs call against the set's replicas in readOrder until one
-// answers, marking members up or down along the way. Spreading reads over
-// followers is safe because every member serves the same merged-exact
-// slice once caught up; a lagging or dead member is simply skipped.
+// answers, marking members up or down along the way and feeding answered
+// latencies into the per-member EWMA the ordering is built from.
+// Spreading reads over followers is safe because every member serves the
+// same merged-exact slice once caught up; a lagging or dead member is
+// simply skipped.
 func readFrom[T any](ctx context.Context, rs *replicaSet, call func(cl *server.Client) (T, error)) (T, error) {
 	var zero T
 	var lastErr error
 	for _, m := range rs.readOrder() {
+		begin := time.Now()
 		v, err := call(m.client)
 		if err == nil {
 			m.healthy.Store(true)
+			m.observeLatency(time.Since(begin))
 			return v, nil
 		}
 		// A 4xx means the member answered and rejected the request — it is
-		// healthy, and every replica would reject the same way, so neither
-		// marking it down nor retrying elsewhere is right.
+		// healthy (and its answer time is a real latency sample), and every
+		// replica would reject the same way, so neither marking it down nor
+		// retrying elsewhere is right.
 		var he *server.HTTPError
 		if errors.As(err, &he) && he.Status >= 400 && he.Status < 500 {
 			m.healthy.Store(true)
+			m.observeLatency(time.Since(begin))
 			return zero, err
 		}
 		m.healthy.Store(false)

@@ -43,7 +43,6 @@ package shard
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -56,6 +55,7 @@ import (
 
 	"historygraph"
 	"historygraph/internal/server"
+	"historygraph/internal/wire"
 )
 
 // DefaultPartitionTimeout bounds each fan-out leg when Config leaves
@@ -99,6 +99,13 @@ type Config struct {
 	// HTTPClient overrides the pooled transport used for fan-out
 	// requests (tests inject clients wired to in-process servers).
 	HTTPClient *http.Client
+	// Wire selects the codec the coordinator's scatter legs use when
+	// talking to partition workers: "json" (the default) or "binary".
+	// Binary legs skip the per-element JSON encode on every worker and the
+	// matching decode on the coordinator; the merge operates on the decoded
+	// structs either way, so external responses are byte-identical
+	// whichever leg codec is picked.
+	Wire string
 }
 
 // Coordinator scatters queries across partition replica sets and gathers
@@ -121,6 +128,7 @@ type Coordinator struct {
 	coalesced atomic.Int64 // requests served by another caller's fan-out
 	partials  atomic.Int64 // responses missing >= 1 partition
 	failovers atomic.Int64 // primary promotions
+	encodes   atomic.Int64 // response-body encode executions (cache hits do none)
 }
 
 // New builds a coordinator over the given partition peer specs. The slice
@@ -169,6 +177,10 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 	if maxLag == 0 {
 		maxLag = DefaultMaxLag
 	}
+	legWire, err := wire.ByName(cfg.Wire)
+	if err != nil {
+		return nil, err
+	}
 	co := &Coordinator{
 		hc: hc, timeout: timeout, maxLag: maxLag,
 		stop: make(chan struct{}),
@@ -177,7 +189,7 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 		if len(set) == 0 {
 			return nil, fmt.Errorf("shard: partition %d has no members", p)
 		}
-		co.sets = append(co.sets, newReplicaSet(set, hc))
+		co.sets = append(co.sets, newReplicaSet(set, hc, legWire.Name()))
 	}
 	size := cfg.CacheSize
 	if size == 0 {
@@ -209,6 +221,12 @@ func (co *Coordinator) NumPartitions() int { return len(co.sets) }
 // Fanouts reports how many scatter-gathers actually executed (tests
 // assert coordinator-level coalescing and cache hits against this).
 func (co *Coordinator) Fanouts() int64 { return co.fanouts.Load() }
+
+// Encodes reports how many response-body encodes the coordinator's
+// cacheable data plane executed. A merged-response cache hit writes the
+// stored bytes without encoding, so tests assert hits leave this counter
+// untouched.
+func (co *Coordinator) Encodes() int64 { return co.encodes.Load() }
 
 // Failovers reports how many primary promotions the coordinator ran.
 func (co *Coordinator) Failovers() int64 { return co.failovers.Load() }
@@ -286,19 +304,69 @@ func (co *Coordinator) cacheGen() int64 {
 	return co.cache.Gen()
 }
 
-// cacheGet probes the merged-response cache.
-func (co *Coordinator) cacheGet(key string) (any, bool) {
-	if co.cache == nil {
-		return nil, false
-	}
-	return co.cache.Get(key)
+// flightMerge is what a fan-out flight hands every caller waiting on it:
+// the merged response plus the cache bookkeeping the leader snapshotted.
+type flightMerge struct {
+	v        any
+	gen      int64
+	complete bool // every partition answered — cacheable
 }
 
-// cacheInsert registers a complete merged response.
-func (co *Coordinator) cacheInsert(key string, maxT historygraph.Time, val any, gen int64) {
-	if co.cache != nil {
-		co.cache.Insert(key, maxT, val, gen)
+// cacheKey appends the codec dimension to a flight key: the cache stores
+// encoded bodies, so the same merged response occupies one entry per
+// encoding it was actually served in.
+func cacheKey(key string, codec wire.Codec) string {
+	return key + "|" + codec.Name()
+}
+
+// writeCached serves a merged-response cache hit: one Write of the stored
+// pre-encoded body — no fan-out, no merge, and no encode work at all.
+func (co *Coordinator) writeCached(w http.ResponseWriter, codec wire.Codec, key string) bool {
+	if co.cache == nil {
+		return false
 	}
+	body, contentType, ok := co.cache.Get(cacheKey(key, codec))
+	if !ok {
+		return false
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+	return true
+}
+
+// encode serializes one response body via codec, counting the execution
+// (the zero-encode cache-hit guarantee is asserted against this counter).
+func (co *Coordinator) encode(codec wire.Codec, v any) ([]byte, error) {
+	co.encodes.Add(1)
+	return codec.Encode(v)
+}
+
+// writeMerged writes a merged response and, when cacheable, registers the
+// exact bytes (or, for responses whose hit form differs — the Cached flag
+// flips on — a re-encoded cached variant) under the codec-scoped key.
+// cachedVariant may equal v.
+func (co *Coordinator) writeMerged(w http.ResponseWriter, codec wire.Codec, v any, cachedVariant any, key string, maxT historygraph.Time, gen int64, cacheable bool) {
+	body, err := co.encode(codec, v)
+	if err != nil {
+		// The negotiated codec cannot encode this body; fall back to JSON
+		// (and do not cache — the stored content type would lie).
+		server.WriteJSON(w, http.StatusOK, v)
+		return
+	}
+	w.Header().Set("Content-Type", codec.ContentType())
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+	if !cacheable || co.cache == nil {
+		return
+	}
+	cachedBody := body
+	if cachedVariant != nil {
+		if cachedBody, err = co.encode(codec, cachedVariant); err != nil {
+			return
+		}
+	}
+	co.cache.Insert(cacheKey(key, codec), maxT, cachedBody, codec.ContentType(), gen)
 }
 
 func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -314,12 +382,10 @@ func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	full := server.BoolParam(q.Get("full"))
+	codec := wire.Negotiate(r.Header.Get("Accept"))
 	key := fmt.Sprintf("snap|%d|%s|%t", t, attrs, full)
-	if v, ok := co.cacheGet(key); ok {
-		out := v.(server.SnapshotJSON)
-		out.Cached = true // a coordinator-cache hit, like a worker-cache one
-		server.WriteJSON(w, http.StatusOK, out)
-		return
+	if co.writeCached(w, codec, key) {
+		return // pre-encoded hit: zero fan-out, zero encode
 	}
 	v, shared, err := co.flights.Do(key, func() (any, error) {
 		co.fanouts.Add(1)
@@ -331,22 +397,25 @@ func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			return nil, co.allFailed(errs)
 		}
 		co.notePartial(errs)
-		merged := mergeSnapshots(int64(t), parts, errs)
-		if len(errs) == 0 {
-			co.cacheInsert(key, t, merged, gen)
-		}
-		return merged, nil
+		return flightMerge{v: mergeSnapshots(int64(t), parts, errs), gen: gen, complete: len(errs) == 0}, nil
 	})
 	if err != nil {
 		writeAllFailed(w, err)
 		return
 	}
-	out := v.(server.SnapshotJSON)
+	fm := v.(flightMerge)
+	out := fm.v.(server.SnapshotJSON)
 	if shared {
+		// Waiters serve the shared merge but leave caching to the leader.
 		co.coalesced.Add(1)
 		out.Coalesced = true
+		server.WriteWire(w, r, http.StatusOK, out)
+		return
 	}
-	server.WriteJSON(w, http.StatusOK, out)
+	// A later hit answers exactly like a worker-cache hit: Cached flips on.
+	cached := out
+	cached.Cached, cached.Coalesced = true, false
+	co.writeMerged(w, codec, out, cached, key, t, fm.gen, fm.complete)
 }
 
 func (co *Coordinator) handleNeighbors(w http.ResponseWriter, r *http.Request) {
@@ -370,11 +439,9 @@ func (co *Coordinator) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	// A node's incident edges are scattered across partitions (each edge
 	// lives with its From endpoint), so the neighborhood is the union of
 	// every partition's local adjacency.
+	codec := wire.Negotiate(r.Header.Get("Accept"))
 	key := fmt.Sprintf("nbr|%d|%d|%s", t, node, attrs)
-	if v, ok := co.cacheGet(key); ok {
-		out := v.(server.NeighborsJSON)
-		out.Cached = true
-		server.WriteJSON(w, http.StatusOK, out)
+	if co.writeCached(w, codec, key) {
 		return
 	}
 	v, shared, err := co.flights.Do(key, func() (any, error) {
@@ -387,20 +454,22 @@ func (co *Coordinator) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 			return nil, co.allFailed(errs)
 		}
 		co.notePartial(errs)
-		merged := mergeNeighbors(int64(t), node, parts, errs)
-		if len(errs) == 0 {
-			co.cacheInsert(key, t, merged, gen)
-		}
-		return merged, nil
+		return flightMerge{v: mergeNeighbors(int64(t), node, parts, errs), gen: gen, complete: len(errs) == 0}, nil
 	})
 	if err != nil {
 		writeAllFailed(w, err)
 		return
 	}
+	fm := v.(flightMerge)
+	out := fm.v.(server.NeighborsJSON)
 	if shared {
 		co.coalesced.Add(1)
+		server.WriteWire(w, r, http.StatusOK, out)
+		return
 	}
-	server.WriteJSON(w, http.StatusOK, v.(server.NeighborsJSON))
+	cached := out
+	cached.Cached = true
+	co.writeMerged(w, codec, out, cached, key, t, fm.gen, fm.complete)
 }
 
 func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -424,9 +493,9 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	full := server.BoolParam(q.Get("full"))
+	codec := wire.Negotiate(r.Header.Get("Accept"))
 	key := fmt.Sprintf("batch|%s|%s|%t", q.Get("t"), attrs, full)
-	if v, ok := co.cacheGet(key); ok {
-		server.WriteJSON(w, http.StatusOK, v)
+	if co.writeCached(w, codec, key) {
 		return
 	}
 	gen := co.cacheGen()
@@ -456,10 +525,9 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		out[i] = mergeSnapshots(int64(t), slice, errs)
 	}
-	if len(errs) == 0 {
-		co.cacheInsert(key, maxT, out, gen)
-	}
-	server.WriteJSON(w, http.StatusOK, out)
+	// Batch hits replay the stored body as-is (no Cached flip), so the
+	// served bytes and the cached bytes are one and the same encode.
+	co.writeMerged(w, codec, out, nil, key, maxT, gen, len(errs) == 0)
 }
 
 func (co *Coordinator) handleInterval(w http.ResponseWriter, r *http.Request) {
@@ -484,12 +552,12 @@ func (co *Coordinator) handleInterval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	co.notePartial(errs)
-	server.WriteJSON(w, http.StatusOK, mergeIntervals(parts, errs))
+	server.WriteWire(w, r, http.StatusOK, mergeIntervals(parts, errs))
 }
 
 func (co *Coordinator) handleExpr(w http.ResponseWriter, r *http.Request) {
 	var req server.ExprRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := server.ReadBody(r, &req); err != nil {
 		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad expr body: %w", err))
 		return
 	}
@@ -508,12 +576,12 @@ func (co *Coordinator) handleExpr(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	co.notePartial(errs)
-	server.WriteJSON(w, http.StatusOK, mergeSnapshots(0, parts, errs))
+	server.WriteWire(w, r, http.StatusOK, mergeSnapshots(0, parts, errs))
 }
 
 func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 	var body []server.EventJSON
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+	if err := server.ReadBody(r, &body); err != nil {
 		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
 		return
 	}
@@ -559,7 +627,7 @@ func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 			out.LastTime = p.LastTime
 		}
 	}
-	server.WriteJSON(w, http.StatusOK, out)
+	server.WriteWire(w, r, http.StatusOK, out)
 }
 
 // PartitionStatsJSON is one partition's section of the coordinator's

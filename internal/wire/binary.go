@@ -1,0 +1,729 @@
+package wire
+
+// The binary codec: a compact length-prefixed format for the data-plane
+// bodies where JSON encode/decode dominates large-response latency.
+//
+// Message layout:
+//
+//	magic 'D' | version 0x01 | kind byte | body
+//
+// Body primitives (all integers are encoding/binary varints):
+//
+//	varint    zig-zag signed integer
+//	uvarint   unsigned integer
+//	bool      one byte, 0 or 1
+//	string    uvarint length + raw bytes
+//	key       interned string: uvarint ref; 0 = new key (string follows,
+//	          appended to the message's key table), n = table[n-1]
+//	list      presence byte (0 = nil — JSON's omitted field), else
+//	          1 + uvarint count + elements
+//	map       presence byte, uvarint count, (key, string) pairs in
+//	          ascending key order (deterministic bytes)
+//
+// Element IDs are delta-coded against the previous element in the list
+// (responses sort by ID, so deltas are small); attribute keys and event
+// type/attr names are interned once per message. No field names are
+// written at all — the kind byte plus position determines meaning.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// binaryMagic and binaryVersion frame every binary message.
+const (
+	binaryMagic   = 'D'
+	binaryVersion = 0x01
+)
+
+// Message kind bytes.
+const (
+	kindSnapshot     = 0x01
+	kindSnapshotList = 0x02
+	kindNeighbors    = 0x03
+	kindInterval     = 0x04
+	kindAppendResult = 0x05
+	kindEventList    = 0x06
+	kindExprRequest  = 0x07
+)
+
+// Binary is the compact codec. The zero value is ready to use.
+type Binary struct{}
+
+// Name implements Codec.
+func (Binary) Name() string { return NameBinary }
+
+// ContentType implements Codec.
+func (Binary) ContentType() string { return ContentTypeBinary }
+
+// Encode implements Codec.
+func (Binary) Encode(v any) ([]byte, error) {
+	e := NewEncoder()
+	switch t := v.(type) {
+	case *Snapshot:
+		e.header(kindSnapshot)
+		encodeSnapshot(e, t)
+	case Snapshot:
+		e.header(kindSnapshot)
+		encodeSnapshot(e, &t)
+	case []Snapshot:
+		e.header(kindSnapshotList)
+		e.Uvarint(uint64(len(t)))
+		for i := range t {
+			encodeSnapshot(e, &t[i])
+		}
+	case *Neighbors:
+		e.header(kindNeighbors)
+		encodeNeighbors(e, t)
+	case Neighbors:
+		e.header(kindNeighbors)
+		encodeNeighbors(e, &t)
+	case *Interval:
+		e.header(kindInterval)
+		encodeInterval(e, t)
+	case Interval:
+		e.header(kindInterval)
+		encodeInterval(e, &t)
+	case *AppendResult:
+		e.header(kindAppendResult)
+		encodeAppendResult(e, t)
+	case AppendResult:
+		e.header(kindAppendResult)
+		encodeAppendResult(e, &t)
+	case []Event:
+		e.header(kindEventList)
+		encodeList(e, len(t), t == nil, func(i int) { EncodeEventTo(e, t[i]) })
+	case *ExprRequest:
+		e.header(kindExprRequest)
+		encodeExpr(e, t)
+	case ExprRequest:
+		e.header(kindExprRequest)
+		encodeExpr(e, &t)
+	default:
+		return nil, fmt.Errorf("%w: %T (binary)", ErrUnsupported, v)
+	}
+	return e.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (Binary) Decode(data []byte, v any) error {
+	d := NewDecoder(data)
+	kind, err := d.Header()
+	if err != nil {
+		return err
+	}
+	switch t := v.(type) {
+	case *Snapshot:
+		d.expectKind(kind, kindSnapshot)
+		*t = decodeSnapshot(d)
+	case *[]Snapshot:
+		d.expectKind(kind, kindSnapshotList)
+		n := d.Len()
+		out := make([]Snapshot, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			out = append(out, decodeSnapshot(d))
+		}
+		*t = out
+	case *Neighbors:
+		d.expectKind(kind, kindNeighbors)
+		*t = decodeNeighbors(d)
+	case *Interval:
+		d.expectKind(kind, kindInterval)
+		*t = decodeInterval(d)
+	case *AppendResult:
+		d.expectKind(kind, kindAppendResult)
+		*t = decodeAppendResult(d)
+	case *[]Event:
+		d.expectKind(kind, kindEventList)
+		*t = decodeEventList(d)
+	case *ExprRequest:
+		d.expectKind(kind, kindExprRequest)
+		*t = decodeExpr(d)
+	default:
+		return fmt.Errorf("%w: %T (binary)", ErrUnsupported, v)
+	}
+	return d.Err()
+}
+
+// --- encoder ----------------------------------------------------------
+
+// Encoder builds one binary message. It is not safe for concurrent use;
+// allocate one per message (internal/replica shares one across the
+// records of a /replicate batch so attribute keys intern batch-wide).
+type Encoder struct {
+	buf  []byte
+	keys map[string]int
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{}
+}
+
+// header writes the standard message frame.
+func (e *Encoder) header(kind byte) {
+	e.buf = append(e.buf, binaryMagic, binaryVersion, kind)
+}
+
+// Header writes the standard message frame (magic, version, kind).
+// Kinds up to 0x1f are reserved by this package; packages building their
+// own messages on the primitives (internal/replica's replication stream)
+// use 0x20 and above.
+func (e *Encoder) Header(kind byte) { e.header(kind) }
+
+// Byte appends one raw byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Raw appends raw bytes verbatim.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Varint appends a zig-zag signed varint.
+func (e *Encoder) Varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// Bool appends a boolean byte.
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Key appends an interned string: repeat occurrences cost one varint.
+func (e *Encoder) Key(s string) {
+	if idx, ok := e.keys[s]; ok {
+		e.Uvarint(uint64(idx + 1))
+		return
+	}
+	if e.keys == nil {
+		e.keys = make(map[string]int)
+	}
+	e.Uvarint(0)
+	e.String(s)
+	e.keys[s] = len(e.keys)
+}
+
+// Len returns the bytes written so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Bytes returns the encoded message.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// --- decoder ----------------------------------------------------------
+
+// Decoder reads one binary message. Errors are sticky: after the first
+// malformed read every accessor returns the zero value and Err() reports
+// the failure, so call sites stay linear.
+type Decoder struct {
+	data []byte
+	pos  int
+	keys []string
+	err  error
+}
+
+// NewDecoder wraps data for decoding.
+func NewDecoder(data []byte) *Decoder {
+	return &Decoder{data: data}
+}
+
+// Header consumes and validates the standard message frame, returning the
+// kind byte.
+func (d *Decoder) Header() (byte, error) {
+	if len(d.data) < 3 || d.data[0] != binaryMagic || d.data[1] != binaryVersion {
+		return 0, fmt.Errorf("wire: not a binary message (magic/version mismatch in %d bytes)", len(d.data))
+	}
+	d.pos = 3
+	return d.data[2], nil
+}
+
+func (d *Decoder) expectKind(got, want byte) {
+	if got != want {
+		d.fail(fmt.Errorf("wire: message kind 0x%02x, want 0x%02x", got, want))
+	}
+}
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Err returns the first decode failure, nil when the message was well
+// formed so far.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the unread byte count.
+func (d *Decoder) Remaining() int { return len(d.data) - d.pos }
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.data) {
+		d.fail(fmt.Errorf("wire: truncated message (byte at %d)", d.pos))
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail(fmt.Errorf("wire: bad uvarint at %d", d.pos))
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// Varint reads a zig-zag signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail(fmt.Errorf("wire: bad varint at %d", d.pos))
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// Bool reads a boolean byte.
+func (d *Decoder) Bool() bool {
+	switch d.Byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail(fmt.Errorf("wire: bad bool at %d", d.pos-1))
+		return false
+	}
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail(fmt.Errorf("wire: string of %d bytes with %d remaining", n, d.Remaining()))
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+// Key reads an interned string.
+func (d *Decoder) Key() string {
+	ref := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if ref == 0 {
+		s := d.String()
+		d.keys = append(d.keys, s)
+		return s
+	}
+	if ref > uint64(len(d.keys)) {
+		d.fail(fmt.Errorf("wire: key ref %d with %d keys interned", ref, len(d.keys)))
+		return ""
+	}
+	return d.keys[ref-1]
+}
+
+// Len reads a list count, bounding it by the remaining bytes (every
+// element costs at least one byte) so corrupt input cannot force a huge
+// allocation.
+func (d *Decoder) Len() int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail(fmt.Errorf("wire: list of %d elements with %d bytes remaining", n, d.Remaining()))
+		return 0
+	}
+	return int(n)
+}
+
+// --- shared shapes ----------------------------------------------------
+
+// encodeList writes the list frame: nil-ness, count, elements. A nil
+// slice and an empty one encode differently so decode(encode(x)) == x
+// exactly (JSON's omitempty drops both, so this is strictly more
+// faithful).
+func encodeList(e *Encoder, n int, isNil bool, elem func(i int)) {
+	if isNil {
+		e.Byte(0)
+		return
+	}
+	e.Byte(1)
+	e.Uvarint(uint64(n))
+	for i := 0; i < n; i++ {
+		elem(i)
+	}
+}
+
+// decodeList reads the list frame and returns the element count and
+// whether the list was present (non-nil).
+func decodeList(d *Decoder) (n int, present bool) {
+	if d.Byte() == 0 {
+		return 0, false
+	}
+	return d.Len(), true
+}
+
+func encodeAttrs(e *Encoder, m map[string]string) {
+	if m == nil {
+		e.Byte(0)
+		return
+	}
+	e.Byte(1)
+	e.Uvarint(uint64(len(m)))
+	// Keys are written in ascending order so identical maps encode to
+	// identical bytes. One or two entries — the overwhelmingly common
+	// attribute count — need no sort scratch.
+	switch len(m) {
+	case 0:
+	case 1:
+		for k, v := range m {
+			e.Key(k)
+			e.String(v)
+		}
+	case 2:
+		var k1, k2 string
+		first := true
+		for k := range m {
+			if first {
+				k1, first = k, false
+			} else if k < k1 {
+				k2, k1 = k1, k
+			} else {
+				k2 = k
+			}
+		}
+		e.Key(k1)
+		e.String(m[k1])
+		e.Key(k2)
+		e.String(m[k2])
+	default:
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e.Key(k)
+			e.String(m[k])
+		}
+	}
+}
+
+func decodeAttrs(d *Decoder) map[string]string {
+	if d.Byte() == 0 {
+		return nil
+	}
+	n := d.Len()
+	m := make(map[string]string, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		k := d.Key()
+		m[k] = d.String()
+	}
+	return m
+}
+
+func encodeNodes(e *Encoder, nodes []Node) {
+	prev := int64(0)
+	encodeList(e, len(nodes), nodes == nil, func(i int) {
+		e.Varint(nodes[i].ID - prev)
+		prev = nodes[i].ID
+		encodeAttrs(e, nodes[i].Attrs)
+	})
+}
+
+func decodeNodes(d *Decoder) []Node {
+	n, present := decodeList(d)
+	if !present {
+		return nil
+	}
+	out := make([]Node, 0, n)
+	prev := int64(0)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		prev += d.Varint()
+		out = append(out, Node{ID: prev, Attrs: decodeAttrs(d)})
+	}
+	return out
+}
+
+func encodeEdges(e *Encoder, edges []Edge) {
+	prev := int64(0)
+	encodeList(e, len(edges), edges == nil, func(i int) {
+		ed := &edges[i]
+		e.Varint(ed.ID - prev)
+		prev = ed.ID
+		e.Varint(ed.From)
+		e.Varint(ed.To)
+		e.Bool(ed.Directed)
+		encodeAttrs(e, ed.Attrs)
+	})
+}
+
+func decodeEdges(d *Decoder) []Edge {
+	n, present := decodeList(d)
+	if !present {
+		return nil
+	}
+	out := make([]Edge, 0, n)
+	prev := int64(0)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		prev += d.Varint()
+		out = append(out, Edge{
+			ID: prev, From: d.Varint(), To: d.Varint(),
+			Directed: d.Bool(), Attrs: decodeAttrs(d),
+		})
+	}
+	return out
+}
+
+func encodePartial(e *Encoder, errs []PartitionError) {
+	encodeList(e, len(errs), errs == nil, func(i int) {
+		e.Varint(int64(errs[i].Partition))
+		e.Varint(int64(errs[i].Status))
+		e.String(errs[i].Error)
+	})
+}
+
+func decodePartial(d *Decoder) []PartitionError {
+	n, present := decodeList(d)
+	if !present {
+		return nil
+	}
+	out := make([]PartitionError, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out = append(out, PartitionError{
+			Partition: int(d.Varint()), Status: int(d.Varint()), Error: d.String(),
+		})
+	}
+	return out
+}
+
+// --- message bodies ---------------------------------------------------
+
+func encodeSnapshot(e *Encoder, s *Snapshot) {
+	e.Varint(s.At)
+	e.Varint(int64(s.NumNodes))
+	e.Varint(int64(s.NumEdges))
+	e.Bool(s.Cached)
+	e.Bool(s.Coalesced)
+	encodeNodes(e, s.Nodes)
+	encodeEdges(e, s.Edges)
+	encodePartial(e, s.Partial)
+}
+
+func decodeSnapshot(d *Decoder) Snapshot {
+	return Snapshot{
+		At:       d.Varint(),
+		NumNodes: int(d.Varint()),
+		NumEdges: int(d.Varint()),
+		Cached:   d.Bool(), Coalesced: d.Bool(),
+		Nodes: decodeNodes(d), Edges: decodeEdges(d),
+		Partial: decodePartial(d),
+	}
+}
+
+func encodeNeighbors(e *Encoder, n *Neighbors) {
+	e.Varint(n.At)
+	e.Varint(n.Node)
+	e.Varint(int64(n.Degree))
+	e.Bool(n.Cached)
+	prev := int64(0)
+	encodeList(e, len(n.Neighbors), n.Neighbors == nil, func(i int) {
+		e.Varint(n.Neighbors[i] - prev)
+		prev = n.Neighbors[i]
+	})
+	encodePartial(e, n.Partial)
+}
+
+func decodeNeighbors(d *Decoder) Neighbors {
+	out := Neighbors{
+		At: d.Varint(), Node: d.Varint(),
+		Degree: int(d.Varint()), Cached: d.Bool(),
+	}
+	if n, present := decodeList(d); present {
+		out.Neighbors = make([]int64, 0, n)
+		prev := int64(0)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			prev += d.Varint()
+			out.Neighbors = append(out.Neighbors, prev)
+		}
+	}
+	out.Partial = decodePartial(d)
+	return out
+}
+
+// Event flag bits.
+const (
+	evDirected = 1 << 0
+	evHadOld   = 1 << 1
+	evHasNew   = 1 << 2
+)
+
+// EncodeEventTo appends one event to e. Exported (with DecodeEventFrom)
+// so internal/replica's WAL records and /replicate stream reuse the exact
+// event encoding, sharing e's intern table across a whole batch.
+func EncodeEventTo(e *Encoder, ev Event) {
+	e.Key(ev.Type)
+	e.Varint(ev.At)
+	e.Varint(ev.Node)
+	e.Varint(ev.Node2)
+	e.Varint(ev.Edge)
+	var flags byte
+	if ev.Directed {
+		flags |= evDirected
+	}
+	if ev.Old != nil {
+		flags |= evHadOld
+	}
+	if ev.New != nil {
+		flags |= evHasNew
+	}
+	e.Byte(flags)
+	e.Key(ev.Attr)
+	if ev.Old != nil {
+		e.String(*ev.Old)
+	}
+	if ev.New != nil {
+		e.String(*ev.New)
+	}
+}
+
+// DecodeEventFrom reads one event written by EncodeEventTo.
+func DecodeEventFrom(d *Decoder) Event {
+	ev := Event{
+		Type: d.Key(), At: d.Varint(),
+		Node: d.Varint(), Node2: d.Varint(), Edge: d.Varint(),
+	}
+	flags := d.Byte()
+	ev.Directed = flags&evDirected != 0
+	ev.Attr = d.Key()
+	if flags&evHadOld != 0 {
+		s := d.String()
+		ev.Old = &s
+	}
+	if flags&evHasNew != 0 {
+		s := d.String()
+		ev.New = &s
+	}
+	return ev
+}
+
+func decodeEventList(d *Decoder) []Event {
+	n, present := decodeList(d)
+	if !present {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		out = append(out, DecodeEventFrom(d))
+	}
+	return out
+}
+
+func encodeInterval(e *Encoder, iv *Interval) {
+	e.Varint(iv.Start)
+	e.Varint(iv.End)
+	e.Varint(int64(iv.NumNodes))
+	e.Varint(int64(iv.NumEdges))
+	encodeNodes(e, iv.Nodes)
+	encodeEdges(e, iv.Edges)
+	encodeList(e, len(iv.Transients), iv.Transients == nil, func(i int) {
+		EncodeEventTo(e, iv.Transients[i])
+	})
+	encodePartial(e, iv.Partial)
+}
+
+func decodeInterval(d *Decoder) Interval {
+	out := Interval{
+		Start: d.Varint(), End: d.Varint(),
+		NumNodes: int(d.Varint()), NumEdges: int(d.Varint()),
+		Nodes: decodeNodes(d), Edges: decodeEdges(d),
+	}
+	if n, present := decodeList(d); present {
+		out.Transients = make([]Event, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			out.Transients = append(out.Transients, DecodeEventFrom(d))
+		}
+	}
+	out.Partial = decodePartial(d)
+	return out
+}
+
+func encodeAppendResult(e *Encoder, a *AppendResult) {
+	e.Varint(int64(a.Appended))
+	e.Varint(a.LastTime)
+	e.Varint(int64(a.Invalidated))
+	e.Uvarint(a.Seq)
+	e.Bool(a.Deduped)
+	encodePartial(e, a.Partial)
+}
+
+func decodeAppendResult(d *Decoder) AppendResult {
+	return AppendResult{
+		Appended: int(d.Varint()), LastTime: d.Varint(),
+		Invalidated: int(d.Varint()), Seq: d.Uvarint(),
+		Deduped: d.Bool(), Partial: decodePartial(d),
+	}
+}
+
+func encodeExpr(e *Encoder, req *ExprRequest) {
+	prev := int64(0)
+	encodeList(e, len(req.Times), req.Times == nil, func(i int) {
+		e.Varint(req.Times[i] - prev)
+		prev = req.Times[i]
+	})
+	e.String(req.Expr)
+	e.String(req.Attrs)
+	e.Bool(req.Full)
+}
+
+func decodeExpr(d *Decoder) ExprRequest {
+	out := ExprRequest{}
+	if n, present := decodeList(d); present {
+		out.Times = make([]int64, 0, n)
+		prev := int64(0)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			prev += d.Varint()
+			out.Times = append(out.Times, prev)
+		}
+	}
+	out.Expr = d.String()
+	out.Attrs = d.String()
+	out.Full = d.Bool()
+	return out
+}

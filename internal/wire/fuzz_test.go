@@ -1,0 +1,203 @@
+package wire
+
+// FuzzWireRoundTrip: derive a response struct from the fuzz input, assert
+// binary decode(encode(x)) == x exactly, and throw the raw input at the
+// decoder for every message type to shake out panics and allocation
+// bombs. Run with:
+//
+//	go test ./internal/wire -fuzz FuzzWireRoundTrip
+
+import (
+	"reflect"
+	"testing"
+)
+
+// structGen deterministically consumes fuzz bytes to build wire structs.
+type structGen struct {
+	data []byte
+	pos  int
+}
+
+func (g *structGen) byte() byte {
+	if g.pos >= len(g.data) {
+		return 0
+	}
+	b := g.data[g.pos]
+	g.pos++
+	return b
+}
+
+func (g *structGen) i64() int64 {
+	v := int64(0)
+	for i := 0; i < 8; i++ {
+		v = v<<8 | int64(g.byte())
+	}
+	return v
+}
+
+func (g *structGen) n(max int) int { return int(g.byte()) % max }
+
+func (g *structGen) str() string {
+	n := g.n(12)
+	if g.pos+n > len(g.data) {
+		n = len(g.data) - g.pos
+	}
+	s := string(g.data[g.pos : g.pos+n])
+	g.pos += n
+	return s
+}
+
+func (g *structGen) attrs() map[string]string {
+	switch g.byte() % 3 {
+	case 0:
+		return nil
+	case 1:
+		return map[string]string{}
+	default:
+		m := make(map[string]string)
+		for i, k := 0, g.n(4); i < k; i++ {
+			m[g.str()] = g.str()
+		}
+		return m
+	}
+}
+
+func (g *structGen) nodes() []Node {
+	if g.byte()%4 == 0 {
+		return nil
+	}
+	out := make([]Node, 0, 4)
+	for i, k := 0, g.n(5); i < k; i++ {
+		out = append(out, Node{ID: g.i64(), Attrs: g.attrs()})
+	}
+	return out
+}
+
+func (g *structGen) edges() []Edge {
+	if g.byte()%4 == 0 {
+		return nil
+	}
+	out := make([]Edge, 0, 4)
+	for i, k := 0, g.n(5); i < k; i++ {
+		out = append(out, Edge{
+			ID: g.i64(), From: g.i64(), To: g.i64(),
+			Directed: g.byte()%2 == 1, Attrs: g.attrs(),
+		})
+	}
+	return out
+}
+
+func (g *structGen) partial() []PartitionError {
+	if g.byte()%3 == 0 {
+		return nil
+	}
+	out := make([]PartitionError, 0, 3)
+	for i, k := 0, g.n(4); i < k; i++ {
+		out = append(out, PartitionError{Partition: g.n(16), Status: g.n(600), Error: g.str()})
+	}
+	return out
+}
+
+func (g *structGen) events() []Event {
+	if g.byte()%4 == 0 {
+		return nil
+	}
+	out := make([]Event, 0, 4)
+	for i, k := 0, g.n(5); i < k; i++ {
+		ev := Event{
+			Type: g.str(), At: g.i64(), Node: g.i64(), Node2: g.i64(),
+			Edge: g.i64(), Directed: g.byte()%2 == 1, Attr: g.str(),
+		}
+		if g.byte()%2 == 1 {
+			s := g.str()
+			ev.Old = &s
+		}
+		if g.byte()%2 == 1 {
+			s := g.str()
+			ev.New = &s
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func (g *structGen) snapshot() Snapshot {
+	return Snapshot{
+		At: g.i64(), NumNodes: g.n(1 << 16), NumEdges: g.n(1 << 16),
+		Cached: g.byte()%2 == 1, Coalesced: g.byte()%2 == 1,
+		Nodes: g.nodes(), Edges: g.edges(), Partial: g.partial(),
+	}
+}
+
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("deltagraph"))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251, 252, 253, 254, 255})
+	seed, _ := Binary{}.Encode(&Snapshot{At: 3, NumNodes: 1, Nodes: []Node{{ID: 1}}})
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &structGen{data: data}
+		var in, out any
+		switch g.byte() % 6 {
+		case 0:
+			s := g.snapshot()
+			in, out = &s, &Snapshot{}
+		case 1:
+			batch := make([]Snapshot, 0, 3)
+			for i, k := 0, g.n(4); i < k; i++ {
+				batch = append(batch, g.snapshot())
+			}
+			in, out = batch, &[]Snapshot{}
+		case 2:
+			nb := Neighbors{At: g.i64(), Node: g.i64(), Degree: g.n(1 << 16), Cached: g.byte()%2 == 1, Partial: g.partial()}
+			if g.byte()%4 != 0 {
+				nb.Neighbors = make([]int64, 0, 4)
+				for i, k := 0, g.n(6); i < k; i++ {
+					nb.Neighbors = append(nb.Neighbors, g.i64())
+				}
+			}
+			in, out = &nb, &Neighbors{}
+		case 3:
+			iv := Interval{
+				Start: g.i64(), End: g.i64(), NumNodes: g.n(1 << 16), NumEdges: g.n(1 << 16),
+				Nodes: g.nodes(), Edges: g.edges(), Transients: g.events(), Partial: g.partial(),
+			}
+			in, out = &iv, &Interval{}
+		case 4:
+			ar := AppendResult{
+				Appended: g.n(1 << 16), LastTime: g.i64(), Invalidated: g.n(1 << 16),
+				Seq: uint64(g.i64()), Deduped: g.byte()%2 == 1, Partial: g.partial(),
+			}
+			in, out = &ar, &AppendResult{}
+		default:
+			evs := g.events()
+			in, out = evs, &[]Event{}
+		}
+		enc, err := Binary{}.Encode(in)
+		if err != nil {
+			t.Fatalf("encode %T: %v", in, err)
+		}
+		if err := (Binary{}).Decode(enc, out); err != nil {
+			t.Fatalf("decode %T: %v (input %#v)", out, err, in)
+		}
+		// Compare pointee to pointee ([]T inputs are passed by value).
+		want := in
+		if rv := reflect.ValueOf(in); rv.Kind() == reflect.Ptr {
+			want = rv.Elem().Interface()
+		}
+		got := reflect.ValueOf(out).Elem().Interface()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("roundtrip mismatch\n got: %#v\nwant: %#v", got, want)
+		}
+
+		// The decoder must survive arbitrary bytes for every target type.
+		_ = (Binary{}).Decode(data, &Snapshot{})
+		_ = (Binary{}).Decode(data, &[]Snapshot{})
+		_ = (Binary{}).Decode(data, &Neighbors{})
+		_ = (Binary{}).Decode(data, &Interval{})
+		_ = (Binary{}).Decode(data, &AppendResult{})
+		_ = (Binary{}).Decode(data, &[]Event{})
+		_ = (Binary{}).Decode(data, &ExprRequest{})
+	})
+}

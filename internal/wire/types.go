@@ -1,0 +1,157 @@
+// Package wire is the data-plane wire layer of the snapshot service: the
+// typed request/response structs every HTTP endpoint speaks, plus the
+// pluggable Codec implementations that turn them into bytes.
+//
+// Two codecs ship:
+//
+//   - JSON (the default): the exact encoding internal/server has always
+//     produced — field-for-field identical, so existing clients and the
+//     byte-identity oracle tests see no change.
+//   - Binary: a compact length-prefixed format (varint ids with delta
+//     coding, interned attribute keys, no per-field names) for the paths
+//     where JSON encode/decode dominates latency — coordinator scatter
+//     legs, replication catch-up, and large full-snapshot responses.
+//
+// Codecs are negotiated per request: a client asks for binary with
+// Accept: application/x-deltagraph-bin, and request bodies declare their
+// encoding via Content-Type. Everything else (errors, /stats, /healthz)
+// stays JSON.
+//
+// The structs here are shared by internal/server (which aliases them under
+// their historical *JSON names), internal/shard's merge layer, and
+// internal/replica's WAL and replication stream.
+package wire
+
+import (
+	"historygraph"
+)
+
+// Node is one node of a snapshot response.
+type Node struct {
+	ID    int64             `json:"id"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Edge is one edge of a snapshot response.
+type Edge struct {
+	ID       int64             `json:"id"`
+	From     int64             `json:"from"`
+	To       int64             `json:"to"`
+	Directed bool              `json:"directed,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// PartitionError reports one partition's failure inside a scatter-gather
+// response assembled by a shard coordinator (internal/shard). Unsharded
+// responses never carry these; a sharded response whose Partial list is
+// non-empty is missing the named partitions' contributions. Status is the
+// partition's HTTP status when it answered with one (an HTTPError), 0 for
+// transport-level failures — it lets the coordinator surface a deliberate
+// 4xx rejection as a client error instead of a gateway failure.
+type PartitionError struct {
+	Partition int    `json:"partition"`
+	Error     string `json:"error"`
+	Status    int    `json:"status,omitempty"`
+}
+
+// Snapshot answers snapshot, batch and expression queries. Nodes and
+// Edges are populated only when the request asked for full elements.
+type Snapshot struct {
+	At        int64            `json:"at,omitempty"`
+	NumNodes  int              `json:"num_nodes"`
+	NumEdges  int              `json:"num_edges"`
+	Cached    bool             `json:"cached,omitempty"`
+	Coalesced bool             `json:"coalesced,omitempty"`
+	Nodes     []Node           `json:"nodes,omitempty"`
+	Edges     []Edge           `json:"edges,omitempty"`
+	Partial   []PartitionError `json:"partial,omitempty"`
+}
+
+// Neighbors answers neighborhood queries.
+type Neighbors struct {
+	At        int64            `json:"at"`
+	Node      int64            `json:"node"`
+	Degree    int              `json:"degree"`
+	Neighbors []int64          `json:"neighbors"`
+	Cached    bool             `json:"cached,omitempty"`
+	Partial   []PartitionError `json:"partial,omitempty"`
+}
+
+// Event is the wire form of one historical event. Old/New are pointers
+// so "attribute removed" (HasNew=false) is distinguishable from "set to
+// empty string".
+type Event struct {
+	Type     string  `json:"type"`
+	At       int64   `json:"at"`
+	Node     int64   `json:"node,omitempty"`
+	Node2    int64   `json:"node2,omitempty"`
+	Edge     int64   `json:"edge,omitempty"`
+	Directed bool    `json:"directed,omitempty"`
+	Attr     string  `json:"attr,omitempty"`
+	Old      *string `json:"old,omitempty"`
+	New      *string `json:"new,omitempty"`
+}
+
+// Interval answers interval queries: the elements added in [Start, End)
+// plus the transient events in that window.
+type Interval struct {
+	Start      int64            `json:"start"`
+	End        int64            `json:"end"`
+	NumNodes   int              `json:"num_nodes"`
+	NumEdges   int              `json:"num_edges"`
+	Nodes      []Node           `json:"nodes,omitempty"`
+	Edges      []Edge           `json:"edges,omitempty"`
+	Transients []Event          `json:"transients,omitempty"`
+	Partial    []PartitionError `json:"partial,omitempty"`
+}
+
+// ExprRequest is the POST /expr body: a Boolean expression over the listed
+// timepoints, e.g. {"times":[100,200], "expr":"0 & !1"} for "in the graph
+// at t=100 but not at t=200".
+type ExprRequest struct {
+	Times []int64 `json:"times"`
+	Expr  string  `json:"expr"`
+	Attrs string  `json:"attrs,omitempty"`
+	Full  bool    `json:"full,omitempty"`
+}
+
+// AppendResult answers POST /append. Seq is the WAL sequence number of the
+// batch's last event when the serving node writes a durable write-ahead
+// log (internal/replica); nodes without a WAL leave it zero. Deduped means
+// the node recognized the request's idempotency batch ID (?batch=) from
+// records it already holds and acked without appending again.
+type AppendResult struct {
+	Appended    int              `json:"appended"`
+	LastTime    int64            `json:"last_time"`
+	Invalidated int              `json:"invalidated,omitempty"`
+	Seq         uint64           `json:"seq,omitempty"`
+	Deduped     bool             `json:"deduped,omitempty"`
+	Partial     []PartitionError `json:"partial,omitempty"`
+}
+
+// ServerStats is the serving-layer section of /stats.
+type ServerStats struct {
+	Requests       int64 `json:"requests"`
+	Retrievals     int64 `json:"retrievals"`
+	Coalesced      int64 `json:"coalesced"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheSize      int   `json:"cache_size"`
+	CacheCapacity  int   `json:"cache_capacity"`
+}
+
+// Stats answers GET /stats: index shape, pool contents, and serving-layer
+// counters. It is JSON-only (the binary codec serves the data plane, not
+// introspection).
+type Stats struct {
+	Index  historygraph.IndexStats `json:"index"`
+	Pool   historygraph.PoolStats  `json:"pool"`
+	Server ServerStats             `json:"server"`
+}
+
+// Error is the uniform error body every endpoint writes on a non-200
+// answer; it is always JSON regardless of the negotiated response codec.
+type Error struct {
+	Error string `json:"error"`
+}
