@@ -7,6 +7,7 @@
 package historygraph_test
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"path/filepath"
@@ -770,6 +771,134 @@ func BenchmarkShardSnapshotBinary(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServerSnapshotStream compares the two binary shapes of a
+// large (≥10k-element) full=1 snapshot at the worker: the whole-message
+// path materializes the complete []Node/[]Edge response struct plus one
+// contiguous encoded body and the client decodes another full struct,
+// while the streaming path walks the pinned view in bounded element runs
+// and the client consumes them run by run — B/op on the stream side is
+// O(run size), not O(snapshot), which is what keeps N concurrent large
+// responses from multiplying into N full buffers. The encoded-bytes
+// cache is off so every iteration pays the full build.
+func BenchmarkServerSnapshotStream(b *testing.B) {
+	events := datagen.Coauthorship(datagen.CoauthorshipConfig{
+		Authors: 6000, Edges: 7000, Years: 6, AttrsPerNode: 2, Seed: 7,
+	})
+	_, last := events.Span()
+	setup := func(b *testing.B) *server.Client {
+		b.Helper()
+		gm, err := historygraph.BuildFrom(events, historygraph.Options{LeafEventlistSize: 2048, Arity: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { gm.Close() })
+		svc := server.New(gm, server.Config{CacheSize: 8, EncodedCacheSize: -1})
+		httpSrv := httptest.NewServer(svc.Handler())
+		b.Cleanup(func() { httpSrv.Close(); svc.Close() })
+		client, err := server.NewClient(httpSrv.URL).SetWire("binary")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return client
+	}
+	b.Run("whole", func(b *testing.B) {
+		client := setup(b)
+		snap, err := client.Snapshot(last, "+node:all+edge:all", true)
+		if err != nil {
+			b.Fatal(err) // warm the view cache; the wire path is the subject
+		}
+		if snap.NumNodes+snap.NumEdges < 10000 {
+			b.Fatalf("benchmark snapshot too small: %d+%d elements", snap.NumNodes, snap.NumEdges)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Snapshot(last, "+node:all+edge:all", true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		client := setup(b)
+		consume := func() (elements int, err error) {
+			ss, err := client.SnapshotStreamCtx(context.Background(), last, "+node:all+edge:all")
+			if err != nil {
+				return 0, err
+			}
+			defer ss.Close()
+			for {
+				frame, err := ss.Next()
+				if err != nil {
+					return elements, err
+				}
+				elements += len(frame.Nodes) + len(frame.Edges)
+				if frame.Summary != nil {
+					return elements, nil
+				}
+			}
+		}
+		if n, err := consume(); err != nil {
+			b.Fatal(err)
+		} else if n < 10000 {
+			b.Fatalf("benchmark snapshot too small: %d elements", n)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := consume(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWorkerEncodedCacheHit measures the worker's encoded-bytes
+// cache: a hit is one stored-bytes write with zero encode work ("hit",
+// per codec) against the same request re-encoding its response every
+// time off the hot view cache ("miss-encode"). The delta is the pure
+// encode tax the cache removes from every repeat read of a hot
+// timepoint.
+func BenchmarkWorkerEncodedCacheHit(b *testing.B) {
+	events := datagen.Coauthorship(datagen.CoauthorshipConfig{
+		Authors: 6000, Edges: 7000, Years: 6, AttrsPerNode: 2, Seed: 7,
+	})
+	_, last := events.Span()
+	run := func(b *testing.B, wireName string, encCache int) {
+		b.Helper()
+		gm, err := historygraph.BuildFrom(events, historygraph.Options{LeafEventlistSize: 2048, Arity: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { gm.Close() })
+		svc := server.New(gm, server.Config{CacheSize: 8, EncodedCacheSize: encCache})
+		httpSrv := httptest.NewServer(svc.Handler())
+		b.Cleanup(func() { httpSrv.Close(); svc.Close() })
+		client, err := server.NewClient(httpSrv.URL).SetWire(wireName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Snapshot(last, "+node:all+edge:all", true); err != nil {
+			b.Fatal(err) // warm both caches
+		}
+		encodesBefore := svc.Encodes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Snapshot(last, "+node:all+edge:all", true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if encCache > 0 && svc.Encodes() != encodesBefore {
+			b.Fatalf("cache hits executed %d encodes", svc.Encodes()-encodesBefore)
+		}
+	}
+	for _, wireName := range []string{"json", "binary"} {
+		b.Run(wireName+"-hit", func(b *testing.B) { run(b, wireName, 8) })
+	}
+	b.Run("json-miss-encode", func(b *testing.B) { run(b, "json", -1) })
 }
 
 // BenchmarkShardBatch measures the multipoint endpoint through the

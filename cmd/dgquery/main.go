@@ -30,7 +30,7 @@ func main() {
 	interval := flag.String("interval", "", "interval query ts:te")
 	attrs := flag.String("attrs", "", "attr_options string (Table 1 syntax)")
 	verbose := flag.Bool("v", false, "print elements, not just counts")
-	wireName := flag.String("wire", "json", `wire codec for -remote requests: "json" or "binary"`)
+	wireName := flag.String("wire", "json", `wire codec for -remote requests: "json", "binary", or "stream" (binary with chunked full-snapshot responses decoded incrementally)`)
 	flag.Parse()
 	if (*store == "") == (*remote == "") || (*ts == "" && *interval == "") {
 		fmt.Fprintln(os.Stderr, "dgquery: exactly one of -store/-remote plus one of -t/-interval are required")

@@ -82,6 +82,9 @@ func main() {
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "replica health-check period (coordinator role only; 0 disables)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "max age of a merged-response cache entry (coordinator role only; 0 keeps entries until an append through this coordinator invalidates them — set when writers can reach partition primaries directly)")
 	wireName := flag.String("wire", "json", `codec for this process's outbound data-plane requests: "json" (default) or "binary"; in coordinator role it selects the scatter-leg encoding (external responses negotiate per request via Accept and are byte-identical either way)`)
+	streamRun := flag.Int("stream-run", 0, "elements per chunked-stream frame on the streaming /snapshot path; peak response-build memory is proportional to it (0 picks the wire default, 2048)")
+	streamTimeout := flag.Duration("stream-timeout", 0, "total delivery bound for one merged snapshot stream (coordinator role; client-paced, so much larger than -peer-timeout; 0 picks 20x -peer-timeout)")
+	encCache := flag.Int("enc-cache", server.DefaultEncodedCacheSize, "encoded-bytes cache capacity: fully encoded /snapshot bodies served with zero re-encode on a hit (0 disables; worker/single role only)")
 	walDir := flag.String("wal-dir", "", "directory for the durable write-ahead event log; enables WAL durability and the replication endpoints")
 	primary := flag.String("primary", "", "base URL of this replica's primary; makes the node a follower tailing that WAL (requires -wal-dir)")
 	syncFollowers := flag.Int("sync-followers", 0, "followers that must durably log a batch before the primary acks the append (requires -wal-dir)")
@@ -94,7 +97,7 @@ func main() {
 
 	switch *role {
 	case "coordinator", "coord":
-		runCoordinator(*addr, *peers, *partitions, *replicas, *peerTimeout, *healthInterval, *cacheSize, *cacheTTL, *wireName)
+		runCoordinator(*addr, *peers, *partitions, *replicas, *peerTimeout, *healthInterval, *cacheSize, *cacheTTL, *wireName, *streamRun, *streamTimeout)
 		return
 	case "", "worker", "single":
 		// An index-serving process; a worker is just a server whose
@@ -133,7 +136,11 @@ func main() {
 	if size <= 0 {
 		size = -1 // disabled
 	}
-	svc := server.New(gm, server.Config{CacheSize: size})
+	encSize := *encCache
+	if encSize <= 0 {
+		encSize = -1 // disabled
+	}
+	svc := server.New(gm, server.Config{CacheSize: size, EncodedCacheSize: encSize, StreamRun: *streamRun})
 	defer svc.Close()
 
 	handler := svc.Handler()
@@ -207,7 +214,7 @@ func main() {
 // runCoordinator serves the scatter-gather front of a sharded cluster: no
 // local index, every query fans out across the -peers partition replica
 // sets and merges.
-func runCoordinator(addr, peers string, expected, replicas int, timeout, healthInterval time.Duration, cacheSize int, cacheTTL time.Duration, wireName string) {
+func runCoordinator(addr, peers string, expected, replicas int, timeout, healthInterval time.Duration, cacheSize int, cacheTTL time.Duration, wireName string, streamRun int, streamTimeout time.Duration) {
 	// shard.New owns the peer-spec grammar ("," between partitions, "|"
 	// between a partition's replicas); this just splits the flag.
 	var specs []string
@@ -233,6 +240,8 @@ func runCoordinator(addr, peers string, expected, replicas int, timeout, healthI
 		CacheSize:        cacheSize,
 		CacheTTL:         cacheTTL,
 		Wire:             wireName,
+		StreamRun:        streamRun,
+		StreamTimeout:    streamTimeout,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)

@@ -1,0 +1,112 @@
+package historygraph_test
+
+// TestDocsLinks is the docs gate: every relative cross-reference in
+// README.md and docs/*.md must point at a file that exists, and every
+// #anchor must resolve to a real heading in its target — so the
+// architecture guide, wire spec, and runbook cannot silently drift
+// apart. External (http/https/mailto) links are out of scope.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target) while skipping images and code spans
+// crudely enough for these docs.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingAnchor converts a markdown heading line to its GitHub-style
+// anchor: lowercase, punctuation stripped, spaces to hyphens.
+func headingAnchor(heading string) string {
+	h := strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorsOf returns the set of heading anchors a markdown file defines.
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		anchors[headingAnchor(strings.TrimLeft(line, "# "))] = true
+	}
+	return anchors
+}
+
+func TestDocsLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) < 3 {
+		t.Fatalf("expected at least ARCHITECTURE/WIRE/OPERATIONS under docs/, found %v", docs)
+	}
+	files = append(files, docs...)
+
+	anchorCache := map[string]map[string]bool{}
+	anchors := func(path string) map[string]bool {
+		if a, ok := anchorCache[path]; ok {
+			return a
+		}
+		a := anchorsOf(t, path)
+		anchorCache[path] = a
+		return a
+	}
+
+	var problems []string
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems, fmt.Sprintf("%s: link %q: target does not exist", file, target))
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(resolved, ".md") {
+				if !anchors(resolved)[frag] {
+					problems = append(problems, fmt.Sprintf("%s: link %q: no heading for anchor %q in %s", file, target, frag, resolved))
+				}
+			}
+		}
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

@@ -229,6 +229,32 @@ func (v *View) NodeAttrs(n graph.NodeID) map[string]string {
 	return out
 }
 
+// EdgeAttrs returns all attributes of e in this graph (nil when the edge
+// is absent or bare) — the edge-side sibling of NodeAttrs, so run-at-a-
+// time consumers (the server's streaming encoder) can walk edges without
+// detaching a whole Snapshot.
+func (v *View) EdgeAttrs(e graph.EdgeID) map[string]string {
+	v.p.mu.RLock()
+	defer v.p.mu.RUnlock()
+	pe, ok := v.p.edges[e]
+	if !ok || !v.p.member(&pe.bm, v.entry) {
+		return nil
+	}
+	out := make(map[string]string)
+	for name, vals := range pe.attrs {
+		for _, av := range vals {
+			if v.p.member(&av.bm, v.entry) {
+				out[name] = av.val
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 // Snapshot extracts a full set-based copy of this graph out of the pool.
 func (v *View) Snapshot() *graph.Snapshot {
 	v.p.mu.RLock()

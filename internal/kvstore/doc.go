@@ -1,0 +1,28 @@
+// Package kvstore provides the persistent key-value storage substrate
+// the DeltaGraph index is stored in. The paper's prototype used Kyoto
+// Cabinet and notes that "since we only require a simple get/put
+// interface from the storage engine, we can easily plug in other ...
+// key-value stores"; this package supplies that interface plus the
+// implementations:
+//
+//   - MemStore:    in-memory map, for tests and ephemeral indexes.
+//   - FileStore:   disk-based append-only log with CRC-checked records,
+//     optional flate compression (Kyoto Cabinet's role), and an
+//     in-memory key index rebuilt on open. A record half-written at a
+//     crash fails its CRC on reopen and is dropped — the torn tail
+//     never corrupts earlier data.
+//   - Partitioned: horizontal composition of k stores, one per storage
+//     "machine", routed by the partition prefix of the key — the same
+//     hash space internal/shard splits the serving layer by.
+//   - SeqLog:      contiguous sequenced records layered on FileStore's
+//     format — the record substrate internal/replica's write-ahead log
+//     is built on (append batches, contiguous-sequence recovery scans,
+//     ForEachKey).
+//
+// Concurrency rules: every Store implementation is safe for concurrent
+// use. FileStore serializes writes under its mutex but runs Sync's
+// fsync *outside* the store lock, so writers overlap a sync in flight —
+// the property replica.Log's group commit batches on. SeqLog appends
+// are single-writer by contract (the replication Node's mutex provides
+// that); its reads are concurrent-safe.
+package kvstore

@@ -1,15 +1,4 @@
-// Package kvstore provides the persistent key-value storage substrate the
-// DeltaGraph index is stored in. The paper's prototype used Kyoto Cabinet
-// and notes that "since we only require a simple get/put interface from the
-// storage engine, we can easily plug in other ... key-value stores"; this
-// package supplies that interface plus three implementations:
-//
-//   - MemStore:    in-memory map, for tests and ephemeral indexes.
-//   - FileStore:   disk-based append-only log with CRC-checked records,
-//     optional flate compression (Kyoto Cabinet's role), and an
-//     in-memory key index rebuilt on open.
-//   - Partitioned: horizontal composition of k stores, one per storage
-//     "machine", routed by the partition prefix of the key.
+// The Store interface and key helpers (package overview in doc.go).
 package kvstore
 
 import (

@@ -1,0 +1,37 @@
+// Package replica adds durability and replication to a snapshot query
+// service: a write-ahead event log that is synced before any append is
+// acknowledged, primary/follower replication of that log, and the role
+// machinery a coordinator uses to fail over. Operating procedures —
+// failover behavior, the manual WAL re-seed for a deposed primary, the
+// -sync-followers trade-offs, and the /replstatus field reference — live
+// in docs/OPERATIONS.md.
+//
+// A Node wraps an internal/server.Server:
+//
+//   - Primary role: POST /append validates the batch against the graph
+//     clock first (a client error can never poison the log), writes every
+//     event to the WAL (replica.Log over kvstore.SeqLog's CRC-checked
+//     sequenced records), fsyncs, optionally waits until
+//     Config.SyncFollowers followers have durably logged the batch, and
+//     only then applies and acks. Restart replays the local WAL through
+//     the same apply path.
+//   - Follower role: rejects external appends and tails its primary's
+//     WAL over long-poll GET /replicate?from=<seq>, writing each record
+//     to its own WAL (synced) before applying, so its log stays
+//     prefix-identical to the primary's and catch-up after downtime
+//     resumes from the last stored sequence.
+//   - Either role answers GET /replstatus (role, log head, applied
+//     sequence, skipped-record count) and POST /role (promote / follow),
+//     which internal/shard's failover drives.
+//
+// Appends carry idempotency batch IDs persisted in every WAL record and
+// mirrored to followers, so a retry after failover or a lost response is
+// acked without double-applying — including resuming a batch the node
+// holds only a prefix of.
+//
+// Concurrency rules: one node-level mutex orders WAL-write + graph-apply
+// (appliedSeq never overstates the graph); the Log group-commits fsyncs
+// through a single flusher goroutine, so concurrent appenders share each
+// sync; Log.Read and Wait never return records beyond the durable
+// watermark. A Node and a Log are each safe for concurrent use.
+package replica

@@ -32,9 +32,10 @@ import (
 // binary-aware servers (any build containing internal/wire); in a
 // rolling upgrade, flip writers to binary after every server upgraded.
 type Client struct {
-	base  string
-	hc    *http.Client
-	codec wire.Codec
+	base   string
+	hc     *http.Client
+	codec  wire.Codec
+	stream bool // advertise the chunked snapshot stream on reads
 }
 
 // NewClient returns a client for a dgserve base URL such as
@@ -57,19 +58,48 @@ func NewClientHTTP(base string, hc *http.Client) *Client {
 // BaseURL returns the server base URL the client talks to.
 func (c *Client) BaseURL() string { return c.base }
 
-// SetWire selects the wire codec by name ("json" or "binary") and returns
-// the client for chaining.
+// SetWire selects the wire codec by name ("json", "binary", or "stream")
+// and returns the client for chaining. "stream" is the binary codec plus
+// the chunked snapshot stream on reads: full /snapshot responses arrive
+// as bounded element runs decoded incrementally off the socket instead
+// of one whole-message body. Against a server that does not stream, the
+// Accept value degrades to whole-message binary transparently (the
+// stream MIME type textually contains the binary one).
 func (c *Client) SetWire(name string) (*Client, error) {
+	if n := strings.ToLower(strings.TrimSpace(name)); n == wire.NameBinaryStream || n == "binary-stream" {
+		c.codec = wire.Binary{}
+		c.stream = true
+		return c, nil
+	}
 	codec, err := wire.ByName(name)
 	if err != nil {
 		return c, err
 	}
 	c.codec = codec
+	c.stream = false
 	return c, nil
 }
 
-// Wire reports the selected codec name.
-func (c *Client) Wire() string { return c.codec.Name() }
+// Wire reports the selected codec name ("stream" when the chunked
+// snapshot stream is on).
+func (c *Client) Wire() string {
+	if c.stream {
+		return wire.NameBinaryStream
+	}
+	return c.codec.Name()
+}
+
+// accept returns the Accept header value the selected wire mode
+// advertises ("" for plain JSON).
+func (c *Client) accept() string {
+	if c.stream {
+		return wire.ContentTypeBinaryStream
+	}
+	if c.codec.Name() != wire.NameJSON {
+		return c.codec.ContentType()
+	}
+	return ""
+}
 
 func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
 	u := c.base + path
@@ -80,8 +110,8 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 	if err != nil {
 		return err
 	}
-	if c.codec.Name() != wire.NameJSON {
-		req.Header.Set("Accept", c.codec.ContentType())
+	if a := c.accept(); a != "" {
+		req.Header.Set("Accept", a)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -106,8 +136,8 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", codec.ContentType())
-	if c.codec.Name() != wire.NameJSON {
-		req.Header.Set("Accept", c.codec.ContentType())
+	if a := c.accept(); a != "" {
+		req.Header.Set("Accept", a)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -143,12 +173,29 @@ func decodeResponse(resp *http.Response, out any) error {
 		return &HTTPError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(raw))}
 	}
 	// Decode with whatever codec the server answered in — the negotiated
-	// one for data-plane endpoints, JSON for everything else.
+	// one for data-plane endpoints, JSON for everything else. A chunked
+	// snapshot stream is decoded incrementally off the body (the client
+	// never holds the encoded bytes and the assembled struct at once);
+	// check for it before the prefix-matched whole-message types, whose
+	// binary MIME type the stream type extends.
+	ct := resp.Header.Get("Content-Type")
+	if wire.IsStreamContentType(ct) {
+		snap, ok := out.(*SnapshotJSON)
+		if !ok {
+			return fmt.Errorf("server answered a snapshot stream for a %T", out)
+		}
+		got, err := wire.DecodeSnapshotStream(resp.Body)
+		if err != nil {
+			return err
+		}
+		*snap = *got
+		return nil
+	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
 	}
-	return wire.ForContentType(resp.Header.Get("Content-Type")).Decode(data, out)
+	return wire.ForContentType(ct).Decode(data, out)
 }
 
 func timeQuery(ts []historygraph.Time) string {
@@ -184,6 +231,104 @@ func (c *Client) SnapshotCtx(ctx context.Context, t historygraph.Time, attrs str
 		return nil, err
 	}
 	return &out, nil
+}
+
+// SnapshotStream is a live full-snapshot response consumed run by run:
+// the caller holds at most one element run at a time, never the whole
+// snapshot. When the server answered whole-message instead (an older
+// build, or a JSON worker), the decoded snapshot is replayed as
+// synthetic runs so consumers see one shape either way — the memory
+// bound then holds only for genuinely streamed responses.
+type SnapshotStream struct {
+	body io.ReadCloser       // nil for a synthetic (whole-message) stream
+	dec  *wire.StreamDecoder // nil for a synthetic stream
+
+	// synthetic replay state
+	snap *SnapshotJSON
+	pos  int // 0 = nodes, 1 = edges, 2 = summary, 3 = done
+	off  int
+}
+
+// Next returns the next frame (node run, edge run, or terminating
+// summary), io.EOF after the summary, or the underlying failure — a
+// truncated stream (the producer died mid-response) is an error, never a
+// silent short result.
+func (ss *SnapshotStream) Next() (*wire.StreamFrame, error) {
+	if ss.dec != nil {
+		return ss.dec.Next()
+	}
+	const run = wire.DefaultRunSize
+	switch ss.pos {
+	case 0:
+		if ss.off < len(ss.snap.Nodes) {
+			hi := min(ss.off+run, len(ss.snap.Nodes))
+			f := &wire.StreamFrame{Nodes: ss.snap.Nodes[ss.off:hi]}
+			ss.off = hi
+			return f, nil
+		}
+		ss.pos, ss.off = 1, 0
+		fallthrough
+	case 1:
+		if ss.off < len(ss.snap.Edges) {
+			hi := min(ss.off+run, len(ss.snap.Edges))
+			f := &wire.StreamFrame{Edges: ss.snap.Edges[ss.off:hi]}
+			ss.off = hi
+			return f, nil
+		}
+		ss.pos = 2
+		fallthrough
+	case 2:
+		ss.pos = 3
+		sum := *ss.snap
+		sum.Nodes, sum.Edges = nil, nil
+		return &wire.StreamFrame{Summary: &sum}, nil
+	default:
+		return nil, io.EOF
+	}
+}
+
+// Close releases the underlying connection. Always call it — an
+// abandoned body would pin the transport's connection.
+func (ss *SnapshotStream) Close() error {
+	if ss.body != nil {
+		return ss.body.Close()
+	}
+	return nil
+}
+
+// SnapshotStreamCtx retrieves the full graph as of time t as a chunked
+// element-run stream (the shard coordinator's scatter legs consume these
+// run by run so coordinator memory stays proportional to the run size,
+// not the snapshot). The request advertises the stream Accept value;
+// servers that do not stream degrade to a whole-message answer, which is
+// wrapped into a synthetic stream.
+func (c *Client) SnapshotStreamCtx(ctx context.Context, t historygraph.Time, attrs string) (*SnapshotStream, error) {
+	u := c.base + "/snapshot?" + snapshotQuery(strconv.FormatInt(int64(t), 10), attrs, true).Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", wire.ContentTypeBinaryStream)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	ct := resp.Header.Get("Content-Type")
+	if resp.StatusCode == http.StatusOK && wire.IsStreamContentType(ct) {
+		dec, err := wire.NewStreamDecoder(resp.Body)
+		if err != nil {
+			resp.Body.Close()
+			return nil, err
+		}
+		return &SnapshotStream{body: resp.Body, dec: dec}, nil
+	}
+	// Non-stream answer: reuse the whole-message decode (which also
+	// surfaces non-200s as *HTTPError) and replay it synthetically.
+	var snap SnapshotJSON
+	if err := decodeResponse(resp, &snap); err != nil {
+		return nil, err
+	}
+	return &SnapshotStream{snap: &snap}, nil
 }
 
 // Snapshots retrieves many timepoints in one request; the server executes

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"historygraph"
+	"historygraph/internal/wire"
+)
+
+// encCache is the worker-side encoded-bytes cache: a small LRU over fully
+// encoded /snapshot response bodies, keyed by (timepoint, attribute-spec,
+// full flag, encoding name). It sits one layer below the hot-snapshot
+// view cache: the view cache makes a hot timepoint cost zero plan
+// executions, this cache makes it cost zero *encode* executions too — a
+// hit is a single Write of the stored bytes, mirroring the coordinator's
+// merged-response cache (internal/shard.coCache) one layer down.
+//
+// Invalidation is shared with the hot-snapshot LRU: Server.ApplyEvents —
+// the single append-application path, used by the HTTP handler and the
+// replication subsystem alike — invalidates both caches from the same
+// earliest-appended timestamp, and the same generation-counter guard
+// keeps a response that was built while an append ran from being
+// registered afterwards. Entries whose view depended on the current
+// graph (depCur) are evicted on ANY append, exactly like their view-cache
+// counterparts.
+type encCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // values are *encEntry
+	lru      *list.List               // front = most recently used
+	gen      int64
+
+	hits, misses, evictions int64
+}
+
+// maxEncodedBody bounds the size of one admitted body (the streaming
+// path tees its frames into a capture buffer to feed this cache, so the
+// cap is wire's shared capture limit).
+const maxEncodedBody = wire.MaxCachedBody
+
+// encEntry is one cached encoded response body.
+type encEntry struct {
+	key         string
+	at          historygraph.Time
+	depCur      bool // view read through the current graph: any append kills it
+	body        []byte
+	contentType string
+}
+
+func newEncCache(capacity int) *encCache {
+	return &encCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the cached body and content type for key.
+func (c *encCache) Get(key string) ([]byte, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elem, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, "", false
+	}
+	ent := elem.Value.(*encEntry)
+	c.lru.MoveToFront(elem)
+	c.hits++
+	return ent.body, ent.contentType, true
+}
+
+// Gen returns the invalidation generation; snapshot it before the view
+// retrieval and pass it to Insert.
+func (c *encCache) Gen() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Insert registers an encoded body, unless an invalidation pass ran since
+// gen was snapshotted (the body may predate events an append already made
+// visible) or the body exceeds the admission cap.
+func (c *encCache) Insert(key string, at historygraph.Time, depCur bool, body []byte, contentType string, gen int64) {
+	if len(body) > maxEncodedBody {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
+	ent := &encEntry{key: key, at: at, depCur: depCur, body: body, contentType: contentType}
+	if elem, dup := c.entries[key]; dup {
+		elem.Value = ent
+		c.lru.MoveToFront(elem)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(ent)
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		delete(c.entries, back.Value.(*encEntry).key)
+		c.lru.Remove(back)
+		c.evictions++
+	}
+}
+
+// InvalidateFrom evicts every entry whose timepoint is >= t, plus every
+// current-dependent entry, and bumps the generation so overlapping
+// response builds do not register (same rules as snapCache.InvalidateFrom
+// — the two run back to back from ApplyEvents).
+func (c *encCache) InvalidateFrom(t historygraph.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	n := 0
+	for elem := c.lru.Front(); elem != nil; {
+		next := elem.Next()
+		if ent := elem.Value.(*encEntry); ent.at >= t || ent.depCur {
+			delete(c.entries, ent.key)
+			c.lru.Remove(elem)
+			n++
+		}
+		elem = next
+	}
+	return n
+}
+
+// Purge evicts everything (server shutdown).
+func (c *encCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	clear(c.entries)
+}
+
+type encCacheStats struct {
+	size, capacity          int
+	hits, misses, evictions int64
+}
+
+func (c *encCache) Stats() encCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return encCacheStats{
+		size: c.lru.Len(), capacity: c.capacity,
+		hits: c.hits, misses: c.misses, evictions: c.evictions,
+	}
+}

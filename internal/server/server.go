@@ -1,29 +1,4 @@
-// Package server is the concurrent snapshot query service: an HTTP/JSON
-// layer over historygraph.GraphManager that many clients hit at once —
-// the long-lived Historical Graph Index process the paper assumes
-// (Section 3), exposed over the network.
-//
-// Two serving-layer mechanisms keep concurrent load off the DeltaGraph:
-//
-//   - Request coalescing: concurrent retrievals of the same (timepoint,
-//     attribute-spec) share one in-flight GetHistGraph execution instead
-//     of racing N identical plan walks.
-//   - Hot-snapshot caching: an LRU of recently served GraphPool views,
-//     kept resident with reference-counted pins, serves repeat queries at
-//     popular timepoints with zero plan executions. Eviction releases the
-//     view back to the pool, whose lazy cleaner reclaims the bits once the
-//     last in-flight reader unpins.
-//
-// Endpoints:
-//
-//	GET  /snapshot?t=T[&attrs=SPEC][&full=1]        one timepoint
-//	GET  /neighbors?t=T&node=N[&attrs=SPEC]         neighborhood at T
-//	GET  /batch?t=T1,T2,...[&attrs=SPEC][&full=1]   multipoint (shared-delta plan)
-//	GET  /interval?from=TS&to=TE[&attrs=SPEC][&full=1]
-//	POST /expr    {"times":[...],"expr":"0 & !1",...}
-//	POST /append  [{"type":"NN","at":1,"node":23}, ...]
-//	GET  /stats   index + pool + serving-layer counters
-//	GET  /healthz
+// The Server type and its endpoint handlers (package overview in doc.go).
 package server
 
 import (
@@ -44,22 +19,38 @@ type Config struct {
 	// CacheSize is the number of hot snapshots the LRU keeps pinned in
 	// the GraphPool. 0 picks the default (32); negative disables caching.
 	CacheSize int
+	// EncodedCacheSize is the capacity of the encoded-bytes cache: fully
+	// encoded /snapshot bodies kept per (timepoint, attrs, full,
+	// encoding), so a hot-timepoint hit is a single write with zero
+	// encode work. 0 picks the default (64); negative disables it.
+	EncodedCacheSize int
+	// StreamRun is how many elements one chunked-stream frame carries on
+	// the streaming /snapshot path; peak response-build memory is
+	// proportional to it. 0 picks wire.DefaultRunSize.
+	StreamRun int
 }
 
 // DefaultCacheSize is the hot-snapshot LRU capacity when Config.CacheSize
 // is zero.
 const DefaultCacheSize = 32
 
+// DefaultEncodedCacheSize is the encoded-bytes cache capacity when
+// Config.EncodedCacheSize is zero.
+const DefaultEncodedCacheSize = 64
+
 // Server serves snapshot queries over an embedded GraphManager.
 type Server struct {
 	gm      *historygraph.GraphManager
 	cache   *snapCache // nil when caching is disabled
+	enc     *encCache  // encoded-bytes cache; nil when disabled
 	flights FlightGroup
 	mux     *http.ServeMux
+	runSize int // elements per chunked-stream frame
 
 	requests   atomic.Int64
 	retrievals atomic.Int64 // underlying GetHistGraph executions
 	coalesced  atomic.Int64 // requests served by another caller's flight
+	encodes    atomic.Int64 // snapshot-body encode executions (encoded-cache hits do none)
 }
 
 // New wraps an open GraphManager in a query service. The caller keeps
@@ -73,6 +64,17 @@ func New(gm *historygraph.GraphManager, cfg Config) *Server {
 	}
 	if size > 0 {
 		s.cache = newSnapCache(gm, size)
+	}
+	encSize := cfg.EncodedCacheSize
+	if encSize == 0 {
+		encSize = DefaultEncodedCacheSize
+	}
+	if encSize > 0 {
+		s.enc = newEncCache(encSize)
+	}
+	s.runSize = cfg.StreamRun
+	if s.runSize <= 0 {
+		s.runSize = wire.DefaultRunSize
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
@@ -103,11 +105,26 @@ func (s *Server) Close() {
 	if s.cache != nil {
 		s.cache.Purge()
 	}
+	if s.enc != nil {
+		s.enc.Purge()
+	}
 }
 
 // Retrievals reports how many times the server actually executed
 // GetHistGraph (tests assert coalescing against this).
 func (s *Server) Retrievals() int64 { return s.retrievals.Load() }
+
+// Encodes reports how many snapshot response-body encodes (whole-message
+// or streamed) the server executed. An encoded-bytes cache hit writes the
+// stored body without encoding, so tests assert hits leave this counter
+// untouched.
+func (s *Server) Encodes() int64 { return s.encodes.Load() }
+
+// encode serializes one response body via codec, counting the execution.
+func (s *Server) encode(codec wire.Codec, v any) ([]byte, error) {
+	s.encodes.Add(1)
+	return codec.Encode(v)
+}
 
 // cacheKey identifies one (timepoint, attribute-spec) retrieval.
 func cacheKey(t historygraph.Time, attrs string) string {
@@ -186,6 +203,19 @@ func (s *Server) acquire(t historygraph.Time, attrs string) (h *historygraph.His
 	return h, func() { s.gm.Release(h) }, false, shared, nil
 }
 
+// encKey identifies one encoded /snapshot body in the encoded-bytes
+// cache: the view key plus the response shape (full or counts-only) and
+// the encoding it was serialized with.
+func encKey(t historygraph.Time, attrs string, full bool, codecName string) string {
+	k := cacheKey(t, attrs)
+	if full {
+		k += "|full|"
+	} else {
+		k += "|counts|"
+	}
+	return k + codecName
+}
+
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	t, err := ParseTimeParam(q.Get("t"))
@@ -198,16 +228,73 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
+	full := BoolParam(q.Get("full"))
+	accept := r.Header.Get("Accept")
+	// Streaming applies to full responses only: a counts-only answer has
+	// nothing to chunk, so it falls through to the whole-message codec
+	// Negotiate picks (the stream Accept value matches binary there).
+	stream := full && wire.WantsStream(accept)
+	codec := wire.Negotiate(accept)
+	name := codec.Name()
+	if stream {
+		name = wire.NameBinaryStream
+	}
+	var ekey string
+	var gen int64
+	if s.enc != nil {
+		ekey = encKey(t, attrs, full, name)
+		if body, ct, ok := s.enc.Get(ekey); ok {
+			// Encoded-bytes hit: one write, zero encode work.
+			w.Header().Set("Content-Type", ct)
+			w.WriteHeader(http.StatusOK)
+			w.Write(body)
+			return
+		}
+		// Snapshot the invalidation generation before the retrieval so a
+		// body built while an append overlapped cannot register as fresh.
+		gen = s.enc.Gen()
+	}
 	h, release, cached, coalesced, err := s.acquire(t, attrs)
 	if err != nil {
 		WriteError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	out := viewToJSON(h, BoolParam(q.Get("full")))
+	if stream {
+		s.streamSnapshot(w, h, release, cached, coalesced, ekey, gen)
+		return
+	}
+	depCur := h.DependsOnCurrent()
+	out := viewToJSON(h, full)
 	release()
 	out.Cached = cached
 	out.Coalesced = coalesced
-	WriteWire(w, r, http.StatusOK, out)
+	body, err := s.encode(codec, out)
+	if err != nil {
+		WriteJSON(w, http.StatusOK, out)
+		return
+	}
+	w.Header().Set("Content-Type", codec.ContentType())
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+	if s.enc == nil || out.Coalesced {
+		// Coalesced waiters leave caching to the flight leader, like the
+		// coordinator's merged-response cache.
+		return
+	}
+	cachedBody := body
+	if !out.Cached {
+		// A later hit answers exactly like a hot-snapshot cache hit: the
+		// Cached flag flips on, so the stored variant is re-encoded once.
+		// That second encode happens once per (key, encoding) per
+		// invalidation epoch — the first repeat request hits the stored
+		// bytes — so it amortizes like any cache-population cost.
+		variant := out
+		variant.Cached = true
+		if cachedBody, err = s.encode(codec, variant); err != nil {
+			return
+		}
+	}
+	s.enc.Insert(ekey, t, depCur, cachedBody, codec.ContentType(), gen)
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
@@ -430,6 +517,13 @@ func (s *Server) ApplyEvents(events historygraph.EventList) (AppendResult, error
 	if s.cache != nil && len(events) > 0 {
 		invalidated = s.cache.InvalidateFrom(minAt)
 	}
+	// The encoded-bytes cache shares the pinned-view invalidation rules
+	// exactly (same earliest-timestamp cut, same current-dependent
+	// eviction); its count is internal — AppendResult.Invalidated keeps
+	// meaning evicted *views*, as it always has.
+	if s.enc != nil && len(events) > 0 {
+		s.enc.InvalidateFrom(minAt)
+	}
 	// Appended is the exact applied count even on failure (a prefix may
 	// have landed); the replication recovery paths read it to resume
 	// precisely where a partial apply stopped.
@@ -481,6 +575,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out.Server.CacheEvictions = cs.evictions
 		out.Server.CacheSize = cs.size
 		out.Server.CacheCapacity = cs.capacity
+	}
+	if s.enc != nil {
+		es := s.enc.Stats()
+		out.Server.Encodes = s.encodes.Load()
+		out.Server.EncodedHits = es.hits
+		out.Server.EncodedMisses = es.misses
+		out.Server.EncodedSize = es.size
+		out.Server.EncodedCapacity = es.capacity
 	}
 	WriteJSON(w, http.StatusOK, out)
 }

@@ -1,0 +1,200 @@
+package server
+
+// Streaming /snapshot and the encoded-bytes cache: a streamed response
+// must assemble to exactly what the whole-message path answers, an
+// encoded-bytes hit must do zero encode work, and appends must
+// invalidate encoded bodies under the same rules as the pinned views.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"historygraph"
+	"historygraph/internal/wire"
+)
+
+// streamClient fetches one raw streamed snapshot.
+func fetchStream(t *testing.T, base string, at historygraph.Time, attrs string) *SnapshotJSON {
+	t.Helper()
+	c := NewClient(base)
+	if _, err := c.SetWire("stream"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot(at, attrs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestStreamMatchesWholeMessage: the streamed full snapshot assembles to
+// the same elements, counts, and attributes as the JSON and binary
+// whole-message answers, across run sizes that do and do not divide the
+// element counts.
+func TestStreamMatchesWholeMessage(t *testing.T) {
+	for _, runSize := range []int{1, 7, 1 << 20} {
+		gm := newTestManager(t)
+		svc := New(gm, Config{StreamRun: runSize})
+		httpSrv := newHTTPServer(t, svc)
+		mid := gm.LastTime() / 2
+
+		want, err := NewClient(httpSrv).Snapshot(mid, "+node:all+edge:all", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fetchStream(t, httpSrv, mid, "+node:all+edge:all")
+		// Flags may differ (the whole-message request warmed the caches);
+		// compare the data.
+		got.Cached, got.Coalesced = want.Cached, want.Coalesced
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run=%d: streamed snapshot differs from whole-message\n got: %d/%d nodes/edges\nwant: %d/%d",
+				runSize, got.NumNodes, got.NumEdges, want.NumNodes, want.NumEdges)
+		}
+		if len(got.Nodes) != got.NumNodes || len(got.Edges) != got.NumEdges {
+			t.Fatalf("run=%d: counts disagree with elements", runSize)
+		}
+	}
+}
+
+// newHTTPServer wraps a Server in an httptest listener (newTestServer
+// variant that exposes the URL for raw requests).
+func newHTTPServer(t testing.TB, svc *Server) string {
+	t.Helper()
+	h := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { h.Close(); svc.Close() })
+	return h.URL
+}
+
+// TestStreamContentTypeNegotiation: the stream is opt-in. A plain
+// request, a binary request, and a stream request to the same endpoint
+// answer with their own content types, and a stream Accept on a
+// counts-only query degrades to whole-message binary.
+func TestStreamContentTypeNegotiation(t *testing.T) {
+	gm := newTestManager(t)
+	svc := New(gm, Config{})
+	base := newHTTPServer(t, svc)
+	mid := gm.LastTime() / 2
+
+	get := func(accept, url string) string {
+		req, _ := http.NewRequest(http.MethodGet, url, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", url, resp.StatusCode)
+		}
+		return resp.Header.Get("Content-Type")
+	}
+	full := base + "/snapshot?t=" + strconv.FormatInt(int64(mid), 10) + "&full=1"
+	counts := base + "/snapshot?t=" + strconv.FormatInt(int64(mid), 10)
+	if ct := get("", full); ct != wire.ContentTypeJSON {
+		t.Fatalf("default full answer: %s", ct)
+	}
+	if ct := get(wire.ContentTypeBinary, full); ct != wire.ContentTypeBinary {
+		t.Fatalf("binary full answer: %s", ct)
+	}
+	if ct := get(wire.ContentTypeBinaryStream, full); ct != wire.ContentTypeBinaryStream {
+		t.Fatalf("stream full answer: %s", ct)
+	}
+	// Counts-only has nothing to chunk: the stream Accept value matches
+	// the binary substring and the answer is whole-message binary.
+	if ct := get(wire.ContentTypeBinaryStream, counts); ct != wire.ContentTypeBinary {
+		t.Fatalf("stream counts answer: %s", ct)
+	}
+}
+
+// TestEncodedCacheHitZeroEncode: the second identical request is served
+// from the encoded-bytes cache — no view work, no encode execution, and
+// the body says Cached. The worker-side analogue of
+// TestCoordinatorCacheHitZeroEncode.
+func TestEncodedCacheHitZeroEncode(t *testing.T) {
+	gm := newTestManager(t)
+	svc, client := newTestServer(t, gm, Config{})
+	mid := gm.LastTime() / 2
+
+	for _, wireName := range []string{"json", "binary", "stream"} {
+		if _, err := client.SetWire(wireName); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Snapshot(mid, "", true); err != nil {
+			t.Fatal(err)
+		}
+		before := svc.Encodes()
+		snap, err := client.Snapshot(mid, "", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := svc.Encodes() - before; got != 0 {
+			t.Fatalf("%s: encoded-cache hit executed %d encodes, want 0", wireName, got)
+		}
+		if wireName != "stream" && !snap.Cached {
+			// Whole-message hits replay the Cached=true variant; stream
+			// hits replay the body as-is (documented).
+			t.Fatalf("%s: encoded-cache hit not marked cached", wireName)
+		}
+		if snap.NumNodes == 0 {
+			t.Fatalf("%s: empty hit body", wireName)
+		}
+	}
+}
+
+// TestEncodedCacheInvalidation: an append at time t evicts encoded bodies
+// at or after t (and refreshes them on the next miss), while strictly
+// earlier bodies keep hitting — the same cut the pinned-view cache makes.
+func TestEncodedCacheInvalidation(t *testing.T) {
+	gm := newTestManager(t)
+	svc, client := newTestServer(t, gm, Config{})
+	last := gm.LastTime()
+	early, late := last/4, last
+
+	warm := func(at historygraph.Time) *SnapshotJSON {
+		t.Helper()
+		snap, err := client.Snapshot(at, "", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	warm(early)
+	warm(late)
+	preLate := warm(late)
+	steady := svc.Encodes()
+	warm(early)
+	if svc.Encodes() != steady {
+		t.Fatal("warm-up did not reach steady encoded-cache hits")
+	}
+
+	// Append strictly after `early`, at the tail of history.
+	if _, err := client.Append(historygraph.EventList{
+		{Type: historygraph.AddNode, At: last + 1, Node: 999999},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := svc.Encodes()
+	if snap := warm(early); snap.NumNodes == 0 {
+		t.Fatal("early snapshot empty")
+	}
+	if got := svc.Encodes() - before; got != 0 {
+		t.Fatalf("append at %d evicted an encoded body at %d (%d encodes)", last+1, early, got)
+	}
+	afterLate := warm(late)
+	if got := svc.Encodes() - before; got == 0 {
+		t.Fatal("stale encoded body served after append")
+	}
+	// The late timepoint itself predates the appended event, so its data
+	// is unchanged — but it must have been re-built, not replayed.
+	preLate.Cached, afterLate.Cached = false, false
+	preLate.Coalesced, afterLate.Coalesced = false, false
+	if !reflect.DeepEqual(preLate, afterLate) {
+		t.Fatal("re-built late snapshot differs from pre-append answer")
+	}
+}

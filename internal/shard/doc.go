@@ -1,0 +1,59 @@
+// Package shard implements the horizontally sharded deployment of the
+// snapshot query service: a coordinator that fans every query out across
+// N partitions and merges the partial answers into one response — the
+// paper's distributed architecture (Section 4.6) lifted from the storage
+// layer (internal/kvstore.Partitioned splits one index across stores) to
+// the serving layer (one full query-processor process per horizontal
+// slice of the node space). The system-wide picture, including where the
+// coordinator's caches sit in the hierarchy, is in docs/ARCHITECTURE.md;
+// operating a cluster is covered in docs/OPERATIONS.md.
+//
+// Each partition is served by a replica set: one or more ordinary
+// internal/server.Server processes (optionally wrapped in
+// internal/replica.Node for WAL durability and replication) whose
+// GraphManagers hold only the events routed to the partition by the
+// node-hash partitioning (graph.PartitionOfEvent — the same hash space
+// kvstore.Partitioned routes storage keys by). Every graph element's
+// entire event history lands on exactly one partition: node events hash
+// by node ID, and edge events (including edge-attribute updates) hash by
+// their From endpoint. Partial snapshots are therefore disjoint, and
+// merging is a union — counts add, element lists concatenate and
+// re-sort, reproducing the exact bytes an unsharded server would emit.
+//
+// The coordinator preserves the serving-layer mechanisms end-to-end and
+// adds the availability layer:
+//
+//   - Coalescing: concurrent identical /snapshot and /neighbors requests
+//     share one scatter-gather via a FlightGroup, so N clients asking for
+//     the same timepoint cost one fan-out — and each worker coalesces and
+//     caches its own slice underneath.
+//   - Merged-response cache: a small LRU over complete merged responses,
+//     stored as encoded bytes per encoding (append-invalidated, like the
+//     worker caches) — a hit is one write: no fan-out, no merge, no
+//     encode.
+//   - Streaming merge: a full /snapshot requested as a chunked stream is
+//     answered by consuming every leg's stream run by run and k-way
+//     merging in ID order, so coordinator peak memory under concurrent
+//     large snapshots is bounded by run size × partitions, not snapshot
+//     size. A leg dying mid-stream is dropped and reported in the
+//     terminating summary frame's partial list — never a truncated
+//     merge.
+//   - Replica routing: reads spread round-robin across each set's
+//     in-sync members with latency-EWMA demotion, retrying the next
+//     replica when one fails; appends go to the set's primary, and a
+//     dark primary triggers promotion of the most-caught-up follower
+//     (internal/replica).
+//   - Per-partition timeouts and partial failure: every fan-out leg is
+//     bounded by Config.PartitionTimeout; if some (not all) partitions
+//     fail, the merged response carries the live partitions' data with
+//     the failures named in the wire types' "partial" field.
+//
+// Concurrency rules: a Coordinator is safe for concurrent use — it is
+// immutable after New except for atomics (routing state, counters), the
+// mutex-guarded caches, and the per-set failover mutex that serializes
+// promotions. Every scatter leg runs in its own goroutine; nothing
+// blocks on a slow partition beyond its timeout.
+//
+// Endpoints mirror internal/server exactly, so server.Client speaks to a
+// coordinator transparently.
+package shard

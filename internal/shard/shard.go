@@ -1,44 +1,5 @@
-// Package shard implements the horizontally sharded deployment of the
-// snapshot query service: a coordinator that fans every query out across N
-// partitions and merges the partial answers into one response — the
-// paper's distributed architecture (Section 4.6) lifted from the storage
-// layer (internal/kvstore.Partitioned splits one index across stores) to
-// the serving layer (one full query-processor process per horizontal slice
-// of the node space).
-//
-// Each partition is served by a replica set: one or more ordinary
-// internal/server.Server processes (optionally wrapped in
-// internal/replica.Node for WAL durability and replication) whose
-// GraphManagers hold only the events routed to the partition by the
-// node-hash partitioning (graph.PartitionOfEvent — the same hash space
-// kvstore.Partitioned routes storage keys by). Every graph element's
-// entire event history lands on exactly one partition: node events hash
-// by node ID, and edge events (including edge-attribute updates) hash by
-// their From endpoint. Partial snapshots are therefore disjoint, and
-// merging is a union — counts add, element lists concatenate and re-sort.
-//
-// The coordinator preserves the serving-layer mechanisms end-to-end and
-// adds the availability layer:
-//
-//   - Coalescing: concurrent identical /snapshot and /neighbors requests
-//     share one scatter-gather via a FlightGroup, so N clients asking for
-//     the same timepoint cost one fan-out — and each worker coalesces and
-//     caches its own slice underneath.
-//   - Merged-response cache: a small LRU over complete merged responses
-//     (append-invalidated, like the worker caches) serves hot timepoints
-//     with no fan-out at all.
-//   - Replica routing: reads spread round-robin across each set's in-sync
-//     members and retry the next replica when one fails; appends go to
-//     the set's primary, and a dark primary triggers promotion of the
-//     most-caught-up follower (internal/replica).
-//   - Per-partition timeouts: every fan-out leg is bounded by
-//     Config.PartitionTimeout.
-//   - Partial failure: if some (not all) partitions fail or time out, the
-//     merged response still carries the live partitions' data, with the
-//     failed partitions reported in the wire types' "partial" field.
-//
-// Endpoints mirror internal/server exactly, so server.Client speaks to a
-// coordinator transparently.
+// The Coordinator type and its endpoint handlers (package overview in
+// doc.go).
 package shard
 
 import (
@@ -104,20 +65,39 @@ type Config struct {
 	// Binary legs skip the per-element JSON encode on every worker and the
 	// matching decode on the coordinator; the merge operates on the decoded
 	// structs either way, so external responses are byte-identical
-	// whichever leg codec is picked.
+	// whichever leg codec is picked. Streamed full-snapshot requests
+	// (Accept: application/x-deltagraph-bin-stream) always use streaming
+	// scatter legs regardless of this setting.
 	Wire string
+	// StreamRun is how many elements one merged stream frame carries on
+	// the streaming /snapshot path; coordinator peak memory under
+	// concurrent large snapshots is proportional to it (times the
+	// partition count). 0 picks wire.DefaultRunSize.
+	StreamRun int
+	// StreamTimeout bounds the total delivery of one merged stream.
+	// PartitionTimeout cannot play that role: leg reads are
+	// back-pressured by the client draining the merged output, so a
+	// large snapshot or a slow reader legitimately holds legs open far
+	// longer than any worker-responsiveness bound — only the stream
+	// *open* (including replica retries) is held to PartitionTimeout.
+	// This cap exists so a wedged worker or abandoned client cannot pin
+	// legs forever. 0 picks 20 x PartitionTimeout (5 minutes at the
+	// defaults).
+	StreamTimeout time.Duration
 }
 
 // Coordinator scatters queries across partition replica sets and gathers
 // the partial answers. It is safe for concurrent use.
 type Coordinator struct {
-	sets    []*replicaSet
-	hc      *http.Client
-	timeout time.Duration
-	maxLag  uint64
-	mux     *http.ServeMux
-	flights server.FlightGroup
-	cache   *coCache // nil when disabled
+	sets      []*replicaSet
+	hc        *http.Client
+	timeout   time.Duration
+	streamCap time.Duration // total merged-stream delivery bound
+	maxLag    uint64
+	runSize   int // elements per merged stream frame
+	mux       *http.ServeMux
+	flights   server.FlightGroup
+	cache     *coCache // nil when disabled
 
 	stop       chan struct{}
 	healthDone chan struct{}
@@ -181,8 +161,16 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	runSize := cfg.StreamRun
+	if runSize <= 0 {
+		runSize = wire.DefaultRunSize
+	}
+	streamCap := cfg.StreamTimeout
+	if streamCap <= 0 {
+		streamCap = 20 * timeout
+	}
 	co := &Coordinator{
-		hc: hc, timeout: timeout, maxLag: maxLag,
+		hc: hc, timeout: timeout, streamCap: streamCap, maxLag: maxLag, runSize: runSize,
 		stop: make(chan struct{}),
 	}
 	for p, set := range peerSets {
@@ -312,11 +300,12 @@ type flightMerge struct {
 	complete bool // every partition answered — cacheable
 }
 
-// cacheKey appends the codec dimension to a flight key: the cache stores
-// encoded bodies, so the same merged response occupies one entry per
-// encoding it was actually served in.
-func cacheKey(key string, codec wire.Codec) string {
-	return key + "|" + codec.Name()
+// cacheKey appends the encoding dimension to a flight key: the cache
+// stores encoded bodies, so the same merged response occupies one entry
+// per encoding it was actually served in (codec names plus "stream" for
+// chunked stream bodies).
+func cacheKey(key string, name string) string {
+	return key + "|" + name
 }
 
 // writeCached serves a merged-response cache hit: one Write of the stored
@@ -325,7 +314,7 @@ func (co *Coordinator) writeCached(w http.ResponseWriter, codec wire.Codec, key 
 	if co.cache == nil {
 		return false
 	}
-	body, contentType, ok := co.cache.Get(cacheKey(key, codec))
+	body, contentType, ok := co.cache.Get(cacheKey(key, codec.Name()))
 	if !ok {
 		return false
 	}
@@ -366,7 +355,7 @@ func (co *Coordinator) writeMerged(w http.ResponseWriter, codec wire.Codec, v an
 			return
 		}
 	}
-	co.cache.Insert(cacheKey(key, codec), maxT, cachedBody, codec.ContentType(), gen)
+	co.cache.Insert(cacheKey(key, codec.Name()), maxT, cachedBody, codec.ContentType(), gen)
 }
 
 func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -382,8 +371,15 @@ func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	full := server.BoolParam(q.Get("full"))
-	codec := wire.Negotiate(r.Header.Get("Accept"))
 	key := fmt.Sprintf("snap|%d|%s|%t", t, attrs, full)
+	if full && wire.WantsStream(r.Header.Get("Accept")) {
+		// Chunked stream: the scatter legs are consumed run by run and
+		// merged incrementally — coordinator memory stays proportional to
+		// run size × partitions, not to the snapshot.
+		co.streamSnapshot(w, t, attrs, key)
+		return
+	}
+	codec := wire.Negotiate(r.Header.Get("Accept"))
 	if co.writeCached(w, codec, key) {
 		return // pre-encoded hit: zero fan-out, zero encode
 	}

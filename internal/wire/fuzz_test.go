@@ -8,6 +8,7 @@ package wire
 //	go test ./internal/wire -fuzz FuzzWireRoundTrip
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 )
@@ -191,6 +192,32 @@ func FuzzWireRoundTrip(f *testing.F) {
 			t.Fatalf("roundtrip mismatch\n got: %#v\nwant: %#v", got, want)
 		}
 
+		// Snapshots additionally round-trip through the chunked stream
+		// encoding, at a fuzz-chosen run size — boundaries must be
+		// invisible and the assembled struct exact.
+		if snap, ok := want.(Snapshot); ok {
+			runSize := int(g.byte())%97 + 1
+			var buf bytes.Buffer
+			if err := EncodeSnapshotStream(&buf, &snap, runSize); err != nil {
+				t.Fatalf("stream encode (run=%d): %v", runSize, err)
+			}
+			streamed, err := DecodeSnapshotStream(&buf)
+			if err != nil {
+				t.Fatalf("stream decode (run=%d): %v (input %#v)", runSize, err, snap)
+			}
+			// The stream form spells empty element lists as nil (zero run
+			// frames either way); JSON output is identical for both.
+			if len(snap.Nodes) == 0 {
+				snap.Nodes = nil
+			}
+			if len(snap.Edges) == 0 {
+				snap.Edges = nil
+			}
+			if !reflect.DeepEqual(*streamed, snap) {
+				t.Fatalf("stream roundtrip mismatch (run=%d)\n got: %#v\nwant: %#v", runSize, *streamed, snap)
+			}
+		}
+
 		// The decoder must survive arbitrary bytes for every target type.
 		_ = (Binary{}).Decode(data, &Snapshot{})
 		_ = (Binary{}).Decode(data, &[]Snapshot{})
@@ -199,5 +226,13 @@ func FuzzWireRoundTrip(f *testing.F) {
 		_ = (Binary{}).Decode(data, &AppendResult{})
 		_ = (Binary{}).Decode(data, &[]Event{})
 		_ = (Binary{}).Decode(data, &ExprRequest{})
+
+		// So must the stream decoder — raw bytes, and raw bytes behind a
+		// valid stream header (so corruption reaches the frame layer).
+		if s, err := DecodeSnapshotStream(bytes.NewReader(data)); err == nil && s == nil {
+			t.Fatal("stream decode returned nil snapshot without error")
+		}
+		framed := append([]byte{binaryMagic, binaryVersion, kindSnapshotStream}, data...)
+		_, _ = DecodeSnapshotStream(bytes.NewReader(framed))
 	})
 }

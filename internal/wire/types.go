@@ -1,25 +1,4 @@
-// Package wire is the data-plane wire layer of the snapshot service: the
-// typed request/response structs every HTTP endpoint speaks, plus the
-// pluggable Codec implementations that turn them into bytes.
-//
-// Two codecs ship:
-//
-//   - JSON (the default): the exact encoding internal/server has always
-//     produced — field-for-field identical, so existing clients and the
-//     byte-identity oracle tests see no change.
-//   - Binary: a compact length-prefixed format (varint ids with delta
-//     coding, interned attribute keys, no per-field names) for the paths
-//     where JSON encode/decode dominates latency — coordinator scatter
-//     legs, replication catch-up, and large full-snapshot responses.
-//
-// Codecs are negotiated per request: a client asks for binary with
-// Accept: application/x-deltagraph-bin, and request bodies declare their
-// encoding via Content-Type. Everything else (errors, /stats, /healthz)
-// stays JSON.
-//
-// The structs here are shared by internal/server (which aliases them under
-// their historical *JSON names), internal/shard's merge layer, and
-// internal/replica's WAL and replication stream.
+// The shared data-plane structs (package overview in doc.go).
 package wire
 
 import (
@@ -129,16 +108,24 @@ type AppendResult struct {
 	Partial     []PartitionError `json:"partial,omitempty"`
 }
 
-// ServerStats is the serving-layer section of /stats.
+// ServerStats is the serving-layer section of /stats. The Encoded*
+// fields describe the worker's encoded-bytes cache (omitted when that
+// cache is disabled); Encodes counts snapshot-body encode executions —
+// an encoded-bytes hit performs none.
 type ServerStats struct {
-	Requests       int64 `json:"requests"`
-	Retrievals     int64 `json:"retrievals"`
-	Coalesced      int64 `json:"coalesced"`
-	CacheHits      int64 `json:"cache_hits"`
-	CacheMisses    int64 `json:"cache_misses"`
-	CacheEvictions int64 `json:"cache_evictions"`
-	CacheSize      int   `json:"cache_size"`
-	CacheCapacity  int   `json:"cache_capacity"`
+	Requests        int64 `json:"requests"`
+	Retrievals      int64 `json:"retrievals"`
+	Coalesced       int64 `json:"coalesced"`
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	CacheEvictions  int64 `json:"cache_evictions"`
+	CacheSize       int   `json:"cache_size"`
+	CacheCapacity   int   `json:"cache_capacity"`
+	Encodes         int64 `json:"encodes,omitempty"`
+	EncodedHits     int64 `json:"encoded_hits,omitempty"`
+	EncodedMisses   int64 `json:"encoded_misses,omitempty"`
+	EncodedSize     int   `json:"encoded_size,omitempty"`
+	EncodedCapacity int   `json:"encoded_capacity,omitempty"`
 }
 
 // Stats answers GET /stats: index shape, pool contents, and serving-layer
