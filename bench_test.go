@@ -9,6 +9,7 @@ package historygraph_test
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"historygraph/internal/deltagraph"
 	"historygraph/internal/graph"
 	"historygraph/internal/graphpool"
+	"historygraph/internal/metrics"
 	"historygraph/internal/pregel"
 	"historygraph/internal/replica"
 	"historygraph/internal/server"
@@ -917,4 +919,29 @@ func BenchmarkShardBatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMetricsOverhead isolates the per-request cost of the metrics
+// plane: the same trivial handler served bare and wrapped in the
+// request-metrics middleware (status-class counter, latency histogram,
+// request-ID mint + echo), driven in-process with no network. The
+// instrumented/bare gap is the budget every endpoint pays per request;
+// the CI bench gate holds it flat.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true}`))
+	})
+	run := func(b *testing.B, h http.Handler) {
+		req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, handler) })
+	b.Run("instrumented", func(b *testing.B) {
+		ins := server.NewInstrumentation(metrics.NewRegistry(), []string{"/stats"}, 0)
+		run(b, ins.Wrap(handler))
+	})
 }

@@ -43,8 +43,12 @@
 // coordinator maintains this automatically).
 //
 // Endpoints: /snapshot, /neighbors, /batch, /interval, /expr, /append,
-// /stats, /healthz — see internal/server for parameters — plus, on
-// WAL-backed workers, /replicate, /replstatus and /role (internal/replica).
+// /stats, /healthz, /readyz, /metrics — see internal/server for
+// parameters — plus, on WAL-backed workers, /replicate, /replstatus and
+// /role (internal/replica). /metrics serves Prometheus text exposition on
+// every role; /healthz is pure liveness while /readyz reflects readiness
+// (replica catch-up state on WAL-backed nodes, member reachability on a
+// coordinator).
 package main
 
 import (
@@ -88,6 +92,8 @@ func main() {
 	walDir := flag.String("wal-dir", "", "directory for the durable write-ahead event log; enables WAL durability and the replication endpoints")
 	primary := flag.String("primary", "", "base URL of this replica's primary; makes the node a follower tailing that WAL (requires -wal-dir)")
 	syncFollowers := flag.Int("sync-followers", 0, "followers that must durably log a batch before the primary acks the append (requires -wal-dir)")
+	slowQuery := flag.Duration("slow-query", 0, "log any request slower than this with its X-Request-ID and annotations (0 disables the slow-query log)")
+	readyMaxLag := flag.Uint64("ready-max-lag", 0, "WAL records a follower may trail its primary and still answer GET /readyz with 200 (requires -wal-dir; 0 requires full catch-up)")
 	flag.Parse()
 
 	if _, err := wire.ByName(*wireName); err != nil {
@@ -97,7 +103,7 @@ func main() {
 
 	switch *role {
 	case "coordinator", "coord":
-		runCoordinator(*addr, *peers, *partitions, *replicas, *peerTimeout, *healthInterval, *cacheSize, *cacheTTL, *wireName, *streamRun, *streamTimeout)
+		runCoordinator(*addr, *peers, *partitions, *replicas, *peerTimeout, *healthInterval, *cacheSize, *cacheTTL, *wireName, *streamRun, *streamTimeout, *slowQuery)
 		return
 	case "", "worker", "single":
 		// An index-serving process; a worker is just a server whose
@@ -140,7 +146,7 @@ func main() {
 	if encSize <= 0 {
 		encSize = -1 // disabled
 	}
-	svc := server.New(gm, server.Config{CacheSize: size, EncodedCacheSize: encSize, StreamRun: *streamRun})
+	svc := server.New(gm, server.Config{CacheSize: size, EncodedCacheSize: encSize, StreamRun: *streamRun, SlowQueryThreshold: *slowQuery})
 	defer svc.Close()
 
 	handler := svc.Handler()
@@ -165,7 +171,7 @@ func main() {
 		if hn, herr := os.Hostname(); herr == nil {
 			selfID = hn + selfID
 		}
-		cfg := replica.Config{SyncFollowers: *syncFollowers, SelfID: selfID}
+		cfg := replica.Config{SyncFollowers: *syncFollowers, SelfID: selfID, ReadyMaxLag: *readyMaxLag}
 		if *primary != "" {
 			cfg.Role = replica.RoleFollower
 			cfg.PrimaryURL = *primary
@@ -214,7 +220,7 @@ func main() {
 // runCoordinator serves the scatter-gather front of a sharded cluster: no
 // local index, every query fans out across the -peers partition replica
 // sets and merges.
-func runCoordinator(addr, peers string, expected, replicas int, timeout, healthInterval time.Duration, cacheSize int, cacheTTL time.Duration, wireName string, streamRun int, streamTimeout time.Duration) {
+func runCoordinator(addr, peers string, expected, replicas int, timeout, healthInterval time.Duration, cacheSize int, cacheTTL time.Duration, wireName string, streamRun int, streamTimeout, slowQuery time.Duration) {
 	// shard.New owns the peer-spec grammar ("," between partitions, "|"
 	// between a partition's replicas); this just splits the flag.
 	var specs []string
@@ -235,13 +241,14 @@ func runCoordinator(addr, peers string, expected, replicas int, timeout, healthI
 		cacheSize = -1 // disabled
 	}
 	co, err := shard.New(specs, shard.Config{
-		PartitionTimeout: timeout,
-		HealthInterval:   healthInterval,
-		CacheSize:        cacheSize,
-		CacheTTL:         cacheTTL,
-		Wire:             wireName,
-		StreamRun:        streamRun,
-		StreamTimeout:    streamTimeout,
+		PartitionTimeout:   timeout,
+		HealthInterval:     healthInterval,
+		CacheSize:          cacheSize,
+		CacheTTL:           cacheTTL,
+		Wire:               wireName,
+		StreamRun:          streamRun,
+		StreamTimeout:      streamTimeout,
+		SlowQueryThreshold: slowQuery,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dgserve: %v\n", err)

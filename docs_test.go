@@ -109,4 +109,22 @@ func TestDocsLinks(t *testing.T) {
 	for _, p := range problems {
 		t.Error(p)
 	}
+
+	// Sections other parts of the repo promise exist (server godoc and
+	// the README point operators at them) must not be renamed away.
+	required := map[string][]string{
+		"README.md": {"observability"},
+		filepath.Join("docs", "OPERATIONS.md"): {
+			"observability", "metric-reference", "liveness-vs-readiness",
+			"scrape-configuration", "alert-rules",
+		},
+	}
+	for file, want := range required {
+		a := anchors(file)
+		for _, anchor := range want {
+			if !a[anchor] {
+				t.Errorf("%s: required section anchor %q missing", file, anchor)
+			}
+		}
+	}
 }

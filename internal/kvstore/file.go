@@ -10,6 +10,8 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // FileStore is a disk-based Store: an append-only log of CRC-checked
@@ -34,6 +36,21 @@ type FileStore struct {
 	index    map[string]recordLoc
 	liveKeys int
 	opts     FileOptions
+
+	syncObs atomic.Pointer[func(time.Duration)]
+}
+
+// SetSyncObserver registers fn to be called with the wall time of every
+// Sync call (buffer flush plus fsync). The replication WAL layers its
+// fsync-latency metrics on this hook, keeping kvstore itself
+// metrics-agnostic. Pass nil to remove the observer. Safe to call
+// concurrently with Sync.
+func (s *FileStore) SetSyncObserver(fn func(time.Duration)) {
+	if fn == nil {
+		s.syncObs.Store(nil)
+		return
+	}
+	s.syncObs.Store(&fn)
 }
 
 type recordLoc struct {
@@ -342,6 +359,7 @@ func (s *FileStore) SizeOnDisk() int64 {
 // writes. Records appended after the flush are not covered by this call;
 // callers track their own durable watermark.
 func (s *FileStore) Sync() error {
+	start := time.Now()
 	s.mu.Lock()
 	if err := s.w.Flush(); err != nil {
 		s.mu.Unlock()
@@ -350,7 +368,11 @@ func (s *FileStore) Sync() error {
 	s.dirty = false
 	f := s.f
 	s.mu.Unlock()
-	return f.Sync()
+	err := f.Sync()
+	if obs := s.syncObs.Load(); obs != nil {
+		(*obs)(time.Since(start))
+	}
+	return err
 }
 
 // Close implements Store.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // SeqLog is a durable sequenced record stream layered on FileStore's
@@ -101,6 +102,10 @@ func (l *SeqLog) Last() uint64 { return l.last.Load() }
 // Sync flushes buffered records to stable storage. An appended record is
 // guaranteed to survive a crash only after Sync returns.
 func (l *SeqLog) Sync() error { return l.fs.Sync() }
+
+// SetSyncObserver forwards to the underlying FileStore's sync observer
+// (see FileStore.SetSyncObserver).
+func (l *SeqLog) SetSyncObserver(fn func(time.Duration)) { l.fs.SetSyncObserver(fn) }
 
 // SizeOnDisk returns the log's backing file footprint in bytes.
 func (l *SeqLog) SizeOnDisk() int64 { return l.fs.SizeOnDisk() }

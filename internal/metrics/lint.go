@@ -1,0 +1,321 @@
+package metrics
+
+// Lint is a strict checker for the subset of the Prometheus text
+// exposition format this package emits. It exists for tests: the
+// exposition-format unit test and the end-to-end scrape tests run
+// every scraped body through it, so a formatting regression fails
+// loudly instead of silently breaking a real scraper.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label
+// pairs, and the sample value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Parse splits a text-format exposition into samples, validating the
+// line grammar (HELP/TYPE comments, label escaping, float values) as
+// it goes.
+func Parse(text string) ([]Sample, error) {
+	var samples []Sample
+	typed := map[string]string{} // family -> declared type
+	helped := map[string]bool{}  // family -> HELP seen
+	sampled := map[string]bool{} // family -> samples seen
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			switch kind {
+			case "HELP":
+				if helped[name] {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				helped[name] = true
+			case "TYPE":
+				if _, dup := typed[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if sampled[name] {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", lineNo, rest)
+				}
+				typed[name] = rest
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		sampled[familyOf(s.Name, typed)] = true
+		samples = append(samples, s)
+	}
+	return samples, nil
+}
+
+// Lint parses text and checks the invariants a scraper relies on:
+// every sample belongs to a declared TYPE, counter samples are
+// non-negative integers, and each histogram's _bucket series is
+// cumulative with a +Inf bucket equal to its _count.
+func Lint(text string) error {
+	samples, err := Parse(text)
+	if err != nil {
+		return err
+	}
+	typed := map[string]string{}
+	for _, line := range strings.Split(text, "\n") {
+		if kind, name, rest, err := parseComment(line); err == nil && kind == "TYPE" {
+			typed[name] = rest
+		}
+	}
+	type histKey struct {
+		fam    string
+		labels string
+	}
+	buckets := map[histKey]map[float64]float64{}
+	counts := map[histKey]float64{}
+	sums := map[histKey]bool{}
+	for _, s := range samples {
+		fam := familyOf(s.Name, typed)
+		typ, ok := typed[fam]
+		if !ok {
+			return fmt.Errorf("sample %s has no TYPE line", s.Name)
+		}
+		switch typ {
+		case "counter":
+			if s.Value < 0 || s.Value != math.Trunc(s.Value) {
+				return fmt.Errorf("counter %s has non-integer or negative value %v", s.Name, s.Value)
+			}
+		case "histogram":
+			labels := map[string]string{}
+			for k, v := range s.Labels {
+				if k != "le" {
+					labels[k] = v
+				}
+			}
+			key := histKey{fam, canonLabels(labels)}
+			switch {
+			case s.Name == fam+"_bucket":
+				leStr, ok := s.Labels["le"]
+				if !ok {
+					return fmt.Errorf("%s without le label", s.Name)
+				}
+				le, err := parseFloat(leStr)
+				if err != nil {
+					return fmt.Errorf("%s: bad le %q", s.Name, leStr)
+				}
+				if buckets[key] == nil {
+					buckets[key] = map[float64]float64{}
+				}
+				buckets[key][le] = s.Value
+			case s.Name == fam+"_count":
+				counts[key] = s.Value
+			case s.Name == fam+"_sum":
+				sums[key] = true
+			default:
+				return fmt.Errorf("sample %s does not match histogram family %s", s.Name, fam)
+			}
+		}
+	}
+	for key, bs := range buckets {
+		les := make([]float64, 0, len(bs))
+		hasInf := false
+		for le := range bs {
+			if math.IsInf(le, +1) {
+				hasInf = true
+			}
+			les = append(les, le)
+		}
+		if !hasInf {
+			return fmt.Errorf("histogram %s%s has no +Inf bucket", key.fam, key.labels)
+		}
+		sort.Float64s(les)
+		prev := -1.0
+		for _, le := range les {
+			if bs[le] < prev {
+				return fmt.Errorf("histogram %s%s buckets not cumulative at le=%v", key.fam, key.labels, le)
+			}
+			prev = bs[le]
+		}
+		if c, ok := counts[key]; !ok || c != bs[math.Inf(+1)] {
+			return fmt.Errorf("histogram %s%s _count %v != +Inf bucket %v", key.fam, key.labels, counts[key], bs[math.Inf(+1)])
+		}
+		if !sums[key] {
+			return fmt.Errorf("histogram %s%s missing _sum", key.fam, key.labels)
+		}
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its metric family: histogram samples
+// carry _bucket/_sum/_count suffixes on the declared family name.
+func familyOf(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if fam, ok := strings.CutSuffix(name, suf); ok {
+			if typed[fam] == "histogram" || typed[fam] == "summary" {
+				return fam
+			}
+		}
+	}
+	return name
+}
+
+func canonLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func parseComment(line string) (kind, name, rest string, err error) {
+	for _, k := range []string{"# HELP ", "# TYPE "} {
+		if body, ok := strings.CutPrefix(line, k); ok {
+			name, rest, _ = strings.Cut(body, " ")
+			if !nameOK(name) {
+				return "", "", "", fmt.Errorf("bad metric name %q in comment", name)
+			}
+			return strings.TrimSpace(k[2:]), name, rest, nil
+		}
+	}
+	if strings.HasPrefix(line, "#") {
+		return "comment", "", "", nil // free-form comment: legal, ignored
+	}
+	return "", "", "", fmt.Errorf("not a comment line")
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseSample parses `name{label="value",...} value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	s.Name = line[:i]
+	if !nameOK(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			for i < len(line) && line[i] == ' ' {
+				i++
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && isNameChar(line[j], j == i) {
+				j++
+			}
+			lname := line[i:j]
+			if !nameOK(lname) {
+				return s, fmt.Errorf("bad label name %q", lname)
+			}
+			if j >= len(line) || line[j] != '=' || j+1 >= len(line) || line[j+1] != '"' {
+				return s, fmt.Errorf("malformed label pair after %q", lname)
+			}
+			j += 2
+			var val strings.Builder
+			for {
+				if j >= len(line) {
+					return s, fmt.Errorf("unterminated label value for %q", lname)
+				}
+				c := line[j]
+				if c == '"' {
+					j++
+					break
+				}
+				if c == '\\' {
+					if j+1 >= len(line) {
+						return s, fmt.Errorf("dangling escape in label %q", lname)
+					}
+					switch line[j+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("bad escape \\%c in label %q", line[j+1], lname)
+					}
+					j += 2
+					continue
+				}
+				val.WriteByte(c)
+				j++
+			}
+			if _, dup := s.Labels[lname]; dup {
+				return s, fmt.Errorf("duplicate label %q", lname)
+			}
+			s.Labels[lname] = val.String()
+			i = j
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	valStr := strings.TrimSpace(line[i:])
+	// A timestamp suffix would be a second field; this package never
+	// emits one, so reject it to keep the linter strict.
+	if strings.ContainsAny(valStr, " \t") {
+		return s, fmt.Errorf("unexpected extra fields in %q", valStr)
+	}
+	v, err := parseFloat(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q", valStr)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -1,0 +1,464 @@
+// Package metrics is a zero-dependency metrics plane: counters, gauges
+// and cumulative histograms collected in a Registry and exposed in the
+// Prometheus text format (version 0.0.4) over an http.Handler.
+//
+// The package exists so every layer of the store — worker, coordinator,
+// replica, WAL — can be scraped by a stock Prometheus without pulling a
+// client library into the module. It implements exactly the slice of
+// the exposition format the repo needs: # HELP / # TYPE comment lines,
+// label escaping, and the _bucket/_sum/_count triplet of cumulative
+// histograms.
+//
+// Hot-path cost is kept to atomics: a Counter increment is one
+// atomic add; a Histogram observation is one atomic add plus a CAS
+// loop on the float sum. Label resolution (Vec.With) takes a
+// read-locked map lookup and is intended to be done once at
+// construction for per-layer counters, or per request where the label
+// value is dynamic (status code class).
+//
+// Registration is idempotent: asking for an existing name returns the
+// existing collector, so two subsystems sharing a Registry can both
+// declare dg_cache_hits_total and get the same family. Re-registering
+// a name as a different type or with different labels panics — that is
+// a programming error, not an operational condition.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets (seconds): 100µs up to
+// 10s, roughly logarithmic. They bracket everything from an in-memory
+// cache hit to a wedged scatter leg.
+var DefBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// SizeBuckets are power-of-two count buckets for batch/record sizes.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must not be negative.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. A Gauge registered with
+// GaugeFunc/Vec.Func is computed at scrape time instead; Set/Add on a
+// func gauge are ignored.
+type Gauge struct {
+	bits atomic.Uint64
+	fn   func() float64
+}
+
+// Set sets the gauge.
+func (g *Gauge) Set(v float64) {
+	if g.fn == nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	if g.fn != nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (calling the func for func gauges).
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a cumulative histogram with fixed upper bounds.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomic.Uint64   // float64 bits
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	b := make([]float64, len(buckets))
+	copy(b, buckets)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// family is one named metric family with zero or more labeled children.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter" | "gauge" | "histogram"
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+type child struct {
+	values []string // label values, len == len(family.labels)
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// childKey joins label values with an unprintable separator.
+func childKey(values []string) string { return strings.Join(values, "\xff") }
+
+func (f *family) child(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := childKey(values)
+	f.mu.RLock()
+	ch := f.children[key]
+	f.mu.RUnlock()
+	if ch != nil {
+		return ch
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch = f.children[key]; ch != nil {
+		return ch
+	}
+	ch = &child{values: append([]string(nil), values...)}
+	switch f.typ {
+	case "counter":
+		ch.c = &Counter{}
+	case "gauge":
+		ch.g = &Gauge{}
+	case "histogram":
+		ch.h = newHistogram(f.buckets)
+	}
+	f.children[key] = ch
+	return ch
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+var nameOK = func(name string) bool {
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(name) > 0
+}
+
+func (r *Registry) family(name, help, typ string, labels []string, buckets []float64) *family {
+	if !nameOK(name) {
+		panic("metrics: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range labels {
+		if !nameOK(l) || l == "le" {
+			panic("metrics: invalid label name " + strconv.Quote(l) + " on " + name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.fams[name]; f != nil {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic("metrics: conflicting re-registration of " + name)
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  buckets,
+		children: make(map[string]*child),
+	}
+	r.fams[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the (unlabeled) counter registered under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, "counter", nil, nil).child(nil).c
+}
+
+// Gauge returns the (unlabeled) gauge registered under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, "gauge", nil, nil).child(nil).g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. Re-registering the same name panics.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	g := r.family(name, help, "gauge", nil, nil).child(nil).g
+	if g.fn != nil {
+		panic("metrics: duplicate GaugeFunc " + name)
+	}
+	g.fn = fn
+}
+
+// Histogram returns the (unlabeled) histogram registered under name.
+// Buckets are upper bounds in ascending order; nil means DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.family(name, help, "histogram", nil, buckets).child(nil).h
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the counter family registered under name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, "counter", labels, nil)}
+}
+
+// With returns the child counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).c }
+
+// Total returns the sum of all children — the registry-derived
+// replacement for a separately maintained grand-total counter.
+func (v *CounterVec) Total() int64 {
+	v.f.mu.RLock()
+	defer v.f.mu.RUnlock()
+	var n int64
+	for _, ch := range v.f.children {
+		n += ch.c.Value()
+	}
+	return n
+}
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the gauge family registered under name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, "gauge", labels, nil)}
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).g }
+
+// Func registers a scrape-time computed child gauge.
+func (v *GaugeVec) Func(fn func() float64, values ...string) {
+	g := v.f.child(values).g
+	if g.fn != nil {
+		panic("metrics: duplicate gauge func child of " + v.f.name)
+	}
+	g.fn = fn
+}
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the histogram family registered under name;
+// nil buckets means DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{r.family(name, help, "histogram", labels, buckets)}
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).h }
+
+// --- exposition ---
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {a="x",b="y"}; extra, when non-empty, is an
+// already-rendered pair appended last (used for le).
+func labelString(names, values []string, extra string) string {
+	if len(names) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Expose renders the registry in Prometheus text format 0.0.4.
+func (r *Registry) Expose(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	fams := make([]*family, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]*child, 0, len(keys))
+		for _, k := range keys {
+			children = append(children, f.children[k])
+		}
+		f.mu.RUnlock()
+
+		for _, ch := range children {
+			switch f.typ {
+			case "counter":
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(f.labels, ch.values, ""), ch.c.Value())
+			case "gauge":
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labels, ch.values, ""), formatFloat(ch.g.Value()))
+			case "histogram":
+				var cum uint64
+				for i, bound := range ch.h.bounds {
+					cum += ch.h.counts[i].Load()
+					le := `le="` + formatFloat(bound) + `"`
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(f.labels, ch.values, le), cum)
+				}
+				cum += ch.h.counts[len(ch.h.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(f.labels, ch.values, `le="+Inf"`), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelString(f.labels, ch.values, ""), formatFloat(ch.h.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelString(f.labels, ch.values, ""), cum)
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns the GET /metrics scrape handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Expose(w)
+	})
+}

@@ -1,0 +1,256 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return b.String()
+}
+
+func find(t *testing.T, samples []Sample, name string, labels map[string]string) Sample {
+	t.Helper()
+outer:
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				continue outer
+			}
+		}
+		return s
+	}
+	t.Fatalf("no sample %s%v", name, labels)
+	return Sample{}
+}
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Total operations.")
+	c.Inc()
+	c.Add(41)
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(2.5)
+	g.Add(-1)
+	r.GaugeFunc("test_live", "Liveness.", func() float64 { return 1 })
+
+	text := expose(t, r)
+	if err := Lint(text); err != nil {
+		t.Fatalf("Lint: %v\n%s", err, text)
+	}
+	samples, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s := find(t, samples, "test_ops_total", nil); s.Value != 42 {
+		t.Fatalf("counter = %v, want 42", s.Value)
+	}
+	if s := find(t, samples, "test_depth", nil); s.Value != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", s.Value)
+	}
+	if s := find(t, samples, "test_live", nil); s.Value != 1 {
+		t.Fatalf("gauge func = %v, want 1", s.Value)
+	}
+	if !strings.Contains(text, "# HELP test_ops_total Total operations.\n# TYPE test_ops_total counter\n") {
+		t.Fatalf("missing HELP/TYPE header:\n%s", text)
+	}
+}
+
+// TestTypeBeforeSamples pins the ordering contract: every family's
+// TYPE line precedes all of its samples, families sorted by name.
+func TestTypeBeforeSamples(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "Last.").Inc()
+	r.Counter("aaa_total", "First.").Inc()
+	r.Histogram("mmm_seconds", "Middle.", nil).Observe(0.1)
+	text := expose(t, r)
+	if err := Lint(text); err != nil {
+		t.Fatalf("Lint: %v\n%s", err, text)
+	}
+	aaa := strings.Index(text, "# TYPE aaa_total")
+	mmm := strings.Index(text, "# TYPE mmm_seconds")
+	zzz := strings.Index(text, "# TYPE zzz_total")
+	if !(aaa >= 0 && aaa < mmm && mmm < zzz) {
+		t.Fatalf("families not sorted:\n%s", text)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_weird_total", "Escaping.", "path")
+	nasty := "a\\b\"c\nd"
+	v.With(nasty).Add(7)
+	text := expose(t, r)
+	if err := Lint(text); err != nil {
+		t.Fatalf("Lint: %v\n%s", err, text)
+	}
+	samples, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	s := find(t, samples, "test_weird_total", nil)
+	if s.Labels["path"] != nasty {
+		t.Fatalf("label round-trip = %q, want %q", s.Labels["path"], nasty)
+	}
+	if s.Value != 7 {
+		t.Fatalf("value = %v, want 7", s.Value)
+	}
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	text := expose(t, r)
+	if err := Lint(text); err != nil {
+		t.Fatalf("Lint: %v\n%s", err, text)
+	}
+	samples, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := map[string]float64{"0.01": 2, "0.1": 3, "1": 4, "+Inf": 5}
+	for le, n := range want {
+		s := find(t, samples, "test_latency_seconds_bucket", map[string]string{"le": le})
+		if s.Value != n {
+			t.Fatalf("bucket le=%s = %v, want %v", le, s.Value, n)
+		}
+	}
+	if s := find(t, samples, "test_latency_seconds_count", nil); s.Value != 5 {
+		t.Fatalf("_count = %v, want 5", s.Value)
+	}
+	sum := find(t, samples, "test_latency_seconds_sum", nil)
+	if math.Abs(sum.Value-5.565) > 1e-9 {
+		t.Fatalf("_sum = %v, want 5.565", sum.Value)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count() = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_leg_seconds", "Per-leg latency.", []float64{0.1}, "partition")
+	v.With("0").Observe(0.05)
+	v.With("1").Observe(0.5)
+	text := expose(t, r)
+	if err := Lint(text); err != nil {
+		t.Fatalf("Lint: %v\n%s", err, text)
+	}
+	samples, _ := Parse(text)
+	s := find(t, samples, "test_leg_seconds_bucket", map[string]string{"partition": "0", "le": "0.1"})
+	if s.Value != 1 {
+		t.Fatalf("p0 le=0.1 = %v, want 1", s.Value)
+	}
+	s = find(t, samples, "test_leg_seconds_bucket", map[string]string{"partition": "1", "le": "0.1"})
+	if s.Value != 0 {
+		t.Fatalf("p1 le=0.1 = %v, want 0", s.Value)
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "Help.")
+	b := r.Counter("test_total", "Help.")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("counters not shared")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration did not panic")
+		}
+	}()
+	r.Gauge("test_total", "Help.")
+}
+
+func TestVecTotal(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_req_total", "Requests.", "endpoint", "code")
+	v.With("/snapshot", "2xx").Add(3)
+	v.With("/snapshot", "5xx").Inc()
+	v.With("/stats", "2xx").Add(2)
+	if got := v.Total(); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "Help.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if err := Lint(rec.Body.String()); err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+}
+
+// TestConcurrent exercises the hot paths under -race while scraping.
+func TestConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "Help.")
+	h := r.Histogram("test_seconds", "Help.", nil)
+	v := r.CounterVec("test_labeled_total", "Help.", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) / 1000)
+				v.With(string(rune('a' + i%2))).Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		var b strings.Builder
+		if err := r.Expose(&b); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		if err := Lint(b.String()); err != nil {
+			t.Fatalf("Lint mid-flight: %v", err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Fatalf("counter = %d, want 4000", c.Value())
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", h.Count())
+	}
+}
+
+func TestLintCatchesBrokenHistogram(t *testing.T) {
+	bad := "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"
+	if err := Lint(bad); err == nil {
+		t.Fatal("Lint accepted non-cumulative buckets")
+	}
+	noInf := "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n"
+	if err := Lint(noInf); err == nil {
+		t.Fatal("Lint accepted histogram without +Inf")
+	}
+	untyped := "nope_total 3\n"
+	if err := Lint(untyped); err == nil {
+		t.Fatal("Lint accepted sample without TYPE")
+	}
+}

@@ -1,0 +1,164 @@
+package replica_test
+
+// Readiness and metrics coverage for replica nodes: /readyz must track
+// the replication state machine (not mere process liveness), and the
+// node's /metrics plane must expose the WAL and replication series the
+// operations runbook alerts on.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"historygraph/internal/metrics"
+	"historygraph/internal/replica"
+	"historygraph/internal/server"
+)
+
+// readyz GETs baseURL/readyz and returns the status code and body.
+func readyz(t testing.TB, baseURL string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// waitReadyz polls until baseURL/readyz answers want, failing the test on
+// timeout.
+func waitReadyz(t testing.TB, baseURL string, want int) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body := readyz(t, baseURL)
+		if code == want {
+			return body
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s/readyz stuck at HTTP %d (%s), want %d", baseURL, code, body, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReadyzFlip: a follower pointed at a dead primary must answer
+// /readyz 503 while /healthz stays 200 (alive but not servable); after
+// re-pointing at a live primary and catching up it must flip to 200.
+func TestReadyzFlip(t *testing.T) {
+	dir := t.TempDir()
+	primary := startNode(t, filepath.Join(dir, "p.log"), replica.Config{Role: replica.RolePrimary})
+	events := testEvents(20, 1)
+	res, err := server.NewClient(primary.hs.URL).Append(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := readyz(t, primary.hs.URL); code != http.StatusOK {
+		t.Fatalf("caught-up primary /readyz: HTTP %d (%s), want 200", code, body)
+	}
+
+	// A primary that never comes up: the follower can establish no
+	// contact, so it must refuse traffic.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	follower := startNode(t, filepath.Join(dir, "f.log"), replica.Config{
+		Role: replica.RoleFollower, PrimaryURL: dead.URL, PollWait: 100 * time.Millisecond,
+	})
+	code, reason := readyz(t, follower.hs.URL)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("cut-off follower /readyz: HTTP %d (%s), want 503", code, reason)
+	}
+	// Liveness is a different question with a different answer.
+	healthz, err := http.Get(follower.hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, healthz.Body)
+	healthz.Body.Close()
+	if healthz.StatusCode != http.StatusOK {
+		t.Fatalf("cut-off follower /healthz: HTTP %d, want 200 (the process is alive)", healthz.StatusCode)
+	}
+
+	// Re-point at the real primary: the follower catches up and flips.
+	follower.node.Follow(primary.hs.URL)
+	body := waitReadyz(t, follower.hs.URL, http.StatusOK)
+	waitApplied(t, follower.hs.URL, res.Seq)
+	if !strings.Contains(body, `"role":"follower"`) {
+		t.Fatalf("ready follower body %s does not name its role", body)
+	}
+}
+
+// TestNodeMetricsExposition: a replica node's /metrics must lint and
+// carry the WAL durability and replication-readiness series after an
+// append has been logged, synced, and replicated.
+func TestNodeMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	primary := startNode(t, filepath.Join(dir, "p.log"), replica.Config{Role: replica.RolePrimary})
+	events := testEvents(10, 1)
+	res, err := server.NewClient(primary.hs.URL).Append(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower := startNode(t, filepath.Join(dir, "f.log"), replica.Config{
+		Role: replica.RoleFollower, PrimaryURL: primary.hs.URL, PollWait: 100 * time.Millisecond,
+	})
+	waitApplied(t, follower.hs.URL, res.Seq)
+	waitReadyz(t, follower.hs.URL, http.StatusOK)
+
+	for _, tc := range []struct {
+		name    string
+		url     string
+		primary float64
+	}{
+		{"primary", primary.hs.URL, 1},
+		{"follower", follower.hs.URL, 0},
+	} {
+		text := string(rawGET(t, tc.url+"/metrics"))
+		if err := metrics.Lint(text); err != nil {
+			t.Fatalf("%s exposition does not lint: %v", tc.name, err)
+		}
+		samples, err := metrics.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		get := func(name string) float64 {
+			for _, s := range samples {
+				if s.Name == name {
+					return s.Value
+				}
+			}
+			t.Fatalf("%s exposition missing %s", tc.name, name)
+			return 0
+		}
+		if v := get("dg_replica_ready"); v != 1 {
+			t.Errorf("%s dg_replica_ready = %v, want 1", tc.name, v)
+		}
+		if v := get("dg_replica_is_primary"); v != tc.primary {
+			t.Errorf("%s dg_replica_is_primary = %v, want %v", tc.name, v, tc.primary)
+		}
+		if v := get("dg_wal_fsync_duration_seconds_count"); v < 1 {
+			t.Errorf("%s WAL fsync histogram never observed a sync (count %v)", tc.name, v)
+		}
+		if v := get("dg_wal_append_duration_seconds_count"); v < 1 {
+			t.Errorf("%s WAL append histogram empty (count %v)", tc.name, v)
+		}
+		if v, want := get("dg_wal_records_total"), float64(len(events)); v != want {
+			t.Errorf("%s dg_wal_records_total = %v, want %v", tc.name, v, want)
+		}
+		if v, want := get("dg_replica_applied_seq"), float64(res.Seq); v != want {
+			t.Errorf("%s dg_replica_applied_seq = %v, want %v", tc.name, v, want)
+		}
+		if v := get("dg_http_requests_total"); v < 1 {
+			t.Errorf("%s has no instrumented request series (%v)", tc.name, v)
+		}
+	}
+}

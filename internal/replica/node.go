@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"historygraph"
+	"historygraph/internal/metrics"
 	"historygraph/internal/server"
 	"historygraph/internal/wire"
 )
@@ -77,6 +78,10 @@ type Config struct {
 	// HTTPClient overrides the follower's transport (tests inject clients
 	// wired to in-process servers).
 	HTTPClient *http.Client
+	// ReadyMaxLag is how many WAL records a follower may trail its
+	// primary's last known head and still answer GET /readyz with 200.
+	// 0 requires the follower to be fully caught up.
+	ReadyMaxLag uint64
 }
 
 // Node is one member of a replica set: an internal/server.Server with a
@@ -94,11 +99,20 @@ type Node struct {
 	ackTimeout    time.Duration
 	pollWait      time.Duration
 	fetchMax      int
+	readyMaxLag   uint64
 
 	role       atomic.Int32
 	appliedSeq atomic.Uint64
 	walSkipped atomic.Uint64 // records in the WAL the graph rejected (skipped, not fatal)
 	tailErr    atomic.Value  // string: last tail-loop failure, "" when healthy
+
+	// primaryHead is the primary's durable log end as of the last
+	// successful fetch; headKnown separates "caught up to 0" from "never
+	// reached the primary" so /readyz cannot answer ready before first
+	// contact.
+	primaryHead atomic.Uint64
+	headKnown   atomic.Bool
+	tailFails   *metrics.Counter // fetch/apply failures in the tail loop
 
 	// appendMu serializes the WAL-write + graph-apply pair so the graph
 	// is always applied in WAL sequence order. Without it, two concurrent
@@ -152,6 +166,7 @@ func NewNode(srv *server.Server, log *Log, cfg Config) (*Node, error) {
 		ackTimeout:    cfg.AckTimeout,
 		pollWait:      cfg.PollWait,
 		fetchMax:      cfg.FetchMax,
+		readyMaxLag:   cfg.ReadyMaxLag,
 		acks:          make(map[string]uint64),
 		ackNotify:     make(chan struct{}),
 		batches:       make(map[string]batchSpan),
@@ -181,11 +196,45 @@ func NewNode(srv *server.Server, log *Log, cfg Config) (*Node, error) {
 		return nil, err
 	}
 
+	reg := srv.Metrics()
+	log.SetMetrics(reg)
+	n.tailFails = reg.Counter("dg_replica_tail_failures_total",
+		"Follower tail-loop failures (fetch errors, apply errors, backlog errors).")
+	reg.GaugeFunc("dg_replica_ready", "1 when GET /readyz would answer 200, else 0.",
+		func() float64 {
+			if _, ready := n.readiness(); ready {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("dg_replica_is_primary", "1 when this node holds the primary role, else 0.",
+		func() float64 {
+			if n.Role() == RolePrimary {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("dg_replica_applied_seq", "Last WAL sequence applied to the in-memory graph.",
+		func() float64 { return float64(n.appliedSeq.Load()) })
+	reg.GaugeFunc("dg_replica_primary_head_seq",
+		"Primary's durable log end as of the last successful fetch (0 before first contact).",
+		func() float64 { return float64(n.primaryHead.Load()) })
+	reg.GaugeFunc("dg_wal_last_seq", "Highest sequence number durably stored in the local WAL.",
+		func() float64 { return float64(log.LastSeq()) })
+	reg.GaugeFunc("dg_wal_size_bytes", "On-disk footprint of the local WAL in bytes.",
+		func() float64 { return float64(log.SizeOnDisk()) })
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /append", n.handleAppend)
-	mux.HandleFunc("GET /replicate", n.handleReplicate)
-	mux.HandleFunc("GET /replstatus", n.handleStatus)
-	mux.HandleFunc("POST /role", n.handleRole)
+	// The replication endpoints are wrapped individually so they share the
+	// server's request metrics and request-ID threading; "/" is already
+	// instrumented inside srv.Handler() and must not be wrapped twice.
+	mux.Handle("POST /append", srv.InstrumentHandler(http.HandlerFunc(n.handleAppend)))
+	mux.Handle("GET /replicate", srv.InstrumentHandler(http.HandlerFunc(n.handleReplicate)))
+	mux.Handle("GET /replstatus", srv.InstrumentHandler(http.HandlerFunc(n.handleStatus)))
+	mux.Handle("POST /role", srv.InstrumentHandler(http.HandlerFunc(n.handleRole)))
+	// /readyz carries replication state (role, catch-up lag); it shadows the
+	// wrapped server's bare always-ready answer.
+	mux.Handle("GET /readyz", srv.InstrumentHandler(http.HandlerFunc(n.handleReadyz)))
 	mux.Handle("/", srv.Handler())
 	n.mux = mux
 
@@ -608,6 +657,48 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// readiness reports whether the node should receive traffic, and why not
+// when it shouldn't. A primary is ready once its graph has absorbed its
+// whole WAL. A follower is ready when its tail loop is healthy, it has
+// reached its primary at least once, and its applied position trails the
+// primary's last known head by at most ReadyMaxLag records.
+func (n *Node) readiness() (reason string, ready bool) {
+	if n.Role() == RolePrimary {
+		if applied, head := n.appliedSeq.Load(), n.log.LastSeq(); applied != head {
+			return fmt.Sprintf("WAL backlog: applied seq %d, log ends at %d", applied, head), false
+		}
+		return "", true
+	}
+	if msg := n.tailErr.Load().(string); msg != "" {
+		return "tail loop failing: " + msg, false
+	}
+	if !n.headKnown.Load() {
+		return "no successful fetch from the primary yet", false
+	}
+	if applied, head := n.appliedSeq.Load(), n.primaryHead.Load(); applied+n.readyMaxLag < head {
+		return fmt.Sprintf("lagging primary: applied seq %d, primary head %d, max lag %d",
+			applied, head, n.readyMaxLag), false
+	}
+	return "", true
+}
+
+// handleReadyz answers GET /readyz with the node's replication readiness:
+// 200 when the node should receive traffic, 503 with a reason when it is
+// catching up, cut off from its primary, or draining a WAL backlog.
+// Liveness stays on /healthz, which the wrapped server answers.
+func (n *Node) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	role := n.Role().String()
+	if reason, ready := n.readiness(); !ready {
+		server.WriteJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "not ready",
+			"role":   role,
+			"reason": reason,
+		})
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, map[string]string{"status": "ready", "role": role})
+}
+
 // RoleRequest is the POST /role body: {"role":"primary"} promotes,
 // {"role":"follower","primary":"http://..."} (re)points a follower.
 type RoleRequest struct {
@@ -656,6 +747,11 @@ func (n *Node) Follow(primaryURL string) {
 	n.stopTailLocked()
 	n.primaryURL = primaryURL
 	n.role.Store(int32(RoleFollower))
+	// The head position learned from a previous primary says nothing about
+	// the new one; /readyz must wait for first contact again.
+	n.headKnown.Store(false)
+	n.primaryHead.Store(0)
+	n.tailErr.Store("")
 	if !n.closed {
 		n.startTailLocked()
 	}
@@ -704,6 +800,7 @@ func (n *Node) tailLoop(ctx context.Context, primary string, done chan struct{})
 		// graph.
 		if err := n.applyBacklog(); err != nil {
 			n.tailErr.Store(err.Error())
+			n.tailFails.Inc()
 			if !backoff() {
 				return
 			}
@@ -715,6 +812,7 @@ func (n *Node) tailLoop(ctx context.Context, primary string, done chan struct{})
 				return
 			}
 			n.tailErr.Store(err.Error())
+			n.tailFails.Inc()
 			if !backoff() {
 				return
 			}
@@ -730,6 +828,7 @@ func (n *Node) tailLoop(ctx context.Context, primary string, done chan struct{})
 			// Surface it in /replstatus and keep retrying — the operator
 			// must re-seed the WAL dir.
 			n.tailErr.Store(err.Error())
+			n.tailFails.Inc()
 			if !backoff() {
 				return
 			}
@@ -768,13 +867,22 @@ func (n *Node) fetch(ctx context.Context, primary string) ([]Record, error) {
 		if err != nil {
 			return nil, err
 		}
+		n.noteHead(body.LastSeq)
 		return body.Records, nil
 	}
 	var body replicateResponse
 	if err := json.Unmarshal(raw, &body); err != nil {
 		return nil, err
 	}
+	n.noteHead(body.LastSeq)
 	return body.Records, nil
+}
+
+// noteHead records the primary's durable log end from a fetch response;
+// /readyz compares it against the local applied position.
+func (n *Node) noteHead(head uint64) {
+	n.primaryHead.Store(head)
+	n.headKnown.Store(true)
 }
 
 // apply mirrors fetched records into the local WAL, then drives the graph

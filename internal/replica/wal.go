@@ -38,10 +38,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"historygraph"
 	"historygraph/internal/kvstore"
+	"historygraph/internal/metrics"
 	"historygraph/internal/server"
 	"historygraph/internal/wire"
 )
@@ -126,6 +128,33 @@ type Log struct {
 	syncErr   error  // sticky: a failed sync leaves stranded buffered records
 	closed    bool
 	flushDone chan struct{}
+
+	// metrics is swapped in atomically by SetMetrics so the flusher
+	// goroutine — already running since OpenLog — reads it without locks.
+	metrics atomic.Pointer[logMetrics]
+}
+
+// logMetrics are the WAL's registry collectors.
+type logMetrics struct {
+	appendDur *metrics.Histogram // durable append wall time (group sync included)
+	batchRecs *metrics.Histogram // records covered per group commit
+	records   *metrics.Counter   // records durably appended
+}
+
+// SetMetrics registers the WAL's collectors on reg and starts feeding
+// them: append latency (dg_wal_append_duration_seconds), fsync latency
+// (dg_wal_fsync_duration_seconds, via the kvstore sync observer),
+// group-commit batch sizes (dg_wal_commit_batch_records), and the record
+// counter (dg_wal_records_total). Registration is idempotent per
+// registry; call it once after OpenLog, before serving.
+func (l *Log) SetMetrics(reg *metrics.Registry) {
+	fsyncDur := reg.Histogram("dg_wal_fsync_duration_seconds", "WAL group-commit sync wall time (buffer flush plus fsync).", nil)
+	l.sl.SetSyncObserver(func(d time.Duration) { fsyncDur.Observe(d.Seconds()) })
+	l.metrics.Store(&logMetrics{
+		appendDur: reg.Histogram("dg_wal_append_duration_seconds", "Durable WAL append wall time, covering group sync.", nil),
+		batchRecs: reg.Histogram("dg_wal_commit_batch_records", "Records covered by one WAL group commit.", metrics.SizeBuckets),
+		records:   reg.Counter("dg_wal_records_total", "Records durably appended to the WAL."),
+	})
 }
 
 // OpenLog opens or creates the WAL at path, recovering the sequence bound
@@ -166,8 +195,13 @@ func (l *Log) flusher() {
 		// arrived, so one Sync covers the whole group; records written
 		// while the Sync runs are picked up by the next round.
 		target := l.want
+		covered := target - l.synced
 		l.flushMu.Unlock()
 		err := l.sl.Sync()
+		if m := l.metrics.Load(); m != nil && err == nil {
+			m.batchRecs.Observe(float64(covered))
+			m.records.Add(int64(covered))
+		}
 		l.flushMu.Lock()
 		if err != nil {
 			l.syncErr = err
@@ -221,6 +255,7 @@ func (l *Log) Append(events historygraph.EventList) (first, last uint64, err err
 // the log is still clean, not strand a prefix of never-applied records
 // that followers would replicate.
 func (l *Log) AppendBatch(events historygraph.EventList, batch string) (first, last uint64, err error) {
+	start := time.Now()
 	payloads := make([][]byte, len(events))
 	for i, ev := range events {
 		payloads[i] = encodePayload(server.EventToJSON(ev), batch)
@@ -241,6 +276,9 @@ func (l *Log) AppendBatch(events historygraph.EventList, batch string) (first, l
 	if err := l.waitDurable(last); err != nil {
 		return 0, 0, err
 	}
+	if m := l.metrics.Load(); m != nil {
+		m.appendDur.Observe(time.Since(start).Seconds())
+	}
 	l.wake()
 	return first, last, nil
 }
@@ -251,6 +289,7 @@ func (l *Log) AppendBatch(events historygraph.EventList, batch string) (first, l
 // overlapping re-fetch is idempotent); a gap beyond it is an error, since
 // the logs would diverge.
 func (l *Log) AppendRecords(recs []Record) error {
+	start := time.Now()
 	l.mu.Lock()
 	var last uint64
 	appended := false
@@ -271,6 +310,9 @@ func (l *Log) AppendRecords(recs []Record) error {
 	}
 	if err := l.waitDurable(last); err != nil {
 		return err
+	}
+	if m := l.metrics.Load(); m != nil {
+		m.appendDur.Observe(time.Since(start).Seconds())
 	}
 	l.wake()
 	return nil

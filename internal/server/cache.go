@@ -5,7 +5,14 @@ import (
 	"sync"
 
 	"historygraph"
+	"historygraph/internal/metrics"
 )
+
+// cacheCounters are the registry-owned hit/miss/eviction counters one
+// cache level charges; /stats reads the same counters /metrics exposes.
+type cacheCounters struct {
+	hits, misses, evictions *metrics.Counter
+}
 
 // snapCache is the hot-snapshot cache: an LRU keyed by (timepoint,
 // attribute-spec) whose values are GraphPool views kept resident with a
@@ -32,7 +39,7 @@ type snapCache struct {
 	// before retrieving; InsertAcquire refuses when it moved.
 	gen int64
 
-	hits, misses, evictions int64
+	counters cacheCounters
 }
 
 type cacheEntry struct {
@@ -45,12 +52,13 @@ type cacheEntry struct {
 	h      *historygraph.HistGraph
 }
 
-func newSnapCache(gm *historygraph.GraphManager, capacity int) *snapCache {
+func newSnapCache(gm *historygraph.GraphManager, capacity int, counters cacheCounters) *snapCache {
 	return &snapCache{
 		gm:       gm,
 		capacity: capacity,
 		entries:  make(map[string]*list.Element),
 		lru:      list.New(),
+		counters: counters,
 	}
 }
 
@@ -64,7 +72,7 @@ func (c *snapCache) Acquire(key string, count bool) (h *historygraph.HistGraph, 
 	elem, found := c.entries[key]
 	if !found {
 		if count {
-			c.misses++
+			c.counters.misses.Inc()
 		}
 		return nil, nil, false
 	}
@@ -74,13 +82,13 @@ func (c *snapCache) Acquire(key string, count bool) (h *historygraph.HistGraph, 
 		// drop the entry and report a miss.
 		c.removeLocked(elem)
 		if count {
-			c.misses++
+			c.counters.misses.Inc()
 		}
 		return nil, nil, false
 	}
 	c.lru.MoveToFront(elem)
 	if count {
-		c.hits++
+		c.counters.hits.Inc()
 	}
 	return ent.h, func() { c.gm.Unpin(ent.h) }, true
 }
@@ -127,7 +135,7 @@ func (c *snapCache) InsertAcquire(key string, at historygraph.Time, h *historygr
 		// The new entry is at the front and capacity >= 1, so eviction
 		// can never pop the view we are about to hand out.
 		c.removeLocked(c.lru.Back())
-		c.evictions++
+		c.counters.evictions.Inc()
 	}
 	c.gm.Pin(h) // the reader's reference; h is active, this cannot fail
 	return h, func() { c.gm.Unpin(h) }
@@ -183,19 +191,10 @@ func (c *snapCache) Purge() {
 	}
 }
 
-type cacheStats struct {
-	size, capacity          int
-	hits, misses, evictions int64
-}
-
-func (c *snapCache) Stats() cacheStats {
+// Len returns the number of resident entries (the dg_cache_entries
+// gauge reads it at scrape time).
+func (c *snapCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return cacheStats{
-		size:      c.lru.Len(),
-		capacity:  c.capacity,
-		hits:      c.hits,
-		misses:    c.misses,
-		evictions: c.evictions,
-	}
+	return c.lru.Len()
 }

@@ -113,11 +113,21 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 	if a := c.accept(); a != "" {
 		req.Header.Set("Accept", a)
 	}
+	forwardRequestID(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	return decodeResponse(resp, out)
+}
+
+// forwardRequestID propagates the request ID the middleware threaded
+// through ctx onto an outgoing request, so a coordinator's scatter legs
+// reach the workers carrying the client-visible ID.
+func forwardRequestID(ctx context.Context, req *http.Request) {
+	if id := RequestIDFrom(ctx); id != "" {
+		req.Header.Set(RequestIDHeader, id)
+	}
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
@@ -139,6 +149,7 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	if a := c.accept(); a != "" {
 		req.Header.Set("Accept", a)
 	}
+	forwardRequestID(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -309,6 +320,7 @@ func (c *Client) SnapshotStreamCtx(ctx context.Context, t historygraph.Time, att
 		return nil, err
 	}
 	req.Header.Set("Accept", wire.ContentTypeBinaryStream)
+	forwardRequestID(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -462,4 +474,11 @@ func (c *Client) Health() error {
 func (c *Client) HealthCtx(ctx context.Context) error {
 	var out map[string]any
 	return c.get(ctx, "/healthz", nil, &out)
+}
+
+// ReadyCtx checks GET /readyz; nil means the server is ready to take
+// traffic (for a replica node: in sync with its primary).
+func (c *Client) ReadyCtx(ctx context.Context) error {
+	var out map[string]any
+	return c.get(ctx, "/readyz", nil, &out)
 }

@@ -1,6 +1,10 @@
 package server
 
-import "sync"
+import (
+	"sync"
+
+	"historygraph/internal/metrics"
+)
 
 // flightCall is one in-flight execution that late arrivals wait on.
 type flightCall struct {
@@ -20,6 +24,12 @@ type flightCall struct {
 type FlightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flightCall
+
+	// Hits/Misses, when set by the owner, count the group as a cache
+	// level (cache="flight"): a hit is a caller served by another
+	// caller's in-flight execution, a miss is an execution led.
+	Hits   *metrics.Counter
+	Misses *metrics.Counter
 }
 
 // Do executes fn once per key at a time. shared reports whether the result
@@ -31,8 +41,14 @@ func (g *FlightGroup) Do(key string, fn func() (any, error)) (v any, shared bool
 	}
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
+		if g.Hits != nil {
+			g.Hits.Inc()
+		}
 		c.wg.Wait()
 		return c.val, true, c.err
+	}
+	if g.Misses != nil {
+		g.Misses.Inc()
 	}
 	c := &flightCall{}
 	c.wg.Add(1)

@@ -31,7 +31,7 @@ type encCache struct {
 	lru      *list.List               // front = most recently used
 	gen      int64
 
-	hits, misses, evictions int64
+	counters cacheCounters
 }
 
 // maxEncodedBody bounds the size of one admitted body (the streaming
@@ -48,11 +48,12 @@ type encEntry struct {
 	contentType string
 }
 
-func newEncCache(capacity int) *encCache {
+func newEncCache(capacity int, counters cacheCounters) *encCache {
 	return &encCache{
 		capacity: capacity,
 		entries:  make(map[string]*list.Element),
 		lru:      list.New(),
+		counters: counters,
 	}
 }
 
@@ -62,12 +63,12 @@ func (c *encCache) Get(key string) ([]byte, string, bool) {
 	defer c.mu.Unlock()
 	elem, ok := c.entries[key]
 	if !ok {
-		c.misses++
+		c.counters.misses.Inc()
 		return nil, "", false
 	}
 	ent := elem.Value.(*encEntry)
 	c.lru.MoveToFront(elem)
-	c.hits++
+	c.counters.hits.Inc()
 	return ent.body, ent.contentType, true
 }
 
@@ -102,7 +103,7 @@ func (c *encCache) Insert(key string, at historygraph.Time, depCur bool, body []
 		back := c.lru.Back()
 		delete(c.entries, back.Value.(*encEntry).key)
 		c.lru.Remove(back)
-		c.evictions++
+		c.counters.evictions.Inc()
 	}
 }
 
@@ -135,16 +136,10 @@ func (c *encCache) Purge() {
 	clear(c.entries)
 }
 
-type encCacheStats struct {
-	size, capacity          int
-	hits, misses, evictions int64
-}
-
-func (c *encCache) Stats() encCacheStats {
+// Len returns the number of resident bodies (the dg_cache_entries
+// gauge reads it at scrape time).
+func (c *encCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return encCacheStats{
-		size: c.lru.Len(), capacity: c.capacity,
-		hits: c.hits, misses: c.misses, evictions: c.evictions,
-	}
+	return c.lru.Len()
 }

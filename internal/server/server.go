@@ -8,9 +8,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync/atomic"
+	"time"
 
 	"historygraph"
+	"historygraph/internal/metrics"
 	"historygraph/internal/wire"
 )
 
@@ -28,6 +29,15 @@ type Config struct {
 	// the streaming /snapshot path; peak response-build memory is
 	// proportional to it. 0 picks wire.DefaultRunSize.
 	StreamRun int
+	// Metrics is the registry the server registers its collectors on;
+	// nil creates a private one. The replication node shares the
+	// server's registry so one GET /metrics covers both layers.
+	Metrics *metrics.Registry
+	// SlowQueryThreshold, when positive, logs one line for every
+	// request slower than it (method, endpoint, query, handler
+	// annotations, status, duration, request ID). Zero disables the
+	// log and its per-request trace allocation.
+	SlowQueryThreshold time.Duration
 }
 
 // DefaultCacheSize is the hot-snapshot LRU capacity when Config.CacheSize
@@ -47,10 +57,22 @@ type Server struct {
 	mux     *http.ServeMux
 	runSize int // elements per chunked-stream frame
 
-	requests   atomic.Int64
-	retrievals atomic.Int64 // underlying GetHistGraph executions
-	coalesced  atomic.Int64 // requests served by another caller's flight
-	encodes    atomic.Int64 // snapshot-body encode executions (encoded-cache hits do none)
+	// Every counter below lives in the metrics registry; /stats reads
+	// the same collectors the /metrics exposition renders, so the two
+	// surfaces cannot drift.
+	reg        *metrics.Registry
+	ins        *Instrumentation
+	retrievals *metrics.Counter // underlying GetHistGraph executions
+	encodes    *metrics.Counter // snapshot-body encode executions (encoded-cache hits do none)
+}
+
+// serverEndpoints is the endpoint-label whitelist for request metrics;
+// it includes the replication endpoints a replica node layers on top so
+// a node's mux shares this server's instrumentation.
+var serverEndpoints = []string{
+	"/snapshot", "/neighbors", "/batch", "/interval", "/expr", "/append",
+	"/stats", "/healthz", "/readyz", "/metrics",
+	"/replicate", "/replstatus", "/role",
 }
 
 // New wraps an open GraphManager in a query service. The caller keeps
@@ -58,19 +80,43 @@ type Server struct {
 // Server.Close only drops the cache's pinned views.
 func New(gm *historygraph.GraphManager, cfg Config) *Server {
 	s := &Server{gm: gm}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s.reg = reg
+	s.retrievals = reg.Counter("dg_retrievals_total", "Underlying GetHistGraph plan executions.")
+	s.encodes = reg.Counter("dg_encodes_total", "Snapshot response-body encode executions.")
+	hits := reg.CounterVec("dg_cache_hits_total", "Cache hits by cache level.", "cache")
+	misses := reg.CounterVec("dg_cache_misses_total", "Cache misses by cache level.", "cache")
+	evictions := reg.CounterVec("dg_cache_evictions_total", "Cache evictions by cache level.", "cache")
+	entries := reg.GaugeVec("dg_cache_entries", "Resident entries by cache level.", "cache")
+	capacity := reg.GaugeVec("dg_cache_capacity", "Configured capacity by cache level.", "cache")
+	// The flight group is the fourth cache level: a hit is a request
+	// served by another caller's in-flight execution.
+	s.flights.Hits = hits.With("flight")
+	s.flights.Misses = misses.With("flight")
 	size := cfg.CacheSize
 	if size == 0 {
 		size = DefaultCacheSize
 	}
 	if size > 0 {
-		s.cache = newSnapCache(gm, size)
+		s.cache = newSnapCache(gm, size, cacheCounters{
+			hits: hits.With("view"), misses: misses.With("view"), evictions: evictions.With("view"),
+		})
+		entries.Func(func() float64 { return float64(s.cache.Len()) }, "view")
+		capacity.With("view").Set(float64(size))
 	}
 	encSize := cfg.EncodedCacheSize
 	if encSize == 0 {
 		encSize = DefaultEncodedCacheSize
 	}
 	if encSize > 0 {
-		s.enc = newEncCache(encSize)
+		s.enc = newEncCache(encSize, cacheCounters{
+			hits: hits.With("encoded"), misses: misses.With("encoded"), evictions: evictions.With("encoded"),
+		})
+		entries.Func(func() float64 { return float64(s.enc.Len()) }, "encoded")
+		capacity.With("encoded").Set(float64(encSize))
 	}
 	s.runSize = cfg.StreamRun
 	if s.runSize <= 0 {
@@ -84,19 +130,35 @@ func New(gm *historygraph.GraphManager, cfg Config) *Server {
 	mux.HandleFunc("POST /expr", s.handleExpr)
 	mux.HandleFunc("POST /append", s.handleAppend)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	// A bare worker is ready as soon as it serves; a replica node layers
+	// its own /readyz (in-sync state) over this one on its outer mux.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
 	s.mux = mux
+	s.ins = NewInstrumentation(reg, serverEndpoints, cfg.SlowQueryThreshold)
 	return s
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler, wrapped in the request
+// instrumentation middleware.
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
-		s.mux.ServeHTTP(w, r)
-	})
+	return s.ins.Wrap(s.mux)
+}
+
+// Metrics returns the server's metrics registry; the replication node
+// registers its WAL and readiness collectors on it.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// InstrumentHandler wraps h in this server's request-metrics middleware.
+// The replica node uses it so the replication endpoints it serves ahead
+// of the server's mux are counted and traced identically.
+func (s *Server) InstrumentHandler(h http.Handler) http.Handler {
+	return s.ins.Wrap(h)
 }
 
 // Close evicts and releases every cached view. The underlying
@@ -112,17 +174,17 @@ func (s *Server) Close() {
 
 // Retrievals reports how many times the server actually executed
 // GetHistGraph (tests assert coalescing against this).
-func (s *Server) Retrievals() int64 { return s.retrievals.Load() }
+func (s *Server) Retrievals() int64 { return s.retrievals.Value() }
 
 // Encodes reports how many snapshot response-body encodes (whole-message
 // or streamed) the server executed. An encoded-bytes cache hit writes the
 // stored body without encoding, so tests assert hits leave this counter
 // untouched.
-func (s *Server) Encodes() int64 { return s.encodes.Load() }
+func (s *Server) Encodes() int64 { return s.encodes.Value() }
 
 // encode serializes one response body via codec, counting the execution.
 func (s *Server) encode(codec wire.Codec, v any) ([]byte, error) {
-	s.encodes.Add(1)
+	s.encodes.Inc()
 	return codec.Encode(v)
 }
 
@@ -140,7 +202,7 @@ type flightView struct {
 }
 
 func (s *Server) retrieve(t historygraph.Time, attrs string) (*historygraph.HistGraph, error) {
-	s.retrievals.Add(1)
+	s.retrievals.Inc()
 	return s.gm.GetHistGraph(t, attrs)
 }
 
@@ -186,8 +248,6 @@ func (s *Server) acquire(t historygraph.Time, attrs string) (h *historygraph.His
 		if fv := v.(flightView); fv.release != nil {
 			return fv.h, fv.release, false, false, nil
 		}
-	} else {
-		s.coalesced.Add(1)
 	}
 	// Coalesced waiters (and the leader in the pathological case where
 	// the insert failed) pin the cached entry themselves.
@@ -245,6 +305,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		ekey = encKey(t, attrs, full, name)
 		if body, ct, ok := s.enc.Get(ekey); ok {
 			// Encoded-bytes hit: one write, zero encode work.
+			Annotate(r.Context(), "cache", "encoded-hit")
 			w.Header().Set("Content-Type", ct)
 			w.WriteHeader(http.StatusOK)
 			w.Write(body)
@@ -258,6 +319,14 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		WriteError(w, http.StatusUnprocessableEntity, err)
 		return
+	}
+	switch {
+	case cached:
+		Annotate(r.Context(), "cache", "view-hit")
+	case coalesced:
+		Annotate(r.Context(), "cache", "coalesced")
+	default:
+		Annotate(r.Context(), "cache", "miss")
 	}
 	if stream {
 		s.streamSnapshot(w, h, release, cached, coalesced, ekey, gen)
@@ -558,31 +627,32 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	WriteWire(w, r, http.StatusOK, res)
 }
 
+// handleStats re-derives the /stats JSON from the metrics registry's
+// collectors — the exact values /metrics exposes — so the two surfaces
+// cannot drift.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := StatsJSON{
 		Index: s.gm.IndexStats(),
 		Pool:  s.gm.PoolStats(),
 		Server: ServerStatsJSON{
-			Requests:   s.requests.Load(),
-			Retrievals: s.retrievals.Load(),
-			Coalesced:  s.coalesced.Load(),
+			Requests:   s.ins.Requests(),
+			Retrievals: s.retrievals.Value(),
+			Coalesced:  s.flights.Hits.Value(),
 		},
 	}
 	if s.cache != nil {
-		cs := s.cache.Stats()
-		out.Server.CacheHits = cs.hits
-		out.Server.CacheMisses = cs.misses
-		out.Server.CacheEvictions = cs.evictions
-		out.Server.CacheSize = cs.size
-		out.Server.CacheCapacity = cs.capacity
+		out.Server.CacheHits = s.cache.counters.hits.Value()
+		out.Server.CacheMisses = s.cache.counters.misses.Value()
+		out.Server.CacheEvictions = s.cache.counters.evictions.Value()
+		out.Server.CacheSize = s.cache.Len()
+		out.Server.CacheCapacity = s.cache.capacity
 	}
 	if s.enc != nil {
-		es := s.enc.Stats()
-		out.Server.Encodes = s.encodes.Load()
-		out.Server.EncodedHits = es.hits
-		out.Server.EncodedMisses = es.misses
-		out.Server.EncodedSize = es.size
-		out.Server.EncodedCapacity = es.capacity
+		out.Server.Encodes = s.encodes.Value()
+		out.Server.EncodedHits = s.enc.counters.hits.Value()
+		out.Server.EncodedMisses = s.enc.counters.misses.Value()
+		out.Server.EncodedSize = s.enc.Len()
+		out.Server.EncodedCapacity = s.enc.capacity
 	}
 	WriteJSON(w, http.StatusOK, out)
 }

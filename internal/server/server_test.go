@@ -10,7 +10,16 @@ import (
 
 	"historygraph"
 	"historygraph/internal/datagen"
+	"historygraph/internal/metrics"
 )
+
+// testCounters builds standalone cache counters for driving a cache
+// directly, outside a server's registry.
+func testCounters() cacheCounters {
+	return cacheCounters{
+		hits: new(metrics.Counter), misses: new(metrics.Counter), evictions: new(metrics.Counter),
+	}
+}
 
 // testEvents is a small deterministic co-authorship trace.
 func testEvents() historygraph.EventList {
@@ -310,7 +319,7 @@ func TestCacheEvictionRefcount(t *testing.T) {
 	gm := newTestManager(t)
 	pool := gm.Pool()
 	last := gm.LastTime()
-	cache := newSnapCache(gm, 2)
+	cache := newSnapCache(gm, 2, testCounters())
 
 	get := func(t_ historygraph.Time) *historygraph.HistGraph {
 		h, err := gm.GetHistGraph(t_, "")
@@ -380,9 +389,8 @@ func TestCacheEvictionRefcount(t *testing.T) {
 	if got := pool.Stats().ActiveGraphs; got != baseline {
 		t.Fatalf("after purge: %d active graphs, want baseline %d", got, baseline)
 	}
-	st := cache.Stats()
-	if st.size != 0 || st.evictions != 2 {
-		t.Fatalf("cache stats %+v: want size 0, evictions 2", st)
+	if size, ev := cache.Len(), cache.counters.evictions.Value(); size != 0 || ev != 2 {
+		t.Fatalf("cache size %d evictions %d: want size 0, evictions 2", size, ev)
 	}
 }
 
@@ -659,7 +667,7 @@ func TestBatchAdmissionGuard(t *testing.T) {
 // events the pass declared visible.
 func TestInsertRefusedAfterInvalidation(t *testing.T) {
 	gm := newTestManager(t)
-	cache := newSnapCache(gm, 4)
+	cache := newSnapCache(gm, 4, testCounters())
 	last := gm.LastTime()
 
 	gen := cache.Gen()

@@ -33,7 +33,7 @@ type edgeRef struct {
 // reader the stream is truncated).
 func (s *Server) streamSnapshot(w http.ResponseWriter, h *historygraph.HistGraph, release func(), cached, coalesced bool, ekey string, gen int64) {
 	defer release()
-	s.encodes.Add(1)
+	s.encodes.Inc()
 	depCur := h.DependsOnCurrent()
 	at := h.At()
 

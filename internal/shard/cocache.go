@@ -6,7 +6,15 @@ import (
 	"time"
 
 	"historygraph"
+	"historygraph/internal/metrics"
 )
+
+// cacheCounters are the registry-owned hit/miss/eviction counters the
+// merged-response cache charges; /stats reads the same counters /metrics
+// exposes.
+type cacheCounters struct {
+	hits, misses, evictions *metrics.Counter
+}
 
 // coCache is the coordinator-side merged-response cache: a small LRU over
 // fully *encoded* response bodies, keyed by the flight-group key plus the
@@ -37,7 +45,7 @@ type coCache struct {
 	lru      *list.List               // front = most recently used
 	gen      int64
 
-	hits, misses, evictions int64
+	counters cacheCounters
 }
 
 // coEntry is one cached merged response, already encoded. maxT is the
@@ -52,12 +60,13 @@ type coEntry struct {
 	added       time.Time
 }
 
-func newCoCache(capacity int, ttl time.Duration) *coCache {
+func newCoCache(capacity int, ttl time.Duration, counters cacheCounters) *coCache {
 	return &coCache{
 		capacity: capacity,
 		ttl:      ttl,
 		entries:  make(map[string]*list.Element),
 		lru:      list.New(),
+		counters: counters,
 	}
 }
 
@@ -68,19 +77,19 @@ func (c *coCache) Get(key string) ([]byte, string, bool) {
 	defer c.mu.Unlock()
 	elem, ok := c.entries[key]
 	if !ok {
-		c.misses++
+		c.counters.misses.Inc()
 		return nil, "", false
 	}
 	ent := elem.Value.(*coEntry)
 	if c.ttl > 0 && time.Since(ent.added) > c.ttl {
 		delete(c.entries, ent.key)
 		c.lru.Remove(elem)
-		c.evictions++
-		c.misses++
+		c.counters.evictions.Inc()
+		c.counters.misses.Inc()
 		return nil, "", false
 	}
 	c.lru.MoveToFront(elem)
-	c.hits++
+	c.counters.hits.Inc()
 	return ent.body, ent.contentType, true
 }
 
@@ -112,7 +121,7 @@ func (c *coCache) Insert(key string, maxT historygraph.Time, body []byte, conten
 		back := c.lru.Back()
 		delete(c.entries, back.Value.(*coEntry).key)
 		c.lru.Remove(back)
-		c.evictions++
+		c.counters.evictions.Inc()
 	}
 }
 
@@ -136,16 +145,10 @@ func (c *coCache) InvalidateFrom(t historygraph.Time) int {
 	return n
 }
 
-type coCacheStats struct {
-	size, capacity          int
-	hits, misses, evictions int64
-}
-
-func (c *coCache) Stats() coCacheStats {
+// Len returns the number of resident bodies (the dg_cache_entries gauge
+// reads it at scrape time).
+func (c *coCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return coCacheStats{
-		size: c.lru.Len(), capacity: c.capacity,
-		hits: c.hits, misses: c.misses, evictions: c.evictions,
-	}
+	return c.lru.Len()
 }

@@ -203,8 +203,11 @@ func splitSlow(tier []*member) (fast, slow []*member) {
 // latencies into the per-member EWMA the ordering is built from.
 // Spreading reads over followers is safe because every member serves the
 // same merged-exact slice once caught up; a lagging or dead member is
-// simply skipped.
-func readFrom[T any](ctx context.Context, rs *replicaSet, call func(cl *server.Client) (T, error)) (T, error) {
+// simply skipped. parent is the request-scoped context the leg ctx was
+// derived from: a failure after parent died is the client going away,
+// not the member failing, and must not poison the member's routing state
+// (a leg-timeout expiry, by contrast, is the member's fault and does).
+func readFrom[T any](ctx, parent context.Context, rs *replicaSet, call func(cl *server.Client) (T, error)) (T, error) {
 	var zero T
 	var lastErr error
 	for _, m := range rs.readOrder() {
@@ -224,6 +227,9 @@ func readFrom[T any](ctx context.Context, rs *replicaSet, call func(cl *server.C
 			m.healthy.Store(true)
 			m.observeLatency(time.Since(begin))
 			return zero, err
+		}
+		if parent.Err() != nil {
+			return zero, err // canceled by the caller; the member is not at fault
 		}
 		m.healthy.Store(false)
 		lastErr = err
@@ -332,7 +338,7 @@ func (co *Coordinator) failover(rs *replicaSet, suspect *member) error {
 		}
 	}
 	rs.primary.Store(int32(best))
-	co.failovers.Add(1)
+	co.failovers.Inc()
 	// Best effort: surviving members follow the new primary; the deposed
 	// suspect is told too in case it is merely partitioned from us.
 	for i, m := range rs.members {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"historygraph/internal/server"
 )
@@ -17,11 +19,18 @@ type reqCtx struct {
 }
 
 // scatter runs call against every partition's replica set concurrently,
-// each leg bounded by the coordinator's partition timeout. results[i]
-// holds partition i's answer (the zero value where it failed); errs lists
-// the failed partitions in partition order. The call itself never fails —
+// each leg derived from parent and bounded by the coordinator's partition
+// timeout — canceling parent (a client that went away on a direct path)
+// cancels every leg immediately instead of letting them run out the
+// timeout against workers nobody is waiting for. results[i] holds
+// partition i's answer (the zero value where it failed); errs lists the
+// failed partitions in partition order. The call itself never fails —
 // total failure is the caller's decision (len(errs) == NumPartitions).
-func scatter[T any](co *Coordinator, call func(ctx reqCtx, rs *replicaSet) (T, error)) (results []T, errs []server.PartitionError) {
+//
+// Each leg is counted and timed per partition; a failed leg is charged
+// to leg_cancels when parent was already canceled (the client went away
+// — the partition did nothing wrong) and to leg_failures otherwise.
+func scatter[T any](co *Coordinator, parent context.Context, call func(ctx reqCtx, rs *replicaSet) (T, error)) (results []T, errs []server.PartitionError) {
 	results = make([]T, len(co.sets))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -29,10 +38,19 @@ func scatter[T any](co *Coordinator, call func(ctx reqCtx, rs *replicaSet) (T, e
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), co.timeout)
+			part := strconv.Itoa(i)
+			co.legs.With(part).Inc()
+			begin := time.Now()
+			ctx, cancel := context.WithTimeout(parent, co.timeout)
 			defer cancel()
 			v, err := call(reqCtx{Context: ctx, part: i}, co.sets[i])
+			co.legDur.With(part).Observe(time.Since(begin).Seconds())
 			if err != nil {
+				if parent.Err() != nil {
+					co.legCancels.With(part).Inc()
+				} else {
+					co.legFails.With(part).Inc()
+				}
 				pe := server.PartitionError{Partition: i, Error: err.Error()}
 				var he *server.HTTPError
 				if errors.As(err, &he) {
@@ -54,9 +72,9 @@ func scatter[T any](co *Coordinator, call func(ctx reqCtx, rs *replicaSet) (T, e
 // scatterRead is scatter for read queries: each leg tries the partition's
 // replicas in round-robin in-sync-first order until one answers, so a
 // single dead or lagging member costs a retry, not a partial response.
-func scatterRead[T any](co *Coordinator, call func(ctx reqCtx, cl *server.Client) (T, error)) ([]T, []server.PartitionError) {
-	return scatter(co, func(ctx reqCtx, rs *replicaSet) (T, error) {
-		return readFrom(ctx, rs, func(cl *server.Client) (T, error) {
+func scatterRead[T any](co *Coordinator, parent context.Context, call func(ctx reqCtx, cl *server.Client) (T, error)) ([]T, []server.PartitionError) {
+	return scatter(co, parent, func(ctx reqCtx, rs *replicaSet) (T, error) {
+		return readFrom(ctx, parent, rs, func(cl *server.Client) (T, error) {
 			return call(ctx, cl)
 		})
 	})
@@ -64,9 +82,9 @@ func scatterRead[T any](co *Coordinator, call func(ctx reqCtx, cl *server.Client
 
 // notePartial charges a partial data response (some but not all
 // partitions failed) to the partial_responses stat. Data endpoints call
-// it; /stats and /healthz probes and total failures do not count.
+// it; /stats and /readyz probes and total failures do not count.
 func (co *Coordinator) notePartial(errs []server.PartitionError) {
 	if len(errs) > 0 && len(errs) < len(co.sets) {
-		co.partials.Add(1)
+		co.partials.Inc()
 	}
 }

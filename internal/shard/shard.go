@@ -11,10 +11,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"historygraph"
+	"historygraph/internal/metrics"
 	"historygraph/internal/server"
 	"historygraph/internal/wire"
 )
@@ -84,6 +84,12 @@ type Config struct {
 	// legs forever. 0 picks 20 x PartitionTimeout (5 minutes at the
 	// defaults).
 	StreamTimeout time.Duration
+	// Metrics is the registry the coordinator registers its collectors
+	// on (and serves at GET /metrics); nil creates a private one.
+	Metrics *metrics.Registry
+	// SlowQueryThreshold, when positive, logs one line for every request
+	// slower than it. Zero disables the log.
+	SlowQueryThreshold time.Duration
 }
 
 // Coordinator scatters queries across partition replica sets and gathers
@@ -103,12 +109,27 @@ type Coordinator struct {
 	healthDone chan struct{}
 	closeOnce  sync.Once
 
-	requests  atomic.Int64
-	fanouts   atomic.Int64 // scatter-gather executions
-	coalesced atomic.Int64 // requests served by another caller's fan-out
-	partials  atomic.Int64 // responses missing >= 1 partition
-	failovers atomic.Int64 // primary promotions
-	encodes   atomic.Int64 // response-body encode executions (cache hits do none)
+	// Every counter below lives in the metrics registry; /stats reads
+	// the same collectors the /metrics exposition renders, so the two
+	// surfaces cannot drift. Coalesced requests are the flight group's
+	// hit counter (cache="flight").
+	reg        *metrics.Registry
+	ins        *server.Instrumentation
+	fanouts    *metrics.Counter      // scatter-gather executions
+	partials   *metrics.Counter      // responses missing >= 1 partition
+	failovers  *metrics.Counter      // primary promotions
+	encodes    *metrics.Counter      // response-body encode executions (cache hits do none)
+	legs       *metrics.CounterVec   // fan-out legs launched, by partition
+	legFails   *metrics.CounterVec   // legs that failed (timeout, transport, 5xx)
+	legCancels *metrics.CounterVec   // legs abandoned because the client went away
+	legDur     *metrics.HistogramVec // per-leg wall time (open time for streams)
+}
+
+// coordinatorEndpoints is the endpoint-label whitelist for the
+// coordinator's request metrics.
+var coordinatorEndpoints = []string{
+	"/snapshot", "/neighbors", "/batch", "/interval", "/expr", "/append",
+	"/stats", "/healthz", "/readyz", "/metrics",
 }
 
 // New builds a coordinator over the given partition peer specs. The slice
@@ -173,18 +194,45 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 		hc: hc, timeout: timeout, streamCap: streamCap, maxLag: maxLag, runSize: runSize,
 		stop: make(chan struct{}),
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	co.reg = reg
+	co.fanouts = reg.Counter("dg_shard_fanouts_total", "Scatter-gather executions.")
+	co.partials = reg.Counter("dg_shard_partial_responses_total", "Responses missing at least one partition.")
+	co.failovers = reg.Counter("dg_shard_failovers_total", "Primary promotions run by the coordinator.")
+	co.encodes = reg.Counter("dg_encodes_total", "Merged-response body encode executions.")
+	co.legs = reg.CounterVec("dg_shard_legs_total", "Fan-out legs launched, by partition.", "partition")
+	co.legFails = reg.CounterVec("dg_shard_leg_failures_total", "Fan-out legs that failed, by partition.", "partition")
+	co.legCancels = reg.CounterVec("dg_shard_leg_cancels_total", "Fan-out legs canceled because the client went away, by partition.", "partition")
+	co.legDur = reg.HistogramVec("dg_shard_leg_duration_seconds", "Per-leg wall time by partition (stream legs report open time).", nil, "partition")
+	hits := reg.CounterVec("dg_cache_hits_total", "Cache hits by cache level.", "cache")
+	misses := reg.CounterVec("dg_cache_misses_total", "Cache misses by cache level.", "cache")
+	evictions := reg.CounterVec("dg_cache_evictions_total", "Cache evictions by cache level.", "cache")
+	entries := reg.GaugeVec("dg_cache_entries", "Resident entries by cache level.", "cache")
+	capacity := reg.GaugeVec("dg_cache_capacity", "Configured capacity by cache level.", "cache")
+	// The flight group is a cache level here too: a hit is a request
+	// served by another caller's in-flight fan-out.
+	co.flights.Hits = hits.With("flight")
+	co.flights.Misses = misses.With("flight")
 	for p, set := range peerSets {
 		if len(set) == 0 {
 			return nil, fmt.Errorf("shard: partition %d has no members", p)
 		}
 		co.sets = append(co.sets, newReplicaSet(set, hc, legWire.Name()))
 	}
+	co.registerMemberGauges(reg)
 	size := cfg.CacheSize
 	if size == 0 {
 		size = DefaultCacheSize
 	}
 	if size > 0 {
-		co.cache = newCoCache(size, cfg.CacheTTL)
+		co.cache = newCoCache(size, cfg.CacheTTL, cacheCounters{
+			hits: hits.With("merged"), misses: misses.With("merged"), evictions: evictions.With("merged"),
+		})
+		entries.Func(func() float64 { return float64(co.cache.Len()) }, "merged")
+		capacity.With("merged").Set(float64(size))
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /snapshot", co.handleSnapshot)
@@ -195,7 +243,10 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 	mux.HandleFunc("POST /append", co.handleAppend)
 	mux.HandleFunc("GET /stats", co.handleStats)
 	mux.HandleFunc("GET /healthz", co.handleHealthz)
+	mux.HandleFunc("GET /readyz", co.handleReadyz)
+	mux.Handle("GET /metrics", reg.Handler())
 	co.mux = mux
+	co.ins = server.NewInstrumentation(reg, coordinatorEndpoints, cfg.SlowQueryThreshold)
 	if cfg.HealthInterval > 0 {
 		co.healthDone = make(chan struct{})
 		go co.healthLoop(cfg.HealthInterval)
@@ -203,21 +254,49 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 	return co, nil
 }
 
+// registerMemberGauges exposes the coordinator's live routing view of
+// every replica-set member: the latency EWMA reads are ordered by, plus
+// the healthy/in-sync flags and the last known applied WAL sequence.
+func (co *Coordinator) registerMemberGauges(reg *metrics.Registry) {
+	lat := reg.GaugeVec("dg_shard_member_latency_seconds", "Answered-read latency EWMA per replica-set member (0 = unsampled).", "partition", "member")
+	healthy := reg.GaugeVec("dg_shard_member_healthy", "1 when the member's last contact attempt succeeded.", "partition", "member")
+	insync := reg.GaugeVec("dg_shard_member_insync", "1 when the member is within MaxLag of the replication head.", "partition", "member")
+	applied := reg.GaugeVec("dg_shard_member_applied_seq", "Last known applied WAL sequence per member.", "partition", "member")
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for p, rs := range co.sets {
+		ps := strconv.Itoa(p)
+		for _, m := range rs.members {
+			lat.Func(func() float64 { return float64(m.ewma.Load()) / float64(time.Second) }, ps, m.url)
+			healthy.Func(func() float64 { return b2f(m.healthy.Load()) }, ps, m.url)
+			insync.Func(func() float64 { return b2f(m.insync.Load()) }, ps, m.url)
+			applied.Func(func() float64 { return float64(m.applied.Load()) }, ps, m.url)
+		}
+	}
+}
+
 // NumPartitions returns the number of partitions.
 func (co *Coordinator) NumPartitions() int { return len(co.sets) }
 
 // Fanouts reports how many scatter-gathers actually executed (tests
 // assert coordinator-level coalescing and cache hits against this).
-func (co *Coordinator) Fanouts() int64 { return co.fanouts.Load() }
+func (co *Coordinator) Fanouts() int64 { return co.fanouts.Value() }
 
 // Encodes reports how many response-body encodes the coordinator's
 // cacheable data plane executed. A merged-response cache hit writes the
 // stored bytes without encoding, so tests assert hits leave this counter
 // untouched.
-func (co *Coordinator) Encodes() int64 { return co.encodes.Load() }
+func (co *Coordinator) Encodes() int64 { return co.encodes.Value() }
 
 // Failovers reports how many primary promotions the coordinator ran.
-func (co *Coordinator) Failovers() int64 { return co.failovers.Load() }
+func (co *Coordinator) Failovers() int64 { return co.failovers.Value() }
+
+// Metrics returns the coordinator's metrics registry.
+func (co *Coordinator) Metrics() *metrics.Registry { return co.reg }
 
 // Primary returns the current primary base URL of partition p.
 func (co *Coordinator) Primary(p int) string { return co.sets[p].primaryMember().url }
@@ -236,12 +315,12 @@ func (co *Coordinator) Close() {
 	})
 }
 
-// Handler returns the coordinator's HTTP handler.
+// Handler returns the coordinator's HTTP handler, wrapped in the request
+// instrumentation middleware (latency histograms, status counters,
+// X-Request-ID threading — the same middleware the workers run, so one
+// logical request carries one ID across every hop).
 func (co *Coordinator) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		co.requests.Add(1)
-		co.mux.ServeHTTP(w, r)
-	})
+	return co.ins.Wrap(co.mux)
 }
 
 // allFailedError is a total fan-out failure plus the response status it
@@ -327,7 +406,7 @@ func (co *Coordinator) writeCached(w http.ResponseWriter, codec wire.Codec, key 
 // encode serializes one response body via codec, counting the execution
 // (the zero-encode cache-hit guarantee is asserted against this counter).
 func (co *Coordinator) encode(codec wire.Codec, v any) ([]byte, error) {
-	co.encodes.Add(1)
+	co.encodes.Inc()
 	return codec.Encode(v)
 }
 
@@ -372,21 +451,29 @@ func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	full := server.BoolParam(q.Get("full"))
 	key := fmt.Sprintf("snap|%d|%s|%t", t, attrs, full)
+	server.Annotate(r.Context(), "partitions", strconv.Itoa(len(co.sets)))
 	if full && wire.WantsStream(r.Header.Get("Accept")) {
 		// Chunked stream: the scatter legs are consumed run by run and
 		// merged incrementally — coordinator memory stays proportional to
 		// run size × partitions, not to the snapshot.
-		co.streamSnapshot(w, t, attrs, key)
+		co.streamSnapshot(w, r, t, attrs, key)
 		return
 	}
 	codec := wire.Negotiate(r.Header.Get("Accept"))
 	if co.writeCached(w, codec, key) {
+		server.Annotate(r.Context(), "cache", "merged-hit")
 		return // pre-encoded hit: zero fan-out, zero encode
 	}
+	// The fan-out is detached from this request's cancellation (but keeps
+	// its request ID): the flight may be shared with coalesced waiters
+	// whose clients are still listening, so one leader disconnecting must
+	// not kill everyone's merge. A lone abandoned fan-out still ends at
+	// the partition timeout.
+	parent := context.WithoutCancel(r.Context())
 	v, shared, err := co.flights.Do(key, func() (any, error) {
-		co.fanouts.Add(1)
+		co.fanouts.Inc()
 		gen := co.cacheGen()
-		parts, errs := scatterRead(co, func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
+		parts, errs := scatterRead(co, parent, func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
 			return cl.SnapshotCtx(ctx, t, attrs, full)
 		})
 		if len(errs) == len(co.sets) {
@@ -403,11 +490,12 @@ func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	out := fm.v.(server.SnapshotJSON)
 	if shared {
 		// Waiters serve the shared merge but leave caching to the leader.
-		co.coalesced.Add(1)
+		server.Annotate(r.Context(), "cache", "coalesced")
 		out.Coalesced = true
 		server.WriteWire(w, r, http.StatusOK, out)
 		return
 	}
+	server.Annotate(r.Context(), "cache", "miss")
 	// A later hit answers exactly like a worker-cache hit: Cached flips on.
 	cached := out
 	cached.Cached, cached.Coalesced = true, false
@@ -437,13 +525,16 @@ func (co *Coordinator) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	// every partition's local adjacency.
 	codec := wire.Negotiate(r.Header.Get("Accept"))
 	key := fmt.Sprintf("nbr|%d|%d|%s", t, node, attrs)
+	server.Annotate(r.Context(), "partitions", strconv.Itoa(len(co.sets)))
 	if co.writeCached(w, codec, key) {
+		server.Annotate(r.Context(), "cache", "merged-hit")
 		return
 	}
+	parent := context.WithoutCancel(r.Context())
 	v, shared, err := co.flights.Do(key, func() (any, error) {
-		co.fanouts.Add(1)
+		co.fanouts.Inc()
 		gen := co.cacheGen()
-		parts, errs := scatterRead(co, func(ctx reqCtx, cl *server.Client) (*server.NeighborsJSON, error) {
+		parts, errs := scatterRead(co, parent, func(ctx reqCtx, cl *server.Client) (*server.NeighborsJSON, error) {
 			return cl.NeighborsCtx(ctx, t, historygraph.NodeID(node), attrs)
 		})
 		if len(errs) == len(co.sets) {
@@ -459,10 +550,11 @@ func (co *Coordinator) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	fm := v.(flightMerge)
 	out := fm.v.(server.NeighborsJSON)
 	if shared {
-		co.coalesced.Add(1)
+		server.Annotate(r.Context(), "cache", "coalesced")
 		server.WriteWire(w, r, http.StatusOK, out)
 		return
 	}
+	server.Annotate(r.Context(), "cache", "miss")
 	cached := out
 	cached.Cached = true
 	co.writeMerged(w, codec, out, cached, key, t, fm.gen, fm.complete)
@@ -492,11 +584,15 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	codec := wire.Negotiate(r.Header.Get("Accept"))
 	key := fmt.Sprintf("batch|%s|%s|%t", q.Get("t"), attrs, full)
 	if co.writeCached(w, codec, key) {
+		server.Annotate(r.Context(), "cache", "merged-hit")
 		return
 	}
+	server.Annotate(r.Context(), "cache", "miss")
 	gen := co.cacheGen()
-	co.fanouts.Add(1)
-	parts, errs := scatterRead(co, func(ctx reqCtx, cl *server.Client) ([]server.SnapshotJSON, error) {
+	co.fanouts.Inc()
+	// Direct paths (no flight sharing) propagate the client's own
+	// cancellation: a closed connection cancels every leg immediately.
+	parts, errs := scatterRead(co, r.Context(), func(ctx reqCtx, cl *server.Client) ([]server.SnapshotJSON, error) {
 		batch, err := cl.SnapshotsCtx(ctx, times, attrs, full)
 		if err != nil {
 			return nil, err
@@ -540,7 +636,7 @@ func (co *Coordinator) handleInterval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	full := server.BoolParam(q.Get("full"))
-	parts, errs := scatterRead(co, func(ctx reqCtx, cl *server.Client) (*server.IntervalJSON, error) {
+	parts, errs := scatterRead(co, r.Context(), func(ctx reqCtx, cl *server.Client) (*server.IntervalJSON, error) {
 		return cl.IntervalCtx(ctx, from, to, attrs, full)
 	})
 	if len(errs) == len(co.sets) {
@@ -564,7 +660,7 @@ func (co *Coordinator) handleExpr(w http.ResponseWriter, r *http.Request) {
 	// A TimeExpression decides membership element by element, and every
 	// element's history is confined to one partition — so evaluating the
 	// expression per partition and unioning is exact.
-	parts, errs := scatterRead(co, func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
+	parts, errs := scatterRead(co, r.Context(), func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
 		return cl.ExprCtx(ctx, req)
 	})
 	if len(errs) == len(co.sets) {
@@ -598,7 +694,11 @@ func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 	// Every partition's primary gets its slice (possibly empty — an empty
 	// append still reports the worker's last_time, keeping the merged
 	// clock exact). A dead primary triggers failover inside appendToSet.
-	parts, errs := scatter(co, func(ctx reqCtx, rs *replicaSet) (*server.AppendResult, error) {
+	// Appends detach from the client's cancellation: aborting half-landed
+	// slices on a disconnect would leave the partitions inconsistent with
+	// no response to report the split.
+	server.Annotate(r.Context(), "partitions", strconv.Itoa(len(co.sets)))
+	parts, errs := scatter(co, context.WithoutCancel(r.Context()), func(ctx reqCtx, rs *replicaSet) (*server.AppendResult, error) {
 		return co.appendToSet(ctx, rs, perPart[ctx.part])
 	})
 	// Invalidate merged responses even on partial failure: some
@@ -673,22 +773,26 @@ func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	// round-robin: PartitionStatsJSON.URL names the primary, and rotating
 	// the source would misattribute follower counters to it (and make
 	// totals jump backwards between polls).
-	parts, errs := scatter(co, func(ctx reqCtx, rs *replicaSet) (*server.StatsJSON, error) {
+	parts, errs := scatter(co, r.Context(), func(ctx reqCtx, rs *replicaSet) (*server.StatsJSON, error) {
 		return rs.primaryMember().client.StatsCtx(ctx)
 	})
+	// The counters are read from the metrics registry — the same
+	// collectors GET /metrics renders — so the two surfaces cannot drift.
 	out := StatsJSON{
 		Partitions:       len(co.sets),
-		Requests:         co.requests.Load(),
-		Fanouts:          co.fanouts.Load(),
-		Coalesced:        co.coalesced.Load(),
-		PartialResponses: co.partials.Load(),
-		Failovers:        co.failovers.Load(),
+		Requests:         co.ins.Requests(),
+		Fanouts:          co.fanouts.Value(),
+		Coalesced:        co.flights.Hits.Value(),
+		PartialResponses: co.partials.Value(),
+		Failovers:        co.failovers.Value(),
 	}
 	if co.cache != nil {
-		cs := co.cache.Stats()
 		out.Cache = &CoCacheStatsJSON{
-			Hits: cs.hits, Misses: cs.misses, Evictions: cs.evictions,
-			Size: cs.size, Capacity: cs.capacity,
+			Hits:      co.cache.counters.hits.Value(),
+			Misses:    co.cache.counters.misses.Value(),
+			Evictions: co.cache.counters.evictions.Value(),
+			Size:      co.cache.Len(),
+			Capacity:  co.cache.capacity,
 		}
 	}
 	failed := make(map[int]string, len(errs))
@@ -713,10 +817,21 @@ func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	server.WriteJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz is pure liveness: the coordinator process is up and
+// serving. Cluster state (dead members, lagging replicas) is /readyz's
+// job — conflating the two made orchestrators restart a healthy
+// coordinator because a worker box died.
 func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	// Health probes every member of every set — a partition with one live
-	// replica still serves reads, but a dead member means lost redundancy
-	// and must surface as degraded, not hide behind the read retry.
+	server.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok", "partitions": len(co.sets)})
+}
+
+// handleReadyz probes every member of every set — a partition with one
+// live replica still serves reads, but a dead or catching-up member
+// means lost redundancy and must surface as degraded, not hide behind
+// the read retry. Members are probed on their own /readyz, so a replica
+// node that is up but still replaying its WAL (or lagging its primary)
+// counts as not ready here too.
+func (co *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	var mu sync.Mutex
 	var errs []server.PartitionError
 	var wg sync.WaitGroup
@@ -727,7 +842,7 @@ func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				defer wg.Done()
 				ctx, cancel := context.WithTimeout(context.Background(), co.timeout)
 				defer cancel()
-				if err := m.client.HealthCtx(ctx); err != nil {
+				if err := m.client.ReadyCtx(ctx); err != nil {
 					mu.Lock()
 					errs = append(errs, server.PartitionError{Partition: p, Error: m.url + ": " + err.Error()})
 					mu.Unlock()
@@ -737,7 +852,7 @@ func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	if len(errs) == 0 {
-		server.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok", "partitions": len(co.sets)})
+		server.WriteJSON(w, http.StatusOK, map[string]any{"status": "ready", "partitions": len(co.sets)})
 		return
 	}
 	sort.Slice(errs, func(a, b int) bool { return errs[a].Partition < errs[b].Partition })

@@ -326,14 +326,23 @@ func TestShardPartialFailure(t *testing.T) {
 		t.Fatal("partial response must not claim cluster-wide cache hit")
 	}
 
-	// healthz degrades but still enumerates the failure.
-	resp, err := http.Get(c.client.BaseURL() + "/healthz")
+	// readyz degrades but still enumerates the failure; healthz stays OK
+	// — the coordinator process itself is fine.
+	resp, err := http.Get(c.client.BaseURL() + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz with a dead partition: HTTP %d, want 503", resp.StatusCode)
+		t.Fatalf("readyz with a dead partition: HTTP %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(c.client.BaseURL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz (liveness) with a dead partition: HTTP %d, want 200", resp.StatusCode)
 	}
 
 	// Appends routed at the dead partition report partial failure; other

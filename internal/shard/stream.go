@@ -24,6 +24,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -113,7 +114,13 @@ func (l *legStream) close() {
 // delivery legitimately takes as long as the client takes to read, and
 // only the much larger streamCap bounds it (so a wedged worker or an
 // abandoned client cannot pin legs forever).
-func (co *Coordinator) openStreams(t historygraph.Time, attrs string) (legs []*legStream, errs []server.PartitionError) {
+// Stream legs derive from parent — the merged request's own context —
+// so a client that closes the merged stream cancels every worker leg
+// immediately instead of leaving them blocked on back-pressured writes
+// until streamCap expires. The per-partition leg counter and the
+// duration histogram observe the open (header answered), the phase the
+// partition timeout governs.
+func (co *Coordinator) openStreams(parent context.Context, t historygraph.Time, attrs string) (legs []*legStream, errs []server.PartitionError) {
 	legs = make([]*legStream, len(co.sets))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -121,18 +128,27 @@ func (co *Coordinator) openStreams(t historygraph.Time, attrs string) (legs []*l
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), co.streamCap)
+			part := strconv.Itoa(i)
+			co.legs.With(part).Inc()
+			begin := time.Now()
+			ctx, cancel := context.WithTimeout(parent, co.streamCap)
 			// The open guard cancels the leg if no member has answered
 			// the stream header within the partition timeout; once the
 			// stream is live the guard is disarmed and only streamCap
 			// applies.
 			openGuard := time.AfterFunc(co.timeout, cancel)
-			ss, err := readFrom(ctx, co.sets[i], func(cl *server.Client) (*server.SnapshotStream, error) {
+			ss, err := readFrom(ctx, parent, co.sets[i], func(cl *server.Client) (*server.SnapshotStream, error) {
 				return cl.SnapshotStreamCtx(ctx, t, attrs)
 			})
 			openGuard.Stop()
+			co.legDur.With(part).Observe(time.Since(begin).Seconds())
 			if err != nil {
 				cancel()
+				if parent.Err() != nil {
+					co.legCancels.With(part).Inc()
+				} else {
+					co.legFails.With(part).Inc()
+				}
 				pe := server.PartitionError{Partition: i, Error: err.Error()}
 				var he *server.HTTPError
 				if errors.As(err, &he) {
@@ -155,20 +171,27 @@ func (co *Coordinator) openStreams(t historygraph.Time, attrs string) (legs []*l
 // shared) but still hit and feed the merged-response cache: a hot
 // streamed timepoint replays the stored frames in one write with no
 // fan-out and no encode.
-func (co *Coordinator) streamSnapshot(w http.ResponseWriter, t historygraph.Time, attrs string, key string) {
+func (co *Coordinator) streamSnapshot(w http.ResponseWriter, r *http.Request, t historygraph.Time, attrs string, key string) {
 	ck := cacheKey(key, wire.NameBinaryStream)
 	if co.cache != nil {
 		if body, contentType, ok := co.cache.Get(ck); ok {
+			server.Annotate(r.Context(), "cache", "merged-hit")
 			w.Header().Set("Content-Type", contentType)
 			w.WriteHeader(http.StatusOK)
 			w.Write(body)
 			return
 		}
 	}
+	server.Annotate(r.Context(), "cache", "miss")
 	gen := co.cacheGen()
-	co.fanouts.Add(1)
+	co.fanouts.Inc()
 
-	legs, errs := co.openStreams(t, attrs)
+	// A live stream cannot be shared, so its legs hang directly off the
+	// request context: the client closing the merged stream cancels them
+	// at once (satisfying back-pressured workers included) instead of
+	// pinning workers until streamCap runs out.
+	parent := r.Context()
+	legs, errs := co.openStreams(parent, t, attrs)
 	live := make([]*legStream, 0, len(legs))
 	for _, l := range legs {
 		if l != nil {
@@ -181,16 +204,29 @@ func (co *Coordinator) streamSnapshot(w http.ResponseWriter, t historygraph.Time
 		return
 	}
 	defer func() {
+		// Legs still open when the handler unwinds with a dead client
+		// were canceled by that client, not by worker failure.
+		canceled := parent.Err() != nil
 		for _, l := range live {
+			if canceled {
+				co.legCancels.With(strconv.Itoa(l.part)).Inc()
+			}
 			l.close()
 		}
 	}()
 	// reap drops dead legs from live into errs; their already-merged runs
-	// stay (they were exact data), the summary reports the hole.
+	// stay (they were exact data), the summary reports the hole. A leg
+	// that died because the client canceled the merged stream is counted
+	// as a cancel, not a partition failure.
 	reap := func() {
 		kept := live[:0]
 		for _, l := range live {
 			if l.err != nil {
+				if parent.Err() != nil {
+					co.legCancels.With(strconv.Itoa(l.part)).Inc()
+				} else {
+					co.legFails.With(strconv.Itoa(l.part)).Inc()
+				}
 				errs = append(errs, server.PartitionError{Partition: l.part, Error: l.err.Error()})
 				l.close()
 			} else {

@@ -246,7 +246,7 @@ func TestEWMARoutesAroundSlowMember(t *testing.T) {
 			ctx := t.Context()
 			read := func() {
 				t.Helper()
-				_, err := readFrom(ctx, rs, func(cl *server.Client) (*server.SnapshotJSON, error) {
+				_, err := readFrom(ctx, ctx, rs, func(cl *server.Client) (*server.SnapshotJSON, error) {
 					return cl.SnapshotCtx(ctx, 1, "", false)
 				})
 				if err != nil {
