@@ -20,6 +20,18 @@
 // trade-off: a change that slows the majority of benchmarks uniformly is
 // normalized away too — watch the printed raw deltas for that.
 //
+// Merge several records into one (CI folds the load-harness record from
+// cmd/dgtraffic into the same BENCH_N.json artifact the bench job
+// produces; later files win on duplicate names):
+//
+//	benchdiff merge -o BENCH_7.json bench-part.json load-record.json
+//
+// Records may tag entries with units. Unitless entries are ns/op
+// (lower is better); "rps"/"ops/s"/"qps" entries are throughput
+// (higher is better) and the compare gate flips its direction for them
+// automatically — a 30% throughput drop trips the same -threshold 0.25
+// gate that a 30% ns/op rise does, with no sign juggling by hand.
+//
 // To refresh the baseline after an intentional change, commit the new
 // record (CI uploads it as the BENCH artifact) as bench_baseline.json.
 package main
@@ -29,6 +41,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -40,8 +53,30 @@ type Record struct {
 	// Note describes where the record came from (informational).
 	Note string `json:"note,omitempty"`
 	// Benchmarks maps benchmark name (without -GOMAXPROCS suffix) to
-	// ns/op. Duplicate names keep the fastest run.
+	// its value. Duplicate names keep the fastest run.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Units maps benchmark name to its unit; absent names are "ns/op".
+	// The unit orients the compare gate: throughput units ("rps",
+	// "ops/s", "qps") are higher-is-better, everything else (ns/op,
+	// "ms" latencies) lower-is-better.
+	Units map[string]string `json:"units,omitempty"`
+}
+
+// unitOf returns the record's unit for a benchmark ("ns/op" default).
+func (r Record) unitOf(name string) string {
+	if u, ok := r.Units[name]; ok {
+		return u
+	}
+	return "ns/op"
+}
+
+// higherBetter reports whether larger values of the unit are better.
+func higherBetter(unit string) bool {
+	switch unit {
+	case "rps", "ops/s", "qps", "MB/s":
+		return true
+	}
+	return false
 }
 
 func main() {
@@ -53,6 +88,8 @@ func main() {
 		cmdParse(os.Args[2:])
 	case "compare":
 		cmdCompare(os.Args[2:])
+	case "merge":
+		cmdMerge(os.Args[2:])
 	default:
 		usage()
 	}
@@ -61,7 +98,53 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: benchdiff parse [-o out.json] [-note text] < bench-output")
 	fmt.Fprintln(os.Stderr, "       benchdiff compare -baseline old.json -new new.json [-threshold 0.25] [-normalize]")
+	fmt.Fprintln(os.Stderr, "       benchdiff merge -o out.json [-note text] a.json b.json ...")
 	os.Exit(2)
+}
+
+// cmdMerge unions several records; later files win on duplicate names.
+func cmdMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "", "output path (default stdout)")
+	note := fs.String("note", "", "note for the merged record (default: first input's note)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+	merged := Record{Benchmarks: map[string]float64{}, Units: map[string]string{}}
+	for _, path := range fs.Args() {
+		rec := load(path)
+		if merged.Note == "" {
+			merged.Note = rec.Note
+		}
+		for name, v := range rec.Benchmarks {
+			merged.Benchmarks[name] = v
+			if u, ok := rec.Units[name]; ok {
+				merged.Units[name] = u
+			} else {
+				delete(merged.Units, name)
+			}
+		}
+	}
+	if *note != "" {
+		merged.Note = *note
+	}
+	if len(merged.Units) == 0 {
+		merged.Units = nil
+	}
+	buf, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchdiff: merged %d records into %s (%d benchmarks)\n", fs.NArg(), *out, len(merged.Benchmarks))
 }
 
 // benchLine matches one `go test -bench` result line, e.g.
@@ -131,14 +214,31 @@ func cmdCompare(args []string) {
 	}
 	sort.Strings(names)
 
-	// The median new/old ratio estimates the machine-wide speed shift
+	// worseRatio orients a comparison by the benchmark's unit: the
+	// returned ratio is > 1 exactly when the fresh value is worse —
+	// slower for ns/op and latency entries, lower for throughput
+	// entries — so the gate below is direction-agnostic.
+	worseRatio := func(name string, old, now float64) float64 {
+		if higherBetter(base.unitOf(name)) {
+			if now == 0 {
+				return math.Inf(+1)
+			}
+			return old / now
+		}
+		if old == 0 {
+			return math.Inf(+1)
+		}
+		return now / old
+	}
+
+	// The median worse-ratio estimates the machine-wide speed shift
 	// between the baseline's hardware and this run's.
 	shift := 1.0
 	if *normalize {
 		var ratios []float64
 		for _, name := range names {
 			if now, ok := fresh.Benchmarks[name]; ok {
-				ratios = append(ratios, now/base.Benchmarks[name])
+				ratios = append(ratios, worseRatio(name, base.Benchmarks[name], now))
 			}
 		}
 		if n := len(ratios); n > 0 {
@@ -152,22 +252,25 @@ func cmdCompare(args []string) {
 	}
 
 	failed := false
-	fmt.Printf("%-45s %14s %14s %9s\n", "benchmark", "baseline ns/op", "new ns/op", "delta")
+	fmt.Printf("%-45s %14s %14s %9s %8s\n", "benchmark", "baseline", "new", "delta", "unit")
 	for _, name := range names {
 		old := base.Benchmarks[name]
 		now, ok := fresh.Benchmarks[name]
 		if !ok {
-			fmt.Printf("%-45s %14.0f %14s %9s  MISSING (refresh bench_baseline.json?)\n", name, old, "-", "-")
+			fmt.Printf("%-45s %14.0f %14s %9s %8s  MISSING (refresh bench_baseline.json?)\n",
+				name, old, "-", "-", base.unitOf(name))
 			failed = true
 			continue
 		}
-		delta := now/old/shift - 1
+		// delta > 0 means "worse by that fraction" whichever way the
+		// unit points.
+		delta := worseRatio(name, old, now)/shift - 1
 		status := ""
 		if delta > *threshold {
 			status = fmt.Sprintf("  REGRESSION (> +%.0f%%)", *threshold*100)
 			failed = true
 		}
-		fmt.Printf("%-45s %14.0f %14.0f %+8.1f%%%s\n", name, old, now, delta*100, status)
+		fmt.Printf("%-45s %14.1f %14.1f %+8.1f%% %8s%s\n", name, old, now, delta*100, base.unitOf(name), status)
 	}
 	for name := range fresh.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok {

@@ -113,10 +113,12 @@ func TestDocsLinks(t *testing.T) {
 	// Sections other parts of the repo promise exist (server godoc and
 	// the README point operators at them) must not be renamed away.
 	required := map[string][]string{
-		"README.md": {"observability"},
+		"README.md": {"observability", "load-testing"},
 		filepath.Join("docs", "OPERATIONS.md"): {
 			"observability", "metric-reference", "liveness-vs-readiness",
 			"scrape-configuration", "alert-rules",
+			"load-testing", "scenario-file-reference", "chaos-hooks",
+			"reading-a-result-artifact",
 		},
 	}
 	for file, want := range required {

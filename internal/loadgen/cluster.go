@@ -1,0 +1,322 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"historygraph"
+	"historygraph/internal/datagen"
+	"historygraph/internal/replica"
+	"historygraph/internal/server"
+	"historygraph/internal/shard"
+)
+
+// ClusterConfig sizes the in-process cluster cmd/dgtraffic launches
+// when not attaching to an external deployment. Zero values take the
+// documented defaults.
+type ClusterConfig struct {
+	// Partitions × Replicas is the cluster shape (default 2×2).
+	Partitions int
+	Replicas   int
+	// SyncFollowers delays each primary's append ack until this many
+	// followers durably logged the batch (default 1 when Replicas > 1).
+	SyncFollowers int
+	// Wire selects the coordinator's scatter-leg codec ("" = json).
+	Wire string
+	// Dir holds the worker WALs; "" creates a temp dir removed on Close.
+	Dir string
+	// PreloadAuthors/Edges/Years size the datagen.Coauthorship trace
+	// appended through the coordinator before the run (defaults
+	// 500/1500/5); Seed drives it. The preload teaches the harness the
+	// TimeMax/NodeMax read domains.
+	PreloadAuthors int
+	PreloadEdges   int
+	PreloadYears   int
+	Seed           int64
+	// HealthInterval is the coordinator's replica health-check period
+	// (default 250ms — fast enough that a killed replica is routed
+	// around within the chaos grace window).
+	HealthInterval time.Duration
+}
+
+// clusterWorker is one replica-set member plus its chaos controls.
+type clusterWorker struct {
+	gm      *historygraph.GraphManager
+	svc     *server.Server
+	wal     *replica.Log
+	node    *replica.Node
+	httpSrv *http.Server
+	gate    *slowGate
+	url     string
+
+	mu    sync.Mutex
+	alive bool
+}
+
+// slowGate injects a per-partition response delay — the
+// "slow_partition" chaos action. It wraps the worker's whole handler so
+// scatter legs, replication tails and health checks all feel the delay,
+// like a saturated disk or an overloaded peer would.
+type slowGate struct {
+	inner http.Handler
+	delay atomic.Int64 // nanoseconds
+}
+
+func (g *slowGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if d := g.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	g.inner.ServeHTTP(w, r)
+}
+
+// Cluster is a harness-launched P×R cluster: WAL-backed worker replica
+// sets under a shard coordinator, all in-process on localhost. It
+// implements Chaos.
+type Cluster struct {
+	cfg     ClusterConfig
+	co      *shard.Coordinator
+	front   *http.Server
+	url     string
+	workers [][]*clusterWorker // [partition][member]; member 0 = initial primary
+	dir     string
+	ownDir  bool
+	timers  []*time.Timer
+	timeMax int64
+	nodeMax int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (cfg *ClusterConfig) normalize() {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 2
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.SyncFollowers == 0 && cfg.Replicas > 1 {
+		cfg.SyncFollowers = 1
+	}
+	if cfg.PreloadAuthors == 0 {
+		cfg.PreloadAuthors = 500
+	}
+	if cfg.PreloadEdges == 0 {
+		cfg.PreloadEdges = 3 * cfg.PreloadAuthors
+	}
+	if cfg.PreloadYears == 0 {
+		cfg.PreloadYears = 5
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 250 * time.Millisecond
+	}
+}
+
+// LaunchCluster boots the cluster and preloads it. Callers must Close.
+func LaunchCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg.normalize()
+	c := &Cluster{cfg: cfg, dir: cfg.Dir}
+	if c.dir == "" {
+		dir, err := os.MkdirTemp("", "dgtraffic")
+		if err != nil {
+			return nil, err
+		}
+		c.dir, c.ownDir = dir, true
+	}
+	fail := func(err error) (*Cluster, error) {
+		c.Close()
+		return nil, err
+	}
+
+	sets := make([][]string, cfg.Partitions)
+	c.workers = make([][]*clusterWorker, cfg.Partitions)
+	for p := 0; p < cfg.Partitions; p++ {
+		for m := 0; m < cfg.Replicas; m++ {
+			rcfg := replica.Config{SelfID: fmt.Sprintf("p%d-m%d", p, m)}
+			if m == 0 {
+				rcfg.Role = replica.RolePrimary
+				if cfg.Replicas > 1 {
+					rcfg.SyncFollowers = cfg.SyncFollowers
+				}
+			} else {
+				rcfg.Role = replica.RoleFollower
+				rcfg.PrimaryURL = c.workers[p][0].url
+			}
+			w, err := startClusterWorker(filepath.Join(c.dir, fmt.Sprintf("p%d-m%d.wal", p, m)), rcfg)
+			if err != nil {
+				return fail(err)
+			}
+			c.workers[p] = append(c.workers[p], w)
+			sets[p] = append(sets[p], w.url)
+		}
+	}
+
+	co, err := shard.NewReplicated(sets, shard.Config{
+		PartitionTimeout: 5 * time.Second,
+		HealthInterval:   cfg.HealthInterval,
+		Wire:             cfg.Wire,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	c.co = co
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	c.front = &http.Server{Handler: co.Handler()}
+	c.url = "http://" + ln.Addr().String()
+	go c.front.Serve(ln)
+
+	// Preload through the coordinator so every event lands on its hash
+	// partition and is durably logged + replicated, exactly like
+	// production ingest.
+	events := datagen.Coauthorship(datagen.CoauthorshipConfig{
+		Authors: cfg.PreloadAuthors, Edges: cfg.PreloadEdges,
+		Years: cfg.PreloadYears, AttrsPerNode: 2, Seed: cfg.Seed,
+	})
+	res, err := server.NewClient(c.url).Append(events)
+	if err != nil {
+		return fail(fmt.Errorf("preload: %w", err))
+	}
+	if len(res.Partial) > 0 {
+		return fail(fmt.Errorf("preload landed partially: %+v", res.Partial))
+	}
+	c.timeMax = res.LastTime
+	c.nodeMax = int64(cfg.PreloadAuthors)
+	return c, nil
+}
+
+func startClusterWorker(walPath string, rcfg replica.Config) (*clusterWorker, error) {
+	gm, err := historygraph.Open(historygraph.Options{LeafEventlistSize: 512})
+	if err != nil {
+		return nil, err
+	}
+	svc := server.New(gm, server.Config{})
+	wal, err := replica.OpenLog(walPath)
+	if err != nil {
+		svc.Close()
+		gm.Close()
+		return nil, err
+	}
+	node, err := replica.NewNode(svc, wal, rcfg)
+	if err != nil {
+		wal.Close()
+		svc.Close()
+		gm.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		node.Close()
+		wal.Close()
+		svc.Close()
+		gm.Close()
+		return nil, err
+	}
+	gate := &slowGate{inner: node.Handler()}
+	w := &clusterWorker{
+		gm: gm, svc: svc, wal: wal, node: node,
+		gate:    gate,
+		httpSrv: &http.Server{Handler: gate},
+		url:     "http://" + ln.Addr().String(),
+		alive:   true,
+	}
+	go w.httpSrv.Serve(ln)
+	return w, nil
+}
+
+func (w *clusterWorker) stop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.alive {
+		return
+	}
+	w.alive = false
+	w.httpSrv.Close()
+	w.node.Close()
+	w.svc.Close()
+	w.wal.Close()
+	w.gm.Close()
+}
+
+// URL is the coordinator's base URL.
+func (c *Cluster) URL() string { return c.url }
+
+// TimeMax is the last preloaded event time (the read-timepoint domain).
+func (c *Cluster) TimeMax() int64 { return c.timeMax }
+
+// NodeMax is the largest preloaded node ID (the /neighbors domain).
+func (c *Cluster) NodeMax() int64 { return c.nodeMax }
+
+// Coordinator exposes the underlying coordinator (failover counters,
+// member listings) for reporting.
+func (c *Cluster) Coordinator() *shard.Coordinator { return c.co }
+
+// KillReplica implements Chaos: stop partition p's member m for good.
+func (c *Cluster) KillReplica(p, m int) error {
+	if p < 0 || p >= len(c.workers) || m < 0 || m >= len(c.workers[p]) {
+		return fmt.Errorf("no replica p%d m%d in a %dx%d cluster", p, m, len(c.workers), len(c.workers[0]))
+	}
+	c.workers[p][m].stop()
+	return nil
+}
+
+// SlowPartition implements Chaos: inject delay before every response
+// from partition p's members for dur (0 = until Close).
+func (c *Cluster) SlowPartition(p int, delay, dur time.Duration) error {
+	if p < 0 || p >= len(c.workers) {
+		return fmt.Errorf("no partition %d in a %d-partition cluster", p, len(c.workers))
+	}
+	for _, w := range c.workers[p] {
+		w.gate.delay.Store(int64(delay))
+	}
+	if dur > 0 {
+		c.mu.Lock()
+		if !c.closed {
+			c.timers = append(c.timers, time.AfterFunc(dur, func() {
+				for _, w := range c.workers[p] {
+					w.gate.delay.Store(0)
+				}
+			}))
+		}
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// Close tears the whole cluster down and removes a temp WAL dir.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	timers := c.timers
+	c.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+	if c.front != nil {
+		c.front.Close()
+	}
+	if c.co != nil {
+		c.co.Close()
+	}
+	for _, set := range c.workers {
+		for _, w := range set {
+			w.stop()
+		}
+	}
+	if c.ownDir && c.dir != "" {
+		os.RemoveAll(c.dir)
+	}
+}

@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+)
+
+// TestClusterChaosSmoke is the in-process version of CI's loadtest job:
+// a 2×2 cluster, a short mixed run, a follower killed mid-measurement.
+// The coordinator must degrade to failover/retry — the gate still sees
+// zero non-chaos errors and every endpoint measured.
+func TestClusterChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 2x2 cluster")
+	}
+	cluster, err := LaunchCluster(ClusterConfig{
+		Partitions: 2, Replicas: 2,
+		PreloadAuthors: 120,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	sc, err := ParseScenario([]byte(`{
+		"name": "chaos-smoke",
+		"seed": 5,
+		"clients": 4,
+		"duration": "2s",
+		"warmup": "200ms",
+		"mix": {"snapshot": 3, "neighbors": 2, "append": 1},
+		"chaos": [
+			{"at": "500ms", "action": "kill_replica", "partition": 1, "member": 0},
+			{"at": "1s", "action": "slow_partition", "partition": 0, "delay": "5ms", "duration": "500ms"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), sc, Options{
+		Target:  cluster.URL(),
+		Chaos:   cluster,
+		TimeMax: cluster.TimeMax(),
+		NodeMax: cluster.NodeMax(),
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ChaosApplied) != 2 {
+		t.Errorf("chaos applied: %v", res.ChaosApplied)
+	}
+	// The dead follower and the slowed partition must surface as chaos
+	// accounting or degraded latency — never as gate-tripping errors.
+	if err := res.GateErrors(); err != nil {
+		t.Errorf("gate failed under chaos: %v", err)
+	}
+	for _, name := range sc.Endpoints() {
+		if ep := res.Endpoints[name]; ep == nil || ep.Count == 0 {
+			t.Errorf("endpoint %s recorded nothing", name)
+		}
+	}
+}
+
+// TestClusterKillValidation: chaos aimed outside the cluster shape is
+// reported, not a panic.
+func TestClusterKillValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a cluster")
+	}
+	cluster, err := LaunchCluster(ClusterConfig{
+		Partitions: 1, Replicas: 1,
+		PreloadAuthors: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.KillReplica(5, 0); err == nil {
+		t.Error("killing a nonexistent partition succeeded")
+	}
+	if err := cluster.SlowPartition(9, 0, 0); err == nil {
+		t.Error("slowing a nonexistent partition succeeded")
+	}
+}

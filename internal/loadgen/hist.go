@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets covers int64 nanosecond values with 16 sub-buckets per
+// power-of-two octave: values below 16ns are exact, everything above
+// lands in a bucket whose width is 1/16 of its magnitude. That bounds
+// the relative quantile error at ±1/32 (~3%) when reporting bucket
+// midpoints — the HDR-histogram trade: fixed memory (a few KB), no
+// retained samples, tail quantiles that stay honest at any volume.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits                         // 16 sub-buckets per octave
+	histBuckets = histSub + (63-histSubBits+1)*histSub + 1 // exact region + octaves 4..63 + overflow
+)
+
+// Hist is a lock-free log-bucketed duration histogram.
+type Hist struct {
+	counts [histBuckets]atomic.Int64
+	n      atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSub {
+		return int(v)
+	}
+	k := bits.Len64(uint64(v)) - 1 // 2^k <= v < 2^(k+1), k >= histSubBits
+	sub := (v >> (k - histSubBits)) & (histSub - 1)
+	idx := histSub + (k-histSubBits)*histSub + int(sub)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid returns the midpoint value of a bucket (its representative
+// for quantile extraction).
+func bucketMid(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	k := (idx-histSub)/histSub + histSubBits
+	sub := int64((idx - histSub) % histSub)
+	low := int64(1)<<k + sub<<(k-histSubBits)
+	return low + int64(1)<<(k-histSubBits)/2
+}
+
+// Record adds one observation.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.n.Load() }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observation recorded.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns the q-quantile (0 < q <= 1) as a duration, 0 when
+// the histogram is empty. The answer is the midpoint of the bucket
+// holding the rank, clamped to the recorded maximum so p999 of a short
+// run never exceeds the slowest real request.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			v := bucketMid(i)
+			if m := h.max.Load(); v > m {
+				v = m
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max.Load())
+}

@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistQuantileOracle records a latency-shaped sample set and checks
+// every reported quantile against the sorted-sample oracle: a
+// log-bucketed histogram with 16 sub-buckets per octave answers within
+// ~1/32 relative error (one half bucket width).
+func TestHistQuantileOracle(t *testing.T) {
+	var h Hist
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]float64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		// Lognormal around ~2ms with a heavy tail, like real latencies,
+		// truncated to whole nanoseconds (Record's granularity).
+		v := math.Trunc(math.Exp(rng.NormFloat64()*1.1 + 14.5))
+		samples = append(samples, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(len(samples)))) - 1
+		oracle := samples[rank]
+		got := float64(h.Quantile(q))
+		if rel := math.Abs(got-oracle) / oracle; rel > 1.0/16 {
+			t.Errorf("Quantile(%v) = %v, oracle %v: relative error %.3f > 1/16", q, got, oracle, rel)
+		}
+	}
+	if h.Count() != 50000 {
+		t.Errorf("Count = %d, want 50000", h.Count())
+	}
+	if max := float64(h.Max()); max != samples[len(samples)-1] {
+		t.Errorf("Max = %v, want %v", max, samples[len(samples)-1])
+	}
+}
+
+// TestHistBucketRoundTrip: every bucket's midpoint maps back to that
+// bucket, and bucket boundaries are monotonic. The final octave (low
+// bound 2^63, ~292 years of nanoseconds) overflows int64 midpoints and
+// is unreachable by any real duration, so the walk stops before it.
+func TestHistBucketRoundTrip(t *testing.T) {
+	last := histSub + (62-histSubBits+1)*histSub // first bucket of octave 63
+	prev := int64(-1)
+	for idx := 0; idx < last; idx++ {
+		mid := bucketMid(idx)
+		if got := bucketOf(mid); got != idx {
+			t.Fatalf("bucketOf(bucketMid(%d)) = %d", idx, got)
+		}
+		if mid <= prev {
+			t.Fatalf("bucketMid not monotonic at %d: %d <= %d", idx, mid, prev)
+		}
+		prev = mid
+	}
+}
+
+// TestHistEdgeCases: empty histogram, single sample, quantile clamping
+// to the recorded max, negative durations clamped to zero.
+func TestHistEdgeCases(t *testing.T) {
+	var empty Hist
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := empty.Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+
+	var one Hist
+	one.Record(3 * time.Millisecond)
+	for _, q := range []float64{0.001, 0.5, 0.999} {
+		if got := one.Quantile(q); got > 3*time.Millisecond {
+			t.Errorf("single-sample Quantile(%v) = %v exceeds the recorded max", q, got)
+		}
+	}
+
+	var neg Hist
+	neg.Record(-5 * time.Second)
+	if got := neg.Quantile(0.5); got != 0 {
+		t.Errorf("negative sample Quantile = %v, want 0", got)
+	}
+}
+
+// TestHistConcurrent records from many goroutines; the count and sum
+// must be exact (the histogram is read while the run is hot, so the
+// atomics must not drop observations).
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	const perG, goroutines = 1000, 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(time.Duration(g*perG+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != perG*goroutines {
+		t.Fatalf("Count = %d, want %d", h.Count(), perG*goroutines)
+	}
+	if h.Max() != time.Duration(goroutines*perG-1)*time.Microsecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}

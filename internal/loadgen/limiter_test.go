@@ -1,0 +1,71 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLimiterRateUnderBurst hammers the bucket from many goroutines and
+// checks the grant count over a window: the initial burst plus the
+// refill rate, inside a generous tolerance (CI schedulers are noisy).
+func TestLimiterRateUnderBurst(t *testing.T) {
+	const (
+		rate   = 1000.0
+		burst  = 50
+		window = 600 * time.Millisecond
+	)
+	lim := NewLimiter(rate, burst)
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+
+	var granted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lim.Wait(ctx) == nil {
+				granted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := rate*window.Seconds() + burst // 650
+	got := float64(granted.Load())
+	if got < want*0.65 || got > want*1.25 {
+		t.Fatalf("granted %v tokens over %v at rate %v burst %d, want ~%v", got, window, rate, burst, want)
+	}
+}
+
+// TestLimiterBurstImmediate: a fresh bucket grants its whole burst
+// without blocking.
+func TestLimiterBurstImmediate(t *testing.T) {
+	lim := NewLimiter(1, 10) // 1/s refill: any blocking wait would be visible
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		if err := lim.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("draining the burst took %v, want immediate", d)
+	}
+}
+
+// TestLimiterCancel: a blocked Wait returns the context error.
+func TestLimiterCancel(t *testing.T) {
+	lim := NewLimiter(0.001, 1)
+	if err := lim.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := lim.Wait(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Wait on an empty bucket = %v, want deadline exceeded", err)
+	}
+}

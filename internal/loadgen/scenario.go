@@ -1,0 +1,315 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Duration is a time.Duration that unmarshals from a JSON string like
+// "30s" or "250ms" (and marshals back to one), so scenario files read
+// like flag values instead of raw nanosecond counts.
+type Duration time.Duration
+
+// UnmarshalJSON accepts "30s"-style strings.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("durations are strings like %q: %w", "30s", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// D returns the plain time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// The endpoint names a scenario mix may weight. "stream" is /snapshot
+// over the chunked binary stream wire; the rest are the HTTP endpoints
+// they are named after.
+var endpointNames = []string{"snapshot", "neighbors", "batch", "interval", "append", "stream"}
+
+// Chaos actions a scenario may schedule mid-run.
+const (
+	// ChaosKillReplica stops one replica-set member (Partition, Member;
+	// member 0 is the initial primary — killing it exercises failover).
+	ChaosKillReplica = "kill_replica"
+	// ChaosSlowPartition injects Delay before every response from the
+	// named partition's members for Duration (0 = rest of the run).
+	ChaosSlowPartition = "slow_partition"
+)
+
+// ChaosEvent schedules one fault injection. At is the offset from the
+// start of the measurement phase. Chaos requires a harness-launched
+// cluster (attach mode has no handle on the target's processes).
+type ChaosEvent struct {
+	At        Duration `json:"at"`
+	Action    string   `json:"action"`
+	Partition int      `json:"partition"`
+	Member    int      `json:"member,omitempty"`
+	Delay     Duration `json:"delay,omitempty"`
+	Duration  Duration `json:"duration,omitempty"`
+}
+
+// TimepointDist declares how read timepoints are drawn from the history
+// [0, TimeMax]. "uniform" spreads reads over the whole history (cache
+// -hostile); "hotkey" concentrates HotWeight of the reads on a small set
+// of HotFraction×1000 distinct timepoints (cache-friendly; the shape a
+// dashboard or a popular analysis notebook produces).
+type TimepointDist struct {
+	Distribution string  `json:"distribution,omitempty"` // "uniform" (default) | "hotkey"
+	HotFraction  float64 `json:"hot_fraction,omitempty"` // share of 1000 candidate points that are hot (default 0.1)
+	HotWeight    float64 `json:"hot_weight,omitempty"`   // share of reads that hit the hot set (default 0.9)
+}
+
+// Scenario declares one load run. Zero values take documented defaults
+// (Normalize applies them); ParseScenario rejects unknown fields so a
+// typo fails loudly instead of silently running the default workload.
+type Scenario struct {
+	// Name labels the run in results and BENCH records.
+	Name string `json:"name"`
+	// Seed drives every random choice (endpoint picks, timepoints,
+	// node IDs). Two runs of the same scenario against the same data
+	// issue the same request sequence per client.
+	Seed int64 `json:"seed,omitempty"`
+	// Clients is the number of concurrent closed-loop workers.
+	Clients int `json:"clients"`
+	// Duration is the measurement phase length.
+	Duration Duration `json:"duration"`
+	// Warmup runs the same workload unrecorded first, so caches and
+	// connection pools settle before the clock starts.
+	Warmup Duration `json:"warmup,omitempty"`
+	// Mode is "closed" (default: each client issues its next request
+	// when the previous answer lands, optionally paced by TargetRPS) or
+	// "open" (a dispatcher emits request slots at TargetRPS regardless
+	// of completions; latency is measured from the intended start, so
+	// a slow server accrues queueing delay instead of hiding it).
+	Mode string `json:"mode,omitempty"`
+	// TargetRPS is the aggregate request rate to hold. Required in open
+	// mode; 0 in closed mode means unpaced (as fast as the loop turns).
+	TargetRPS float64 `json:"target_rps,omitempty"`
+	// Burst is the token-bucket burst for paced closed-loop runs
+	// (default: Clients).
+	Burst int `json:"burst,omitempty"`
+	// Wire selects the client codec: "json" (default), "binary", or
+	// "stream" (binary + chunked snapshot stream on reads).
+	Wire string `json:"wire,omitempty"`
+	// Mix weights the endpoints; weights are relative, not percentages.
+	// Endpoints absent or weighted 0 are never issued. At least one
+	// weight must be positive.
+	Mix map[string]float64 `json:"mix"`
+	// Timepoints declares the read-timepoint distribution.
+	Timepoints TimepointDist `json:"timepoints,omitempty"`
+	// SnapshotFull asks /snapshot and /batch for full element lists
+	// instead of counts.
+	SnapshotFull bool `json:"snapshot_full,omitempty"`
+	// BatchSize is the timepoints per /batch request (default 4).
+	BatchSize int `json:"batch_size,omitempty"`
+	// AppendSize is the events per /append batch (default 8).
+	AppendSize int `json:"append_size,omitempty"`
+	// RequestTimeout bounds each request (default 15s).
+	RequestTimeout Duration `json:"request_timeout,omitempty"`
+	// TimeMax is the upper end of the read-timepoint domain. 0 lets the
+	// harness learn it (launch mode preload, or a /stats probe in
+	// attach mode); a positive value pins it.
+	TimeMax int64 `json:"time_max,omitempty"`
+	// NodeMax is the upper end of the /neighbors node-ID domain. 0 lets
+	// the harness learn it like TimeMax.
+	NodeMax int64 `json:"node_max,omitempty"`
+	// Chaos schedules fault injections during the measurement phase.
+	Chaos []ChaosEvent `json:"chaos,omitempty"`
+}
+
+// ParseScenario decodes and validates a scenario document. Unknown
+// fields are errors.
+func ParseScenario(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := sc.Normalize(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// LoadScenario reads and parses a scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := ParseScenario(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Normalize applies defaults and validates the scenario in place.
+func (sc *Scenario) Normalize() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: name is required")
+	}
+	if sc.Clients <= 0 {
+		return fmt.Errorf("scenario %s: clients must be positive", sc.Name)
+	}
+	if sc.Duration <= 0 {
+		return fmt.Errorf("scenario %s: duration must be positive", sc.Name)
+	}
+	if sc.Warmup < 0 {
+		return fmt.Errorf("scenario %s: warmup must not be negative", sc.Name)
+	}
+	switch sc.Mode {
+	case "":
+		sc.Mode = "closed"
+	case "closed", "open":
+	default:
+		return fmt.Errorf("scenario %s: mode %q (want closed or open)", sc.Name, sc.Mode)
+	}
+	if sc.TargetRPS < 0 {
+		return fmt.Errorf("scenario %s: target_rps must not be negative", sc.Name)
+	}
+	if sc.Mode == "open" && sc.TargetRPS == 0 {
+		return fmt.Errorf("scenario %s: open mode requires target_rps", sc.Name)
+	}
+	if sc.Burst == 0 {
+		sc.Burst = sc.Clients
+	}
+	if sc.Burst < 1 {
+		return fmt.Errorf("scenario %s: burst must be positive", sc.Name)
+	}
+	switch sc.Wire {
+	case "":
+		sc.Wire = "json"
+	case "json", "binary", "stream":
+	default:
+		return fmt.Errorf("scenario %s: wire %q (want json, binary or stream)", sc.Name, sc.Wire)
+	}
+	if len(sc.Mix) == 0 {
+		return fmt.Errorf("scenario %s: mix is required", sc.Name)
+	}
+	total := 0.0
+	for name, w := range sc.Mix {
+		if !validEndpoint(name) {
+			return fmt.Errorf("scenario %s: unknown mix endpoint %q (want one of %v)", sc.Name, name, endpointNames)
+		}
+		if w < 0 {
+			return fmt.Errorf("scenario %s: mix weight for %s must not be negative", sc.Name, name)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return fmt.Errorf("scenario %s: mix has no positive weight", sc.Name)
+	}
+	switch sc.Timepoints.Distribution {
+	case "":
+		sc.Timepoints.Distribution = "uniform"
+	case "uniform", "hotkey":
+	default:
+		return fmt.Errorf("scenario %s: timepoints.distribution %q (want uniform or hotkey)", sc.Name, sc.Timepoints.Distribution)
+	}
+	if sc.Timepoints.HotFraction == 0 {
+		sc.Timepoints.HotFraction = 0.1
+	}
+	if sc.Timepoints.HotWeight == 0 {
+		sc.Timepoints.HotWeight = 0.9
+	}
+	if f := sc.Timepoints.HotFraction; f <= 0 || f > 1 {
+		return fmt.Errorf("scenario %s: timepoints.hot_fraction %v out of (0, 1]", sc.Name, f)
+	}
+	if w := sc.Timepoints.HotWeight; w <= 0 || w > 1 {
+		return fmt.Errorf("scenario %s: timepoints.hot_weight %v out of (0, 1]", sc.Name, w)
+	}
+	if sc.BatchSize == 0 {
+		sc.BatchSize = 4
+	}
+	if sc.BatchSize < 1 {
+		return fmt.Errorf("scenario %s: batch_size must be positive", sc.Name)
+	}
+	if sc.AppendSize == 0 {
+		sc.AppendSize = 8
+	}
+	if sc.AppendSize < 1 {
+		return fmt.Errorf("scenario %s: append_size must be positive", sc.Name)
+	}
+	if sc.RequestTimeout == 0 {
+		sc.RequestTimeout = Duration(15 * time.Second)
+	}
+	if sc.RequestTimeout < 0 {
+		return fmt.Errorf("scenario %s: request_timeout must be positive", sc.Name)
+	}
+	for i, ce := range sc.Chaos {
+		switch ce.Action {
+		case ChaosKillReplica:
+			if ce.Delay != 0 || ce.Duration != 0 {
+				return fmt.Errorf("scenario %s: chaos[%d]: %s takes no delay/duration", sc.Name, i, ce.Action)
+			}
+		case ChaosSlowPartition:
+			if ce.Delay <= 0 {
+				return fmt.Errorf("scenario %s: chaos[%d]: %s requires a positive delay", sc.Name, i, ce.Action)
+			}
+		default:
+			return fmt.Errorf("scenario %s: chaos[%d]: unknown action %q (want %s or %s)",
+				sc.Name, i, ce.Action, ChaosKillReplica, ChaosSlowPartition)
+		}
+		if ce.At < 0 {
+			return fmt.Errorf("scenario %s: chaos[%d]: at must not be negative", sc.Name, i)
+		}
+		if ce.At.D() >= sc.Duration.D() {
+			return fmt.Errorf("scenario %s: chaos[%d]: at %v is past the %v measurement phase",
+				sc.Name, i, ce.At.D(), sc.Duration.D())
+		}
+		if ce.Partition < 0 || ce.Member < 0 {
+			return fmt.Errorf("scenario %s: chaos[%d]: partition/member must not be negative", sc.Name, i)
+		}
+	}
+	return nil
+}
+
+// Endpoints returns the mix's positively weighted endpoint names in a
+// stable order (the order results report in).
+func (sc *Scenario) Endpoints() []string {
+	var eps []string
+	for name, w := range sc.Mix {
+		if w > 0 {
+			eps = append(eps, name)
+		}
+	}
+	sort.Strings(eps)
+	return eps
+}
+
+func validEndpoint(name string) bool {
+	for _, n := range endpointNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// String is a compact one-line description for logs.
+func (sc *Scenario) String() string {
+	pace := "unpaced"
+	if sc.TargetRPS > 0 {
+		pace = strconv.FormatFloat(sc.TargetRPS, 'f', -1, 64) + " rps"
+	}
+	return fmt.Sprintf("%s: %d clients, %s %s, %v measure (+%v warmup), wire %s",
+		sc.Name, sc.Clients, sc.Mode, pace, sc.Duration.D(), sc.Warmup.D(), sc.Wire)
+}

@@ -1,0 +1,120 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScenarioDefaults(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{
+		"name": "smoke",
+		"clients": 4,
+		"duration": "2s",
+		"mix": {"snapshot": 3, "neighbors": 1, "append": 0}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Mode != "closed" || sc.Wire != "json" {
+		t.Errorf("defaults: mode %q wire %q", sc.Mode, sc.Wire)
+	}
+	if sc.Burst != 4 {
+		t.Errorf("burst defaults to clients, got %d", sc.Burst)
+	}
+	if sc.BatchSize != 4 || sc.AppendSize != 8 {
+		t.Errorf("batch/append sizes: %d/%d", sc.BatchSize, sc.AppendSize)
+	}
+	if sc.RequestTimeout.D() != 15*time.Second {
+		t.Errorf("request timeout default: %v", sc.RequestTimeout.D())
+	}
+	if sc.Timepoints.Distribution != "uniform" {
+		t.Errorf("timepoints default: %q", sc.Timepoints.Distribution)
+	}
+	// Zero-weighted endpoints are excluded from the driven set.
+	if eps := sc.Endpoints(); len(eps) != 2 || eps[0] != "neighbors" || eps[1] != "snapshot" {
+		t.Errorf("Endpoints() = %v", eps)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{"unknown field", `{"name":"x","clients":1,"duration":"1s","mix":{"snapshot":1},"durationn":"2s"}`, "unknown field"},
+		{"missing name", `{"clients":1,"duration":"1s","mix":{"snapshot":1}}`, "name is required"},
+		{"no clients", `{"name":"x","duration":"1s","mix":{"snapshot":1}}`, "clients must be positive"},
+		{"no duration", `{"name":"x","clients":1,"mix":{"snapshot":1}}`, "duration must be positive"},
+		{"numeric duration", `{"name":"x","clients":1,"duration":2,"mix":{"snapshot":1}}`, "durations are strings"},
+		{"bad mode", `{"name":"x","clients":1,"duration":"1s","mode":"ajar","mix":{"snapshot":1}}`, "want closed or open"},
+		{"open needs rps", `{"name":"x","clients":1,"duration":"1s","mode":"open","mix":{"snapshot":1}}`, "open mode requires target_rps"},
+		{"bad wire", `{"name":"x","clients":1,"duration":"1s","wire":"carrier-pigeon","mix":{"snapshot":1}}`, "want json, binary or stream"},
+		{"no mix", `{"name":"x","clients":1,"duration":"1s"}`, "mix is required"},
+		{"bad endpoint", `{"name":"x","clients":1,"duration":"1s","mix":{"teleport":1}}`, "unknown mix endpoint"},
+		{"all zero mix", `{"name":"x","clients":1,"duration":"1s","mix":{"snapshot":0}}`, "no positive weight"},
+		{"negative weight", `{"name":"x","clients":1,"duration":"1s","mix":{"snapshot":-1}}`, "must not be negative"},
+		{"bad distribution", `{"name":"x","clients":1,"duration":"1s","mix":{"snapshot":1},"timepoints":{"distribution":"zipf"}}`, "want uniform or hotkey"},
+		{"hot fraction range", `{"name":"x","clients":1,"duration":"1s","mix":{"snapshot":1},"timepoints":{"distribution":"hotkey","hot_fraction":1.5}}`, "hot_fraction"},
+		{"bad chaos action", `{"name":"x","clients":1,"duration":"5s","mix":{"snapshot":1},"chaos":[{"at":"1s","action":"unplug"}]}`, "unknown action"},
+		{"chaos past end", `{"name":"x","clients":1,"duration":"5s","mix":{"snapshot":1},"chaos":[{"at":"6s","action":"kill_replica"}]}`, "past the"},
+		{"kill takes no delay", `{"name":"x","clients":1,"duration":"5s","mix":{"snapshot":1},"chaos":[{"at":"1s","action":"kill_replica","delay":"10ms"}]}`, "takes no delay"},
+		{"slow needs delay", `{"name":"x","clients":1,"duration":"5s","mix":{"snapshot":1},"chaos":[{"at":"1s","action":"slow_partition"}]}`, "requires a positive delay"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseScenario([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("accepted invalid scenario")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseScenarioChaos(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{
+		"name": "chaos",
+		"clients": 2,
+		"duration": "10s",
+		"mix": {"snapshot": 1},
+		"chaos": [
+			{"at": "2s", "action": "kill_replica", "partition": 1, "member": 1},
+			{"at": "5s", "action": "slow_partition", "partition": 0, "delay": "20ms", "duration": "3s"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Chaos) != 2 {
+		t.Fatalf("chaos events: %d", len(sc.Chaos))
+	}
+	if sc.Chaos[0].Action != ChaosKillReplica || sc.Chaos[0].Partition != 1 || sc.Chaos[0].Member != 1 {
+		t.Errorf("chaos[0] = %+v", sc.Chaos[0])
+	}
+	if sc.Chaos[1].Delay.D() != 20*time.Millisecond || sc.Chaos[1].Duration.D() != 3*time.Second {
+		t.Errorf("chaos[1] = %+v", sc.Chaos[1])
+	}
+}
+
+// TestDurationRoundTrip: Duration marshals back to the string it parsed.
+func TestDurationRoundTrip(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"1m30s"`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.D() != 90*time.Second {
+		t.Fatalf("parsed %v", d.D())
+	}
+	out, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `"1m30s"` {
+		t.Fatalf("marshaled %s", out)
+	}
+}

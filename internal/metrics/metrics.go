@@ -131,6 +131,60 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observations by
+// linear interpolation within the bucket holding the rank — the same
+// read Prometheus's histogram_quantile() performs on the exposed
+// _bucket series, so a live in-process value and a scraped one agree.
+// Returns NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum := make([]uint64, len(h.counts))
+	var c uint64
+	for i := range h.counts {
+		c += h.counts[i].Load()
+		cum[i] = c
+	}
+	return BucketQuantile(q, h.bounds, cum)
+}
+
+// BucketQuantile estimates the q-quantile of a cumulative histogram:
+// bounds are the finite upper bounds in ascending order and cum the
+// cumulative counts, with one extra trailing entry for the +Inf bucket
+// (len(cum) == len(bounds)+1). Callers reconstructing a histogram from
+// a /metrics scrape (the load harness's server-side cross-check) feed
+// the parsed _bucket samples straight in. Observations beyond the last
+// finite bound clamp to that bound; an empty histogram returns NaN.
+func BucketQuantile(q float64, bounds []float64, cum []uint64) float64 {
+	if len(cum) != len(bounds)+1 {
+		return math.NaN()
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	for i, bound := range bounds {
+		if float64(cum[i]) >= rank {
+			lo, below := 0.0, uint64(0)
+			if i > 0 {
+				lo, below = bounds[i-1], cum[i-1]
+			}
+			inBucket := cum[i] - below
+			if inBucket == 0 {
+				return bound
+			}
+			return lo + (bound-lo)*(rank-float64(below))/float64(inBucket)
+		}
+	}
+	// The rank lands in the +Inf bucket: clamp to the last finite bound.
+	if len(bounds) == 0 {
+		return math.NaN()
+	}
+	return bounds[len(bounds)-1]
+}
+
 // family is one named metric family with zero or more labeled children.
 type family struct {
 	name    string

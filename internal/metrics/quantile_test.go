@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBucketQuantile(t *testing.T) {
+	bounds := []float64{0.1, 0.5, 1}
+	// 10 below 0.1, 30 in (0.1, 0.5], 40 in (0.5, 1], 20 above 1.
+	cum := []uint64{10, 40, 80, 100}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.05, 0.05}, // rank 5 of 10 in [0, 0.1]
+		{0.10, 0.1},  // exactly the first bound
+		{0.25, 0.3},  // rank 25: 15 of 30 into (0.1, 0.5]
+		{0.40, 0.5},  // exactly the second bound
+		{0.60, 0.75}, // rank 60: 20 of 40 into (0.5, 1]
+		{0.99, 1},    // +Inf bucket clamps to the last finite bound
+	}
+	for _, c := range cases {
+		got := BucketQuantile(c.q, bounds, cum)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("BucketQuantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := BucketQuantile(0.5, bounds, []uint64{0, 0, 0, 0}); !math.IsNaN(got) {
+		t.Errorf("empty histogram quantile = %v, want NaN", got)
+	}
+	if got := BucketQuantile(0.5, bounds, []uint64{1, 2}); !math.IsNaN(got) {
+		t.Errorf("mismatched cum length accepted: %v", got)
+	}
+}
+
+// TestHistogramQuantile checks the live-histogram read against a sorted
+// sample oracle: within one bucket's width of the true quantile, and in
+// agreement with BucketQuantile over the same data (the scraped-side
+// path the load harness uses).
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// A latency-shaped mix: mostly sub-10ms with a heavy tail.
+		v := math.Exp(rng.NormFloat64()*1.2 - 6) // lognormal around ~2.5ms
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(len(samples)))) - 1
+		oracle := samples[rank]
+		got := h.Quantile(q)
+		// The estimate may land anywhere inside the oracle's bucket:
+		// the allowed error is that bucket's width.
+		i := sort.SearchFloat64s(DefBuckets, oracle)
+		lo := 0.0
+		if i > 0 {
+			lo = DefBuckets[i-1]
+		}
+		hi := oracle
+		if i < len(DefBuckets) {
+			hi = DefBuckets[i]
+		}
+		if got < lo-1e-12 || got > hi+1e-12 {
+			t.Errorf("Quantile(%v) = %v outside oracle bucket [%v, %v] (oracle %v)", q, got, lo, hi, oracle)
+		}
+	}
+}
