@@ -21,6 +21,7 @@ import (
 	"historygraph/internal/auxindex"
 	"historygraph/internal/baseline"
 	"historygraph/internal/bench"
+	"historygraph/internal/csr"
 	"historygraph/internal/datagen"
 	"historygraph/internal/delta"
 	"historygraph/internal/deltagraph"
@@ -943,5 +944,104 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 	b.Run("instrumented", func(b *testing.B) {
 		ins := server.NewInstrumentation(metrics.NewRegistry(), []string{"/stats"}, 0)
 		run(b, ins.Wrap(handler))
+	})
+}
+
+// csrBenchView pins a dataset-1 midpoint view for the analytics-plane
+// benchmarks.
+func csrBenchView(b *testing.B) *historygraph.HistGraph {
+	b.Helper()
+	d1, _, L := setup(b)
+	gm, err := historygraph.BuildFrom(d1, historygraph.Options{LeafEventlistSize: L, Arity: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { gm.Close() })
+	_, last := d1.Span()
+	h, err := gm.GetHistGraph(last/2, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { gm.Release(h) })
+	return h
+}
+
+// BenchmarkCSRBuild measures materializing a pinned view into the
+// compact CSR snapshot the /analytics scan path runs over — the one-time
+// cost a cold scan pays before the (cached) kernels run.
+func BenchmarkCSRBuild(b *testing.B) {
+	h := csrBenchView(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := csr.Build(h); g.NumRows() == 0 {
+			b.Fatal("empty CSR from a non-empty view")
+		}
+	}
+}
+
+// BenchmarkAnalyticsPageRank runs the same PageRank kernel over the
+// pinned view directly ("viewwalk": every Neighbors call re-checks the
+// pool's overlaid bitmaps) and over the materialized CSR ("csr": one
+// contiguous adjacency array). The gap is why internal/csr exists.
+func BenchmarkAnalyticsPageRank(b *testing.B) {
+	h := csrBenchView(b)
+	const damping, iterations = 0.85, 10
+	b.Run("viewwalk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ranks := analytics.PageRank(h, damping, iterations); len(ranks) == 0 {
+				b.Fatal("no ranks")
+			}
+		}
+	})
+	b.Run("csr", func(b *testing.B) {
+		g := csr.Build(h)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ranks := analytics.PageRank(g, damping, iterations); len(ranks) == 0 {
+				b.Fatal("no ranks")
+			}
+		}
+	})
+}
+
+// BenchmarkShardedDegreeDist measures the distributed degree scan
+// through the 4-partition coordinator: "cached" hammers one timepoint
+// (merged-response LRU hit), "uncached" disables the coordinator cache
+// and rotates past the workers' CSR caches so every query scans and
+// merges.
+func BenchmarkShardedDegreeDist(b *testing.B) {
+	ctx := context.Background()
+	b.Run("cached", func(b *testing.B) {
+		client, last := shardSetup(b, shard.Config{})
+		if _, err := client.AnalyticsDegreeCtx(ctx, last/2, ""); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := client.AnalyticsDegreeCtx(ctx, last/2, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("uncached", func(b *testing.B) {
+		client, last := shardSetup(b, shard.Config{CacheSize: -1})
+		var i atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				// 64 distinct timepoints against per-worker CSR caches of
+				// 16: every scan rebuilds its CSR and re-merges.
+				n := i.Add(1)
+				t := last * graph.Time(n%64+1) / 65
+				if _, err := client.AnalyticsDegreeCtx(ctx, t, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	})
 }

@@ -89,6 +89,7 @@ func main() {
 	streamRun := flag.Int("stream-run", 0, "elements per chunked-stream frame on the streaming /snapshot path; peak response-build memory is proportional to it (0 picks the wire default, 2048)")
 	streamTimeout := flag.Duration("stream-timeout", 0, "total delivery bound for one merged snapshot stream (coordinator role; client-paced, so much larger than -peer-timeout; 0 picks 20x -peer-timeout)")
 	encCache := flag.Int("enc-cache", server.DefaultEncodedCacheSize, "encoded-bytes cache capacity: fully encoded /snapshot bodies served with zero re-encode on a hit (0 disables; worker/single role only)")
+	csrCache := flag.Int("csr-cache", server.DefaultCSRCacheSize, "materialized CSR snapshot cache capacity for the /analytics scan path (0 disables; worker/single role only)")
 	walDir := flag.String("wal-dir", "", "directory for the durable write-ahead event log; enables WAL durability and the replication endpoints")
 	primary := flag.String("primary", "", "base URL of this replica's primary; makes the node a follower tailing that WAL (requires -wal-dir)")
 	syncFollowers := flag.Int("sync-followers", 0, "followers that must durably log a batch before the primary acks the append (requires -wal-dir)")
@@ -146,7 +147,11 @@ func main() {
 	if encSize <= 0 {
 		encSize = -1 // disabled
 	}
-	svc := server.New(gm, server.Config{CacheSize: size, EncodedCacheSize: encSize, StreamRun: *streamRun, SlowQueryThreshold: *slowQuery})
+	csrSize := *csrCache
+	if csrSize <= 0 {
+		csrSize = -1 // disabled
+	}
+	svc := server.New(gm, server.Config{CacheSize: size, EncodedCacheSize: encSize, CSRCacheSize: csrSize, StreamRun: *streamRun, SlowQueryThreshold: *slowQuery})
 	defer svc.Close()
 
 	handler := svc.Handler()

@@ -114,11 +114,16 @@ func TestDocsLinks(t *testing.T) {
 	// the README point operators at them) must not be renamed away.
 	required := map[string][]string{
 		"README.md": {"observability", "load-testing"},
+		filepath.Join("docs", "ARCHITECTURE.md"): {
+			"the-analytics-plane", "merge-semantics",
+			"pagerank-superstep-wire-flow", "the-csr-scan-substrate",
+		},
 		filepath.Join("docs", "OPERATIONS.md"): {
 			"observability", "metric-reference", "liveness-vs-readiness",
 			"scrape-configuration", "alert-rules",
 			"load-testing", "scenario-file-reference", "chaos-hooks",
 			"reading-a-result-artifact",
+			"analytics-endpoints", "analytics-tuning",
 		},
 	}
 	for file, want := range required {

@@ -16,6 +16,7 @@ import (
 	"historygraph"
 	"historygraph/internal/metrics"
 	"historygraph/internal/server"
+	"historygraph/internal/wire"
 )
 
 // Chaos is the handle a harness-launched cluster gives the runner for
@@ -397,7 +398,7 @@ func Run(ctx context.Context, sc *Scenario, opts Options) (*Result, error) {
 }
 
 func needsTimepoints(sc *Scenario) bool {
-	for _, name := range []string{"snapshot", "neighbors", "batch", "interval", "stream"} {
+	for _, name := range []string{"snapshot", "neighbors", "batch", "interval", "stream", "analytics"} {
 		if sc.Mix[name] > 0 {
 			return true
 		}
@@ -571,6 +572,40 @@ func (w *worker) issue(ctx context.Context, name string, timeMax, nodeMax int64)
 		partial = err == nil && len(resp.Partial) > 0
 	case "append":
 		partial, err = w.issueAppend(rctx)
+	case "analytics":
+		partial, err = w.issueAnalytics(rctx, timeMax)
+	}
+	return partial, err
+}
+
+// issueAnalytics drives the /analytics plane the way a dashboard does:
+// mostly cheap mergeable scans, with an occasional synchronous PageRank
+// (kept short — 5 iterations — so one job cannot monopolize a closed-loop
+// worker).
+func (w *worker) issueAnalytics(ctx context.Context, timeMax int64) (partial bool, err error) {
+	switch pick := w.rng.Intn(8); {
+	case pick < 3:
+		var resp *wire.DegreeDist
+		resp, err = w.client.AnalyticsDegreeCtx(ctx, w.pickTime(timeMax), "")
+		partial = err == nil && len(resp.Partial) > 0
+	case pick < 6:
+		var resp *wire.Components
+		resp, err = w.client.AnalyticsComponentsCtx(ctx, w.pickTime(timeMax), "")
+		partial = err == nil && len(resp.Partial) > 0
+	case pick < 7:
+		a, b := w.pickTime(timeMax), w.pickTime(timeMax)
+		if a > b {
+			a, b = b, a
+		}
+		var resp *wire.Evolution
+		resp, err = w.client.AnalyticsEvolutionCtx(ctx, a, b, "")
+		partial = err == nil && len(resp.Partial) > 0
+	default:
+		// All-or-nothing: a partition failure fails the job, never a
+		// partial rank list.
+		_, err = w.client.AnalyticsPageRankCtx(ctx, wire.PageRankRequest{
+			T: int64(w.pickTime(timeMax)), Iterations: 5, TopK: 10,
+		})
 	}
 	return partial, err
 }
@@ -656,8 +691,16 @@ func scrapeCheck(ctx context.Context, hc *http.Client, target string, endpoints 
 	}
 	driven := map[string]bool{}
 	for _, name := range endpoints {
-		if name == "stream" {
+		switch name {
+		case "stream":
 			name = "snapshot"
+		case "analytics":
+			// One mix entry fans over the four instrumented analytics paths.
+			for _, p := range []string{"/analytics/degree", "/analytics/components",
+				"/analytics/evolution", "/analytics/pagerank"} {
+				driven[p] = true
+			}
+			continue
 		}
 		driven["/"+name] = true
 	}

@@ -38,9 +38,11 @@ func (d Duration) MarshalJSON() ([]byte, error) {
 func (d Duration) D() time.Duration { return time.Duration(d) }
 
 // The endpoint names a scenario mix may weight. "stream" is /snapshot
-// over the chunked binary stream wire; the rest are the HTTP endpoints
-// they are named after.
-var endpointNames = []string{"snapshot", "neighbors", "batch", "interval", "append", "stream"}
+// over the chunked binary stream wire; "analytics" rotates over the
+// /analytics scan endpoints (degree, components, evolution) with an
+// occasional synchronous PageRank; the rest are the HTTP endpoints they
+// are named after.
+var endpointNames = []string{"snapshot", "neighbors", "batch", "interval", "append", "stream", "analytics"}
 
 // Chaos actions a scenario may schedule mid-run.
 const (

@@ -1,0 +1,182 @@
+package pregel
+
+// PartitionPageRank is the distributed counterpart of Run+PageRankProgram:
+// one partition's slice of a damped power iteration, driven superstep by
+// superstep by the shard coordinator. Where Run holds every partition
+// in-process and exchanges messages at an in-memory barrier, each
+// PartitionPageRank lives inside one worker server; the coordinator is
+// the barrier, gathering every partition's outgoing cross-partition
+// shares and routing them to the owners before the next superstep.
+//
+// The arithmetic mirrors analytics.PageRank exactly: vertices are the
+// snapshot's existing nodes, each initialized to 1/N; per iteration a
+// vertex with degree deg > 0 scatters share = damping*rank/deg to every
+// distinct adjacent ID (existence of the target checked by its owner,
+// which silently drops shares to nonexistent nodes), and every vertex's
+// next rank is (1-damping)/N plus its accumulated shares. Only float
+// summation order differs from the single-process run — shares arrive
+// grouped by source partition instead of in global map order — so merged
+// scores match the oracle to rounding, not byte-for-byte; the oracle test
+// compares within a documented relative tolerance.
+
+import (
+	"sort"
+
+	"historygraph/internal/graph"
+	"historygraph/internal/wire"
+)
+
+// RowSource is the CSR shape a partition PageRank loads from: every
+// locally materialized row (owned nodes and ghost endpoints) with its
+// distinct sorted adjacency. csr.Graph implements it.
+type RowSource interface {
+	NumNodes() int
+	ForEachRow(fn func(id graph.NodeID, exists bool, nbrs []graph.NodeID) bool)
+}
+
+// PartitionPageRank holds one partition's vertex state across supersteps.
+// It is not safe for concurrent use; the serving layer serializes steps
+// per job (the coordinator drives one step at a time anyway).
+type PartitionPageRank struct {
+	damping float64
+	parts   int
+	self    int
+	n       int64 // global vertex count, set by Start
+
+	ranks map[graph.NodeID]float64
+	acc   map[graph.NodeID]float64
+	adj   map[graph.NodeID][]graph.NodeID
+}
+
+// NewPartitionPageRank loads the owned existing vertices and their
+// locally visible adjacency from g. Rows are copied, so g may be released
+// (or evicted from the CSR cache) once the constructor returns.
+func NewPartitionPageRank(g RowSource, parts, self int, damping float64) *PartitionPageRank {
+	p := &PartitionPageRank{
+		damping: damping, parts: parts, self: self,
+		ranks: make(map[graph.NodeID]float64, g.NumNodes()),
+		acc:   make(map[graph.NodeID]float64, g.NumNodes()),
+		adj:   make(map[graph.NodeID][]graph.NodeID, g.NumNodes()),
+	}
+	g.ForEachRow(func(id graph.NodeID, exists bool, nbrs []graph.NodeID) bool {
+		if !exists || (parts > 1 && graph.Partition(id, parts) != self) {
+			return true
+		}
+		p.ranks[id] = 0
+		p.adj[id] = append([]graph.NodeID(nil), nbrs...)
+		return true
+	})
+	return p
+}
+
+// NumVertices returns how many vertices this partition owns.
+func (p *PartitionPageRank) NumVertices() int64 { return int64(len(p.ranks)) }
+
+// Start finishes setup once the coordinator has gathered every
+// partition's boundary pairs: n is the global vertex count; ghosts is the
+// flattened deduplicated pair list touching this partition's vertices
+// (adjacency stored on other partitions that local rows cannot see).
+// Ranks initialize to 1/n.
+func (p *PartitionPageRank) Start(n int64, ghosts []int64) {
+	p.n = n
+	for i := 0; i+1 < len(ghosts); i += 2 {
+		a, b := graph.NodeID(ghosts[i]), graph.NodeID(ghosts[i+1])
+		if _, ok := p.ranks[a]; ok {
+			p.adj[a] = append(p.adj[a], b)
+		}
+		if _, ok := p.ranks[b]; ok {
+			p.adj[b] = append(p.adj[b], a)
+		}
+	}
+	for id, nbrs := range p.adj {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		w := 0
+		for i, v := range nbrs {
+			if i == 0 || v != nbrs[i-1] {
+				nbrs[w] = v
+				w++
+			}
+		}
+		p.adj[id] = nbrs[:w]
+	}
+	if n > 0 {
+		init := 1 / float64(n)
+		for id := range p.ranks {
+			p.ranks[id] = init
+		}
+	}
+}
+
+// Absorb folds one batch of incoming shares into the accumulating round.
+// Shares addressed to nonexistent nodes are dropped — this partition owns
+// the target, so it alone knows.
+func (p *PartitionPageRank) Absorb(inbox []wire.PRMessage) {
+	for _, m := range inbox {
+		id := graph.NodeID(m.Node)
+		if _, ok := p.ranks[id]; ok {
+			p.acc[id] += m.Val
+		}
+	}
+}
+
+// Finalize commits the accumulated round: every vertex's rank becomes
+// (1-damping)/n plus its accumulated shares, and the accumulator resets.
+func (p *PartitionPageRank) Finalize() {
+	base := 0.0
+	if p.n > 0 {
+		base = (1 - p.damping) / float64(p.n)
+	}
+	for id := range p.ranks {
+		p.ranks[id] = base + p.acc[id]
+	}
+	p.acc = make(map[graph.NodeID]float64, len(p.ranks))
+}
+
+// Compute scatters shares from the committed ranks: local targets
+// accumulate directly, cross-partition shares come back aggregated per
+// target (ascending by node) for the coordinator to route.
+func (p *PartitionPageRank) Compute() []wire.PRMessage {
+	remote := map[graph.NodeID]float64{}
+	for id, r := range p.ranks {
+		nbrs := p.adj[id]
+		if len(nbrs) == 0 {
+			continue
+		}
+		share := p.damping * r / float64(len(nbrs))
+		for _, nb := range nbrs {
+			if p.parts <= 1 || graph.Partition(nb, p.parts) == p.self {
+				if _, ok := p.ranks[nb]; ok {
+					p.acc[nb] += share
+				}
+			} else {
+				remote[nb] += share
+			}
+		}
+	}
+	out := make([]wire.PRMessage, 0, len(remote))
+	for nb, v := range remote {
+		out = append(out, wire.PRMessage{Node: int64(nb), Val: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// TopK returns this partition's k highest ranks, descending by score with
+// ties broken by ascending node ID — per-partition truncation loses
+// nothing because every vertex is owned by exactly one partition.
+func (p *PartitionPageRank) TopK(k int) []wire.RankEntry {
+	all := make([]wire.RankEntry, 0, len(p.ranks))
+	for id, r := range p.ranks {
+		all = append(all, wire.RankEntry{Node: int64(id), Score: r})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Node < all[j].Node
+	})
+	if k >= 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"historygraph"
 	"historygraph/internal/metrics"
@@ -49,8 +50,19 @@ type cacheEntry struct {
 	// graph: they read the current graph's live bits, so ANY append
 	// invalidates them regardless of timepoint.
 	depCur bool
-	h      *historygraph.HistGraph
+	// cost is how long the view's plan took to execute — the admission
+	// weight: when the cache is full, eviction drops the cheapest of the
+	// coldest entries, so an expensive plan's view survives a burst of
+	// cheap one-off retrievals that would evict it under plain LRU.
+	cost time.Duration
+	h    *historygraph.HistGraph
 }
+
+// evictionWindow bounds how far from the LRU tail cost-aware eviction
+// looks: the victim is the cheapest-to-rebuild entry among this many
+// coldest ones. Recency still dominates — a hot expensive view is never
+// examined — but within the cold tail, cost decides.
+const evictionWindow = 8
 
 func newSnapCache(gm *historygraph.GraphManager, capacity int, counters cacheCounters) *snapCache {
 	return &snapCache{
@@ -111,7 +123,7 @@ func (c *snapCache) Gen() int64 {
 // means the view was not cached — an invalidation pass ran since gen was
 // snapshotted (the view may be stale) or pinning failed — and the caller
 // still owns h.
-func (c *snapCache) InsertAcquire(key string, at historygraph.Time, h *historygraph.HistGraph, gen int64) (*historygraph.HistGraph, func()) {
+func (c *snapCache) InsertAcquire(key string, at historygraph.Time, h *historygraph.HistGraph, gen int64, cost time.Duration) (*historygraph.HistGraph, func()) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.gen != gen {
@@ -129,21 +141,40 @@ func (c *snapCache) InsertAcquire(key string, at historygraph.Time, h *historygr
 	if err := c.gm.Pin(h); err != nil { // the cache's own reference
 		return nil, nil
 	}
-	ent := &cacheEntry{key: key, at: at, depCur: h.DependsOnCurrent(), h: h}
+	ent := &cacheEntry{key: key, at: at, depCur: h.DependsOnCurrent(), cost: cost, h: h}
 	c.entries[key] = c.lru.PushFront(ent)
 	for c.lru.Len() > c.capacity {
 		// The new entry is at the front and capacity >= 1, so eviction
 		// can never pop the view we are about to hand out.
-		c.removeLocked(c.lru.Back())
+		c.removeLocked(c.victimLocked())
 		c.counters.evictions.Inc()
 	}
 	c.gm.Pin(h) // the reader's reference; h is active, this cannot fail
 	return h, func() { c.gm.Unpin(h) }
 }
 
+// victimLocked picks the eviction victim: the cheapest-cost entry among
+// the evictionWindow coldest. The window never reaches the front entry
+// (the one an insert is about to hand out) because it only runs while
+// over capacity, so at least one entry beyond the window's reach exists.
+func (c *snapCache) victimLocked() *list.Element {
+	victim := c.lru.Back()
+	best := victim.Value.(*cacheEntry).cost
+	elem := victim
+	for i := 1; i < evictionWindow; i++ {
+		if elem = elem.Prev(); elem == nil || elem == c.lru.Front() {
+			break
+		}
+		if ent := elem.Value.(*cacheEntry); ent.cost < best {
+			victim, best = elem, ent.cost
+		}
+	}
+	return victim
+}
+
 // Insert is InsertAcquire without keeping the reader reference.
-func (c *snapCache) Insert(key string, at historygraph.Time, h *historygraph.HistGraph, gen int64) {
-	if _, release := c.InsertAcquire(key, at, h, gen); release != nil {
+func (c *snapCache) Insert(key string, at historygraph.Time, h *historygraph.HistGraph, gen int64, cost time.Duration) {
+	if _, release := c.InsertAcquire(key, at, h, gen, cost); release != nil {
 		release()
 	}
 }

@@ -174,7 +174,8 @@ func (e *HTTPError) Error() string {
 
 func decodeResponse(resp *http.Response, out any) error {
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	// 202 is a success: an accepted asynchronous analytics job.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
 		// Error bodies are always JSON, regardless of the negotiated codec.
 		var ej errorJSON
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))

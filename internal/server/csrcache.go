@@ -1,0 +1,125 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"historygraph"
+	"historygraph/internal/csr"
+)
+
+// csrCache keeps materialized CSR snapshots for the analytics scan path,
+// keyed like the hot-snapshot cache (timepoint, attribute-spec). It
+// mirrors snapCache's invalidation contract exactly — same generation
+// guard, same earliest-timestamp cut on append — but holds plain
+// immutable memory instead of pinned pool views, so there is no reference
+// counting: a handed-out *csr.Graph stays valid after eviction and the
+// garbage collector reclaims it when the last scan drops it.
+type csrCache struct {
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // values are *csrEntry
+	lru     *list.List               // front = most recently used
+	gen     int64
+
+	counters cacheCounters
+}
+
+type csrEntry struct {
+	key string
+	at  historygraph.Time
+	// depCur marks CSRs built from current-dependent views; any append
+	// invalidates them regardless of timepoint, like the view cache.
+	depCur bool
+	g      *csr.Graph
+}
+
+func newCSRCache(capacity int, counters cacheCounters) *csrCache {
+	return &csrCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		counters: counters,
+	}
+}
+
+// Get returns the cached CSR for key, counting the hit/miss verdict.
+func (c *csrCache) Get(key string) (*csr.Graph, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elem, found := c.entries[key]
+	if !found {
+		c.counters.misses.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(elem)
+	c.counters.hits.Inc()
+	return elem.Value.(*csrEntry).g, true
+}
+
+// Gen returns the invalidation generation; snapshot it before pinning the
+// view a build reads from, and pass it to Insert.
+func (c *csrCache) Gen() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Insert registers a built CSR. Like snapCache.InsertAcquire, it refuses
+// when an invalidation pass ran since gen was snapshotted — the build may
+// have read a view that predates events the pass declared visible.
+func (c *csrCache) Insert(key string, at historygraph.Time, depCur bool, g *csr.Graph, gen int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
+	if elem, dup := c.entries[key]; dup {
+		c.lru.MoveToFront(elem)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&csrEntry{key: key, at: at, depCur: depCur, g: g})
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*csrEntry).key)
+		c.counters.evictions.Inc()
+	}
+}
+
+// InvalidateFrom evicts every CSR whose timepoint is >= t plus every
+// current-dependent one, and bumps the generation — the same rule the
+// view and encoded-bytes caches apply on append.
+func (c *csrCache) InvalidateFrom(t historygraph.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	n := 0
+	for elem := c.lru.Front(); elem != nil; {
+		next := elem.Next()
+		ent := elem.Value.(*csrEntry)
+		if ent.at >= t || ent.depCur {
+			c.lru.Remove(elem)
+			delete(c.entries, ent.key)
+			n++
+		}
+		elem = next
+	}
+	return n
+}
+
+// Purge drops everything (server shutdown).
+func (c *csrCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.entries = make(map[string]*list.Element)
+}
+
+// Len returns the resident entry count.
+func (c *csrCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -25,6 +25,11 @@ type Config struct {
 	// encoding), so a hot-timepoint hit is a single write with zero
 	// encode work. 0 picks the default (64); negative disables it.
 	EncodedCacheSize int
+	// CSRCacheSize is the capacity of the materialized-CSR cache the
+	// /analytics scan path reads (one entry per timepoint+attrs, built
+	// from a pinned view, invalidated exactly like the view cache).
+	// 0 picks the default (16); negative disables it.
+	CSRCacheSize int
 	// StreamRun is how many elements one chunked-stream frame carries on
 	// the streaming /snapshot path; peak response-build memory is
 	// proportional to it. 0 picks wire.DefaultRunSize.
@@ -51,8 +56,9 @@ const DefaultEncodedCacheSize = 64
 // Server serves snapshot queries over an embedded GraphManager.
 type Server struct {
 	gm      *historygraph.GraphManager
-	cache   *snapCache // nil when caching is disabled
-	enc     *encCache  // encoded-bytes cache; nil when disabled
+	cache   *snapCache     // nil when caching is disabled
+	enc     *encCache      // encoded-bytes cache; nil when disabled
+	an      analyticsState // analytics plane: CSR cache + PageRank jobs
 	flights FlightGroup
 	mux     *http.ServeMux
 	runSize int // elements per chunked-stream frame
@@ -73,6 +79,9 @@ var serverEndpoints = []string{
 	"/snapshot", "/neighbors", "/batch", "/interval", "/expr", "/append",
 	"/stats", "/healthz", "/readyz", "/metrics",
 	"/replicate", "/replstatus", "/role",
+	"/analytics/degree", "/analytics/components", "/analytics/evolution",
+	"/analytics/pagerank", "/analytics/prepare", "/analytics/prstart",
+	"/analytics/prstep",
 }
 
 // New wraps an open GraphManager in a query service. The caller keeps
@@ -118,6 +127,24 @@ func New(gm *historygraph.GraphManager, cfg Config) *Server {
 		entries.Func(func() float64 { return float64(s.enc.Len()) }, "encoded")
 		capacity.With("encoded").Set(float64(encSize))
 	}
+	csrSize := cfg.CSRCacheSize
+	if csrSize == 0 {
+		csrSize = DefaultCSRCacheSize
+	}
+	if csrSize > 0 {
+		s.an.csr = newCSRCache(csrSize, cacheCounters{
+			hits: hits.With("csr"), misses: misses.With("csr"), evictions: evictions.With("csr"),
+		})
+		entries.Func(func() float64 { return float64(s.an.csr.Len()) }, "csr")
+		capacity.With("csr").Set(float64(csrSize))
+	}
+	s.an.jobs = make(map[string]*prJob)
+	s.an.jobsTotal = reg.CounterVec("dg_analytics_jobs_total",
+		"Analytics executions by kind and terminal status.", "kind", "status")
+	s.an.durations = reg.HistogramVec("dg_analytics_duration_seconds",
+		"Analytics execution wall time by kind.", nil, "kind")
+	s.an.supersteps = reg.Counter("dg_analytics_supersteps_total",
+		"PageRank partition supersteps executed.")
 	s.runSize = cfg.StreamRun
 	if s.runSize <= 0 {
 		s.runSize = wire.DefaultRunSize
@@ -129,6 +156,13 @@ func New(gm *historygraph.GraphManager, cfg Config) *Server {
 	mux.HandleFunc("GET /interval", s.handleInterval)
 	mux.HandleFunc("POST /expr", s.handleExpr)
 	mux.HandleFunc("POST /append", s.handleAppend)
+	mux.HandleFunc("GET /analytics/degree", s.handleAnalyticsDegree)
+	mux.HandleFunc("GET /analytics/components", s.handleAnalyticsComponents)
+	mux.HandleFunc("GET /analytics/evolution", s.handleAnalyticsEvolution)
+	mux.HandleFunc("POST /analytics/pagerank", s.handleAnalyticsPageRank)
+	mux.HandleFunc("POST /analytics/prepare", s.handlePRPrepare)
+	mux.HandleFunc("POST /analytics/prstart", s.handlePRStart)
+	mux.HandleFunc("POST /analytics/prstep", s.handlePRStep)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -169,6 +203,9 @@ func (s *Server) Close() {
 	}
 	if s.enc != nil {
 		s.enc.Purge()
+	}
+	if s.an.csr != nil {
+		s.an.csr.Purge()
 	}
 }
 
@@ -224,14 +261,16 @@ func (s *Server) acquire(t historygraph.Time, attrs string) (h *historygraph.His
 	}
 	v, shared, err := s.flights.Do(key, func() (any, error) {
 		gen := s.cache.Gen()
+		start := time.Now()
 		h, err := s.retrieve(t, attrs)
 		if err != nil {
 			return nil, err
 		}
 		// The flight keeps a reader pin for its own caller, so the
 		// leader serves its handle directly — no re-lookup that could
-		// race an eviction under cache churn.
-		fh, rel := s.cache.InsertAcquire(key, t, h, gen)
+		// race an eviction under cache churn. Plan-execution time rides
+		// along as the entry's cost-aware admission weight.
+		fh, rel := s.cache.InsertAcquire(key, t, h, gen, time.Since(start))
 		if rel == nil {
 			// Not cached (an append's invalidation pass overlapped the
 			// retrieval, so the view may be stale as a cache entry —
@@ -474,15 +513,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.retrievals.Add(int64(len(missTimes)))
 		gen := s.cache.Gen()
+		start := time.Now()
 		hs, err := s.gm.GetHistGraphs(missTimes, attrs)
 		if err != nil {
 			WriteError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
+		// The shared-delta plan's cost is amortized evenly across the
+		// views it produced — each entry's admission weight is its share.
+		perView := time.Since(start) / time.Duration(len(hs))
 		for j, h := range hs {
 			t := missTimes[j]
 			var sj SnapshotJSON
-			if fh, rel := s.cache.InsertAcquire(cacheKey(t, attrs), t, h, gen); rel != nil {
+			if fh, rel := s.cache.InsertAcquire(cacheKey(t, attrs), t, h, gen, perView); rel != nil {
 				sj = viewToJSON(fh, full)
 				rel()
 			} else {
@@ -592,6 +635,11 @@ func (s *Server) ApplyEvents(events historygraph.EventList) (AppendResult, error
 	// meaning evicted *views*, as it always has.
 	if s.enc != nil && len(events) > 0 {
 		s.enc.InvalidateFrom(minAt)
+	}
+	// Materialized CSRs are projections of the same views and follow the
+	// identical invalidation rule.
+	if s.an.csr != nil && len(events) > 0 {
+		s.an.csr.InvalidateFrom(minAt)
 	}
 	// Appended is the exact applied count even on failure (a prefix may
 	// have landed); the replication recovery paths read it to resume

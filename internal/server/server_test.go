@@ -332,8 +332,8 @@ func TestCacheEvictionRefcount(t *testing.T) {
 
 	baseline := pool.Stats().ActiveGraphs
 	h1, h2 := get(last/4), get(last/2)
-	cache.Insert(key(1), last/4, h1, cache.Gen())
-	cache.Insert(key(2), last/2, h2, cache.Gen())
+	cache.Insert(key(1), last/4, h1, cache.Gen(), 0)
+	cache.Insert(key(2), last/2, h2, cache.Gen(), 0)
 	if got := pool.Stats().ActiveGraphs; got != baseline+2 {
 		t.Fatalf("after 2 inserts: %d active graphs, want %d", got, baseline+2)
 	}
@@ -348,7 +348,7 @@ func TestCacheEvictionRefcount(t *testing.T) {
 	// Inserting a third entry evicts the LRU entry — which is h1, since
 	// the Acquire refreshed h2.
 	h3 := get(last)
-	cache.Insert(key(3), last, h3, cache.Gen())
+	cache.Insert(key(3), last, h3, cache.Gen(), 0)
 	if _, _, ok := cache.Acquire(key(1), true); ok {
 		t.Fatal("h1 should have been evicted")
 	}
@@ -362,7 +362,7 @@ func TestCacheEvictionRefcount(t *testing.T) {
 	// Evict h2 while the reader still holds it: Release happens, but the
 	// pin defers reclamation, so the view stays fully readable.
 	h4 := get(last / 3)
-	cache.Insert(key(4), last/3, h4, cache.Gen())
+	cache.Insert(key(4), last/3, h4, cache.Gen(), 0)
 	if _, _, ok := cache.Acquire(key(2), true); ok {
 		t.Fatal("h2 should have been evicted")
 	}
@@ -676,7 +676,7 @@ func TestInsertRefusedAfterInvalidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	cache.InvalidateFrom(last) // a concurrent append's pass
-	if _, rel := cache.InsertAcquire("k", last/2, h, gen); rel != nil {
+	if _, rel := cache.InsertAcquire("k", last/2, h, gen, 0); rel != nil {
 		t.Fatal("stale view registered despite an intervening invalidation")
 	}
 	gm.Release(h)
@@ -687,7 +687,7 @@ func TestInsertRefusedAfterInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fh, rel := cache.InsertAcquire("k", last/2, h2, gen)
+	fh, rel := cache.InsertAcquire("k", last/2, h2, gen, 0)
 	if rel == nil {
 		t.Fatal("fresh view refused")
 	}

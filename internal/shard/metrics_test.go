@@ -8,6 +8,7 @@ package shard
 // surface as leg cancellations, not leg failures.
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -73,6 +74,19 @@ func TestClusterMetricsExposition(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Analytics traffic: a repeated degree scan (second run hits the
+	// workers' CSR caches) and one short PageRank job.
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.client.AnalyticsDegreeCtx(ctx, mid, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const prIters = 3
+	if _, err := c.client.AnalyticsPageRankCtx(ctx, wire.PageRankRequest{T: int64(mid), Iterations: prIters}); err != nil {
+		t.Fatal(err)
+	}
+
 	co := scrape(t, front.URL)
 	fanouts, ok := sampleValue(co, "dg_shard_fanouts_total", nil)
 	if !ok || fanouts < 1 {
@@ -101,6 +115,20 @@ func TestClusterMetricsExposition(t *testing.T) {
 		t.Fatalf(`coordinator dg_http_requests_total{endpoint="/snapshot",code="2xx"} = %v, %v; want >= 2`, n, ok)
 	}
 
+	// Analytics plane on the coordinator: per-kind job counters and
+	// duration histograms, and one superstep per PageRank round.
+	for _, kind := range []string{"degree", "pagerank"} {
+		if n, ok := sampleValue(co, "dg_analytics_jobs_total", map[string]string{"kind": kind, "status": "ok"}); !ok || n < 1 {
+			t.Fatalf(`dg_analytics_jobs_total{kind=%q,status="ok"} = %v, %v; want >= 1`, kind, n, ok)
+		}
+		if n, ok := sampleValue(co, "dg_analytics_duration_seconds_count", map[string]string{"kind": kind}); !ok || n < 1 {
+			t.Fatalf("dg_analytics_duration_seconds_count{kind=%q} = %v, %v; want >= 1", kind, n, ok)
+		}
+	}
+	if n, ok := sampleValue(co, "dg_analytics_supersteps_total", nil); !ok || n < prIters+1 {
+		t.Fatalf("dg_analytics_supersteps_total = %v, %v; want >= %d", n, ok, prIters+1)
+	}
+
 	// The workers answered one leg each; their own planes must show it.
 	for part, hs := range c.httpSrvs {
 		w := scrape(t, hs.URL)
@@ -114,10 +142,22 @@ func TestClusterMetricsExposition(t *testing.T) {
 		if !ok || misses < 1 {
 			t.Fatalf(`worker %d dg_cache_misses_total{cache="view"} = %v, %v; want >= 1`, part, misses, ok)
 		}
-		for _, cache := range []string{"view", "encoded", "flight"} {
+		for _, cache := range []string{"view", "encoded", "flight", "csr"} {
 			if _, ok := sampleValue(w, "dg_cache_hits_total", map[string]string{"cache": cache}); !ok {
 				t.Fatalf("worker %d has no dg_cache_hits_total{cache=%q} series", part, cache)
 			}
+		}
+		// The degree scan built each worker's CSR; the PageRank prepare at
+		// the same timepoint then hit it. (The repeat degree query never
+		// reaches the workers — the coordinator's merged cache absorbs it.)
+		if n, ok := sampleValue(w, "dg_cache_misses_total", map[string]string{"cache": "csr"}); !ok || n < 1 {
+			t.Fatalf(`worker %d dg_cache_misses_total{cache="csr"} = %v, %v; want >= 1`, part, n, ok)
+		}
+		if n, ok := sampleValue(w, "dg_cache_hits_total", map[string]string{"cache": "csr"}); !ok || n < 1 {
+			t.Fatalf(`worker %d dg_cache_hits_total{cache="csr"} = %v, %v; want >= 1`, part, n, ok)
+		}
+		if n, ok := sampleValue(w, "dg_analytics_jobs_total", map[string]string{"kind": "degree", "status": "ok"}); !ok || n < 1 {
+			t.Fatalf(`worker %d dg_analytics_jobs_total{kind="degree",status="ok"} = %v, %v; want >= 1`, part, n, ok)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"fmt"
+
 	"historygraph"
 	"historygraph/internal/graph"
 )
@@ -10,6 +12,24 @@ import (
 // edge events by their From endpoint.
 func PartitionOf(ev historygraph.Event, n int) int {
 	return graph.PartitionOfEvent(ev, n)
+}
+
+// Routable reports whether an event carries the identity the partition
+// hash needs. Edge deletes, edge-attribute updates, and transient edges
+// must repeat the edge's endpoints (graph.Event's contract): an
+// endpoint-less DE hashes to node 0's partition, where the store
+// materializes the unknown edge as alive-until-the-delete while the
+// owning partition never sees the delete — the cluster silently
+// diverges from an unsharded server, which resolves such events by edge
+// ID locally. The coordinator therefore rejects them up front.
+func Routable(ev historygraph.Event) error {
+	switch ev.Type {
+	case historygraph.DelEdge, historygraph.SetEdgeAttr, historygraph.TransientEdge:
+		if ev.Node == 0 && ev.Node2 == 0 {
+			return fmt.Errorf("%s event for edge %d carries no endpoints; a sharded cluster routes edge events by their From node", ev.Type, ev.Edge)
+		}
+	}
+	return nil
 }
 
 // PartitionEvents splits a chronological event list into the n

@@ -123,12 +123,16 @@ type Coordinator struct {
 	legFails   *metrics.CounterVec   // legs that failed (timeout, transport, 5xx)
 	legCancels *metrics.CounterVec   // legs abandoned because the client went away
 	legDur     *metrics.HistogramVec // per-leg wall time (open time for streams)
+
+	an coAnalytics // /analytics merge handlers + PageRank job machine
 }
 
 // coordinatorEndpoints is the endpoint-label whitelist for the
 // coordinator's request metrics.
 var coordinatorEndpoints = []string{
 	"/snapshot", "/neighbors", "/batch", "/interval", "/expr", "/append",
+	"/analytics/degree", "/analytics/components", "/analytics/evolution",
+	"/analytics/pagerank",
 	"/stats", "/healthz", "/readyz", "/metrics",
 }
 
@@ -207,6 +211,10 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 	co.legFails = reg.CounterVec("dg_shard_leg_failures_total", "Fan-out legs that failed, by partition.", "partition")
 	co.legCancels = reg.CounterVec("dg_shard_leg_cancels_total", "Fan-out legs canceled because the client went away, by partition.", "partition")
 	co.legDur = reg.HistogramVec("dg_shard_leg_duration_seconds", "Per-leg wall time by partition (stream legs report open time).", nil, "partition")
+	co.an.jobs = make(map[string]*coJob)
+	co.an.jobsTotal = reg.CounterVec("dg_analytics_jobs_total", "Analytics executions by kind and outcome.", "kind", "status")
+	co.an.durations = reg.HistogramVec("dg_analytics_duration_seconds", "Analytics execution wall time by kind.", nil, "kind")
+	co.an.supersteps = reg.Counter("dg_analytics_supersteps_total", "PageRank supersteps driven across partitions.")
 	hits := reg.CounterVec("dg_cache_hits_total", "Cache hits by cache level.", "cache")
 	misses := reg.CounterVec("dg_cache_misses_total", "Cache misses by cache level.", "cache")
 	evictions := reg.CounterVec("dg_cache_evictions_total", "Cache evictions by cache level.", "cache")
@@ -241,6 +249,11 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 	mux.HandleFunc("GET /interval", co.handleInterval)
 	mux.HandleFunc("POST /expr", co.handleExpr)
 	mux.HandleFunc("POST /append", co.handleAppend)
+	mux.HandleFunc("GET /analytics/degree", co.handleAnalyticsDegree)
+	mux.HandleFunc("GET /analytics/components", co.handleAnalyticsComponents)
+	mux.HandleFunc("GET /analytics/evolution", co.handleAnalyticsEvolution)
+	mux.HandleFunc("POST /analytics/pagerank", co.handleAnalyticsPageRank)
+	mux.HandleFunc("GET /analytics/jobs/{id}", co.handleAnalyticsJob)
 	mux.HandleFunc("GET /stats", co.handleStats)
 	mux.HandleFunc("GET /healthz", co.handleHealthz)
 	mux.HandleFunc("GET /readyz", co.handleReadyz)
@@ -683,6 +696,13 @@ func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 		ev, err := server.EventFromJSON(ej)
 		if err != nil {
 			server.WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Reject before anything is scattered: an unroutable edge event
+		// would land on the wrong partition and silently diverge the
+		// cluster from its event history (see Routable).
+		if err := Routable(ev); err != nil {
+			server.WriteError(w, http.StatusUnprocessableEntity, fmt.Errorf("event %d: %w", i, err))
 			return
 		}
 		p := PartitionOf(ev, len(co.sets))

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -637,5 +638,72 @@ func TestPartitionEvents(t *testing.T) {
 	}
 	if total != len(events) {
 		t.Fatalf("partitioning lost events: %d in, %d out", len(events), total)
+	}
+}
+
+// TestAppendRejectsEndpointlessEdgeEvent: an edge delete that does not
+// repeat the edge's endpoints cannot be hash-routed, and applying it to
+// the wrong partition materializes a phantom edge there while the owner
+// keeps the edge alive forever. The coordinator must 422 the batch
+// before any slice lands; the same delete with endpoints goes through
+// and keeps the cluster byte-identical to the unsharded oracle.
+func TestAppendRejectsEndpointlessEdgeEvent(t *testing.T) {
+	events := testEvents()
+	gm, _, ourl := oracle(t, events)
+	c := newCluster(t, events, 4, Config{})
+	last := gm.LastTime()
+
+	// Create a fresh edge through the coordinator, endpoints present.
+	ne := historygraph.Event{
+		Type: historygraph.AddEdge, At: last + 1,
+		Edge: 1 << 41, Node: 3, Node2: 4,
+	}
+	if _, err := c.client.Append(historygraph.EventList{ne}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gm.AppendAll(historygraph.EventList{ne}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A bare DE (edge ID only) must be rejected atomically with 422 —
+	// bundled node event included, nothing may land.
+	bad := historygraph.EventList{
+		{Type: historygraph.AddNode, At: last + 2, Node: 7777777},
+		{Type: historygraph.DelEdge, At: last + 2, Edge: 1 << 41},
+	}
+	_, err := c.client.Append(bad)
+	var he *server.HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("bare DE append: err = %v, want HTTP 422", err)
+	}
+	snap, err := c.client.Snapshot(last+2, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := gm.GetHistSnapshot(last+2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumNodes != len(direct.Nodes) || snap.NumEdges != len(direct.Edges) {
+		t.Fatalf("after rejected batch: sharded %d/%d, oracle %d/%d",
+			snap.NumNodes, snap.NumEdges, len(direct.Nodes), len(direct.Edges))
+	}
+
+	// The same delete with endpoints routes to the edge's owner and the
+	// merged answer stays byte-identical to the oracle.
+	de := historygraph.Event{
+		Type: historygraph.DelEdge, At: last + 3,
+		Edge: 1 << 41, Node: 3, Node2: 4,
+	}
+	if _, err := c.client.Append(historygraph.EventList{de}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gm.AppendAll(historygraph.EventList{de}); err != nil {
+		t.Fatal(err)
+	}
+	a := rawGET(t, c.client.BaseURL()+fmt.Sprintf("/snapshot?t=%d&full=1", last+3))
+	b := rawGET(t, ourl+fmt.Sprintf("/snapshot?t=%d&full=1", last+3))
+	if string(a) != string(b) {
+		t.Fatalf("post-delete snapshots differ:\nsharded: %s\noracle:  %s", a, b)
 	}
 }

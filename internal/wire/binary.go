@@ -100,6 +100,36 @@ func (Binary) Encode(v any) ([]byte, error) {
 	case ExprRequest:
 		e.header(kindExprRequest)
 		encodeExpr(e, &t)
+	case *PRPrepare:
+		e.header(kindPRPrepare)
+		encodePRPrepare(e, t)
+	case PRPrepare:
+		e.header(kindPRPrepare)
+		encodePRPrepare(e, &t)
+	case *PRPrepared:
+		e.header(kindPRPrepared)
+		encodePRPrepared(e, t)
+	case PRPrepared:
+		e.header(kindPRPrepared)
+		encodePRPrepared(e, &t)
+	case *PRStart:
+		e.header(kindPRStart)
+		encodePRStart(e, t)
+	case PRStart:
+		e.header(kindPRStart)
+		encodePRStart(e, &t)
+	case *PRStepRequest:
+		e.header(kindPRStep)
+		encodePRStep(e, t)
+	case PRStepRequest:
+		e.header(kindPRStep)
+		encodePRStep(e, &t)
+	case *PRStepResult:
+		e.header(kindPRStepResult)
+		encodePRStepResult(e, t)
+	case PRStepResult:
+		e.header(kindPRStepResult)
+		encodePRStepResult(e, &t)
 	default:
 		return nil, fmt.Errorf("%w: %T (binary)", ErrUnsupported, v)
 	}
@@ -140,6 +170,21 @@ func (Binary) Decode(data []byte, v any) error {
 	case *ExprRequest:
 		d.expectKind(kind, kindExprRequest)
 		*t = decodeExpr(d)
+	case *PRPrepare:
+		d.expectKind(kind, kindPRPrepare)
+		*t = decodePRPrepare(d)
+	case *PRPrepared:
+		d.expectKind(kind, kindPRPrepared)
+		*t = decodePRPrepared(d)
+	case *PRStart:
+		d.expectKind(kind, kindPRStart)
+		*t = decodePRStart(d)
+	case *PRStepRequest:
+		d.expectKind(kind, kindPRStep)
+		*t = decodePRStep(d)
+	case *PRStepResult:
+		d.expectKind(kind, kindPRStepResult)
+		*t = decodePRStepResult(d)
 	default:
 		return fmt.Errorf("%w: %T (binary)", ErrUnsupported, v)
 	}
