@@ -1045,3 +1045,94 @@ func BenchmarkShardedDegreeDist(b *testing.B) {
 		})
 	})
 }
+
+// nodeAppendSetup starts one WAL-backed primary replica node (no
+// followers) behind an HTTP front — the smallest unit that exercises the
+// full replicated append path: decode, validate, durable WAL write, and
+// in-memory apply.
+func nodeAppendSetup(b *testing.B) *httptest.Server {
+	b.Helper()
+	gm, err := historygraph.Open(historygraph.Options{LeafEventlistSize: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := server.New(gm, server.Config{CacheSize: 8})
+	wal, err := replica.OpenLog(filepath.Join(b.TempDir(), "wal.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	node, err := replica.NewNode(svc, wal, replica.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(node.Handler())
+	b.Cleanup(func() { hs.Close(); node.Close(); svc.Close(); wal.Close(); gm.Close() })
+	return hs
+}
+
+// BenchmarkNodeAppendConcurrent measures sustained appends/sec through a
+// replica node's whole append path under concurrency: many clients each
+// POST 16-event batches (equal event times, so admission order never
+// rejects) against one primary. This is the number the append pipeline
+// exists to move — batches should share group-committed fsyncs and
+// overlap validation, logging, and apply instead of serializing.
+func BenchmarkNodeAppendConcurrent(b *testing.B) {
+	hs := nodeAppendSetup(b)
+	var nextNode atomic.Int64
+	ctx := context.Background()
+	// 4 client goroutines per GOMAXPROCS: ingest clients are I/O-bound
+	// (most of an append's wall time is the WAL group commit), so a
+	// realistic writer pool is several times wider than the core count.
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client, err := server.NewClient(hs.URL).SetWire("binary")
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := make(graph.EventList, 16)
+		for pb.Next() {
+			base := nextNode.Add(16) - 16
+			for i := range batch {
+				batch[i] = graph.Event{Type: graph.AddNode, At: 1, Node: graph.NodeID(base + int64(i) + 1)}
+			}
+			if _, err := client.AppendCtx(ctx, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAppendStream measures the streaming ingest front door against
+// the same replica node: each writer holds one long-lived POST
+// /append?stream=1 connection and sends 16-event batch frames, so HTTP
+// setup, headers, and response parsing are paid per stream instead of per
+// batch, and the pipeline overlaps every in-flight frame's log, sync, and
+// apply. One op is one 16-event frame — directly comparable to one op of
+// BenchmarkNodeAppendConcurrent.
+func BenchmarkAppendStream(b *testing.B) {
+	hs := nodeAppendSetup(b)
+	var nextNode atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := server.NewClient(hs.URL)
+		stream, err := client.AppendStream()
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := make(graph.EventList, 16)
+		for pb.Next() {
+			base := nextNode.Add(16) - 16
+			for i := range batch {
+				batch[i] = graph.Event{Type: graph.AddNode, At: 1, Node: graph.NodeID(base + int64(i) + 1)}
+			}
+			if err := stream.Send(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := stream.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}

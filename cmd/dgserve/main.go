@@ -95,6 +95,8 @@ func main() {
 	syncFollowers := flag.Int("sync-followers", 0, "followers that must durably log a batch before the primary acks the append (requires -wal-dir)")
 	slowQuery := flag.Duration("slow-query", 0, "log any request slower than this with its X-Request-ID and annotations (0 disables the slow-query log)")
 	readyMaxLag := flag.Uint64("ready-max-lag", 0, "WAL records a follower may trail its primary and still answer GET /readyz with 200 (requires -wal-dir; 0 requires full catch-up)")
+	appendQueue := flag.Int("append-queue", 0, "admitted-but-unapplied batches the append pipeline holds before admission blocks (requires -wal-dir; 0 picks the default)")
+	appendStreamWindow := flag.Int("append-stream-window", 0, "in-flight frames one streaming ingest connection may hold before the handler stops reading (requires -wal-dir; 0 picks the default)")
 	flag.Parse()
 
 	if _, err := wire.ByName(*wireName); err != nil {
@@ -176,7 +178,10 @@ func main() {
 		if hn, herr := os.Hostname(); herr == nil {
 			selfID = hn + selfID
 		}
-		cfg := replica.Config{SyncFollowers: *syncFollowers, SelfID: selfID, ReadyMaxLag: *readyMaxLag}
+		cfg := replica.Config{
+			SyncFollowers: *syncFollowers, SelfID: selfID, ReadyMaxLag: *readyMaxLag,
+			AppendQueue: *appendQueue, StreamWindow: *appendStreamWindow,
+		}
 		if *primary != "" {
 			cfg.Role = replica.RoleFollower
 			cfg.PrimaryURL = *primary

@@ -212,6 +212,11 @@ func printSummary(res *loadgen.Result) {
 		fmt.Printf("%-10s %9d %7.2fm %7.2fm %7.2fm %7.2fm %7.2fm %7.2fm\n",
 			name, ep.Count, ep.MeanMs, ep.P50Ms, ep.P90Ms, ep.P99Ms, ep.P999Ms, ep.MaxMs)
 	}
+	for _, name := range names {
+		for _, sample := range res.Endpoints[name].ErrorSamples {
+			fmt.Printf("error sample (%s): %s\n", name, sample)
+		}
+	}
 	for _, desc := range res.ChaosApplied {
 		fmt.Printf("chaos applied: %s\n", desc)
 	}

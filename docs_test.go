@@ -117,6 +117,7 @@ func TestDocsLinks(t *testing.T) {
 		filepath.Join("docs", "ARCHITECTURE.md"): {
 			"the-analytics-plane", "merge-semantics",
 			"pagerank-superstep-wire-flow", "the-csr-scan-substrate",
+			"the-write-path", "streaming-ingest",
 		},
 		filepath.Join("docs", "OPERATIONS.md"): {
 			"observability", "metric-reference", "liveness-vs-readiness",
@@ -124,6 +125,7 @@ func TestDocsLinks(t *testing.T) {
 			"load-testing", "scenario-file-reference", "chaos-hooks",
 			"reading-a-result-artifact",
 			"analytics-endpoints", "analytics-tuning",
+			"ingest-tuning-and-troubleshooting",
 		},
 	}
 	for file, want := range required {

@@ -68,6 +68,10 @@ type EndpointStats struct {
 	P99Ms       float64 `json:"p99_ms"`
 	P999Ms      float64 `json:"p999_ms"`
 	MaxMs       float64 `json:"max_ms"`
+	// ErrorSamples holds the first few error strings seen on this
+	// endpoint (chaos-window ones prefixed "[chaos]"), so a failed gate
+	// names its cause in the artifact instead of just a count.
+	ErrorSamples []string `json:"error_samples,omitempty"`
 }
 
 // ServerCheck is the post-run cross-check of the client's own counts
@@ -161,12 +165,28 @@ func (r *Result) GateErrors() error {
 	return errors.New(strings.Join(problems, "; "))
 }
 
+// errSampleCap bounds how many error strings each endpoint keeps for
+// the result artifact.
+const errSampleCap = 4
+
 // epAgg accumulates one endpoint's measurement-phase outcomes.
 type epAgg struct {
 	hist        Hist
 	errors      atomic.Int64
 	chaosErrors atomic.Int64
 	partials    atomic.Int64
+
+	errMu      sync.Mutex
+	errSamples []string
+}
+
+// sampleError keeps the first errSampleCap error strings.
+func (a *epAgg) sampleError(s string) {
+	a.errMu.Lock()
+	if len(a.errSamples) < errSampleCap {
+		a.errSamples = append(a.errSamples, s)
+	}
+	a.errMu.Unlock()
 }
 
 // runState is everything the workers share.
@@ -181,14 +201,15 @@ type runState struct {
 	eps map[string]*epAgg
 
 	// Appends must reach the store in nondecreasing event-time order
-	// (the index rejects time travel with a 422), so append issue is
-	// serialized under mu: each batch takes the next timestamp and a
-	// fresh run of node IDs, and the request completes before the next
-	// batch may start. Real deployments look the same — one ingest
-	// pipeline appends while many readers fan out.
-	appendMu sync.Mutex
-	nextTime int64
-	nextNode int64
+	// (the index rejects time travel with a 422). Workers append
+	// concurrently off a shared atomic clock: each batch takes the next
+	// timestamp and a fresh run of node IDs without blocking on other
+	// writers' requests, which is what lets the server's pipelined
+	// append path see overlapping batches. A batch that loses the race
+	// (a later stamp applied first) is re-stamped with a fresh timestamp
+	// and retried, bounded by appendRestampLimit.
+	nextTime atomic.Int64
+	nextNode atomic.Int64
 }
 
 // worker is one closed-loop client.
@@ -243,12 +264,12 @@ func Run(ctx context.Context, sc *Scenario, opts Options) (*Result, error) {
 	}
 
 	st := &runState{
-		sc:       sc,
-		opts:     opts,
-		eps:      map[string]*epAgg{},
-		nextTime: timeMax + 1,
-		nextNode: nodeMax + 1,
+		sc:   sc,
+		opts: opts,
+		eps:  map[string]*epAgg{},
 	}
+	st.nextTime.Store(timeMax + 1)
+	st.nextNode.Store(nodeMax + 1)
 	names := sc.Endpoints()
 	for _, name := range names {
 		st.eps[name] = &epAgg{}
@@ -381,6 +402,9 @@ func Run(ctx context.Context, sc *Scenario, opts Options) (*Result, error) {
 			P999Ms:      ms(agg.hist.Quantile(0.999)),
 			MaxMs:       ms(agg.hist.Max()),
 		}
+		agg.errMu.Lock()
+		es.ErrorSamples = append([]string(nil), agg.errSamples...)
+		agg.errMu.Unlock()
 		res.Endpoints[name] = es
 		successes += es.Count
 		res.Requests += es.Count + es.Errors + es.ChaosErrors
@@ -506,8 +530,10 @@ func (w *worker) loop(ctx context.Context, timeMax, nodeMax int64, lim *Limiter,
 		if err != nil {
 			if time.Now().UnixNano() < w.st.graceUntil.Load() {
 				agg.chaosErrors.Add(1)
+				agg.sampleError("[chaos] " + err.Error())
 			} else {
 				agg.errors.Add(1)
+				agg.sampleError(err.Error())
 			}
 			continue
 		}
@@ -632,31 +658,72 @@ func (w *worker) issueStream(ctx context.Context, timeMax int64) (partial bool, 
 	}
 }
 
+// appendRestampLimit bounds how many times a batch that lost the
+// timestamp race (a concurrent writer's later stamp applied first, 422)
+// is re-stamped with a fresh clock value and retried before the error
+// surfaces. Each retry takes a fresh, strictly-later stamp, so losing
+// is independent per attempt; 16 attempts makes surfacing a 422 under
+// even heavy writer contention vanishingly rare.
+const appendRestampLimit = 16
+
 // issueAppend appends one batch of fresh AddNode events. The store
-// requires globally nondecreasing event time, so batches are built and
-// sent under a lock — appends serialize while reads fan out freely.
+// requires globally nondecreasing event time, so each batch takes its
+// timestamp from the shared atomic clock; concurrent writers' batches
+// may arrive reordered, and a batch rejected for time travel is
+// re-stamped and retried — the fresh stamp is always later than
+// whatever applied in the meantime.
 func (w *worker) issueAppend(ctx context.Context) (partial bool, err error) {
 	st := w.st
-	st.appendMu.Lock()
-	defer st.appendMu.Unlock()
-	at := historygraph.Time(st.nextTime)
-	st.nextTime++
+	n := int64(st.sc.AppendSize)
+	first := st.nextNode.Add(n) - n
 	events := make(historygraph.EventList, st.sc.AppendSize)
-	for i := range events {
-		events[i] = historygraph.Event{
-			Type: historygraph.AddNode,
-			At:   at,
-			Node: historygraph.NodeID(st.nextNode),
+	for attempt := 0; ; attempt++ {
+		at := historygraph.Time(st.nextTime.Add(1))
+		for i := range events {
+			events[i] = historygraph.Event{
+				Type: historygraph.AddNode,
+				At:   at,
+				Node: historygraph.NodeID(first + int64(i)),
+			}
 		}
-		st.nextNode++
-	}
-	res, err := w.client.AppendCtx(ctx, events)
-	if err != nil {
-		// The batch may or may not have landed; skip the timestamp
-		// either way (the next batch's later time is always valid).
+		res, err := w.client.AppendCtx(ctx, events)
+		if err == nil {
+			if len(res.Partial) == 0 {
+				return false, nil
+			}
+			// A partial answer whose failed legs are all 422s is the same
+			// stamp race seen per partition: a concurrent writer's later
+			// stamp landed on some partitions before this batch's legs
+			// arrived. Re-stamping and re-sending the whole batch is safe —
+			// the partitions that already applied it re-apply the same
+			// AddNode events as no-ops — so retry until the batch lands
+			// everywhere.
+			if attempt < appendRestampLimit && allStampRace(res.Partial) {
+				continue
+			}
+			return true, nil
+		}
+		var he *server.HTTPError
+		if attempt < appendRestampLimit && errors.As(err, &he) &&
+			he.Status == http.StatusUnprocessableEntity {
+			continue // lost the stamp race; retry with a later timestamp
+		}
+		// The batch may or may not have landed; the skipped timestamp is
+		// harmless (the next batch's later time is always valid).
 		return false, err
 	}
-	return len(res.Partial) > 0, nil
+}
+
+// allStampRace reports whether every failed partition leg is a 422
+// timestamp rejection — the only partial outcome a restamped retry can
+// repair. Anything else (5xx, transport) is left to surface as partial.
+func allStampRace(partial []server.PartitionError) bool {
+	for _, pe := range partial {
+		if pe.Status != http.StatusUnprocessableEntity {
+			return false
+		}
+	}
+	return true
 }
 
 // scrapeCheck cross-checks client-side accounting against the target's

@@ -1,0 +1,132 @@
+package replica
+
+// Streaming ingest: POST /append?stream=1 carries many batches on one
+// long-lived connection as binary frames (internal/wire append-stream
+// encoding). Each frame is admitted through the same pipeline stage as a
+// standalone POST /append — same dedup table, same order validation, same
+// WAL write — so a frame and a request with the same batch ID are
+// interchangeable across retries. The handler keeps a window of admitted-
+// but-unsettled frames: inside the window it reads the next frame while
+// earlier ones are still syncing and applying (this is where the
+// throughput comes from), at the window edge it settles the oldest before
+// reading more. Because settling blocks the read loop, the client's TCP
+// send buffer eventually fills and its writes stall — the transport
+// itself is the backpressure; no ack frames flow upstream (HTTP/1.1 gives
+// the client no response bytes to read while it is still writing).
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"historygraph/internal/server"
+	"historygraph/internal/wire"
+)
+
+func (n *Node) handleAppendStream(w http.ResponseWriter, r *http.Request) {
+	dec, err := wire.NewAppendStreamDecoder(r.Body)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		agg     server.AppendResult
+		pending []admitted // admitted frames not yet settled, oldest first
+		acked   uint64     // highest seq the follower-ack wait must cover
+		frames  int        // frames admitted so far
+	)
+	// settleOne folds the oldest pending admission into the aggregate.
+	settleOne := func() error {
+		ad := pending[0]
+		pending = pending[1:]
+		res, err := n.settle(ad)
+		if err != nil {
+			return err
+		}
+		agg.Appended += res.Appended
+		if res.LastTime > agg.LastTime {
+			agg.LastTime = res.LastTime
+		}
+		if res.Seq > agg.Seq {
+			agg.Seq = res.Seq
+		}
+		agg.Invalidated += res.Invalidated
+		agg.Deduped = agg.Deduped || res.Deduped
+		return nil
+	}
+	settleAll := func() error {
+		for len(pending) > 0 {
+			if err := settleOne(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// fail aborts the stream. Frames admitted before the failure are
+	// durably logged and will apply regardless of the error answer — the
+	// message tells the client exactly how far the stream got, so a
+	// resuming client replays from that frame (batch IDs make the overlap
+	// safe).
+	fail := func(status int, cause error) {
+		settleErr := settleAll()
+		msg := fmt.Errorf("append stream failed at frame %d: %w (earlier frames were admitted and are durable)", frames, cause)
+		if settleErr != nil {
+			msg = fmt.Errorf("%w; settle error: %v", msg, settleErr)
+		}
+		server.WriteError(w, status, msg)
+	}
+	for {
+		frame, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(http.StatusBadRequest, err)
+			return
+		}
+		events, err := server.DecodeEvents(frame.Events)
+		if err != nil {
+			fail(http.StatusBadRequest, err)
+			return
+		}
+		ad, status, err := n.admit(events, frame.Batch)
+		if err != nil {
+			fail(status, err)
+			return
+		}
+		if ad.acked > acked {
+			acked = ad.acked
+		}
+		pending = append(pending, ad)
+		frames++
+		// Window edge: settle the oldest before reading another frame.
+		// Blocking here (instead of reading on) is the per-stream
+		// backpressure that bounds this connection's claim on the shared
+		// pipeline queue.
+		if len(pending) >= n.streamWindow {
+			if err := settleOne(); err != nil {
+				fail(http.StatusInternalServerError, err)
+				return
+			}
+		}
+	}
+	if err := settleAll(); err != nil {
+		fail(http.StatusInternalServerError, err)
+		return
+	}
+	// One follower-ack wait covers the whole stream: acks are seq-watermark
+	// based, so confirming the highest admitted sequence confirms every
+	// frame.
+	if acked > 0 && n.syncFollowers > 0 {
+		ackStart := time.Now()
+		if !n.waitForAcks(acked, n.syncFollowers) {
+			server.WriteError(w, http.StatusServiceUnavailable, fmt.Errorf(
+				"replica: %d follower(s) did not confirm seq %d within %v (all %d stream frames are logged and will replicate; the stream was NOT acked)",
+				n.syncFollowers, acked, n.ackTimeout, frames))
+			return
+		}
+		n.obsStage("ack", ackStart)
+	}
+	server.WriteWire(w, r, http.StatusOK, agg)
+}

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -324,6 +325,95 @@ func TestFailoverRetryDeduped(t *testing.T) {
 	}
 }
 
+// TestFailoverRetryDedupedConcurrent is the lost-response drill under
+// concurrent writers: many batches are in flight across the pipeline when
+// the primary goes dark, the coordinator fails over once, and every
+// writer's retry lands on the promoted follower under its original batch
+// ID. The oracle is exact: each event applied exactly once — mirrored
+// batches dedup, unmirrored ones apply fresh, none are lost or doubled.
+func TestFailoverRetryDedupedConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	primary := launch(t, filepath.Join(dir, "p.wal"), "", replica.Config{
+		Role: replica.RolePrimary, SyncFollowers: 1, AckTimeout: 2 * time.Second,
+	})
+	follower := launch(t, filepath.Join(dir, "f.wal"), "", replica.Config{
+		Role: replica.RoleFollower, PrimaryURL: primary.url, PollWait: 50 * time.Millisecond,
+	})
+
+	var swallowed atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/append" {
+			req, err := http.NewRequest(http.MethodPost, primary.url+r.URL.RequestURI(), r.Body)
+			if err == nil {
+				req.Header = r.Header
+				if resp, err := http.DefaultClient.Do(req); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					swallowed.Add(1)
+				}
+			}
+		}
+		http.Error(w, "proxy: connection reset", http.StatusBadGateway)
+	}))
+	defer proxy.Close()
+
+	co, err := shard.NewReplicated([][]string{{proxy.URL, follower.url}}, shard.Config{
+		PartitionTimeout: 8 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	front := httptest.NewServer(co.Handler())
+	defer front.Close()
+
+	// Every writer's batch shares one timestamp, so arrival order across
+	// writers can never trip the nondecreasing-time check — the only
+	// ordering in play is the pipeline's own.
+	const writers, perBatch = 8, 4
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			client := server.NewClient(front.URL)
+			var events historygraph.EventList
+			for i := 0; i < perBatch; i++ {
+				events = append(events, historygraph.Event{
+					Type: historygraph.AddNode, At: 1,
+					Node: historygraph.NodeID(wr*100 + i + 1),
+				})
+			}
+			_, errs[wr] = client.Append(events)
+		}(wr)
+	}
+	wg.Wait()
+	for wr, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", wr, err)
+		}
+	}
+	if swallowed.Load() == 0 {
+		t.Fatal("proxy never forwarded an attempt; the lost-response scenario did not happen")
+	}
+	if co.Failovers() == 0 {
+		t.Fatal("no failover despite the dark primary")
+	}
+
+	// Exactly one copy of everything on the survivor.
+	if got, want := follower.log.LastSeq(), uint64(writers*perBatch); got != want {
+		t.Fatalf("follower WAL holds %d records, want %d (a batch was lost or logged twice)", got, want)
+	}
+	snap, err := server.NewClient(follower.url).Snapshot(1, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumNodes != writers*perBatch {
+		t.Fatalf("follower graph holds %d nodes, want %d", snap.NumNodes, writers*perBatch)
+	}
+}
+
 // TestClientErrorDoesNotFailOver: a 422 from the primary (out-of-order
 // batch — the node deliberately said no) must surface to the client
 // without deposing the primary; failover is for nodes that stop
@@ -409,5 +499,83 @@ func TestHealthLoopPromotesDarkPrimary(t *testing.T) {
 	// Appends flow again, no failover needed at append time.
 	if _, err := client.Append(testEvents(4, 100)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCoordinatorStreamReplayDeduped: replaying a client-tagged append
+// stream through the coordinator (a retry after a lost response) is
+// absorbed by the per-partition batch IDs derived from the frame tags —
+// the partition WALs do not grow and the aggregated result says Deduped.
+func TestCoordinatorStreamReplayDeduped(t *testing.T) {
+	dir := t.TempDir()
+	const parts = 2
+	primaries := make([]*cnode, parts)
+	sets := make([][]string, parts)
+	for p := 0; p < parts; p++ {
+		primaries[p] = launch(t, filepath.Join(dir, fmt.Sprintf("p%d.wal", p)), "", replica.Config{Role: replica.RolePrimary})
+		sets[p] = []string{primaries[p].url}
+	}
+	co, err := shard.NewReplicated(sets, shard.Config{PartitionTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	front := httptest.NewServer(co.Handler())
+	defer front.Close()
+	client := server.NewClient(front.URL)
+
+	const frames, perFrame = 4, 10
+	stream := func() *server.AppendResult {
+		t.Helper()
+		st, err := client.AppendStream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < frames; f++ {
+			events := make(historygraph.EventList, perFrame)
+			for i := range events {
+				events[i] = historygraph.Event{
+					Type: historygraph.AddNode, At: historygraph.Time(f + 1),
+					Node: historygraph.NodeID(f*perFrame + i + 1),
+				}
+			}
+			if err := st.SendBatch(events, fmt.Sprintf("resume-%d", f)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := st.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	res1 := stream()
+	if res1.Appended != frames*perFrame || res1.Deduped || len(res1.Partial) != 0 {
+		t.Fatalf("fresh stream: %+v", res1)
+	}
+	seqs := make([]uint64, parts)
+	for p := range primaries {
+		seqs[p] = primaries[p].log.LastSeq()
+	}
+
+	res2 := stream()
+	if !res2.Deduped {
+		t.Fatalf("replayed stream not reported deduped: %+v", res2)
+	}
+	if len(res2.Partial) != 0 {
+		t.Fatalf("replayed stream reported partials: %+v", res2.Partial)
+	}
+	for p := range primaries {
+		if got := primaries[p].log.LastSeq(); got != seqs[p] {
+			t.Fatalf("partition %d WAL grew on replay: seq %d -> %d", p, seqs[p], got)
+		}
+	}
+	snap, err := client.Snapshot(historygraph.Time(frames), "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumNodes != frames*perFrame {
+		t.Fatalf("cluster holds %d nodes, want %d", snap.NumNodes, frames*perFrame)
 	}
 }

@@ -47,6 +47,14 @@ const (
 	// DefaultRetryDelay paces a follower's reconnect attempts after its
 	// primary stops answering.
 	DefaultRetryDelay = 200 * time.Millisecond
+	// DefaultAppendQueue is the append pipeline's admitted-but-unapplied
+	// capacity: how many batches may sit between the WAL write and the
+	// applier before admission blocks (backpressure).
+	DefaultAppendQueue = 256
+	// DefaultStreamWindow is how many in-flight frames a streaming ingest
+	// connection may have admitted before the server stops reading more
+	// (per-stream backpressure on top of the shared pipeline queue).
+	DefaultStreamWindow = 32
 )
 
 // Config tunes a Node.
@@ -82,6 +90,13 @@ type Config struct {
 	// primary's last known head and still answer GET /readyz with 200.
 	// 0 requires the follower to be fully caught up.
 	ReadyMaxLag uint64
+	// AppendQueue caps the append pipeline's admitted-but-unapplied batch
+	// count; admission blocks when it is full. 0 picks DefaultAppendQueue.
+	AppendQueue int
+	// StreamWindow caps a streaming ingest connection's in-flight frames;
+	// the handler stops reading new frames until the oldest settles. 0
+	// picks DefaultStreamWindow.
+	StreamWindow int
 }
 
 // Node is one member of a replica set: an internal/server.Server with a
@@ -100,6 +115,7 @@ type Node struct {
 	pollWait      time.Duration
 	fetchMax      int
 	readyMaxLag   uint64
+	streamWindow  int
 
 	role       atomic.Int32
 	appliedSeq atomic.Uint64
@@ -114,22 +130,55 @@ type Node struct {
 	headKnown   atomic.Bool
 	tailFails   *metrics.Counter // fetch/apply failures in the tail loop
 
-	// appendMu serializes the WAL-write + graph-apply pair so the graph
-	// is always applied in WAL sequence order. Without it, two concurrent
-	// appends could durably log as A then B but apply as B then A — the
-	// later-timestamped B would raise the index's clock and A's apply
-	// would be rejected as out of order, leaving the primary's in-memory
-	// graph diverged from its own WAL (and from every follower, which
-	// applies in strict sequence order).
-	appendMu sync.Mutex
+	// The append pipeline. Appends used to hold one lock across
+	// validate → WAL write (fsync included) → graph apply → follower-ack
+	// wait, so a node admitted one batch at a time and every batch paid
+	// its own group commit. The path is now staged:
+	//
+	//   1. admission (admitMu, short): dedup lookup, order validation
+	//      against admittedAt, WAL record write (StartAppend — no sync
+	//      wait), dedup span registration, enqueue.
+	//   2. durability: the applier waits for the group commit covering
+	//      the batch; many admitted batches share one fsync.
+	//   3. apply: the single applier goroutine applies batches in WAL
+	//      sequence order — admission order == seq order == apply order,
+	//      the invariant that keeps replay, followers, and dedup correct.
+	//   4. ack: the handler waits for its req's done signal, then (when
+	//      SyncFollowers > 0) for the seq-watermark follower acks, which
+	//      overlap freely across batches.
+	//
+	// admitMu serializes admissions so sequence numbers are assigned in
+	// validation order; queue order matches because enqueue happens
+	// before admitMu is released.
+	admitMu sync.Mutex
+	// admittedSeq/admittedAt track the WAL's admitted end: the highest
+	// sequence number and event time ever written into the local log
+	// (admitted live, mirrored from a primary, or recovered by replay).
+	// Admission validates against admittedAt — not the graph clock, which
+	// trails by whatever is still queued — so a batch is rejected exactly
+	// when its events would be rejected at apply time.
+	admittedSeq atomic.Uint64
+	admittedAt  atomic.Int64
+	queue       chan *applyReq
+	inflight    atomic.Int64 // admitted (logged) but not yet applied
+	quit        chan struct{}
+	applierDone chan struct{}
+	stageDur    *metrics.HistogramVec // per-stage append latency
 
-	// batches is the append-dedup table (guarded by appendMu): batch ID ->
-	// extent of the WAL records carrying it. It is rebuilt from the WAL on
-	// replay and extended by follower mirroring, so both a restarted node
-	// and a promoted follower recognize a batch a coordinator retries
-	// after a failover or a lost response, and ack it instead of logging
-	// and applying the events twice. batchOrder evicts oldest-first once
-	// maxBatchIDs is reached.
+	// applyMu serializes graph application (the applier goroutine, the
+	// follower tail loop, and construction-time replay) so the graph is
+	// always driven forward in WAL sequence order.
+	applyMu sync.Mutex
+
+	// dedupMu guards the append-dedup table: batch ID -> extent of the
+	// WAL records carrying it. It is rebuilt from the WAL on replay,
+	// extended at admission time (so a retry racing the pipeline dedups
+	// instead of double-logging), and extended by follower mirroring —
+	// both a restarted node and a promoted follower recognize a batch a
+	// coordinator retries after a failover or a lost response, and ack it
+	// instead of logging and applying the events twice. batchOrder evicts
+	// oldest-first once maxBatchIDs is reached.
+	dedupMu    sync.Mutex
 	batches    map[string]batchSpan
 	batchOrder []string
 
@@ -140,6 +189,26 @@ type Node struct {
 	tailCancel context.CancelFunc
 	tailDone   chan struct{}
 	closed     bool
+}
+
+// applyReq is one admitted batch riding the pipeline queue: its decoded
+// events, the WAL sequence span they were written under, and the done
+// channel the admitting handler waits on. A redrive req (events nil,
+// redrive true) asks the applier to drive the graph forward from the WAL
+// through last — the queued form of the old backlog drain.
+type applyReq struct {
+	events  historygraph.EventList
+	first   uint64
+	last    uint64
+	start   time.Time // when admission wrote the WAL records (zero on redrives)
+	redrive bool
+	done    chan applyDone // buffered 1; the applier always answers
+}
+
+// applyDone is the applier's answer to one request.
+type applyDone struct {
+	res server.AppendResult
+	err error
 }
 
 // batchSpan is one dedup-table entry: how many WAL records carry the batch
@@ -191,10 +260,26 @@ func NewNode(srv *server.Server, log *Log, cfg Config) (*Node, error) {
 	if n.hc == nil {
 		n.hc = &http.Client{}
 	}
+	queueCap := cfg.AppendQueue
+	if queueCap <= 0 {
+		queueCap = DefaultAppendQueue
+	}
+	n.streamWindow = cfg.StreamWindow
+	if n.streamWindow <= 0 {
+		n.streamWindow = DefaultStreamWindow
+	}
+	n.queue = make(chan *applyReq, queueCap)
+	n.quit = make(chan struct{})
+	n.applierDone = make(chan struct{})
 	n.tailErr.Store("")
 	if err := n.replay(); err != nil {
 		return nil, err
 	}
+	// The pipeline's admitted end starts at the replayed log's end: the
+	// graph clock covers every durable record after replay.
+	n.admittedSeq.Store(log.LastSeq())
+	n.admittedAt.Store(int64(srv.Manager().LastTime()))
+	go n.applier()
 
 	reg := srv.Metrics()
 	log.SetMetrics(reg)
@@ -223,6 +308,12 @@ func NewNode(srv *server.Server, log *Log, cfg Config) (*Node, error) {
 		func() float64 { return float64(log.LastSeq()) })
 	reg.GaugeFunc("dg_wal_size_bytes", "On-disk footprint of the local WAL in bytes.",
 		func() float64 { return float64(log.SizeOnDisk()) })
+	reg.GaugeFunc("dg_append_pipeline_queue_depth",
+		"Append-pipeline batches admitted (written to the WAL) but not yet applied.",
+		func() float64 { return float64(n.inflight.Load()) })
+	n.stageDur = reg.HistogramVec("dg_append_stage_duration_seconds",
+		"Append pipeline per-stage wall time: validate (admission lock, dedup, order check, WAL record write), log (queue wait plus group-commit sync), apply (graph application), ack (follower-ack wait).",
+		nil, "stage")
 
 	mux := http.NewServeMux()
 	// The replication endpoints are wrapped individually so they share the
@@ -256,8 +347,8 @@ func NewNode(srv *server.Server, log *Log, cfg Config) (*Node, error) {
 // replays everything, a checkpoint-loaded one only the suffix the
 // checkpoint predates.
 func (n *Node) replay() error {
-	n.appendMu.Lock()
-	defer n.appendMu.Unlock()
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
 	if err := n.applyLoggedLocked(n.srv.Manager().LastTime()); err != nil {
 		return fmt.Errorf("replica: WAL replay: %w", err)
 	}
@@ -266,12 +357,12 @@ func (n *Node) replay() error {
 
 // applyLoggedLocked drives the in-memory graph forward from the local WAL
 // until every record past appliedSeq is applied or deliberately skipped;
-// the caller holds appendMu. It is the one path from log to graph —
-// construction-time replay, the follower tail loop, and the post-failure
-// retry all run through it — so a record that was durably logged but never
-// applied (the process died between the two steps, or a previous apply
-// failed) is re-driven from the log instead of silently skipped when later
-// records arrive.
+// the caller holds applyMu. It is the one path from log to graph —
+// construction-time replay, the follower tail loop, and the applier's
+// redrive all run through it — so a record that was durably logged but
+// never applied (the process died between the two steps, or a previous
+// apply failed) is re-driven from the log instead of silently skipped when
+// later records arrive.
 //
 // checkpointFloor > 0 skips events at or before the checkpoint the graph
 // was loaded from (replay tops a checkpoint up, it must not double-apply
@@ -297,7 +388,7 @@ func (n *Node) applyLoggedLocked(checkpointFloor historygraph.Time) error {
 }
 
 // applyRecordsLocked applies one contiguous run of records (starting at
-// appliedSeq+1) to the graph; the caller holds appendMu. Counters, dedup
+// appliedSeq+1) to the graph; the caller holds applyMu. Counters, dedup
 // spans, and appliedSeq advance only for the settled prefix: on a partial
 // apply failure the exact applied count (AppendResult.Appended) marks
 // where the run stopped, so the retry resumes at the failing event —
@@ -337,7 +428,7 @@ func (n *Node) applyRecordsLocked(recs []Record, checkpointFloor historygraph.Ti
 		if rec.Seq > settled {
 			break
 		}
-		n.recordBatchLocked(rec.Batch, 1, rec.Seq)
+		n.recordBatch(rec.Batch, 1, rec.Seq)
 		if stale[i] {
 			skipped++
 		}
@@ -349,14 +440,16 @@ func (n *Node) applyRecordsLocked(recs []Record, checkpointFloor historygraph.Ti
 	return appendErr
 }
 
-// recordBatchLocked extends the dedup table with events more records of
-// batch, the highest at lastSeq; the caller holds appendMu. Records at or
-// below a known span's lastSeq are already counted (the backlog path can
-// re-read records the primary's append path registered) and are skipped.
-func (n *Node) recordBatchLocked(batch string, events int, lastSeq uint64) {
+// recordBatch extends the dedup table with events more records of batch,
+// the highest at lastSeq. Records at or below a known span's lastSeq are
+// already counted (the redrive path can re-read records admission already
+// registered) and are skipped.
+func (n *Node) recordBatch(batch string, events int, lastSeq uint64) {
 	if batch == "" {
 		return
 	}
+	n.dedupMu.Lock()
+	defer n.dedupMu.Unlock()
 	span, known := n.batches[batch]
 	if known && lastSeq <= span.lastSeq {
 		return
@@ -388,16 +481,27 @@ func (n *Node) SelfID() string { return n.selfID }
 // plus /replicate, /replstatus and /role, with /append intercepted.
 func (n *Node) Handler() http.Handler { return n.mux }
 
-// Close stops the tail loop (the wrapped server and WAL are the caller's
-// to close, in that order).
+// Close stops the tail loop and the append pipeline's applier, failing
+// any admitted-but-unapplied batches (their records are durably logged
+// and replay on restart, exactly like a crash between log and apply). The
+// wrapped server and WAL are the caller's to close, in that order.
 func (n *Node) Close() {
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
 	n.closed = true
 	n.stopTailLocked()
 	n.mu.Unlock()
+	close(n.quit)
+	<-n.applierDone
 }
 
 // --- append path (primary) -------------------------------------------
+
+// errNodeClosed fails pipeline requests caught by Close.
+var errNodeClosed = fmt.Errorf("replica: node closed")
 
 func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if n.Role() != RolePrimary {
@@ -410,6 +514,10 @@ func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	if server.BoolParam(r.URL.Query().Get("stream")) {
+		n.handleAppendStream(w, r)
+		return
+	}
 	var body []server.EventJSON
 	if err := server.ReadBody(r, &body); err != nil {
 		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
@@ -420,105 +528,317 @@ func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusBadRequest, err)
 		return
 	}
-	batch := r.URL.Query().Get("batch")
-	// Durability order: validate, then WAL (synced), then the in-memory
-	// graph, then — when configured — the follower-ack wait. Every acked
-	// event is on disk here and on SyncFollowers followers. appendMu keeps
-	// the steps atomic with respect to concurrent appends, so apply order
-	// always matches WAL order.
-	n.appendMu.Lock()
-	// Drain any logged-but-unapplied backlog before accepting more: if a
-	// previous apply failed after its WAL write, the graph clock is behind
-	// the log tail, and validating or applying against it would let this
-	// batch jump the hole — appliedSeq would advance past records the
-	// graph never saw, and a batch admitted under the stale clock would be
-	// acked live yet skipped as out-of-order by every replay and follower.
-	if err := n.applyLoggedLocked(0); err != nil {
-		n.appendMu.Unlock()
-		server.WriteError(w, http.StatusInternalServerError, fmt.Errorf("replica: WAL backlog apply: %w", err))
+	res, status, err := n.append(events, r.URL.Query().Get("batch"))
+	if err != nil {
+		server.WriteError(w, status, err)
 		return
 	}
-	resumed := 0
-	if span, seen := n.batches[batch]; seen && batch != "" {
-		if span.events >= len(events) {
-			// The whole batch is already in the WAL — a coordinator
-			// retrying after a failover or a lost response must not log
-			// and apply it twice. Ack it as the original append would
-			// have.
-			n.appendMu.Unlock()
-			if n.syncFollowers > 0 && !n.waitForAcks(span.lastSeq, n.syncFollowers) {
-				server.WriteError(w, http.StatusServiceUnavailable, fmt.Errorf(
-					"replica: %d follower(s) did not confirm seq %d within %v (events are logged and will replicate; batch was NOT acked)",
-					n.syncFollowers, span.lastSeq, n.ackTimeout))
-				return
-			}
-			server.WriteWire(w, r, http.StatusOK, server.AppendResult{
-				Appended: span.events,
-				LastTime: int64(n.srv.Manager().LastTime()),
-				Seq:      span.lastSeq,
-				Deduped:  true,
-			})
-			return
+	server.WriteWire(w, r, http.StatusOK, res)
+}
+
+// append runs one batch through the pipeline end to end: admit (validate +
+// log + enqueue), wait for the applier's answer, then the follower-ack
+// wait. It returns the HTTP status to use on error.
+func (n *Node) append(events historygraph.EventList, batch string) (server.AppendResult, int, error) {
+	ad, status, err := n.admit(events, batch)
+	if err != nil {
+		return server.AppendResult{}, status, err
+	}
+	res, err := n.settle(ad)
+	if err != nil {
+		return server.AppendResult{}, http.StatusInternalServerError, err
+	}
+	if ad.acked > 0 && n.syncFollowers > 0 {
+		ackStart := time.Now()
+		if !n.waitForAcks(ad.acked, n.syncFollowers) {
+			return server.AppendResult{}, http.StatusServiceUnavailable, fmt.Errorf(
+				"replica: %d follower(s) did not confirm seq %d within %v (events are logged and will replicate; batch was NOT acked)",
+				n.syncFollowers, ad.acked, n.ackTimeout)
 		}
-		// The node holds only a prefix of the batch: a mid-batch primary
-		// failure cut the replication stream short of the last records.
-		// Retries resend the identical batch, so append the remainder
-		// under the same ID, picking up exactly where the mirrored
-		// records stop — a full re-append would duplicate the prefix, a
-		// full dedup ack would silently drop the suffix.
-		resumed = span.events
-		events = events[resumed:]
+		n.obsStage("ack", ackStart)
+	}
+	return res, http.StatusOK, nil
+}
+
+// admitted is an admission's outcome: either a queued pipeline request
+// (req != nil) or a dedup/empty answer the caller can settle without one.
+// acked is the sequence the follower-ack wait must cover (0 when nothing
+// needs follower confirmation).
+type admitted struct {
+	req     *applyReq
+	res     server.AppendResult // answer when req == nil
+	resumed int
+	last    uint64
+	acked   uint64
+}
+
+// admit is stage 1 of the pipeline: under the admission lock it checks the
+// dedup table, validates event order against the admitted clock, writes
+// the batch's WAL records (without waiting for the group sync), registers
+// the dedup span, and enqueues the apply request. The admission lock is
+// held for none of the durability or apply work, so admissions overlap
+// both — its hold time is the pipeline's serial section.
+func (n *Node) admit(events historygraph.EventList, batch string) (admitted, int, error) {
+	vStart := time.Now()
+	n.admitMu.Lock()
+	// Records can sit in the WAL that the pipeline never admitted — a test
+	// or tool wrote the log directly, or a mirrored prefix outlived a
+	// deposed primary. Drive them through the applier before admitting
+	// against the dedup table, exactly like the old backlog drain: the
+	// redrive registers their batch spans and advances the graph clock.
+	if head := n.log.LastSeq(); head > n.admittedSeq.Load() {
+		if err := n.redriveLocked(head); err != nil {
+			n.admitMu.Unlock()
+			return admitted{}, http.StatusInternalServerError, fmt.Errorf("replica: WAL backlog apply: %w", err)
+		}
+		n.raiseAdmitted(head, n.srv.Manager().LastTime())
+	}
+	resumed := 0
+	if batch != "" {
+		n.dedupMu.Lock()
+		span, seen := n.batches[batch]
+		n.dedupMu.Unlock()
+		if seen {
+			if span.events >= len(events) {
+				// The whole batch is already in the WAL — a coordinator
+				// retrying after a failover or a lost response must not
+				// log and apply it twice. Make sure it is applied (the
+				// original may still be in flight, or its apply may have
+				// failed), then ack it as the original append would have.
+				var err error
+				if n.appliedSeq.Load() < span.lastSeq {
+					err = n.redriveLocked(span.lastSeq)
+				}
+				n.admitMu.Unlock()
+				if err != nil {
+					return admitted{}, http.StatusInternalServerError, err
+				}
+				return admitted{
+					res: server.AppendResult{
+						Appended: span.events,
+						LastTime: int64(n.srv.Manager().LastTime()),
+						Seq:      span.lastSeq,
+						Deduped:  true,
+					},
+					last:  span.lastSeq,
+					acked: span.lastSeq,
+				}, http.StatusOK, nil
+			}
+			// The node holds only a prefix of the batch: a mid-batch
+			// primary failure cut the replication stream short of the
+			// last records. Retries resend the identical batch, so append
+			// the remainder under the same ID, picking up exactly where
+			// the mirrored records stop — a full re-append would
+			// duplicate the prefix, a full dedup ack would silently drop
+			// the suffix.
+			resumed = span.events
+			events = events[resumed:]
+		}
 	}
 	// Reject what the graph would reject while the log is still clean: the
 	// graph refuses events older than its clock (an ordinary 422), and
 	// logging such a batch first would leave poison records that every
-	// restart replay and every follower re-hits forever.
-	if err := validateOrder(n.srv.Manager().LastTime(), events); err != nil {
-		n.appendMu.Unlock()
-		server.WriteError(w, http.StatusUnprocessableEntity, err)
-		return
+	// restart replay and every follower re-hits forever. The admitted
+	// clock stands in for the graph clock, which trails it by whatever the
+	// pipeline still holds.
+	if err := validateOrder(historygraph.Time(n.admittedAt.Load()), events); err != nil {
+		n.admitMu.Unlock()
+		return admitted{}, http.StatusUnprocessableEntity, err
 	}
-	_, last, err := n.log.AppendBatch(events, batch)
+	if len(events) == 0 {
+		seq := n.admittedSeq.Load()
+		n.admitMu.Unlock()
+		return admitted{
+			res: server.AppendResult{
+				Appended: resumed,
+				LastTime: int64(n.srv.Manager().LastTime()),
+				Seq:      seq,
+				Deduped:  resumed > 0,
+			},
+			last: seq,
+		}, http.StatusOK, nil
+	}
+	first, last, err := n.log.StartAppend(events, batch)
 	if err != nil {
-		n.appendMu.Unlock()
-		server.WriteError(w, http.StatusInternalServerError, fmt.Errorf("replica: WAL append: %w", err))
+		n.admitMu.Unlock()
+		return admitted{}, http.StatusInternalServerError, fmt.Errorf("replica: WAL append: %w", err)
+	}
+	// Register the span before the records are even durable: a retry
+	// racing the pipeline must dedup against the in-flight original, not
+	// append the batch a second time behind it.
+	n.recordBatch(batch, len(events), last)
+	n.raiseAdmitted(last, events[len(events)-1].At)
+	req := &applyReq{events: events, first: first, last: last, start: vStart, done: make(chan applyDone, 1)}
+	n.inflight.Add(1)
+	n.obsStage("validate", vStart)
+	select {
+	case n.queue <- req: // blocking here (queue full) is the backpressure
+	case <-n.quit:
+		n.inflight.Add(-1)
+		n.admitMu.Unlock()
+		return admitted{}, http.StatusServiceUnavailable, errNodeClosed
+	}
+	n.admitMu.Unlock()
+	return admitted{req: req, resumed: resumed, last: last, acked: last}, http.StatusOK, nil
+}
+
+// settle waits for an admission's apply outcome and assembles the final
+// AppendResult (follower acks are the caller's, so a dedup ack and a live
+// append share one ack path).
+func (n *Node) settle(ad admitted) (server.AppendResult, error) {
+	if ad.req == nil {
+		return ad.res, nil
+	}
+	d := n.await(ad.req)
+	if d.err != nil {
+		// Ordering was validated before the WAL write, so this is an
+		// internal failure (index store I/O), not a client error; the
+		// batch is durably logged and the applier re-drives the unapplied
+		// tail on the next append or restart.
+		return server.AppendResult{}, d.err
+	}
+	res := d.res
+	res.Seq = ad.last
+	res.Appended += ad.resumed
+	res.Deduped = ad.resumed > 0
+	return res, nil
+}
+
+// raiseAdmitted advances the admitted end of the WAL (monotonic).
+func (n *Node) raiseAdmitted(seq uint64, at historygraph.Time) {
+	for {
+		cur := n.admittedSeq.Load()
+		if seq <= cur || n.admittedSeq.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	for {
+		cur := n.admittedAt.Load()
+		if int64(at) <= cur || n.admittedAt.CompareAndSwap(cur, int64(at)) {
+			break
+		}
+	}
+}
+
+// redriveLocked (caller holds admitMu) enqueues a redrive request asking
+// the applier to drive the graph through WAL sequence `through`, and waits
+// for it. Because the queue is FIFO and admissions are serialized, by the
+// time the redrive runs every previously admitted batch has been applied.
+func (n *Node) redriveLocked(through uint64) error {
+	req := &applyReq{last: through, redrive: true, done: make(chan applyDone, 1)}
+	n.inflight.Add(1)
+	select {
+	case n.queue <- req:
+	case <-n.quit:
+		n.inflight.Add(-1)
+		return errNodeClosed
+	}
+	return n.await(req).err
+}
+
+// await blocks for a queued request's answer. The applier always answers
+// what it dequeues, but a request enqueued in the same instant Close's
+// drain finishes would otherwise wait forever — applierDone breaks the
+// race.
+func (n *Node) await(req *applyReq) applyDone {
+	select {
+	case d := <-req.done:
+		return d
+	case <-n.applierDone:
+		select {
+		case d := <-req.done:
+			return d
+		default:
+			return applyDone{err: errNodeClosed}
+		}
+	}
+}
+
+// obsStage records one pipeline stage's wall time.
+func (n *Node) obsStage(stage string, start time.Time) {
+	if n.stageDur != nil {
+		n.stageDur.With(stage).Observe(time.Since(start).Seconds())
+	}
+}
+
+// applier is the pipeline's single apply goroutine: it consumes admitted
+// batches in queue order (== WAL sequence order), waits for the group
+// commit covering each, and applies them to the graph — the one writer
+// that keeps sequence order == apply order while admissions and
+// durability waits overlap freely. It exits on Close, failing whatever is
+// still queued.
+func (n *Node) applier() {
+	defer close(n.applierDone)
+	for {
+		select {
+		case req := <-n.queue:
+			n.process(req)
+		case <-n.quit:
+			for {
+				select {
+				case req := <-n.queue:
+					req.done <- applyDone{err: errNodeClosed}
+					n.inflight.Add(-1)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// process runs stages 2 and 3 for one request: durability, then in-order
+// graph application.
+func (n *Node) process(req *applyReq) {
+	defer n.inflight.Add(-1)
+	logStart := time.Now()
+	if err := n.log.WaitDurable(req.last); err != nil {
+		req.done <- applyDone{err: fmt.Errorf("replica: WAL append: %w", err)}
 		return
 	}
-	if len(events) > 0 {
-		n.recordBatchLocked(batch, len(events), last)
+	if !req.start.IsZero() {
+		n.log.ObserveAppend(req.start)
 	}
-	res, appendErr := n.srv.ApplyEvents(events)
-	if last > 0 {
+	n.obsStage("log", logStart)
+	applyStart := time.Now()
+	n.applyMu.Lock()
+	var d applyDone
+	switch applied := n.appliedSeq.Load(); {
+	case applied >= req.last:
+		// A redrive triggered by a later retry already carried these
+		// records into the graph.
+		d.res = server.AppendResult{Appended: len(req.events), LastTime: int64(n.srv.Manager().LastTime())}
+	case !req.redrive && applied == req.first-1:
+		// Steady state: the decoded events apply straight from memory.
+		res, appendErr := n.srv.ApplyEvents(req.events)
 		// res.Appended is the exact applied count even on failure, so
 		// appliedSeq settles precisely at the last applied record — never
 		// past a hole (which would mislead most-caught-up promotion and
 		// in-sync routing) and never behind the true position (which
-		// would make the backlog drain re-apply landed events).
-		if settled := last - uint64(len(events)-res.Appended); settled > n.appliedSeq.Load() {
+		// would re-apply landed events on the next redrive).
+		if settled := req.last - uint64(len(req.events)-res.Appended); settled > applied {
 			n.appliedSeq.Store(settled)
 		}
-	}
-	n.appendMu.Unlock()
-	if appendErr != nil {
-		// Ordering was validated before the WAL write, so this is an
-		// internal failure (index store I/O), not a client error; the
-		// batch is durably logged and the backlog drain re-applies the
-		// unapplied tail on the next append or restart.
-		server.WriteError(w, http.StatusInternalServerError, appendErr)
-		return
-	}
-	if len(events) > 0 && n.syncFollowers > 0 {
-		if !n.waitForAcks(last, n.syncFollowers) {
-			server.WriteError(w, http.StatusServiceUnavailable, fmt.Errorf(
-				"replica: %d follower(s) did not confirm seq %d within %v (events are logged and will replicate; batch was NOT acked)",
-				n.syncFollowers, last, n.ackTimeout))
-			return
+		d = applyDone{res: res, err: appendErr}
+	default:
+		// A hole precedes this batch (an earlier apply failed partway, or
+		// this is a redrive of records the pipeline never decoded): drive
+		// the graph forward from the WAL itself.
+		err := n.applyLoggedLocked(0)
+		if n.appliedSeq.Load() >= req.last {
+			// This request's records settled even if a later record
+			// failed; the failure belongs to that record's own request.
+			d.res = server.AppendResult{Appended: len(req.events), LastTime: int64(n.srv.Manager().LastTime())}
+		} else {
+			if err == nil {
+				err = fmt.Errorf("replica: WAL redrive stopped at seq %d before %d", n.appliedSeq.Load(), req.last)
+			}
+			d.err = err
 		}
 	}
-	res.Seq = last
-	res.Appended += resumed
-	res.Deduped = resumed > 0
-	server.WriteWire(w, r, http.StatusOK, res)
+	n.applyMu.Unlock()
+	n.obsStage("apply", applyStart)
+	req.done <- d
 }
 
 // validateOrder rejects a batch the graph would refuse: events must be
@@ -634,6 +954,12 @@ type StatusJSON struct {
 	Primary    string `json:"primary,omitempty"`
 	LastSeq    uint64 `json:"last_seq"`
 	AppliedSeq uint64 `json:"applied_seq"`
+	// LogAppliedGap is LastSeq - AppliedSeq: durably logged records the
+	// in-memory graph has not absorbed yet. Under load it tracks the
+	// append pipeline's in-flight depth (batches between their group
+	// commit and their apply); a gap that persists while the node is idle
+	// means apply is failing — check wal_skipped and the node's log.
+	LogAppliedGap uint64 `json:"log_applied_gap"`
 	// WALSkipped counts logged records the graph rejected as out of order
 	// and recovery deliberately skipped (poison from a WAL written before
 	// the validate-before-log guard). Non-zero means the log holds records
@@ -646,14 +972,20 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 	n.mu.Lock()
 	primary := n.primaryURL
 	n.mu.Unlock()
+	last, applied := n.log.LastSeq(), n.appliedSeq.Load()
+	gap := uint64(0)
+	if last > applied {
+		gap = last - applied
+	}
 	server.WriteJSON(w, http.StatusOK, StatusJSON{
-		ID:         n.selfID,
-		Role:       n.Role().String(),
-		Primary:    primary,
-		LastSeq:    n.log.LastSeq(),
-		AppliedSeq: n.appliedSeq.Load(),
-		WALSkipped: n.walSkipped.Load(),
-		TailError:  n.tailErr.Load().(string),
+		ID:            n.selfID,
+		Role:          n.Role().String(),
+		Primary:       primary,
+		LastSeq:       last,
+		AppliedSeq:    applied,
+		LogAppliedGap: gap,
+		WALSkipped:    n.walSkipped.Load(),
+		TailError:     n.tailErr.Load().(string),
 	})
 }
 
@@ -664,7 +996,11 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 // primary's last known head by at most ReadyMaxLag records.
 func (n *Node) readiness() (reason string, ready bool) {
 	if n.Role() == RolePrimary {
-		if applied, head := n.appliedSeq.Load(), n.log.LastSeq(); applied != head {
+		// A durable-vs-applied gap with pipeline work in flight is the
+		// healthy steady state under load — the applier is draining it.
+		// Only a gap with nothing in flight is a real backlog (an apply
+		// failed, or the log was written behind the pipeline's back).
+		if applied, head := n.appliedSeq.Load(), n.log.LastSeq(); applied != head && n.inflight.Load() == 0 {
 			return fmt.Sprintf("WAL backlog: applied seq %d, log ends at %d", applied, head), false
 		}
 		return "", true
@@ -890,11 +1226,20 @@ func (n *Node) noteHead(head uint64) {
 // applied straight from memory; only when logged-but-unapplied records
 // precede them does the slower read-back-from-the-log path run.
 func (n *Node) apply(recs []Record) error {
-	n.appendMu.Lock()
-	defer n.appendMu.Unlock()
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
 	caughtUp := n.appliedSeq.Load() == n.log.LastSeq()
 	if err := n.log.AppendRecords(recs); err != nil {
 		return err
+	}
+	// The mirrored records are durable: raise the admitted marks and
+	// register their dedup spans now, before the graph apply, so a
+	// promotion that lands between the two steps still sees them — the
+	// first post-promotion retry of a half-replicated batch must dedup
+	// and resume, not re-append.
+	for _, rec := range recs {
+		n.raiseAdmitted(rec.Seq, historygraph.Time(rec.Event.At))
+		n.recordBatch(rec.Batch, 1, rec.Seq)
 	}
 	if !caughtUp {
 		return n.applyLoggedLocked(0)
@@ -911,7 +1256,7 @@ func (n *Node) apply(recs []Record) error {
 // applyBacklog applies any records sitting in the local WAL but not yet in
 // the graph — the recovery half of the tail loop's fetch/apply cycle.
 func (n *Node) applyBacklog() error {
-	n.appendMu.Lock()
-	defer n.appendMu.Unlock()
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
 	return n.applyLoggedLocked(0)
 }

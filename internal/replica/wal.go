@@ -182,13 +182,13 @@ func OpenLog(path string) (*Log, error) {
 // buffered records of unknown durability must not be acked).
 func (l *Log) flusher() {
 	defer close(l.flushDone)
-	l.flushMu.Lock()
-	defer l.flushMu.Unlock()
 	for {
+		l.flushMu.Lock()
 		for !l.closed && l.want <= l.synced && l.syncErr == nil {
 			l.flushCond.Wait()
 		}
 		if l.closed || l.syncErr != nil {
+			l.flushMu.Unlock()
 			return
 		}
 		// Everything at or below want was fully written before the waiters
@@ -209,8 +209,22 @@ func (l *Log) flusher() {
 			l.synced = target
 		}
 		l.flushCond.Broadcast()
+		l.flushMu.Unlock()
+		if err == nil {
+			// Wake /replicate long-pollers here, once per group commit,
+			// so a pipelined appender that has not yet reached its own
+			// WaitDurable never delays follower tailing.
+			l.wake()
+		}
 	}
 }
+
+// WaitDurable blocks until a completed sync covers seq (joining whatever
+// group commit is in flight), the log fails, or it is closed. It is the
+// second half of a StartAppend: the append pipeline writes records in
+// admission order and pays the durability wait later, off the admission
+// lock, so many in-flight batches share one group commit.
+func (l *Log) WaitDurable(seq uint64) error { return l.waitDurable(seq) }
 
 // waitDurable blocks until a completed sync covers seq (joining whatever
 // group commit is in flight), the log fails, or it is closed.
@@ -250,37 +264,75 @@ func (l *Log) Append(events historygraph.EventList) (first, last uint64, err err
 }
 
 // AppendBatch is Append tagging every record with the batch's idempotency
-// ID (empty for untagged appends). The whole batch is encoded before the
-// first record is written: a marshal failure must reject the batch while
-// the log is still clean, not strand a prefix of never-applied records
-// that followers would replicate.
+// ID (empty for untagged appends): a StartAppend followed by the durable
+// wait.
 func (l *Log) AppendBatch(events historygraph.EventList, batch string) (first, last uint64, err error) {
 	start := time.Now()
-	payloads := make([][]byte, len(events))
-	for i, ev := range events {
-		payloads[i] = encodePayload(server.EventToJSON(ev), batch)
+	if first, last, err = l.StartAppend(events, batch); err != nil {
+		return 0, 0, err
 	}
-	l.mu.Lock()
-	first = l.sl.Last() + 1
-	if len(payloads) == 0 {
-		l.mu.Unlock()
-		return first, first - 1, nil
+	if last < first {
+		return first, last, nil // empty batch: nothing to sync
 	}
-	for _, payload := range payloads {
-		if last, err = l.sl.Append(payload); err != nil {
-			l.mu.Unlock()
-			return 0, 0, err
-		}
-	}
-	l.mu.Unlock()
 	if err := l.waitDurable(last); err != nil {
 		return 0, 0, err
 	}
 	if m := l.metrics.Load(); m != nil {
 		m.appendDur.Observe(time.Since(start).Seconds())
 	}
-	l.wake()
 	return first, last, nil
+}
+
+// StartAppend writes a batch's records under the write lock and returns
+// their sequence bounds WITHOUT waiting for the covering group sync
+// (first > last means the batch was empty). The records are not durable —
+// and not visible to LastSeq, Read, or followers — until a sync covers
+// them; call WaitDurable(last) before acking anything. One encoder is
+// reused across the batch (the store copies each payload into its file
+// buffer before Append returns), Reset between records so every payload
+// stays independently decodable — the encode itself cannot fail, so a bad
+// batch never strands a prefix of records in the log.
+func (l *Log) StartAppend(events historygraph.EventList, batch string) (first, last uint64, err error) {
+	enc := wire.NewEncoder()
+	l.mu.Lock()
+	first = l.sl.Last() + 1
+	if len(events) == 0 {
+		l.mu.Unlock()
+		return first, first - 1, nil
+	}
+	for _, ev := range events {
+		enc.Reset()
+		enc.Byte(walBinaryMarker)
+		enc.String(batch)
+		wire.EncodeEventTo(enc, server.EventToJSON(ev))
+		if last, err = l.sl.Append(enc.Bytes()); err != nil {
+			l.mu.Unlock()
+			return 0, 0, err
+		}
+	}
+	l.mu.Unlock()
+	// Offer the batch to the flusher immediately rather than when the
+	// caller reaches WaitDurable: in the pipelined path the applier waits
+	// batch by batch, and if `want` trailed it, each group commit would
+	// cover exactly one batch — serial fsyncs again. Raising it here lets
+	// one sync cover every batch admitted while the previous sync ran.
+	l.flushMu.Lock()
+	if last > l.want {
+		l.want = last
+		l.flushCond.Broadcast()
+	}
+	l.flushMu.Unlock()
+	return first, last, nil
+}
+
+// ObserveAppend feeds the append-duration histogram for a pipelined
+// append: start is when StartAppend wrote the records, and the caller's
+// WaitDurable has just returned — the same span AppendBatch observes for
+// the one-shot path.
+func (l *Log) ObserveAppend(start time.Time) {
+	if m := l.metrics.Load(); m != nil {
+		m.appendDur.Observe(time.Since(start).Seconds())
+	}
 }
 
 // AppendRecords mirrors records fetched from a primary into this log and
@@ -314,11 +366,11 @@ func (l *Log) AppendRecords(recs []Record) error {
 	if m := l.metrics.Load(); m != nil {
 		m.appendDur.Observe(time.Since(start).Seconds())
 	}
-	l.wake()
 	return nil
 }
 
-// wake rouses every Wait-er after records became durable.
+// wake rouses every Wait-er after records became durable. The flusher
+// calls it once per completed group commit.
 func (l *Log) wake() {
 	l.mu.Lock()
 	close(l.notify)

@@ -657,6 +657,10 @@ func (s *Server) ApplyEvents(events historygraph.EventList) (AppendResult, error
 func (s *Server) Manager() *historygraph.GraphManager { return s.gm }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if BoolParam(r.URL.Query().Get("stream")) {
+		s.handleAppendStream(w, r)
+		return
+	}
 	var body []EventJSON
 	if err := ReadBody(r, &body); err != nil {
 		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))

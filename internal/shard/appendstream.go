@@ -1,0 +1,201 @@
+package shard
+
+// Streaming ingest through the coordinator: POST /append?stream=1 frames
+// are routed per partition as they arrive, with one worker goroutine per
+// partition consuming a bounded channel of frame slices. The worker calls
+// the same appendToSet machinery as a standalone append (batch-ID
+// idempotency, failover retry), so the partitions see a stream exactly as
+// a sequence of independent batches — but the reader keeps decoding the
+// next frame while earlier slices are still in flight, which is where the
+// throughput over per-request appends comes from. When every partition's
+// channel is full the reader blocks, the client's TCP send buffer fills,
+// and its writes stall: the transport is the flow control, same as the
+// replica node's stream window.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"historygraph"
+	"historygraph/internal/server"
+	"historygraph/internal/wire"
+)
+
+// streamRouteWindow bounds how many frame slices per partition the reader
+// will buffer ahead of the worker. Past it the reader blocks, which is the
+// coordinator's per-stream backpressure.
+const streamRouteWindow = 4
+
+// streamSlice is one frame's share of one partition.
+type streamSlice struct {
+	events historygraph.EventList
+	batch  string            // per-partition idempotency ID
+	frame  int               // frame index, for error reporting
+	minAt  historygraph.Time // earliest time in the frame, for cache invalidation
+}
+
+// streamWorker is one partition's lane: a bounded feed of slices and the
+// running aggregate. err is written only by the worker goroutine and read
+// only after it exits.
+type streamWorker struct {
+	ch  chan streamSlice
+	res server.AppendResult
+	err *server.PartitionError
+}
+
+// runStreamWorker drains one partition's slices in order. After the first
+// failure it keeps draining but drops the remaining slices — the recorded
+// error names the frame where the partition's coverage stops, so a client
+// resuming the stream knows exactly where to replay from.
+func (co *Coordinator) runStreamWorker(base context.Context, part int, rs *replicaSet, wk *streamWorker, wg *sync.WaitGroup) {
+	defer wg.Done()
+	label := strconv.Itoa(part)
+	for sl := range wk.ch {
+		if wk.err != nil {
+			continue
+		}
+		co.legs.With(label).Inc()
+		begin := time.Now()
+		ctx, cancel := context.WithTimeout(base, co.timeout)
+		res, err := co.appendBatchToSet(ctx, rs, sl.events, sl.batch)
+		cancel()
+		co.legDur.With(label).Observe(time.Since(begin).Seconds())
+		// Invalidate after the slice lands (not before): a merge cached
+		// between an early invalidation and the apply would go stale the
+		// moment the events hit the partition.
+		if co.cache != nil {
+			co.cache.InvalidateFrom(sl.minAt)
+		}
+		if err != nil {
+			co.legFails.With(label).Inc()
+			pe := &server.PartitionError{Partition: part, Error: fmt.Sprintf("frame %d: %s", sl.frame, err)}
+			var he *server.HTTPError
+			if errors.As(err, &he) {
+				pe.Status = he.Status
+			}
+			wk.err = pe
+			continue
+		}
+		wk.res.Appended += res.Appended
+		if res.LastTime > wk.res.LastTime {
+			wk.res.LastTime = res.LastTime
+		}
+		wk.res.Invalidated += res.Invalidated
+		wk.res.Deduped = wk.res.Deduped || res.Deduped
+	}
+}
+
+// handleAppendStream routes a streaming ingest body across the partitions
+// frame by frame and answers one aggregated AppendResult after the end
+// frame.
+func (co *Coordinator) handleAppendStream(w http.ResponseWriter, r *http.Request) {
+	dec, err := wire.NewAppendStreamDecoder(r.Body)
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	server.Annotate(r.Context(), "partitions", strconv.Itoa(len(co.sets)))
+	// Like the per-request path, in-flight slices detach from the client's
+	// cancellation: aborting half-landed frames on a disconnect would leave
+	// the partitions inconsistent with no response to report the split.
+	base := context.WithoutCancel(r.Context())
+	workers := make([]*streamWorker, len(co.sets))
+	var wg sync.WaitGroup
+	for i := range co.sets {
+		workers[i] = &streamWorker{ch: make(chan streamSlice, streamRouteWindow)}
+		wg.Add(1)
+		go co.runStreamWorker(base, i, co.sets[i], workers[i], &wg)
+	}
+	settle := func() {
+		for _, wk := range workers {
+			close(wk.ch)
+		}
+		wg.Wait()
+	}
+	frames := 0
+	// fail aborts the stream. Frames already handed to the workers still
+	// settle (and may be durable on their partitions) — the message tells
+	// the client how far routing got so a resumed stream replays from
+	// there; per-partition batch IDs make the overlap safe.
+	fail := func(status int, cause error) {
+		settle()
+		server.WriteError(w, status, fmt.Errorf(
+			"append stream failed at frame %d: %w (earlier frames were routed and may be durable)", frames, cause))
+	}
+	for {
+		frame, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(http.StatusBadRequest, err)
+			return
+		}
+		// Fresh slices per frame: the workers retain them past this
+		// iteration, and the decoder's event slice is scratch.
+		perPart := make([]historygraph.EventList, len(co.sets))
+		minAt := historygraph.Time(0)
+		for i, ej := range frame.Events {
+			ev, err := server.EventFromJSON(ej)
+			if err != nil {
+				fail(http.StatusBadRequest, fmt.Errorf("event %d: %w", i, err))
+				return
+			}
+			if err := Routable(ev); err != nil {
+				fail(http.StatusUnprocessableEntity, fmt.Errorf("event %d: %w", i, err))
+				return
+			}
+			p := PartitionOf(ev, len(co.sets))
+			perPart[p] = append(perPart[p], ev)
+			if i == 0 || ev.At < minAt {
+				minAt = ev.At
+			}
+		}
+		// Derive per-partition batch IDs: a client-tagged frame dedupes per
+		// partition across stream retries; an untagged frame gets a minted
+		// ID per slice (same idempotency-across-failover guarantee as a
+		// standalone append).
+		base := frame.Batch
+		for p, slice := range perPart {
+			if len(slice) == 0 {
+				continue
+			}
+			batch := base
+			if batch != "" {
+				batch = base + "." + strconv.Itoa(p)
+			} else {
+				batch = newBatchID()
+			}
+			workers[p].ch <- streamSlice{events: slice, batch: batch, frame: frames, minAt: minAt}
+		}
+		frames++
+	}
+	settle()
+	var errs []server.PartitionError
+	out := server.AppendResult{}
+	for _, wk := range workers {
+		if wk.err != nil {
+			errs = append(errs, *wk.err)
+			continue
+		}
+		out.Appended += wk.res.Appended
+		if wk.res.LastTime > out.LastTime {
+			out.LastTime = wk.res.LastTime
+		}
+		out.Invalidated += wk.res.Invalidated
+		out.Deduped = out.Deduped || wk.res.Deduped
+	}
+	if len(errs) == len(co.sets) && frames > 0 {
+		writeAllFailed(w, co.allFailed(errs))
+		return
+	}
+	co.notePartial(errs)
+	out.Partial = errs
+	server.WriteWire(w, r, http.StatusOK, out)
+}

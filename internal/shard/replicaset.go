@@ -257,7 +257,13 @@ func newBatchID() string {
 // after the WAL sync), the new primary recognizes the ID from the records
 // it mirrored and acks instead of logging and applying the events twice.
 func (co *Coordinator) appendToSet(ctx context.Context, rs *replicaSet, events historygraph.EventList) (*server.AppendResult, error) {
-	batch := newBatchID()
+	return co.appendBatchToSet(ctx, rs, events, newBatchID())
+}
+
+// appendBatchToSet is appendToSet under a caller-chosen batch ID — the
+// streaming ingest path derives per-partition IDs from the client's frame
+// ID so a client that resends a frame after a broken stream dedupes.
+func (co *Coordinator) appendBatchToSet(ctx context.Context, rs *replicaSet, events historygraph.EventList, batch string) (*server.AppendResult, error) {
 	pm := rs.primaryMember()
 	res, err := pm.client.AppendBatchCtx(ctx, events, batch)
 	if err == nil {

@@ -685,6 +685,10 @@ func (co *Coordinator) handleExpr(w http.ResponseWriter, r *http.Request) {
 }
 
 func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if server.BoolParam(r.URL.Query().Get("stream")) {
+		co.handleAppendStream(w, r)
+		return
+	}
 	var body []server.EventJSON
 	if err := server.ReadBody(r, &body); err != nil {
 		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
@@ -739,6 +743,9 @@ func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Appended += p.Appended
 		out.Invalidated += p.Invalidated
+		// A retried batch resumes on whichever partitions already logged
+		// it; surfacing the flag tells the client its retry was absorbed.
+		out.Deduped = out.Deduped || p.Deduped
 		if p.LastTime > out.LastTime {
 			out.LastTime = p.LastTime
 		}

@@ -1,0 +1,245 @@
+package wire
+
+// The streaming ingest encoding: a long-lived POST /append?stream=1 body
+// carrying many event batches as length-prefixed binary frames, so a
+// writer pays one HTTP round trip per *connection* instead of one per
+// batch. The framing mirrors the chunked snapshot stream:
+//
+//	stream  := 'D' version kindAppendStream frame*
+//	frame   := uvarint(len) body           ; len counts the body bytes
+//	body    := frameAppendEvents | frameAppendEnd
+//
+//	frameAppendEvents := 0x01 string(batch) uvarint(count) event*
+//	frameAppendEnd    := 0x0F uvarint(frames)
+//
+// Events use the exact encoding of the whole-message codec
+// (EncodeEventTo); the attribute/type intern table carries across frames,
+// so a long stream pays the key bytes once. Each event frame is one
+// append batch: the receiver admits it atomically, under its own
+// idempotency batch ID (empty for untagged appends), exactly as if it had
+// arrived as its own POST /append?batch= request. The end frame carries
+// the event-frame count and terminates the stream — a reader that hits
+// EOF before it has seen a truncated stream (the writer died mid-send)
+// and must report the data it admitted rather than pretend completeness.
+//
+// Acks are windowed, not per-frame: HTTP/1.1 gives the client no
+// full-duplex response reading while it still writes the request, so the
+// server bounds how many admitted-but-unsettled frames it will read ahead
+// (its stream window) and otherwise simply stops reading — TCP backpressure
+// is the flow control — then answers one aggregated AppendResult after the
+// end frame.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// kindAppendStream frames a streaming ingest body (whole-message kinds
+// stop at kindExprRequest; 0x08 is the snapshot stream, 0x09-0x0d the
+// PageRank plane).
+const kindAppendStream = 0x0e
+
+// Append-stream frame type bytes.
+const (
+	frameAppendEvents = 0x01
+	frameAppendEnd    = 0x0F
+)
+
+// ContentTypeAppendStream is the MIME type of a streaming ingest request
+// body. It extends ContentTypeBinary textually, like the snapshot stream
+// type, so content-type routing that substring-matches the binary type
+// still classifies the bytes as the binary family.
+const ContentTypeAppendStream = ContentTypeBinary + "-append-stream"
+
+// AppendFrame is one decoded ingest frame: a batch of events under an
+// optional idempotency ID.
+type AppendFrame struct {
+	Batch  string
+	Events []Event
+}
+
+// AppendStreamEncoder writes one streaming ingest body. Not safe for
+// concurrent use; allocate one per connection. The frame buffer is reused
+// across frames and the intern table persists stream-wide.
+type AppendStreamEncoder struct {
+	w          io.Writer
+	enc        *Encoder
+	frames     uint64
+	headerDone bool
+	done       bool
+	scratch    [binary.MaxVarintLen64]byte
+}
+
+// NewAppendStreamEncoder returns an ingest-stream encoder over w. Nothing
+// is written until the first frame.
+func NewAppendStreamEncoder(w io.Writer) *AppendStreamEncoder {
+	return &AppendStreamEncoder{w: w, enc: NewEncoder()}
+}
+
+// writeFrame flushes the scratch encoder's bytes as one length-prefixed
+// frame, emitting the stream header first if this is the first frame.
+func (e *AppendStreamEncoder) writeFrame() error {
+	if !e.headerDone {
+		if _, err := e.w.Write([]byte{binaryMagic, binaryVersion, kindAppendStream}); err != nil {
+			return err
+		}
+		e.headerDone = true
+	}
+	body := e.enc.Bytes()
+	n := binary.PutUvarint(e.scratch[:], uint64(len(body)))
+	if _, err := e.w.Write(e.scratch[:n]); err != nil {
+		return err
+	}
+	_, err := e.w.Write(body)
+	e.enc.buf = e.enc.buf[:0] // reuse the frame buffer; keys persist
+	return err
+}
+
+// Events writes one batch frame under the given idempotency ID (empty for
+// an untagged append).
+func (e *AppendStreamEncoder) Events(batch string, events []Event) error {
+	if e.done {
+		return fmt.Errorf("wire: append frame after end frame")
+	}
+	e.enc.Byte(frameAppendEvents)
+	e.enc.String(batch)
+	e.enc.Uvarint(uint64(len(events)))
+	for i := range events {
+		EncodeEventTo(e.enc, events[i])
+	}
+	e.frames++
+	return e.writeFrame()
+}
+
+// End terminates the stream with the integrity frame. No frame may follow
+// it.
+func (e *AppendStreamEncoder) End() error {
+	if e.done {
+		return nil
+	}
+	e.enc.Byte(frameAppendEnd)
+	e.enc.Uvarint(e.frames)
+	if err := e.writeFrame(); err != nil {
+		return err
+	}
+	e.done = true
+	return nil
+}
+
+// AppendStreamDecoder reads a streaming ingest body frame by frame. Not
+// safe for concurrent use.
+type AppendStreamDecoder struct {
+	r      *bufio.Reader
+	keys   []string // intern table, carried across frames
+	buf    []byte   // frame body scratch, reused
+	events []Event  // element scratch, reused per frame
+	frames uint64
+	sawEnd bool
+	err    error
+}
+
+// NewAppendStreamDecoder wraps r and consumes the stream header.
+func NewAppendStreamDecoder(r io.Reader) (*AppendStreamDecoder, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var hdr [3]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("wire: append stream header: %w", err)
+	}
+	if hdr[0] != binaryMagic || hdr[1] != binaryVersion || hdr[2] != kindAppendStream {
+		return nil, fmt.Errorf("wire: not an append stream (header % x)", hdr)
+	}
+	return &AppendStreamDecoder{r: br}, nil
+}
+
+// Next returns the next batch frame. After the end frame it reports
+// io.EOF; EOF from the underlying reader before the end frame means the
+// writer died mid-stream and Next returns an error wrapping
+// io.ErrUnexpectedEOF. The returned frame's event slice is scratch reused
+// by the next call — consume (or copy) a frame before pulling the next.
+func (d *AppendStreamDecoder) Next() (*AppendFrame, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.sawEnd {
+		d.err = io.EOF
+		return nil, io.EOF
+	}
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("wire: append stream truncated before end frame: %w", io.ErrUnexpectedEOF)
+		}
+		d.err = err
+		return nil, err
+	}
+	if n == 0 || n > maxStreamFrame {
+		d.err = fmt.Errorf("wire: append stream frame of %d bytes (max %d)", n, maxStreamFrame)
+		return nil, d.err
+	}
+	if uint64(cap(d.buf)) < n {
+		d.buf = make([]byte, n)
+	}
+	body := d.buf[:n]
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("wire: append stream truncated inside a frame: %w", io.ErrUnexpectedEOF)
+		}
+		d.err = err
+		return nil, err
+	}
+	frame, err := d.decodeFrame(body)
+	if err != nil {
+		d.err = err
+		return nil, err
+	}
+	if frame == nil { // end frame consumed
+		d.err = io.EOF
+		return nil, io.EOF
+	}
+	return frame, nil
+}
+
+// decodeFrame decodes one frame body, threading the stream-wide intern
+// table. A nil, nil return means the end frame was consumed (and
+// verified).
+func (d *AppendStreamDecoder) decodeFrame(body []byte) (*AppendFrame, error) {
+	dec := &Decoder{data: body, keys: d.keys}
+	typ := dec.Byte()
+	var out *AppendFrame
+	switch typ {
+	case frameAppendEvents:
+		batch := dec.String()
+		n := dec.Len()
+		if cap(d.events) < n {
+			d.events = make([]Event, 0, n)
+		}
+		events := d.events[:0]
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			events = append(events, DecodeEventFrom(dec))
+		}
+		d.events = events
+		d.frames++
+		out = &AppendFrame{Batch: batch, Events: events}
+	case frameAppendEnd:
+		want := dec.Uvarint()
+		if dec.Err() == nil && want != d.frames {
+			return nil, fmt.Errorf("wire: append stream end frame declares %d frames, read %d", want, d.frames)
+		}
+		d.sawEnd = true
+	default:
+		return nil, fmt.Errorf("wire: unknown append stream frame type 0x%02x", typ)
+	}
+	d.keys = dec.keys
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if dec.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in append stream frame 0x%02x", dec.Remaining(), typ)
+	}
+	return out, nil
+}

@@ -262,6 +262,15 @@ func (e *Encoder) Key(s string) {
 	e.keys[s] = len(e.keys)
 }
 
+// Reset clears the encoder for reuse: the buffer empties and the key
+// intern table forgets everything, so the next message decodes
+// self-contained. Callers that hand Bytes to a consumer that retains the
+// slice must not Reset until the consumer is done with it.
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	clear(e.keys)
+}
+
 // Len returns the bytes written so far.
 func (e *Encoder) Len() int { return len(e.buf) }
 
