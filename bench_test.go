@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"historygraph"
 	"historygraph/internal/analytics"
@@ -1135,4 +1136,110 @@ func BenchmarkAppendStream(b *testing.B) {
 			b.Fatal(err)
 		}
 	})
+}
+
+// BenchmarkSlotRoute measures the slot-routing hot path — hashing an
+// event to its slot and resolving the owner in the versioned table —
+// paid once per event on every append the coordinator scatters.
+func BenchmarkSlotRoute(b *testing.B) {
+	d1, _, _ := setup(b)
+	tbl := shard.DefaultSlotTable(4)
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += tbl.Partition(d1[i%len(d1)])
+	}
+	_ = sink
+}
+
+// BenchmarkMigrationStream measures one complete slot migration: a fresh
+// WAL-backed target streams a source primary's entire dataset-1 history
+// through the slot-filtered replay protocol, applies it through its
+// append pipeline, and reports the ingest done. One op is one end-to-end
+// migration — the data-movement cost of a reshard, minus the cutover.
+func BenchmarkMigrationStream(b *testing.B) {
+	d1, _, L := setup(b)
+	dir := b.TempDir()
+	gm, err := historygraph.Open(historygraph.Options{LeafEventlistSize: L})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { gm.Close() })
+	svc := server.New(gm, server.Config{CacheSize: 8})
+	wal, err := replica.OpenLog(filepath.Join(dir, "src.wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	node, err := replica.NewNode(svc, wal, replica.Config{Role: replica.RolePrimary})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(node.Handler())
+	b.Cleanup(func() { hs.Close(); node.Close(); svc.Close(); wal.Close() })
+	if _, err := server.NewClient(hs.URL).Append(d1); err != nil {
+		b.Fatal(err)
+	}
+	head := wal.LastSeq()
+	slots := make([]int, shard.NumSlots)
+	for i := range slots {
+		slots[i] = i
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tgtGM, err := historygraph.Open(historygraph.Options{LeafEventlistSize: L})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tgtSvc := server.New(tgtGM, server.Config{CacheSize: 8})
+		tgtWAL, err := replica.OpenLog(filepath.Join(dir, fmt.Sprintf("tgt-%d.wal", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tgtNode, err := replica.NewNode(tgtSvc, tgtWAL, replica.Config{Role: replica.RolePrimary})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tgtSrv := httptest.NewServer(tgtNode.Handler())
+		b.StartTimer()
+
+		if _, err := replica.Migrate(ctx, http.DefaultClient, tgtSrv.URL, replica.MigrateRequest{
+			Sources: []replica.MigrateSource{{URLs: []string{hs.URL}, Slots: slots}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := replica.Migrate(ctx, http.DefaultClient, tgtSrv.URL, replica.MigrateRequest{
+			Finalize: []uint64{head},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			st, err := replica.MigrationStatus(ctx, http.DefaultClient, tgtSrv.URL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Error != "" {
+				b.Fatal(st.Error)
+			}
+			if st.Done {
+				if st.Applied != head {
+					b.Fatalf("migrated %d of %d events", st.Applied, head)
+				}
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		b.StopTimer()
+		if _, err := replica.Migrate(ctx, http.DefaultClient, tgtSrv.URL, replica.MigrateRequest{Stop: true}); err != nil {
+			b.Fatal(err)
+		}
+		tgtSrv.Close()
+		tgtNode.Close()
+		tgtSvc.Close()
+		tgtWAL.Close()
+		tgtGM.Close()
+		b.StartTimer()
+	}
 }

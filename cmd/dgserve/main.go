@@ -181,6 +181,12 @@ func main() {
 		cfg := replica.Config{
 			SyncFollowers: *syncFollowers, SelfID: selfID, ReadyMaxLag: *readyMaxLag,
 			AppendQueue: *appendQueue, StreamWindow: *appendStreamWindow,
+			// The manager factory enables automated truncate-and-resync: a
+			// follower whose WAL diverged from its primary re-seeds itself
+			// instead of waiting for an operator to wipe the WAL directory.
+			NewManager: func() (*historygraph.GraphManager, error) {
+				return historygraph.Open(opts)
+			},
 		}
 		if *primary != "" {
 			cfg.Role = replica.RoleFollower

@@ -41,12 +41,30 @@ func HashNode(n NodeID) uint64 { return fnvMix(fnvOffset64, uint64(n)) }
 // HashEdge hashes an edge identifier.
 func HashEdge(e EdgeID) uint64 { return fnvMix(fnvOffset64^0x9e3779b97f4a7c15, uint64(e)) }
 
-// Partition maps a node to one of p partitions (p >= 1).
+// NumSlots is the size of the fixed hash-slot space the node IDs are
+// mapped into. Cluster routing owns whole slots, never raw hash ranges:
+// a partition's share of the key space is a set of slots, so ownership
+// can move slot by slot (elastic resharding) without rehashing anything.
+const NumSlots = 256
+
+// Slot maps a node to its hash slot.
+func Slot(n NodeID) int { return int(HashNode(n) % NumSlots) }
+
+// SlotOfEvent routes an event to a slot by its primary node (edge events
+// carry their From endpoint there, so an edge and its attribute events
+// share a slot with the endpoint).
+func SlotOfEvent(ev Event) int { return Slot(ev.Node) }
+
+// Partition maps a node to one of p partitions (p >= 1) through the slot
+// space: slot i belongs to partition i mod p. Routing through slots keeps
+// a boot-time hash layout and a slot table initialised with the same rule
+// in exact agreement, so a cluster can adopt slot-based routing without
+// moving any data.
 func Partition(n NodeID, p int) int {
 	if p <= 1 {
 		return 0
 	}
-	return int(HashNode(n) % uint64(p))
+	return Slot(n) % p
 }
 
 // PartitionOfEvent routes an event to a storage partition by its primary

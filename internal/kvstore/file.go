@@ -375,6 +375,44 @@ func (s *FileStore) Sync() error {
 	return err
 }
 
+// Reset truncates the log to empty and clears the index — the store's
+// half of a replica truncate-and-resync: a diverged WAL's history is
+// discarded wholesale before the good history streams back in. The file
+// stays open and writable; the magic header is rewritten and synced so a
+// crash mid-resync reopens as a valid empty log, never a torn one.
+func (s *FileStore) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resetLocked()
+}
+
+// resetLocked is Reset with the write lock held (SeqLog resets its
+// sequence counter under the same critical section).
+func (s *FileStore) resetLocked() error {
+	if s.f == nil {
+		return fmt.Errorf("kvstore: reset on closed store")
+	}
+	s.w.Reset(io.Discard) // drop buffered records destined for the old log
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := s.f.WriteString(fileMagic); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.off = int64(len(fileMagic))
+	s.index = make(map[string]recordLoc)
+	s.liveKeys = 0
+	s.dirty = false
+	s.w.Reset(s.f)
+	return nil
+}
+
 // Close implements Store.
 func (s *FileStore) Close() error {
 	s.mu.Lock()

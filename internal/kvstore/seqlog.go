@@ -110,5 +110,18 @@ func (l *SeqLog) SetSyncObserver(fn func(time.Duration)) { l.fs.SetSyncObserver(
 // SizeOnDisk returns the log's backing file footprint in bytes.
 func (l *SeqLog) SizeOnDisk() int64 { return l.fs.SizeOnDisk() }
 
+// Reset discards every record and rewinds the sequence to 0 (the next
+// Append stores seq 1). The replica truncate-and-resync path uses it to
+// drop a diverged log before re-mirroring the authoritative history.
+func (l *SeqLog) Reset() error {
+	l.fs.mu.Lock()
+	defer l.fs.mu.Unlock()
+	if err := l.fs.resetLocked(); err != nil {
+		return err
+	}
+	l.last.Store(0)
+	return nil
+}
+
 // Close releases the underlying file. The log must not be used afterwards.
 func (l *SeqLog) Close() error { return l.fs.Close() }

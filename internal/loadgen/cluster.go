@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -260,29 +261,44 @@ func (c *Cluster) NodeMax() int64 { return c.nodeMax }
 // member listings) for reporting.
 func (c *Cluster) Coordinator() *shard.Coordinator { return c.co }
 
+// set returns launch-order worker set p under the lock (nil when out of
+// range). A reshard appends sets, so indices refer to provisioning
+// order, not the coordinator's live partition numbering (a merge
+// renumbers the survivors).
+func (c *Cluster) set(p int) ([]*clusterWorker, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p < 0 || p >= len(c.workers) {
+		return nil, len(c.workers)
+	}
+	return c.workers[p], len(c.workers)
+}
+
 // KillReplica implements Chaos: stop partition p's member m for good.
 func (c *Cluster) KillReplica(p, m int) error {
-	if p < 0 || p >= len(c.workers) || m < 0 || m >= len(c.workers[p]) {
-		return fmt.Errorf("no replica p%d m%d in a %dx%d cluster", p, m, len(c.workers), len(c.workers[0]))
+	set, n := c.set(p)
+	if set == nil || m < 0 || m >= len(set) {
+		return fmt.Errorf("no replica p%d m%d in a %dx%d cluster", p, m, n, c.cfg.Replicas)
 	}
-	c.workers[p][m].stop()
+	set[m].stop()
 	return nil
 }
 
 // SlowPartition implements Chaos: inject delay before every response
 // from partition p's members for dur (0 = until Close).
 func (c *Cluster) SlowPartition(p int, delay, dur time.Duration) error {
-	if p < 0 || p >= len(c.workers) {
-		return fmt.Errorf("no partition %d in a %d-partition cluster", p, len(c.workers))
+	set, n := c.set(p)
+	if set == nil {
+		return fmt.Errorf("no partition %d in a %d-partition cluster", p, n)
 	}
-	for _, w := range c.workers[p] {
+	for _, w := range set {
 		w.gate.delay.Store(int64(delay))
 	}
 	if dur > 0 {
 		c.mu.Lock()
 		if !c.closed {
 			c.timers = append(c.timers, time.AfterFunc(dur, func() {
-				for _, w := range c.workers[p] {
+				for _, w := range set {
 					w.gate.delay.Store(0)
 				}
 			}))
@@ -290,6 +306,72 @@ func (c *Cluster) SlowPartition(p int, delay, dur time.Duration) error {
 		c.mu.Unlock()
 	}
 	return nil
+}
+
+// reshardBound caps one chaos-driven reshard end to end (provisioning,
+// bulk copy, cutover). Generous against the scenario clock on purpose:
+// a reshard that overruns surfaces as a chaos-desc error, not a hang.
+const reshardBound = 2 * time.Minute
+
+// Reshard implements Chaos: provision a fresh replica set sized like the
+// launch sets and run one live split or merge through the coordinator —
+// exactly what an operator driving POST /admin/reshard does, except the
+// target capacity comes from the harness instead of a fleet. The new
+// set is owned by the cluster (Close tears it down); after a merge the
+// retired sets keep running fenced, like real decommissioning would
+// leave them until reclaimed.
+func (c *Cluster) Reshard(mode string, merge []int) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster closed")
+	}
+	p := len(c.workers)
+	c.mu.Unlock()
+
+	var set []*clusterWorker
+	var urls []string
+	fail := func(err error) error {
+		for _, w := range set {
+			w.stop()
+		}
+		return err
+	}
+	for m := 0; m < c.cfg.Replicas; m++ {
+		rcfg := replica.Config{SelfID: fmt.Sprintf("p%d-m%d", p, m)}
+		if m == 0 {
+			rcfg.Role = replica.RolePrimary
+			if c.cfg.Replicas > 1 {
+				rcfg.SyncFollowers = c.cfg.SyncFollowers
+			}
+		} else {
+			rcfg.Role = replica.RoleFollower
+			rcfg.PrimaryURL = urls[0]
+		}
+		w, err := startClusterWorker(filepath.Join(c.dir, fmt.Sprintf("p%d-m%d.wal", p, m)), rcfg)
+		if err != nil {
+			return fail(err)
+		}
+		set = append(set, w)
+		urls = append(urls, w.url)
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fail(fmt.Errorf("cluster closed"))
+	}
+	c.workers = append(c.workers, set)
+	c.mu.Unlock()
+
+	req := shard.ReshardRequest{Target: urls}
+	if mode == "merge" {
+		req.Merge = merge
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), reshardBound)
+	defer cancel()
+	_, _, err := c.co.Reshard(ctx, req)
+	return err
 }
 
 // Close tears the whole cluster down and removes a temp WAL dir.

@@ -29,6 +29,12 @@ type Chaos interface {
 	// SlowPartition injects delay before every response from partition
 	// p's members for dur (0 = the rest of the run).
 	SlowPartition(p int, delay, dur time.Duration) error
+	// Reshard provisions a fresh replica set and runs one live reshard
+	// through the coordinator: mode "split" (or "") has the set join as
+	// a new partition with an auto-picked slot share; mode "merge"
+	// retires the listed partitions into it. Blocks until the cutover
+	// epoch is installed (or the reshard failed).
+	Reshard(mode string, merge []int) error
 }
 
 // Options configures a Run beyond what the scenario declares.
@@ -354,6 +360,13 @@ func Run(ctx context.Context, sc *Scenario, opts Options) (*Result, error) {
 			if !sleepCtx(runCtx, ce.At.D()) {
 				return
 			}
+			if ce.Action == ChaosReshard {
+				// The reshard blocks through its cutover, so errors racing
+				// the migration or the epoch flip land while applyChaos is
+				// still running — open the grace window up front and let
+				// the post-return store trim it to the settle period.
+				st.graceUntil.Store(time.Now().Add(time.Hour).UnixNano())
+			}
 			desc, grace := applyChaos(opts.Chaos, ce)
 			st.graceUntil.Store(time.Now().Add(grace).UnixNano())
 			chaosMu.Lock()
@@ -493,6 +506,24 @@ func applyChaos(c Chaos, ce ChaosEvent) (desc string, grace time.Duration) {
 			grace = time.Hour // slowed for the rest of the run
 		}
 		return desc, grace
+	case ChaosReshard:
+		mode := ce.Mode
+		if mode == "" {
+			mode = "split"
+		}
+		err := c.Reshard(mode, ce.Merge)
+		desc = "reshard " + mode
+		if mode == "merge" {
+			desc = fmt.Sprintf("reshard merge %v", ce.Merge)
+		}
+		if err != nil {
+			desc += " (" + err.Error() + ")"
+		}
+		// Reshard blocks through the cutover, so the epoch flip lands just
+		// before this returns: requests planned against the old table are
+		// replanned internally, but the flip still races request deadlines
+		// and the brief append gate — give the routing a settle window.
+		return desc, 5 * time.Second
 	}
 	return "noop", 0
 }

@@ -52,6 +52,13 @@ const (
 	// ChaosSlowPartition injects Delay before every response from the
 	// named partition's members for Duration (0 = rest of the run).
 	ChaosSlowPartition = "slow_partition"
+	// ChaosReshard runs one live reshard against the coordinator
+	// mid-measurement: the harness provisions a fresh replica set and
+	// drives POST /admin/reshard, so the workload crosses a routing-epoch
+	// cutover. Mode "split" (the default) has the fresh set join as a new
+	// partition with an auto-picked balanced slot share; mode "merge"
+	// retires the partitions listed in Merge into the fresh set.
+	ChaosReshard = "reshard"
 )
 
 // ChaosEvent schedules one fault injection. At is the offset from the
@@ -60,10 +67,16 @@ const (
 type ChaosEvent struct {
 	At        Duration `json:"at"`
 	Action    string   `json:"action"`
-	Partition int      `json:"partition"`
+	Partition int      `json:"partition,omitempty"`
 	Member    int      `json:"member,omitempty"`
 	Delay     Duration `json:"delay,omitempty"`
 	Duration  Duration `json:"duration,omitempty"`
+	// Mode selects the reshard flavor: "split" (default) or "merge".
+	Mode string `json:"mode,omitempty"`
+	// Merge lists the partitions a reshard merge retires into the fresh
+	// target set. Partition indices are as of the event firing — an
+	// earlier split shifts them, so order reshard events accordingly.
+	Merge []int `json:"merge,omitempty"`
 }
 
 // TimepointDist declares how read timepoints are drawn from the history
@@ -266,9 +279,30 @@ func (sc *Scenario) Normalize() error {
 			if ce.Delay <= 0 {
 				return fmt.Errorf("scenario %s: chaos[%d]: %s requires a positive delay", sc.Name, i, ce.Action)
 			}
+		case ChaosReshard:
+			if ce.Delay != 0 || ce.Duration != 0 {
+				return fmt.Errorf("scenario %s: chaos[%d]: %s takes no delay/duration", sc.Name, i, ce.Action)
+			}
+			switch ce.Mode {
+			case "", "split":
+				if len(ce.Merge) > 0 {
+					return fmt.Errorf("scenario %s: chaos[%d]: a merge list requires mode \"merge\"", sc.Name, i)
+				}
+			case "merge":
+				if len(ce.Merge) == 0 {
+					return fmt.Errorf("scenario %s: chaos[%d]: mode \"merge\" requires a merge list", sc.Name, i)
+				}
+				for _, p := range ce.Merge {
+					if p < 0 {
+						return fmt.Errorf("scenario %s: chaos[%d]: merge partition must not be negative", sc.Name, i)
+					}
+				}
+			default:
+				return fmt.Errorf("scenario %s: chaos[%d]: reshard mode %q (want split or merge)", sc.Name, i, ce.Mode)
+			}
 		default:
-			return fmt.Errorf("scenario %s: chaos[%d]: unknown action %q (want %s or %s)",
-				sc.Name, i, ce.Action, ChaosKillReplica, ChaosSlowPartition)
+			return fmt.Errorf("scenario %s: chaos[%d]: unknown action %q (want %s, %s or %s)",
+				sc.Name, i, ce.Action, ChaosKillReplica, ChaosSlowPartition, ChaosReshard)
 		}
 		if ce.At < 0 {
 			return fmt.Errorf("scenario %s: chaos[%d]: at must not be negative", sc.Name, i)

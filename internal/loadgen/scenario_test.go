@@ -62,6 +62,11 @@ func TestParseScenarioErrors(t *testing.T) {
 		{"chaos past end", `{"name":"x","clients":1,"duration":"5s","mix":{"snapshot":1},"chaos":[{"at":"6s","action":"kill_replica"}]}`, "past the"},
 		{"kill takes no delay", `{"name":"x","clients":1,"duration":"5s","mix":{"snapshot":1},"chaos":[{"at":"1s","action":"kill_replica","delay":"10ms"}]}`, "takes no delay"},
 		{"slow needs delay", `{"name":"x","clients":1,"duration":"5s","mix":{"snapshot":1},"chaos":[{"at":"1s","action":"slow_partition"}]}`, "requires a positive delay"},
+		{"reshard takes no delay", `{"name":"x","clients":1,"duration":"5s","mix":{"snapshot":1},"chaos":[{"at":"1s","action":"reshard","delay":"10ms"}]}`, "takes no delay"},
+		{"reshard bad mode", `{"name":"x","clients":1,"duration":"5s","mix":{"snapshot":1},"chaos":[{"at":"1s","action":"reshard","mode":"shuffle"}]}`, "want split or merge"},
+		{"reshard split no merge list", `{"name":"x","clients":1,"duration":"5s","mix":{"snapshot":1},"chaos":[{"at":"1s","action":"reshard","merge":[1]}]}`, "requires mode"},
+		{"reshard merge needs list", `{"name":"x","clients":1,"duration":"5s","mix":{"snapshot":1},"chaos":[{"at":"1s","action":"reshard","mode":"merge"}]}`, "requires a merge list"},
+		{"reshard merge negative", `{"name":"x","clients":1,"duration":"5s","mix":{"snapshot":1},"chaos":[{"at":"1s","action":"reshard","mode":"merge","merge":[-1]}]}`, "must not be negative"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -97,6 +102,33 @@ func TestParseScenarioChaos(t *testing.T) {
 		t.Errorf("chaos[0] = %+v", sc.Chaos[0])
 	}
 	if sc.Chaos[1].Delay.D() != 20*time.Millisecond || sc.Chaos[1].Duration.D() != 3*time.Second {
+		t.Errorf("chaos[1] = %+v", sc.Chaos[1])
+	}
+}
+
+// TestParseScenarioReshard: both reshard flavors parse, and the split
+// mode defaults when the document leaves it out.
+func TestParseScenarioReshard(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{
+		"name": "reshard",
+		"clients": 2,
+		"duration": "20s",
+		"mix": {"snapshot": 1, "append": 1},
+		"chaos": [
+			{"at": "5s", "action": "reshard"},
+			{"at": "12s", "action": "reshard", "mode": "merge", "merge": [1, 2]}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Chaos) != 2 {
+		t.Fatalf("chaos events: %d", len(sc.Chaos))
+	}
+	if sc.Chaos[0].Action != ChaosReshard || sc.Chaos[0].Mode != "" || len(sc.Chaos[0].Merge) != 0 {
+		t.Errorf("chaos[0] = %+v", sc.Chaos[0])
+	}
+	if sc.Chaos[1].Mode != "merge" || len(sc.Chaos[1].Merge) != 2 {
 		t.Errorf("chaos[1] = %+v", sc.Chaos[1])
 	}
 }

@@ -35,6 +35,62 @@ func Status(ctx context.Context, hc *http.Client, baseURL string) (*StatusJSON, 
 	return &out, nil
 }
 
+// Migrate drives a node's POST /admin/migrate — start a slot-migration
+// ingest (Sources), freeze the per-source final WAL heads (Finalize), or
+// tear the ingest down (Stop) — and returns the resulting status. The
+// coordinator's reshard driver is the caller.
+func Migrate(ctx context.Context, hc *http.Client, baseURL string, mr MigrateRequest) (*MigrateStatus, error) {
+	buf, err := json.Marshal(mr)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(baseURL, "/")+"/admin/migrate", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return nil, fmt.Errorf("replica: %s/admin/migrate: HTTP %d: %s",
+			baseURL, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var out MigrateStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MigrationStatus fetches a node's GET /admin/migrate.
+func MigrationStatus(ctx context.Context, hc *http.Client, baseURL string) (*MigrateStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(baseURL, "/")+"/admin/migrate", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return nil, fmt.Errorf("replica: %s/admin/migrate: HTTP %d: %s",
+			baseURL, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var out MigrateStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // SetRole posts a node's POST /role: promote to primary (primaryURL
 // ignored) or point at a new primary as follower. The coordinator's
 // failover path drives promotions through it.

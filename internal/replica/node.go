@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"historygraph"
+	"historygraph/internal/graph"
 	"historygraph/internal/metrics"
 	"historygraph/internal/server"
 	"historygraph/internal/wire"
@@ -97,6 +98,14 @@ type Config struct {
 	// the handler stops reading new frames until the oldest settles. 0
 	// picks DefaultStreamWindow.
 	StreamWindow int
+	// NewManager builds a fresh, empty GraphManager over the same options
+	// the node was opened with. It enables the automated truncate-and-resync
+	// path: a follower whose WAL diverged from its primary (a deposed
+	// primary's unacked tail, a mirror of one) resets its log, swaps in an
+	// empty manager, and re-tails from sequence 1 instead of waiting for an
+	// operator to wipe the WAL directory. Nil disables the automation; the
+	// divergence is surfaced in /replstatus instead.
+	NewManager func() (*historygraph.GraphManager, error)
 }
 
 // Node is one member of a replica set: an internal/server.Server with a
@@ -116,6 +125,7 @@ type Node struct {
 	fetchMax      int
 	readyMaxLag   uint64
 	streamWindow  int
+	newManager    func() (*historygraph.GraphManager, error)
 
 	role       atomic.Int32
 	appliedSeq atomic.Uint64
@@ -129,6 +139,17 @@ type Node struct {
 	primaryHead atomic.Uint64
 	headKnown   atomic.Bool
 	tailFails   *metrics.Counter // fetch/apply failures in the tail loop
+
+	// reseedN counts completed automated truncate-and-resync runs (also a
+	// registry counter); /replstatus reports it so operators can tell a
+	// clean catch-up from one that started by discarding a diverged log.
+	reseedN  atomic.Uint64
+	reseeds  *metrics.Counter
+	reseedMu sync.Mutex // serializes reseed runs against each other
+
+	// The slot-migration ingest (resharding): at most one per node.
+	migMu sync.Mutex
+	mig   *migration
 
 	// The append pipeline. Appends used to hold one lock across
 	// validate → WAL write (fsync included) → graph apply → follower-ack
@@ -260,6 +281,7 @@ func NewNode(srv *server.Server, log *Log, cfg Config) (*Node, error) {
 	if n.hc == nil {
 		n.hc = &http.Client{}
 	}
+	n.newManager = cfg.NewManager
 	queueCap := cfg.AppendQueue
 	if queueCap <= 0 {
 		queueCap = DefaultAppendQueue
@@ -285,6 +307,8 @@ func NewNode(srv *server.Server, log *Log, cfg Config) (*Node, error) {
 	log.SetMetrics(reg)
 	n.tailFails = reg.Counter("dg_replica_tail_failures_total",
 		"Follower tail-loop failures (fetch errors, apply errors, backlog errors).")
+	n.reseeds = reg.Counter("dg_replica_reseeds_total",
+		"Automated truncate-and-resync runs: the node discarded a diverged WAL and re-tailed from scratch.")
 	reg.GaugeFunc("dg_replica_ready", "1 when GET /readyz would answer 200, else 0.",
 		func() float64 {
 			if _, ready := n.readiness(); ready {
@@ -323,6 +347,9 @@ func NewNode(srv *server.Server, log *Log, cfg Config) (*Node, error) {
 	mux.Handle("GET /replicate", srv.InstrumentHandler(http.HandlerFunc(n.handleReplicate)))
 	mux.Handle("GET /replstatus", srv.InstrumentHandler(http.HandlerFunc(n.handleStatus)))
 	mux.Handle("POST /role", srv.InstrumentHandler(http.HandlerFunc(n.handleRole)))
+	mux.Handle("POST /admin/migrate", srv.InstrumentHandler(http.HandlerFunc(n.handleMigrate)))
+	mux.Handle("GET /admin/migrate", srv.InstrumentHandler(http.HandlerFunc(n.handleMigrateStatus)))
+	mux.Handle("POST /admin/reseed", srv.InstrumentHandler(http.HandlerFunc(n.handleReseed)))
 	// /readyz carries replication state (role, catch-up lag); it shadows the
 	// wrapped server's bare always-ready answer.
 	mux.Handle("GET /readyz", srv.InstrumentHandler(http.HandlerFunc(n.handleReadyz)))
@@ -494,6 +521,10 @@ func (n *Node) Close() {
 	n.closed = true
 	n.stopTailLocked()
 	n.mu.Unlock()
+	// Stop the migration ingest while the applier still runs: the merger
+	// may be mid-migrateAppend, and stopping it first lets that batch
+	// settle normally instead of racing the pipeline shutdown.
+	n.stopMigration()
 	close(n.quit)
 	<-n.applierDone
 }
@@ -504,6 +535,9 @@ func (n *Node) Close() {
 var errNodeClosed = fmt.Errorf("replica: node closed")
 
 func (n *Node) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if !n.srv.CheckEpoch(w, r) {
+		return
+	}
 	if n.Role() != RolePrimary {
 		n.mu.Lock()
 		primary := n.primaryURL
@@ -896,10 +930,17 @@ func (n *Node) waitForAcks(seq uint64, count int) bool {
 
 // --- replication stream (primary side) --------------------------------
 
-// replicateResponse is the GET /replicate body.
+// replicateResponse is the GET /replicate body. NextFrom and LastTime are
+// set on slot-filtered fetches only: filtered-out records still advance
+// the scan, so the puller resumes at NextFrom rather than past the last
+// returned record; LastTime is the source's safe time horizon — every
+// record it will ever serve past NextFrom carries an event time at or
+// after it (WAL records are time-ordered).
 type replicateResponse struct {
-	Records []Record `json:"records"`
-	LastSeq uint64   `json:"last_seq"`
+	Records  []Record `json:"records"`
+	LastSeq  uint64   `json:"last_seq"`
+	NextFrom uint64   `json:"next_from,omitempty"`
+	LastTime int64    `json:"last_time,omitempty"`
 }
 
 func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
@@ -915,8 +956,21 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 			max = m
 		}
 	}
-	// from=N acknowledges that the caller has durably logged 1..N-1.
-	if id := q.Get("id"); id != "" && from > 1 {
+	var slots *slotSet
+	if sq := q.Get("slots"); sq != "" {
+		if q.Get("id") != "" {
+			server.WriteError(w, http.StatusBadRequest,
+				fmt.Errorf("slots= and id= are mutually exclusive: a migration fetch is not a follower ack"))
+			return
+		}
+		ss, err := parseSlotBitmap(sq)
+		if err != nil {
+			server.WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		slots = &ss
+	} else if id := q.Get("id"); id != "" && from > 1 {
+		// from=N acknowledges that the caller has durably logged 1..N-1.
 		n.recordAck(id, from-1)
 	}
 	if wq := q.Get("wait"); wq != "" {
@@ -932,10 +986,39 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusInternalServerError, err)
 		return
 	}
+	binary := wire.Negotiate(r.Header.Get("Accept")).Name() == wire.NameBinary
+	if slots != nil {
+		// The scan cursor and time horizon come from the unfiltered page:
+		// a record outside the requested slots is consumed (never served
+		// to this puller again) and still bounds the times of everything
+		// after it.
+		nextFrom := from
+		var lastTime int64
+		if len(recs) > 0 {
+			nextFrom = recs[len(recs)-1].Seq + 1
+			lastTime = recs[len(recs)-1].Event.At
+		}
+		kept := recs[:0]
+		for _, rec := range recs {
+			if slots.has(graph.Slot(historygraph.NodeID(rec.Event.Node))) {
+				kept = append(kept, rec)
+			}
+		}
+		if binary {
+			w.Header().Set("Content-Type", wire.ContentTypeBinary)
+			w.WriteHeader(http.StatusOK)
+			w.Write(encodeReplicateSlots(kept, n.log.LastSeq(), nextFrom, lastTime))
+			return
+		}
+		server.WriteJSON(w, http.StatusOK, replicateResponse{
+			Records: kept, LastSeq: n.log.LastSeq(), NextFrom: nextFrom, LastTime: lastTime,
+		})
+		return
+	}
 	// Followers ask for the binary stream (one encoder per batch, interned
 	// keys, no per-record JSON); anything else gets the JSON body so old
 	// followers keep tailing a new primary.
-	if wire.Negotiate(r.Header.Get("Accept")).Name() == wire.NameBinary {
+	if binary {
 		w.Header().Set("Content-Type", wire.ContentTypeBinary)
 		w.WriteHeader(http.StatusOK)
 		w.Write(encodeReplicate(recs, n.log.LastSeq()))
@@ -966,6 +1049,12 @@ type StatusJSON struct {
 	// that are not in the graph — worth an operator's look, not fatal.
 	WALSkipped uint64 `json:"wal_skipped,omitempty"`
 	TailError  string `json:"tail_error,omitempty"`
+	// Reseeds counts completed automated truncate-and-resync runs: each is
+	// one diverged WAL this node discarded and rebuilt from its primary.
+	Reseeds uint64 `json:"reseeds,omitempty"`
+	// Migration is the slot-migration ingest state, present once a
+	// migration has been started on this node (resharding target).
+	Migration *MigrateStatus `json:"migration,omitempty"`
 }
 
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -986,6 +1075,8 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 		LogAppliedGap: gap,
 		WALSkipped:    n.walSkipped.Load(),
 		TailError:     n.tailErr.Load().(string),
+		Reseeds:       n.reseedN.Load(),
+		Migration:     n.migrationStatus(),
 	})
 }
 
@@ -1127,6 +1218,40 @@ func (n *Node) tailLoop(ctx context.Context, primary string, done chan struct{})
 			return false
 		}
 	}
+	// Lineage handshake: before mirroring anything, verify the local log
+	// is a prefix of the primary's. A deposed primary rejoining as a
+	// follower can hold an unacked tail the new primary never had — with a
+	// plain fetch from LastSeq+1 that divergence is silent (the primary's
+	// head is simply shorter, the loop idles "caught up" with conflicting
+	// history). Detected divergence triggers the automated
+	// truncate-and-resync when a manager factory is configured.
+	for ctx.Err() == nil {
+		diverged, err := n.checkLineage(ctx, primary)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			n.tailErr.Store(err.Error())
+			n.tailFails.Inc()
+			if !backoff() {
+				return
+			}
+			continue
+		}
+		if !diverged {
+			break
+		}
+		if err := n.reseed(primary); err != nil {
+			n.tailErr.Store(err.Error())
+			n.tailFails.Inc()
+			if !backoff() {
+				return
+			}
+			continue
+		}
+		n.tailErr.Store("")
+		break
+	}
 	for ctx.Err() == nil {
 		// Logged-but-unapplied records come first: fetch resumes from the
 		// log's end, so anything a failed or interrupted apply left behind
@@ -1172,46 +1297,50 @@ func (n *Node) tailLoop(ctx context.Context, primary string, done chan struct{})
 	}
 }
 
-// fetch long-polls the primary for records past the local log end. It
-// advertises the binary stream; a primary that predates it answers JSON
-// and the Content-Type tells the two apart.
+// fetch long-polls the primary for records past the local log end.
 func (n *Node) fetch(ctx context.Context, primary string) ([]Record, error) {
 	from := n.log.LastSeq() + 1
-	url := fmt.Sprintf("%s/replicate?from=%d&max=%d&wait=%s&id=%s",
-		primary, from, n.fetchMax, n.pollWait, n.selfID)
-	reqCtx, cancel := context.WithTimeout(ctx, n.pollWait+10*time.Second)
-	defer cancel()
-	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
+	body, err := n.fetchReplicate(ctx, fmt.Sprintf("%s/replicate?from=%d&max=%d&wait=%s&id=%s",
+		primary, from, n.fetchMax, n.pollWait, n.selfID))
 	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Accept", wire.ContentTypeBinary)
-	resp, err := n.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("replica: primary answered HTTP %d", resp.StatusCode)
-	}
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if wire.ForContentType(resp.Header.Get("Content-Type")).Name() == wire.NameBinary {
-		body, err := decodeReplicate(raw)
-		if err != nil {
-			return nil, err
-		}
-		n.noteHead(body.LastSeq)
-		return body.Records, nil
-	}
-	var body replicateResponse
-	if err := json.Unmarshal(raw, &body); err != nil {
 		return nil, err
 	}
 	n.noteHead(body.LastSeq)
 	return body.Records, nil
+}
+
+// fetchReplicate runs one GET against a /replicate URL and decodes the
+// response. It advertises the binary stream; a primary that predates it
+// answers JSON and the Content-Type tells the two apart. The tail loop,
+// the lineage handshake, and the migration puller all fetch through it.
+func (n *Node) fetchReplicate(ctx context.Context, url string) (replicateResponse, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, n.pollWait+10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return replicateResponse{}, err
+	}
+	req.Header.Set("Accept", wire.ContentTypeBinary)
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return replicateResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return replicateResponse{}, fmt.Errorf("replica: primary answered HTTP %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return replicateResponse{}, err
+	}
+	if wire.ForContentType(resp.Header.Get("Content-Type")).Name() == wire.NameBinary {
+		return decodeReplicate(raw)
+	}
+	var body replicateResponse
+	if err := json.Unmarshal(raw, &body); err != nil {
+		return replicateResponse{}, err
+	}
+	return body, nil
 }
 
 // noteHead records the primary's durable log end from a fetch response;

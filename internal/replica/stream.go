@@ -14,6 +14,18 @@ package replica
 //	uvarint last_seq
 //	uvarint record count
 //	per record: uvarint seq | string batch | event
+//
+// A slot-filtered fetch (the resharding migration stream, ?slots=...)
+// answers kindReplicateSlots instead: the same record list restricted to
+// the requested hash slots, plus the cursor/horizon pair the puller needs
+// because filtered-out records still advance the scan:
+//
+//	uvarint last_seq
+//	uvarint next_from   (first sequence the next fetch should scan)
+//	varint  last_time   (safe time horizon: every event this source will
+//	                     ever serve past next_from is at or after it)
+//	uvarint record count
+//	per record: uvarint seq | string batch | event
 
 import (
 	"fmt"
@@ -21,35 +33,60 @@ import (
 	"historygraph/internal/wire"
 )
 
-// kindReplicate frames the /replicate binary body. Kinds 0x20+ are the
-// replica package's slice of the wire kind space.
-const kindReplicate = 0x21
+// Binary /replicate body kinds. Kinds 0x20+ are the replica package's
+// slice of the wire kind space.
+const (
+	kindReplicate      = 0x21
+	kindReplicateSlots = 0x22
+)
 
 // encodeReplicate renders a /replicate response in the binary format.
 func encodeReplicate(recs []Record, lastSeq uint64) []byte {
 	e := wire.NewEncoder()
 	e.Header(kindReplicate)
 	e.Uvarint(lastSeq)
+	encodeRecords(e, recs)
+	return e.Bytes()
+}
+
+// encodeReplicateSlots renders a slot-filtered /replicate response.
+func encodeReplicateSlots(recs []Record, lastSeq, nextFrom uint64, lastTime int64) []byte {
+	e := wire.NewEncoder()
+	e.Header(kindReplicateSlots)
+	e.Uvarint(lastSeq)
+	e.Uvarint(nextFrom)
+	e.Varint(lastTime)
+	encodeRecords(e, recs)
+	return e.Bytes()
+}
+
+func encodeRecords(e *wire.Encoder, recs []Record) {
 	e.Uvarint(uint64(len(recs)))
 	for _, rec := range recs {
 		e.Uvarint(rec.Seq)
 		e.String(rec.Batch)
 		wire.EncodeEventTo(e, rec.Event)
 	}
-	return e.Bytes()
 }
 
-// decodeReplicate reads a binary /replicate response.
+// decodeReplicate reads a binary /replicate response, either kind.
 func decodeReplicate(data []byte) (replicateResponse, error) {
 	d := wire.NewDecoder(data)
 	kind, err := d.Header()
 	if err != nil {
 		return replicateResponse{}, err
 	}
-	if kind != kindReplicate {
-		return replicateResponse{}, fmt.Errorf("replica: message kind 0x%02x, want 0x%02x", kind, kindReplicate)
+	var out replicateResponse
+	switch kind {
+	case kindReplicate:
+		out.LastSeq = d.Uvarint()
+	case kindReplicateSlots:
+		out.LastSeq = d.Uvarint()
+		out.NextFrom = d.Uvarint()
+		out.LastTime = d.Varint()
+	default:
+		return replicateResponse{}, fmt.Errorf("replica: message kind 0x%02x, want 0x%02x or 0x%02x", kind, kindReplicate, kindReplicateSlots)
 	}
-	out := replicateResponse{LastSeq: d.Uvarint()}
 	n := d.Len()
 	out.Records = make([]Record, 0, n)
 	for i := 0; i < n && d.Err() == nil; i++ {

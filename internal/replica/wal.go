@@ -434,6 +434,32 @@ func (l *Log) Wait(seq uint64, timeout time.Duration) bool {
 // SizeOnDisk returns the WAL's file footprint in bytes.
 func (l *Log) SizeOnDisk() int64 { return l.sl.SizeOnDisk() }
 
+// Reset discards every record and rewinds the sequence to 0 — the
+// truncate half of the automated truncate-and-resync path a diverged
+// follower takes before re-mirroring the primary's history. The caller
+// must have quiesced the node first (no appends in flight): a pending
+// group commit is refused rather than raced.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	if l.closed {
+		return errLogClosed
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	if l.want != l.synced {
+		return fmt.Errorf("replica: WAL reset with %d records awaiting sync", l.want-l.synced)
+	}
+	if err := l.sl.Reset(); err != nil {
+		return err
+	}
+	l.want, l.synced = 0, 0
+	return nil
+}
+
 // Close stops the flusher (failing any appender still waiting on a sync)
 // and releases the underlying file.
 func (l *Log) Close() error {

@@ -213,6 +213,20 @@ func (c *snapCache) InvalidateFrom(t historygraph.Time) int {
 	return n
 }
 
+// setManager purges every entry — releasing the resident views through
+// the manager that produced them — and points the cache at a replacement
+// manager (automated re-seed). The generation bump refuses in-flight
+// inserts whose retrievals ran against the old manager.
+func (c *snapCache) setManager(gm *historygraph.GraphManager) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	for c.lru.Len() > 0 {
+		c.removeLocked(c.lru.Back())
+	}
+	c.gm = gm
+}
+
 // Purge evicts everything (server shutdown).
 func (c *snapCache) Purge() {
 	c.mu.Lock()

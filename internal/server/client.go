@@ -114,6 +114,7 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 		req.Header.Set("Accept", a)
 	}
 	forwardRequestID(ctx, req)
+	forwardEpoch(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -150,6 +151,7 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 		req.Header.Set("Accept", a)
 	}
 	forwardRequestID(ctx, req)
+	forwardEpoch(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -322,6 +324,7 @@ func (c *Client) SnapshotStreamCtx(ctx context.Context, t historygraph.Time, att
 	}
 	req.Header.Set("Accept", wire.ContentTypeBinaryStream)
 	forwardRequestID(ctx, req)
+	forwardEpoch(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -482,4 +485,20 @@ func (c *Client) HealthCtx(ctx context.Context) error {
 func (c *Client) ReadyCtx(ctx context.Context) error {
 	var out map[string]any
 	return c.get(ctx, "/readyz", nil, &out)
+}
+
+// SlotsCtx fetches the worker's installed slot ownership.
+func (c *Client) SlotsCtx(ctx context.Context) (*SlotsJSON, error) {
+	var out SlotsJSON
+	if err := c.get(ctx, "/admin/slots", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SetSlotsCtx installs a slot ownership state on the worker (the
+// coordinator's cutover push).
+func (c *Client) SetSlotsCtx(ctx context.Context, cfg SlotsJSON) error {
+	var out map[string]any
+	return c.post(ctx, "/admin/slots", cfg, &out)
 }

@@ -33,6 +33,7 @@ type ctxKey int
 const (
 	ridKey ctxKey = iota
 	traceKey
+	epochKey
 )
 
 // WithRequestID returns ctx carrying the request ID.

@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"historygraph"
+	"historygraph/internal/graph"
 	"historygraph/internal/metrics"
 	"historygraph/internal/wire"
 )
@@ -55,13 +57,22 @@ const DefaultEncodedCacheSize = 64
 
 // Server serves snapshot queries over an embedded GraphManager.
 type Server struct {
-	gm      *historygraph.GraphManager
+	// gm is swappable (ReplaceManager) so an automated replica re-seed
+	// can rebuild the store underneath a running server; handlers load
+	// it once per request and hold that manager for the request's life.
+	gm      atomic.Pointer[historygraph.GraphManager]
 	cache   *snapCache     // nil when caching is disabled
 	enc     *encCache      // encoded-bytes cache; nil when disabled
 	an      analyticsState // analytics plane: CSR cache + PageRank jobs
 	flights FlightGroup
 	mux     *http.ServeMux
 	runSize int // elements per chunked-stream frame
+
+	// slots is the installed slot-ownership state (nil = own every
+	// slot); see slots.go for the resharding protocol it implements.
+	slots      atomic.Pointer[slotOwnership]
+	slotEpoch  *metrics.Gauge
+	slotsOwned *metrics.Gauge
 
 	// Every counter below lives in the metrics registry; /stats reads
 	// the same collectors the /metrics exposition renders, so the two
@@ -79,6 +90,7 @@ var serverEndpoints = []string{
 	"/snapshot", "/neighbors", "/batch", "/interval", "/expr", "/append",
 	"/stats", "/healthz", "/readyz", "/metrics",
 	"/replicate", "/replstatus", "/role",
+	"/admin/slots", "/admin/migrate", "/admin/reseed",
 	"/analytics/degree", "/analytics/components", "/analytics/evolution",
 	"/analytics/pagerank", "/analytics/prepare", "/analytics/prstart",
 	"/analytics/prstep",
@@ -88,7 +100,8 @@ var serverEndpoints = []string{
 // ownership of the GraphManager (Close it after the HTTP server stops);
 // Server.Close only drops the cache's pinned views.
 func New(gm *historygraph.GraphManager, cfg Config) *Server {
-	s := &Server{gm: gm}
+	s := &Server{}
+	s.gm.Store(gm)
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -145,6 +158,11 @@ func New(gm *historygraph.GraphManager, cfg Config) *Server {
 		"Analytics execution wall time by kind.", nil, "kind")
 	s.an.supersteps = reg.Counter("dg_analytics_supersteps_total",
 		"PageRank partition supersteps executed.")
+	s.slotEpoch = reg.Gauge("dg_slot_epoch",
+		"Installed slot-routing epoch (0 until the coordinator pushes a table).")
+	s.slotsOwned = reg.Gauge("dg_slots_owned",
+		"Hash slots this worker owns (the full slot space until restricted).")
+	s.slotsOwned.Set(float64(graph.NumSlots))
 	s.runSize = cfg.StreamRun
 	if s.runSize <= 0 {
 		s.runSize = wire.DefaultRunSize
@@ -163,6 +181,8 @@ func New(gm *historygraph.GraphManager, cfg Config) *Server {
 	mux.HandleFunc("POST /analytics/prepare", s.handlePRPrepare)
 	mux.HandleFunc("POST /analytics/prstart", s.handlePRStart)
 	mux.HandleFunc("POST /analytics/prstep", s.handlePRStep)
+	mux.HandleFunc("GET /admin/slots", s.handleSlotsGet)
+	mux.HandleFunc("POST /admin/slots", s.handleSlotsPost)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -238,22 +258,26 @@ type flightView struct {
 	release func()
 }
 
-func (s *Server) retrieve(t historygraph.Time, attrs string) (*historygraph.HistGraph, error) {
+func (s *Server) retrieve(gm *historygraph.GraphManager, t historygraph.Time, attrs string) (*historygraph.HistGraph, error) {
 	s.retrievals.Inc()
-	return s.gm.GetHistGraph(t, attrs)
+	return gm.GetHistGraph(t, attrs)
 }
 
 // acquire returns a pool view of the snapshot at t with a reference held;
 // release must be called once the response is built. Concurrent identical
 // requests share one underlying retrieval, and popular timepoints are
 // served from the hot-snapshot cache without touching the DeltaGraph.
+// The manager is captured once so a concurrent ReplaceManager cannot
+// split one request across two stores (the release closures hand views
+// back to the manager that produced them).
 func (s *Server) acquire(t historygraph.Time, attrs string) (h *historygraph.HistGraph, release func(), cached, coalesced bool, err error) {
+	gm := s.gm.Load()
 	if s.cache == nil {
-		h, err := s.retrieve(t, attrs)
+		h, err := s.retrieve(gm, t, attrs)
 		if err != nil {
 			return nil, nil, false, false, err
 		}
-		return h, func() { s.gm.Release(h) }, false, false, nil
+		return h, func() { gm.Release(h) }, false, false, nil
 	}
 	key := cacheKey(t, attrs)
 	if h, rel, ok := s.cache.Acquire(key, true); ok {
@@ -262,7 +286,7 @@ func (s *Server) acquire(t historygraph.Time, attrs string) (h *historygraph.His
 	v, shared, err := s.flights.Do(key, func() (any, error) {
 		gen := s.cache.Gen()
 		start := time.Now()
-		h, err := s.retrieve(t, attrs)
+		h, err := s.retrieve(gm, t, attrs)
 		if err != nil {
 			return nil, err
 		}
@@ -276,7 +300,7 @@ func (s *Server) acquire(t historygraph.Time, attrs string) (h *historygraph.His
 			// retrieval, so the view may be stale as a cache entry —
 			// though exact for this request's moment — or the cache is
 			// shutting down): the leader serves its own view uncached.
-			return flightView{h: h, release: func() { s.gm.Release(h) }}, nil
+			return flightView{h: h, release: func() { gm.Release(h) }}, nil
 		}
 		return flightView{h: fh, release: rel}, nil
 	})
@@ -295,11 +319,11 @@ func (s *Server) acquire(t historygraph.Time, attrs string) (h *historygraph.His
 	}
 	// The entry was evicted between insert and pin (cache under heavy
 	// churn): fall back to a one-off uncached retrieval.
-	h, err = s.retrieve(t, attrs)
+	h, err = s.retrieve(gm, t, attrs)
 	if err != nil {
 		return nil, nil, false, shared, err
 	}
-	return h, func() { s.gm.Release(h) }, false, shared, nil
+	return h, func() { gm.Release(h) }, false, shared, nil
 }
 
 // encKey identifies one encoded /snapshot body in the encoded-bytes
@@ -316,6 +340,9 @@ func encKey(t historygraph.Time, attrs string, full bool, codecName string) stri
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.CheckEpoch(w, r) {
+		return
+	}
 	q := r.URL.Query()
 	t, err := ParseTimeParam(q.Get("t"))
 	if err != nil {
@@ -367,12 +394,13 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	default:
 		Annotate(r.Context(), "cache", "miss")
 	}
+	own := s.ownership()
 	if stream {
-		s.streamSnapshot(w, h, release, cached, coalesced, ekey, gen)
+		s.streamSnapshot(w, h, release, cached, coalesced, ekey, gen, own)
 		return
 	}
 	depCur := h.DependsOnCurrent()
-	out := viewToJSON(h, full)
+	out := ownedViewToJSON(h, full, own)
 	release()
 	out.Cached = cached
 	out.Coalesced = coalesced
@@ -406,6 +434,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	if !s.CheckEpoch(w, r) {
+		return
+	}
 	q := r.URL.Query()
 	t, err := ParseTimeParam(q.Get("t"))
 	if err != nil {
@@ -424,14 +455,18 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := historygraph.NodeID(node)
-	neigh := h.Neighbors(id)
-	out := NeighborsJSON{
-		At: int64(t), Node: node,
-		Degree:    h.Degree(id),
-		Neighbors: make([]int64, len(neigh)),
-		Cached:    cached,
+	out := NeighborsJSON{At: int64(t), Node: node, Cached: cached}
+	var neigh []historygraph.NodeID
+	if own := s.ownership(); own.filtering() {
+		// Restricted to owned edges: a retired owner still holding a
+		// moved slot's history must not double-count its edges in the
+		// coordinator's degree sum.
+		out.Degree, neigh = ownedNeighbors(h, id, own)
+	} else {
+		out.Degree, neigh = h.Degree(id), h.Neighbors(id)
 	}
 	release()
+	out.Neighbors = make([]int64, len(neigh))
 	for i, n := range neigh {
 		out.Neighbors[i] = int64(n)
 	}
@@ -439,6 +474,11 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.CheckEpoch(w, r) {
+		return
+	}
+	gm := s.gm.Load()
+	own := s.ownership()
 	q := r.URL.Query()
 	var times []historygraph.Time
 	for _, part := range strings.Split(q.Get("t"), ",") {
@@ -460,13 +500,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.cache == nil {
 		// Caching disabled: detached snapshots through the multipoint
 		// shared-delta plan (Section 4.4), as before.
-		snaps, err := s.gm.GetHistSnapshots(times, attrs)
+		snaps, err := gm.GetHistSnapshots(times, attrs)
 		if err != nil {
 			WriteError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
 		for i, snap := range snaps {
-			out[i] = SnapshotToJSON(snap, times[i], full)
+			out[i] = ownedSnapshotToJSON(snap, times[i], full, own)
 		}
 		WriteWire(w, r, http.StatusOK, out)
 		return
@@ -481,7 +521,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	missIdx := make(map[historygraph.Time][]int)
 	for i, t := range times {
 		if h, rel, ok := s.cache.Acquire(cacheKey(t, attrs), true); ok {
-			out[i] = viewToJSON(h, full)
+			out[i] = ownedViewToJSON(h, full, own)
 			rel()
 			out[i].At = int64(t)
 			out[i].Cached = true
@@ -499,7 +539,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// would evict the entire hot set (including the batch's own
 		// earlier entries) for zero reuse. Serve it detached instead.
 		s.retrievals.Add(int64(len(missTimes)))
-		snaps, err := s.gm.GetHistSnapshots(missTimes, attrs)
+		snaps, err := gm.GetHistSnapshots(missTimes, attrs)
 		if err != nil {
 			WriteError(w, http.StatusUnprocessableEntity, err)
 			return
@@ -507,14 +547,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for j, snap := range snaps {
 			t := missTimes[j]
 			for _, i := range missIdx[t] {
-				out[i] = SnapshotToJSON(snap, t, full)
+				out[i] = ownedSnapshotToJSON(snap, t, full, own)
 			}
 		}
 	default:
 		s.retrievals.Add(int64(len(missTimes)))
 		gen := s.cache.Gen()
 		start := time.Now()
-		hs, err := s.gm.GetHistGraphs(missTimes, attrs)
+		hs, err := gm.GetHistGraphs(missTimes, attrs)
 		if err != nil {
 			WriteError(w, http.StatusUnprocessableEntity, err)
 			return
@@ -526,14 +566,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			t := missTimes[j]
 			var sj SnapshotJSON
 			if fh, rel := s.cache.InsertAcquire(cacheKey(t, attrs), t, h, gen, perView); rel != nil {
-				sj = viewToJSON(fh, full)
+				sj = ownedViewToJSON(fh, full, own)
 				rel()
 			} else {
 				// Not cached (concurrent append invalidation, or
 				// shutdown): serve this view directly and hand it
 				// straight back to the pool.
-				sj = viewToJSON(h, full)
-				s.gm.Release(h)
+				sj = ownedViewToJSON(h, full, own)
+				gm.Release(h)
 			}
 			sj.At = int64(t)
 			for _, i := range missIdx[t] {
@@ -545,6 +585,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request) {
+	if !s.CheckEpoch(w, r) {
+		return
+	}
 	q := r.URL.Query()
 	from, err1 := ParseTimeParam(q.Get("from"))
 	to, err2 := ParseTimeParam(q.Get("to"))
@@ -552,25 +595,31 @@ func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, fmt.Errorf("interval wants numeric from/to"))
 		return
 	}
-	res, err := s.gm.GetHistGraphInterval(from, to, q.Get("attrs"))
+	res, err := s.gm.Load().GetHistGraphInterval(from, to, q.Get("attrs"))
 	if err != nil {
 		WriteError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	own := s.ownership()
+	sj := ownedSnapshotToJSON(res.Graph, 0, BoolParam(q.Get("full")), own)
 	out := IntervalJSON{
 		Start: int64(res.Start), End: int64(res.End),
-		NumNodes: len(res.Graph.Nodes), NumEdges: len(res.Graph.Edges),
-	}
-	if BoolParam(q.Get("full")) {
-		out.Nodes, out.Edges = snapshotElements(res.Graph)
+		NumNodes: sj.NumNodes, NumEdges: sj.NumEdges,
+		Nodes: sj.Nodes, Edges: sj.Edges,
 	}
 	for _, ev := range res.Transients {
+		if own.filtering() && !own.owns(graph.SlotOfEvent(ev)) {
+			continue
+		}
 		out.Transients = append(out.Transients, EventToJSON(ev))
 	}
 	WriteWire(w, r, http.StatusOK, out)
 }
 
 func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
+	if !s.CheckEpoch(w, r) {
+		return
+	}
 	var req ExprRequest
 	if err := ReadBody(r, &req); err != nil {
 		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad expr body: %w", err))
@@ -585,12 +634,12 @@ func (s *Server) handleExpr(w http.ResponseWriter, r *http.Request) {
 	for _, t := range req.Times {
 		tex.Times = append(tex.Times, historygraph.Time(t))
 	}
-	snap, err := s.gm.GetHistGraphExpr(tex, req.Attrs)
+	snap, err := s.gm.Load().GetHistGraphExpr(tex, req.Attrs)
 	if err != nil {
 		WriteError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	WriteWire(w, r, http.StatusOK, SnapshotToJSON(snap, 0, req.Full))
+	WriteWire(w, r, http.StatusOK, ownedSnapshotToJSON(snap, 0, req.Full, s.ownership()))
 }
 
 // DecodeEvents converts a wire event batch to the model form. The append
@@ -618,13 +667,14 @@ func DecodeEvents(body []EventJSON) (historygraph.EventList, error) {
 // current graph — are stale then; earlier independent ones are untouched
 // (history is append-only).
 func (s *Server) ApplyEvents(events historygraph.EventList) (AppendResult, error) {
+	gm := s.gm.Load()
 	minAt := historygraph.Time(0)
 	for i, ev := range events {
 		if i == 0 || ev.At < minAt {
 			minAt = ev.At
 		}
 	}
-	applied, appendErr := s.gm.AppendAllCounted(events)
+	applied, appendErr := gm.AppendAllCounted(events)
 	invalidated := 0
 	if s.cache != nil && len(events) > 0 {
 		invalidated = s.cache.InvalidateFrom(minAt)
@@ -646,7 +696,7 @@ func (s *Server) ApplyEvents(events historygraph.EventList) (AppendResult, error
 	// precisely where a partial apply stopped.
 	res := AppendResult{
 		Appended:    applied,
-		LastTime:    int64(s.gm.LastTime()),
+		LastTime:    int64(gm.LastTime()),
 		Invalidated: invalidated,
 	}
 	return res, appendErr
@@ -654,9 +704,34 @@ func (s *Server) ApplyEvents(events historygraph.EventList) (AppendResult, error
 
 // Manager returns the embedded GraphManager (the replication node uses it
 // to bound WAL replay).
-func (s *Server) Manager() *historygraph.GraphManager { return s.gm }
+func (s *Server) Manager() *historygraph.GraphManager { return s.gm.Load() }
+
+// ReplaceManager swaps the embedded GraphManager for a rebuilt one (the
+// automated replica re-seed) and returns the old manager. Every cache
+// level is dropped: pinned views belong to the old manager's pool and are
+// released through it, and the generation bumps refuse in-flight inserts
+// whose retrievals predate the swap. Requests already past their gm load
+// finish against the old manager, so the caller must keep it open until
+// those drain (or accept their failure, as the re-seed path does after a
+// divergence that already made the old store unservable).
+func (s *Server) ReplaceManager(gm *historygraph.GraphManager) *historygraph.GraphManager {
+	old := s.gm.Swap(gm)
+	if s.cache != nil {
+		s.cache.setManager(gm)
+	}
+	if s.enc != nil {
+		s.enc.InvalidateFrom(0)
+	}
+	if s.an.csr != nil {
+		s.an.csr.InvalidateFrom(0)
+	}
+	return old
+}
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if !s.CheckEpoch(w, r) {
+		return
+	}
 	if BoolParam(r.URL.Query().Get("stream")) {
 		s.handleAppendStream(w, r)
 		return
@@ -683,9 +758,10 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 // collectors — the exact values /metrics exposes — so the two surfaces
 // cannot drift.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	gm := s.gm.Load()
 	out := StatsJSON{
-		Index: s.gm.IndexStats(),
-		Pool:  s.gm.PoolStats(),
+		Index: gm.IndexStats(),
+		Pool:  gm.PoolStats(),
 		Server: ServerStatsJSON{
 			Requests:   s.ins.Requests(),
 			Retrievals: s.retrievals.Value(),

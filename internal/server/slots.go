@@ -1,0 +1,275 @@
+package server
+
+// Worker-side slot ownership: the serving half of the cluster's elastic
+// resharding protocol. The coordinator owns the authoritative slot table
+// (internal/shard); each worker holds only its own projection of it — the
+// installed epoch and the set of graph.NumSlots hash slots it owns — and
+// enforces two things:
+//
+//   - the epoch fence: a request stamped with a routing epoch that
+//     disagrees with the installed one answers 410 Gone, which the
+//     coordinator turns into one retry against its fresh table, and
+//   - read filtering: after a migration a retired owner still holds the
+//     moved slots' history in its graph, so data-plane reads drop
+//     elements outside the owned slots. The coordinator's scatter-merge
+//     then sees each element from exactly one worker, keeping merged
+//     responses byte-identical to an unsharded oracle.
+//
+// A worker that has never been configured (standalone servers, clusters
+// predating slot routing) owns everything and fences nothing — the zero
+// state costs one atomic load per request.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"historygraph"
+	"historygraph/internal/graph"
+)
+
+// EpochHeader stamps a coordinator scatter leg with the routing-table
+// epoch it was planned against.
+const EpochHeader = "X-DG-Epoch"
+
+// WithEpoch returns ctx carrying the routing epoch; the Client stamps
+// every outgoing request built under it with EpochHeader, the way it
+// forwards request IDs.
+func WithEpoch(ctx context.Context, epoch uint64) context.Context {
+	return context.WithValue(ctx, epochKey, epoch)
+}
+
+// epochFrom returns the routing epoch threaded through ctx, if any.
+func epochFrom(ctx context.Context) (uint64, bool) {
+	e, ok := ctx.Value(epochKey).(uint64)
+	return e, ok
+}
+
+// forwardEpoch stamps an outgoing request with the routing epoch carried
+// by ctx (a no-op for direct clients, which never set one).
+func forwardEpoch(ctx context.Context, req *http.Request) {
+	if e, ok := epochFrom(ctx); ok {
+		req.Header.Set(EpochHeader, strconv.FormatUint(e, 10))
+	}
+}
+
+// SlotsJSON is the /admin/slots wire shape: the routing epoch plus the
+// slot set the worker owns. All means every slot (the unconfigured
+// default, reported by GET on a standalone server).
+type SlotsJSON struct {
+	Epoch uint64 `json:"epoch"`
+	All   bool   `json:"all,omitempty"`
+	Slots []int  `json:"slots,omitempty"`
+}
+
+// slotOwnership is one installed ownership state, immutable once
+// published through the server's atomic pointer.
+type slotOwnership struct {
+	epoch uint64
+	all   bool
+	owned [graph.NumSlots]bool
+}
+
+// owns reports whether slot s is served here. A nil ownership (never
+// configured) owns everything.
+func (o *slotOwnership) owns(s int) bool { return o == nil || o.all || o.owned[s] }
+
+// ownsNode reports whether the node's slot is served here.
+func (o *slotOwnership) ownsNode(n historygraph.NodeID) bool {
+	return o == nil || o.all || o.owned[graph.Slot(n)]
+}
+
+// filtering reports whether data-plane reads must restrict to the owned
+// slots; false is the zero-cost fast path.
+func (o *slotOwnership) filtering() bool { return o != nil && !o.all }
+
+// ownership returns the installed slot ownership (nil = own everything).
+func (s *Server) ownership() *slotOwnership { return s.slots.Load() }
+
+// SetSlots installs a slot-ownership state. Encoded response bodies were
+// built under the previous ownership, so the encoded-bytes cache is
+// dropped wholesale (the generation bump also refuses in-flight inserts);
+// pinned views and CSRs are ownership-agnostic — filtering happens at
+// response build — and survive.
+func (s *Server) SetSlots(cfg SlotsJSON) error {
+	own := &slotOwnership{epoch: cfg.Epoch, all: cfg.All}
+	count := 0
+	for _, sl := range cfg.Slots {
+		if sl < 0 || sl >= graph.NumSlots {
+			return fmt.Errorf("slot %d out of range [0, %d)", sl, graph.NumSlots)
+		}
+		if !own.owned[sl] {
+			own.owned[sl] = true
+			count++
+		}
+	}
+	if cfg.All {
+		count = graph.NumSlots
+	}
+	s.slots.Store(own)
+	s.slotEpoch.Set(float64(cfg.Epoch))
+	s.slotsOwned.Set(float64(count))
+	if s.enc != nil {
+		s.enc.InvalidateFrom(0)
+	}
+	return nil
+}
+
+// Slots reports the installed ownership in wire form.
+func (s *Server) Slots() SlotsJSON {
+	own := s.ownership()
+	if own == nil {
+		return SlotsJSON{All: true}
+	}
+	out := SlotsJSON{Epoch: own.epoch, All: own.all}
+	if !own.all {
+		for sl := range own.owned {
+			if own.owned[sl] {
+				out.Slots = append(out.Slots, sl)
+			}
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSlotsGet(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, http.StatusOK, s.Slots())
+}
+
+func (s *Server) handleSlotsPost(w http.ResponseWriter, r *http.Request) {
+	var cfg SlotsJSON
+	if err := ReadBody(r, &cfg); err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad slots body: %w", err))
+		return
+	}
+	if err := s.SetSlots(cfg); err != nil {
+		WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// CheckEpoch enforces the routing-epoch fence. An unstamped request (a
+// direct client, or a coordinator predating slot routing) and an
+// unconfigured worker both pass; a stamped request against a configured
+// worker must match its epoch exactly or the answer is 410 Gone — the
+// signal the coordinator converts into a routed retry. Exported because
+// the replica node fences its own append path with it.
+func (s *Server) CheckEpoch(w http.ResponseWriter, r *http.Request) bool {
+	hdr := r.Header.Get(EpochHeader)
+	if hdr == "" {
+		return true
+	}
+	e, err := strconv.ParseUint(hdr, 10, 64)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad %s %q", EpochHeader, hdr))
+		return false
+	}
+	own := s.ownership()
+	if own == nil || own.epoch == 0 || e == own.epoch {
+		return true
+	}
+	WriteError(w, http.StatusGone,
+		fmt.Errorf("routing epoch %d does not match installed epoch %d", e, own.epoch))
+	return false
+}
+
+// filterElements drops the nodes and edges outside the owned slots —
+// nodes by their own slot, edges by their From endpoint's slot (the
+// routing rule, so cluster-wide each edge is reported by exactly one
+// owner). Both slices are filtered in place; callers pass freshly built
+// lists.
+func filterElements(nodes []NodeJSON, edges []EdgeJSON, own *slotOwnership) ([]NodeJSON, []EdgeJSON) {
+	outN := nodes[:0]
+	for _, n := range nodes {
+		if own.ownsNode(historygraph.NodeID(n.ID)) {
+			outN = append(outN, n)
+		}
+	}
+	outE := edges[:0]
+	for _, e := range edges {
+		if own.ownsNode(historygraph.NodeID(e.From)) {
+			outE = append(outE, e)
+		}
+	}
+	return outN, outE
+}
+
+// ownedViewToJSON is viewToJSON restricted to the owned slots. Counts on
+// the counts-only path are computed by walking the view, so they always
+// equal the filtered list lengths a full response would report.
+func ownedViewToJSON(h *historygraph.HistGraph, full bool, own *slotOwnership) SnapshotJSON {
+	if !own.filtering() {
+		return viewToJSON(h, full)
+	}
+	out := SnapshotJSON{At: int64(h.At())}
+	if !full {
+		h.ForEachNode(func(n historygraph.NodeID) bool {
+			if own.ownsNode(n) {
+				out.NumNodes++
+			}
+			return true
+		})
+		h.ForEachEdge(func(_ historygraph.EdgeID, info historygraph.EdgeInfo) bool {
+			if own.ownsNode(info.From) {
+				out.NumEdges++
+			}
+			return true
+		})
+		return out
+	}
+	nodes, edges := snapshotElements(h.Snapshot())
+	out.Nodes, out.Edges = filterElements(nodes, edges, own)
+	out.NumNodes, out.NumEdges = len(out.Nodes), len(out.Edges)
+	return out
+}
+
+// ownedSnapshotToJSON is SnapshotToJSON restricted to the owned slots.
+func ownedSnapshotToJSON(snap *historygraph.Snapshot, at historygraph.Time, full bool, own *slotOwnership) SnapshotJSON {
+	if !own.filtering() {
+		return SnapshotToJSON(snap, at, full)
+	}
+	out := SnapshotJSON{At: int64(at)}
+	if full {
+		nodes, edges := snapshotElements(snap)
+		out.Nodes, out.Edges = filterElements(nodes, edges, own)
+		out.NumNodes, out.NumEdges = len(out.Nodes), len(out.Edges)
+		return out
+	}
+	for n := range snap.Nodes {
+		if own.ownsNode(n) {
+			out.NumNodes++
+		}
+	}
+	for _, info := range snap.Edges {
+		if own.ownsNode(info.From) {
+			out.NumEdges++
+		}
+	}
+	return out
+}
+
+// ownedNeighbors computes the degree and neighbor list restricted to
+// owned edges. It walks the same adjacency list View.Neighbors and
+// View.Degree do (IncidentEdges preserves that order), so the filtered
+// answer agrees element-for-element with the unfiltered one whenever
+// every incident edge is owned.
+func ownedNeighbors(h *historygraph.HistGraph, n historygraph.NodeID, own *slotOwnership) (int, []historygraph.NodeID) {
+	degree := 0
+	seen := make(map[historygraph.NodeID]struct{})
+	var out []historygraph.NodeID
+	for _, e := range h.IncidentEdges(n) {
+		info, ok := h.EdgeInfo(e)
+		if !ok || !own.ownsNode(info.From) {
+			continue
+		}
+		degree++
+		other := info.Other(n)
+		if _, dup := seen[other]; !dup {
+			seen[other] = struct{}{}
+			out = append(out, other)
+		}
+	}
+	return degree, out
+}

@@ -31,16 +31,30 @@ type edgeRef struct {
 // while the walk continues. A mid-walk write error means the client went
 // away — the response is abandoned (the missing summary frame tells any
 // reader the stream is truncated).
-func (s *Server) streamSnapshot(w http.ResponseWriter, h *historygraph.HistGraph, release func(), cached, coalesced bool, ekey string, gen int64) {
+func (s *Server) streamSnapshot(w http.ResponseWriter, h *historygraph.HistGraph, release func(), cached, coalesced bool, ekey string, gen int64, own *slotOwnership) {
 	defer release()
 	s.encodes.Inc()
 	depCur := h.DependsOnCurrent()
 	at := h.At()
 
+	// Slot filtering happens on the collected ID lists before the walk,
+	// so the summary counts and the streamed runs agree by construction.
 	nodeIDs := h.Nodes()
+	if own.filtering() {
+		kept := nodeIDs[:0]
+		for _, id := range nodeIDs {
+			if own.ownsNode(id) {
+				kept = append(kept, id)
+			}
+		}
+		nodeIDs = kept
+	}
 	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
 	var edges []edgeRef
 	h.ForEachEdge(func(id historygraph.EdgeID, info historygraph.EdgeInfo) bool {
+		if own.filtering() && !own.ownsNode(info.From) {
+			return true
+		}
 		edges = append(edges, edgeRef{id: id, info: info})
 		return true
 	})

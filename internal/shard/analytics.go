@@ -118,7 +118,7 @@ func (co *Coordinator) handleAnalyticsDegree(w http.ResponseWriter, r *http.Requ
 	co.observeAnalytics("degree", func() error {
 		codec := wire.Negotiate(r.Header.Get("Accept"))
 		key := fmt.Sprintf("andeg|%d|%s", t, attrs)
-		server.Annotate(r.Context(), "partitions", strconv.Itoa(len(co.sets)))
+		server.Annotate(r.Context(), "partitions", strconv.Itoa(co.NumPartitions()))
 		if co.writeCached(w, codec, key) {
 			server.Annotate(r.Context(), "cache", "merged-hit")
 			return nil
@@ -127,13 +127,13 @@ func (co *Coordinator) handleAnalyticsDegree(w http.ResponseWriter, r *http.Requ
 		v, shared, err := co.flights.Do(key, func() (any, error) {
 			co.fanouts.Inc()
 			gen := co.cacheGen()
-			parts, errs := scatterRead(co, parent, func(ctx reqCtx, cl *server.Client) (*wire.DegreePart, error) {
-				return cl.DegreePartCtx(ctx, t, attrs, len(co.sets), ctx.part)
+			parts, errs, rt := scatterRead(co, parent, func(ctx reqCtx, cl *server.Client) (*wire.DegreePart, error) {
+				return cl.DegreePartCtx(ctx, t, attrs, ctx.parts, ctx.part)
 			})
-			if len(errs) == len(co.sets) {
+			if len(errs) == len(rt.sets) {
 				return nil, co.allFailed(errs)
 			}
-			co.notePartial(errs)
+			co.notePartial(errs, len(rt.sets))
 			out := analytics.MergeDegree(int64(t), compactParts(parts))
 			out.Partial = errs
 			return flightMerge{v: *out, gen: gen, complete: len(errs) == 0}, nil
@@ -173,7 +173,7 @@ func (co *Coordinator) handleAnalyticsComponents(w http.ResponseWriter, r *http.
 	co.observeAnalytics("components", func() error {
 		codec := wire.Negotiate(r.Header.Get("Accept"))
 		key := fmt.Sprintf("ancmp|%d|%s", t, attrs)
-		server.Annotate(r.Context(), "partitions", strconv.Itoa(len(co.sets)))
+		server.Annotate(r.Context(), "partitions", strconv.Itoa(co.NumPartitions()))
 		if co.writeCached(w, codec, key) {
 			server.Annotate(r.Context(), "cache", "merged-hit")
 			return nil
@@ -182,13 +182,13 @@ func (co *Coordinator) handleAnalyticsComponents(w http.ResponseWriter, r *http.
 		v, shared, err := co.flights.Do(key, func() (any, error) {
 			co.fanouts.Inc()
 			gen := co.cacheGen()
-			parts, errs := scatterRead(co, parent, func(ctx reqCtx, cl *server.Client) (*wire.ComponentsPart, error) {
-				return cl.ComponentsPartCtx(ctx, t, attrs, len(co.sets), ctx.part)
+			parts, errs, rt := scatterRead(co, parent, func(ctx reqCtx, cl *server.Client) (*wire.ComponentsPart, error) {
+				return cl.ComponentsPartCtx(ctx, t, attrs, ctx.parts, ctx.part)
 			})
-			if len(errs) == len(co.sets) {
+			if len(errs) == len(rt.sets) {
 				return nil, co.allFailed(errs)
 			}
-			co.notePartial(errs)
+			co.notePartial(errs, len(rt.sets))
 			out := analytics.MergeComponents(int64(t), compactParts(parts))
 			out.Partial = errs
 			return flightMerge{v: *out, gen: gen, complete: len(errs) == 0}, nil
@@ -233,7 +233,7 @@ func (co *Coordinator) handleAnalyticsEvolution(w http.ResponseWriter, r *http.R
 	co.observeAnalytics("evolution", func() error {
 		codec := wire.Negotiate(r.Header.Get("Accept"))
 		key := fmt.Sprintf("anevo|%d|%d|%s", t1, t2, attrs)
-		server.Annotate(r.Context(), "partitions", strconv.Itoa(len(co.sets)))
+		server.Annotate(r.Context(), "partitions", strconv.Itoa(co.NumPartitions()))
 		if co.writeCached(w, codec, key) {
 			server.Annotate(r.Context(), "cache", "merged-hit")
 			return nil
@@ -242,13 +242,13 @@ func (co *Coordinator) handleAnalyticsEvolution(w http.ResponseWriter, r *http.R
 		v, shared, err := co.flights.Do(key, func() (any, error) {
 			co.fanouts.Inc()
 			gen := co.cacheGen()
-			parts, errs := scatterRead(co, parent, func(ctx reqCtx, cl *server.Client) (*wire.EvolutionPart, error) {
-				return cl.EvolutionPartCtx(ctx, t1, t2, attrs, len(co.sets), ctx.part)
+			parts, errs, rt := scatterRead(co, parent, func(ctx reqCtx, cl *server.Client) (*wire.EvolutionPart, error) {
+				return cl.EvolutionPartCtx(ctx, t1, t2, attrs, ctx.parts, ctx.part)
 			})
-			if len(errs) == len(co.sets) {
+			if len(errs) == len(rt.sets) {
 				return nil, co.allFailed(errs)
 			}
-			co.notePartial(errs)
+			co.notePartial(errs, len(rt.sets))
 			out := analytics.MergeEvolution(compactParts(parts))
 			out.T1, out.T2 = int64(t1), int64(t2)
 			out.Partial = errs
@@ -460,7 +460,12 @@ func (co *Coordinator) runPageRank(ctx context.Context, req wire.PageRankRequest
 		return nil, fmt.Errorf("analytics: cannot mint a job ID")
 	}
 	co.fanouts.Inc()
-	parts := len(co.sets)
+	// One routing snapshot drives the whole job: PageRank's cross-partition
+	// message routing still uses the boot-time hash (graph.Partition), so a
+	// job is only exact while the installed table matches it — a limitation
+	// recorded in ARCHITECTURE.md's resharding section.
+	rt := co.rt()
+	parts := len(rt.sets)
 
 	// Prepare: the member that answers owns the partition's job state for
 	// the rest of the run.
@@ -468,7 +473,7 @@ func (co *Coordinator) runPageRank(ctx context.Context, req wire.PageRankRequest
 		m        *member
 		prepared *wire.PRPrepared
 	}
-	prep, errs := scatter(co, ctx, func(sctx reqCtx, rs *replicaSet) (prepOut, error) {
+	prep, errs := scatter(co, rt, ctx, func(sctx reqCtx, rs *replicaSet) (prepOut, error) {
 		v, m, err := stickyRead(sctx, ctx, rs, func(cl *server.Client) (*wire.PRPrepared, error) {
 			return cl.PRPrepareCtx(sctx, wire.PRPrepare{
 				Job: jobID, T: req.T, Attrs: req.Attrs,

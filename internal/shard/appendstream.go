@@ -100,17 +100,27 @@ func (co *Coordinator) handleAppendStream(w http.ResponseWriter, r *http.Request
 		server.WriteError(w, http.StatusBadRequest, err)
 		return
 	}
-	server.Annotate(r.Context(), "partitions", strconv.Itoa(len(co.sets)))
+	// The append gate is held shared for the whole stream: every frame is
+	// routed by the routing captured here, and a reshard cutover (which
+	// takes the gate exclusively) waits the stream out rather than
+	// flipping the table under it.
+	co.appendGate.RLock()
+	defer co.appendGate.RUnlock()
+	rt := co.rt()
+	server.Annotate(r.Context(), "partitions", strconv.Itoa(len(rt.sets)))
 	// Like the per-request path, in-flight slices detach from the client's
 	// cancellation: aborting half-landed frames on a disconnect would leave
 	// the partitions inconsistent with no response to report the split.
-	base := context.WithoutCancel(r.Context())
-	workers := make([]*streamWorker, len(co.sets))
+	// Every slice carries the captured routing epoch so a worker fenced
+	// ahead (a cutover pushed from outside this coordinator) rejects with
+	// 410 instead of silently accepting misrouted events.
+	base := server.WithEpoch(context.WithoutCancel(r.Context()), rt.epoch())
+	workers := make([]*streamWorker, len(rt.sets))
 	var wg sync.WaitGroup
-	for i := range co.sets {
+	for i := range rt.sets {
 		workers[i] = &streamWorker{ch: make(chan streamSlice, streamRouteWindow)}
 		wg.Add(1)
-		go co.runStreamWorker(base, i, co.sets[i], workers[i], &wg)
+		go co.runStreamWorker(base, i, rt.sets[i], workers[i], &wg)
 	}
 	settle := func() {
 		for _, wk := range workers {
@@ -139,7 +149,7 @@ func (co *Coordinator) handleAppendStream(w http.ResponseWriter, r *http.Request
 		}
 		// Fresh slices per frame: the workers retain them past this
 		// iteration, and the decoder's event slice is scratch.
-		perPart := make([]historygraph.EventList, len(co.sets))
+		perPart := make([]historygraph.EventList, len(rt.sets))
 		minAt := historygraph.Time(0)
 		for i, ej := range frame.Events {
 			ev, err := server.EventFromJSON(ej)
@@ -151,7 +161,7 @@ func (co *Coordinator) handleAppendStream(w http.ResponseWriter, r *http.Request
 				fail(http.StatusUnprocessableEntity, fmt.Errorf("event %d: %w", i, err))
 				return
 			}
-			p := PartitionOf(ev, len(co.sets))
+			p := rt.table.Partition(ev)
 			perPart[p] = append(perPart[p], ev)
 			if i == 0 || ev.At < minAt {
 				minAt = ev.At
@@ -191,11 +201,11 @@ func (co *Coordinator) handleAppendStream(w http.ResponseWriter, r *http.Request
 		out.Invalidated += wk.res.Invalidated
 		out.Deduped = out.Deduped || wk.res.Deduped
 	}
-	if len(errs) == len(co.sets) && frames > 0 {
+	if len(errs) == len(rt.sets) && frames > 0 {
 		writeAllFailed(w, co.allFailed(errs))
 		return
 	}
-	co.notePartial(errs)
+	co.notePartial(errs, len(rt.sets))
 	out.Partial = errs
 	server.WriteWire(w, r, http.StatusOK, out)
 }

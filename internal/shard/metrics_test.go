@@ -270,7 +270,7 @@ func TestStreamClientCancelPropagates(t *testing.T) {
 	}
 	// The members served correctly and must not be penalized for the
 	// client's disappearance.
-	for p, rs := range co.sets {
+	for p, rs := range co.rt().sets {
 		for _, m := range rs.members {
 			if !m.healthy.Load() {
 				t.Fatalf("partition %d member %s marked unhealthy by a client cancel", p, m.url)

@@ -221,12 +221,20 @@ func readFrom[T any](ctx, parent context.Context, rs *replicaSet, call func(cl *
 		// A 4xx means the member answered and rejected the request — it is
 		// healthy (and its answer time is a real latency sample), and every
 		// replica would reject the same way, so neither marking it down nor
-		// retrying elsewhere is right.
+		// retrying elsewhere is right. One exception: 410 is the routing-
+		// epoch fence, and epochs are member-local state (a member that
+		// missed a slot push fences ahead of its peers), so a Gone rotates
+		// to the next member; only when every member fences does the leg
+		// fail with 410, handing the decision to the scatter retry.
 		var he *server.HTTPError
 		if errors.As(err, &he) && he.Status >= 400 && he.Status < 500 {
 			m.healthy.Store(true)
 			m.observeLatency(time.Since(begin))
-			return zero, err
+			if he.Status != http.StatusGone {
+				return zero, err
+			}
+			lastErr = err
+			continue
 		}
 		if parent.Err() != nil {
 			return zero, err // canceled by the caller; the member is not at fault
@@ -274,9 +282,12 @@ func (co *Coordinator) appendBatchToSet(ctx context.Context, rs *replicaSet, eve
 	// out-of-order events) — the node is healthy and a retry elsewhere
 	// would get the same answer. Deposing it over a client error would run
 	// a probe sweep per bad request and could promote away a live primary.
+	// A 410 is the routing-epoch fence: the batch was planned against a
+	// replaced table, and the right retry is a re-route (retryGoneAppends),
+	// not a failover within the same now-wrong set.
 	var he *server.HTTPError
 	if errors.As(err, &he) &&
-		(he.Status == http.StatusBadRequest || he.Status == http.StatusUnprocessableEntity) {
+		(he.Status == http.StatusBadRequest || he.Status == http.StatusUnprocessableEntity || he.Status == http.StatusGone) {
 		pm.healthy.Store(true)
 		return nil, err
 	}
@@ -369,10 +380,18 @@ func (co *Coordinator) healthLoop(interval time.Duration) {
 			return
 		case <-ticker.C:
 		}
-		for _, rs := range co.sets {
+		rt := co.rt()
+		for _, rs := range rt.sets {
 			if len(rs.members) > 1 {
 				co.checkSet(rs)
 			}
+		}
+		if rt.epoch() > 1 {
+			// Post-reshard healing: a worker that missed the cutover's slot
+			// push (briefly down) or restarted since (slot config is
+			// in-memory) would serve its boot-time ownership view. Re-push
+			// the installed table to any member whose epoch disagrees.
+			co.syncSlots(rt)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"historygraph"
@@ -92,11 +93,25 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 }
 
+// routing is one immutable routing state: the versioned slot table plus
+// the replica sets its partition indices map into. A reshard builds a
+// fresh routing and swaps the coordinator's pointer; requests capture one
+// snapshot and run entirely against it, so the swap is atomic from every
+// handler's point of view.
+type routing struct {
+	table *SlotTable
+	sets  []*replicaSet
+}
+
+// epoch is the routing table's version stamp.
+func (rt *routing) epoch() uint64 { return rt.table.Epoch }
+
 // Coordinator scatters queries across partition replica sets and gathers
 // the partial answers. It is safe for concurrent use.
 type Coordinator struct {
-	sets      []*replicaSet
+	routing   atomic.Pointer[routing]
 	hc        *http.Client
+	legWire   string // codec name scatter-leg clients are built with
 	timeout   time.Duration
 	streamCap time.Duration // total merged-stream delivery bound
 	maxLag    uint64
@@ -104,6 +119,14 @@ type Coordinator struct {
 	mux       *http.ServeMux
 	flights   server.FlightGroup
 	cache     *coCache // nil when disabled
+
+	// appendGate serializes appends against a reshard cutover: every
+	// append scatter holds it shared, the cutover holds it exclusively —
+	// so taking the gate drains in-flight appends planned against the old
+	// table, and no append straddles an epoch flip.
+	appendGate  sync.RWMutex
+	reshardMu   sync.Mutex // one reshard at a time
+	lastReshard atomic.Pointer[ReshardStatus]
 
 	stop       chan struct{}
 	healthDone chan struct{}
@@ -118,14 +141,21 @@ type Coordinator struct {
 	fanouts    *metrics.Counter      // scatter-gather executions
 	partials   *metrics.Counter      // responses missing >= 1 partition
 	failovers  *metrics.Counter      // primary promotions
+	reshards   *metrics.Counter      // completed reshard cutovers
+	reroutes   *metrics.Counter      // scatters replanned after a 410 epoch fence
 	encodes    *metrics.Counter      // response-body encode executions (cache hits do none)
 	legs       *metrics.CounterVec   // fan-out legs launched, by partition
 	legFails   *metrics.CounterVec   // legs that failed (timeout, transport, 5xx)
 	legCancels *metrics.CounterVec   // legs abandoned because the client went away
 	legDur     *metrics.HistogramVec // per-leg wall time (open time for streams)
+	mg         memberGauges          // per-member gauge vecs, extended when partitions join
 
 	an coAnalytics // /analytics merge handlers + PageRank job machine
 }
+
+// rt returns the installed routing snapshot. Handlers capture it once per
+// request and route every leg through the same snapshot.
+func (co *Coordinator) rt() *routing { return co.routing.Load() }
 
 // coordinatorEndpoints is the endpoint-label whitelist for the
 // coordinator's request metrics.
@@ -133,6 +163,7 @@ var coordinatorEndpoints = []string{
 	"/snapshot", "/neighbors", "/batch", "/interval", "/expr", "/append",
 	"/analytics/degree", "/analytics/components", "/analytics/evolution",
 	"/analytics/pagerank",
+	"/admin/reshard",
 	"/stats", "/healthz", "/readyz", "/metrics",
 }
 
@@ -195,7 +226,8 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 		streamCap = 20 * timeout
 	}
 	co := &Coordinator{
-		hc: hc, timeout: timeout, streamCap: streamCap, maxLag: maxLag, runSize: runSize,
+		hc: hc, legWire: legWire.Name(),
+		timeout: timeout, streamCap: streamCap, maxLag: maxLag, runSize: runSize,
 		stop: make(chan struct{}),
 	}
 	reg := cfg.Metrics
@@ -206,6 +238,12 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 	co.fanouts = reg.Counter("dg_shard_fanouts_total", "Scatter-gather executions.")
 	co.partials = reg.Counter("dg_shard_partial_responses_total", "Responses missing at least one partition.")
 	co.failovers = reg.Counter("dg_shard_failovers_total", "Primary promotions run by the coordinator.")
+	co.reshards = reg.Counter("dg_shard_reshards_total", "Completed reshard cutovers (epoch flips).")
+	co.reroutes = reg.Counter("dg_shard_reroutes_total", "Scatters replanned against a fresh routing table after a 410 epoch fence.")
+	reg.GaugeFunc("dg_shard_epoch", "Installed routing-table epoch.",
+		func() float64 { return float64(co.rt().epoch()) })
+	reg.GaugeFunc("dg_shard_partitions", "Partitions in the installed routing table.",
+		func() float64 { return float64(len(co.rt().sets)) })
 	co.encodes = reg.Counter("dg_encodes_total", "Merged-response body encode executions.")
 	co.legs = reg.CounterVec("dg_shard_legs_total", "Fan-out legs launched, by partition.", "partition")
 	co.legFails = reg.CounterVec("dg_shard_leg_failures_total", "Fan-out legs that failed, by partition.", "partition")
@@ -224,13 +262,20 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 	// served by another caller's in-flight fan-out.
 	co.flights.Hits = hits.With("flight")
 	co.flights.Misses = misses.With("flight")
+	var sets []*replicaSet
 	for p, set := range peerSets {
 		if len(set) == 0 {
 			return nil, fmt.Errorf("shard: partition %d has no members", p)
 		}
-		co.sets = append(co.sets, newReplicaSet(set, hc, legWire.Name()))
+		sets = append(sets, newReplicaSet(set, hc, co.legWire))
 	}
+	// Boot routing: the default table (slot i -> partition i mod n) at
+	// epoch 1, which routes identically to the historical fixed hash.
+	co.routing.Store(&routing{table: DefaultSlotTable(len(sets)), sets: sets})
 	co.registerMemberGauges(reg)
+	for p, rs := range sets {
+		co.registerSetGauges(p, rs)
+	}
 	size := cfg.CacheSize
 	if size == 0 {
 		size = DefaultCacheSize
@@ -254,6 +299,8 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 	mux.HandleFunc("GET /analytics/evolution", co.handleAnalyticsEvolution)
 	mux.HandleFunc("POST /analytics/pagerank", co.handleAnalyticsPageRank)
 	mux.HandleFunc("GET /analytics/jobs/{id}", co.handleAnalyticsJob)
+	mux.HandleFunc("POST /admin/reshard", co.handleReshard)
+	mux.HandleFunc("GET /admin/reshard", co.handleReshardStatus)
 	mux.HandleFunc("GET /stats", co.handleStats)
 	mux.HandleFunc("GET /healthz", co.handleHealthz)
 	mux.HandleFunc("GET /readyz", co.handleReadyz)
@@ -267,33 +314,51 @@ func NewReplicated(peerSets [][]string, cfg Config) (*Coordinator, error) {
 	return co, nil
 }
 
-// registerMemberGauges exposes the coordinator's live routing view of
-// every replica-set member: the latency EWMA reads are ordered by, plus
-// the healthy/in-sync flags and the last known applied WAL sequence.
+// memberGauges holds the per-member gauge families so partitions joining
+// at reshard time register under the same names.
+type memberGauges struct {
+	lat, healthy, insync, applied *metrics.GaugeVec
+}
+
+// registerMemberGauges creates the gauge families exposing the
+// coordinator's live routing view of every replica-set member: the
+// latency EWMA reads are ordered by, plus the healthy/in-sync flags and
+// the last known applied WAL sequence.
 func (co *Coordinator) registerMemberGauges(reg *metrics.Registry) {
-	lat := reg.GaugeVec("dg_shard_member_latency_seconds", "Answered-read latency EWMA per replica-set member (0 = unsampled).", "partition", "member")
-	healthy := reg.GaugeVec("dg_shard_member_healthy", "1 when the member's last contact attempt succeeded.", "partition", "member")
-	insync := reg.GaugeVec("dg_shard_member_insync", "1 when the member is within MaxLag of the replication head.", "partition", "member")
-	applied := reg.GaugeVec("dg_shard_member_applied_seq", "Last known applied WAL sequence per member.", "partition", "member")
+	co.mg = memberGauges{
+		lat:     reg.GaugeVec("dg_shard_member_latency_seconds", "Answered-read latency EWMA per replica-set member (0 = unsampled).", "partition", "member"),
+		healthy: reg.GaugeVec("dg_shard_member_healthy", "1 when the member's last contact attempt succeeded.", "partition", "member"),
+		insync:  reg.GaugeVec("dg_shard_member_insync", "1 when the member is within MaxLag of the replication head.", "partition", "member"),
+		applied: reg.GaugeVec("dg_shard_member_applied_seq", "Last known applied WAL sequence per member.", "partition", "member"),
+	}
+}
+
+// registerSetGauges binds one partition's members to the member gauge
+// families. Called at construction and again for every set a reshard
+// adds; a retired partition's series keep reporting its last members
+// until the process restarts (series are never unregistered).
+func (co *Coordinator) registerSetGauges(p int, rs *replicaSet) {
 	b2f := func(b bool) float64 {
 		if b {
 			return 1
 		}
 		return 0
 	}
-	for p, rs := range co.sets {
-		ps := strconv.Itoa(p)
-		for _, m := range rs.members {
-			lat.Func(func() float64 { return float64(m.ewma.Load()) / float64(time.Second) }, ps, m.url)
-			healthy.Func(func() float64 { return b2f(m.healthy.Load()) }, ps, m.url)
-			insync.Func(func() float64 { return b2f(m.insync.Load()) }, ps, m.url)
-			applied.Func(func() float64 { return float64(m.applied.Load()) }, ps, m.url)
-		}
+	ps := strconv.Itoa(p)
+	for _, m := range rs.members {
+		m := m
+		co.mg.lat.Func(func() float64 { return float64(m.ewma.Load()) / float64(time.Second) }, ps, m.url)
+		co.mg.healthy.Func(func() float64 { return b2f(m.healthy.Load()) }, ps, m.url)
+		co.mg.insync.Func(func() float64 { return b2f(m.insync.Load()) }, ps, m.url)
+		co.mg.applied.Func(func() float64 { return float64(m.applied.Load()) }, ps, m.url)
 	}
 }
 
 // NumPartitions returns the number of partitions.
-func (co *Coordinator) NumPartitions() int { return len(co.sets) }
+func (co *Coordinator) NumPartitions() int { return len(co.rt().sets) }
+
+// Epoch returns the installed routing-table epoch.
+func (co *Coordinator) Epoch() uint64 { return co.rt().epoch() }
 
 // Fanouts reports how many scatter-gathers actually executed (tests
 // assert coordinator-level coalescing and cache hits against this).
@@ -312,10 +377,10 @@ func (co *Coordinator) Failovers() int64 { return co.failovers.Value() }
 func (co *Coordinator) Metrics() *metrics.Registry { return co.reg }
 
 // Primary returns the current primary base URL of partition p.
-func (co *Coordinator) Primary(p int) string { return co.sets[p].primaryMember().url }
+func (co *Coordinator) Primary(p int) string { return co.rt().sets[p].primaryMember().url }
 
 // Members returns partition p's member base URLs in declaration order.
-func (co *Coordinator) Members(p int) []string { return co.sets[p].urls() }
+func (co *Coordinator) Members(p int) []string { return co.rt().sets[p].urls() }
 
 // Close stops the background health checker. In-flight requests finish
 // normally; the coordinator itself remains usable.
@@ -361,7 +426,7 @@ func (co *Coordinator) allFailed(errs []server.PartitionError) *allFailedError {
 	}
 	return &allFailedError{
 		status: status,
-		msg:    fmt.Sprintf("shard: all %d partitions failed (partition 0: %s)", len(co.sets), errs[0].Error),
+		msg:    fmt.Sprintf("shard: all %d partitions failed (partition %d: %s)", len(errs), errs[0].Partition, errs[0].Error),
 	}
 }
 
@@ -464,7 +529,7 @@ func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	full := server.BoolParam(q.Get("full"))
 	key := fmt.Sprintf("snap|%d|%s|%t", t, attrs, full)
-	server.Annotate(r.Context(), "partitions", strconv.Itoa(len(co.sets)))
+	server.Annotate(r.Context(), "partitions", strconv.Itoa(co.NumPartitions()))
 	if full && wire.WantsStream(r.Header.Get("Accept")) {
 		// Chunked stream: the scatter legs are consumed run by run and
 		// merged incrementally — coordinator memory stays proportional to
@@ -486,13 +551,13 @@ func (co *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	v, shared, err := co.flights.Do(key, func() (any, error) {
 		co.fanouts.Inc()
 		gen := co.cacheGen()
-		parts, errs := scatterRead(co, parent, func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
+		parts, errs, rt := scatterRead(co, parent, func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
 			return cl.SnapshotCtx(ctx, t, attrs, full)
 		})
-		if len(errs) == len(co.sets) {
+		if len(errs) == len(rt.sets) {
 			return nil, co.allFailed(errs)
 		}
-		co.notePartial(errs)
+		co.notePartial(errs, len(rt.sets))
 		return flightMerge{v: mergeSnapshots(int64(t), parts, errs), gen: gen, complete: len(errs) == 0}, nil
 	})
 	if err != nil {
@@ -538,7 +603,7 @@ func (co *Coordinator) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	// every partition's local adjacency.
 	codec := wire.Negotiate(r.Header.Get("Accept"))
 	key := fmt.Sprintf("nbr|%d|%d|%s", t, node, attrs)
-	server.Annotate(r.Context(), "partitions", strconv.Itoa(len(co.sets)))
+	server.Annotate(r.Context(), "partitions", strconv.Itoa(co.NumPartitions()))
 	if co.writeCached(w, codec, key) {
 		server.Annotate(r.Context(), "cache", "merged-hit")
 		return
@@ -547,13 +612,13 @@ func (co *Coordinator) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	v, shared, err := co.flights.Do(key, func() (any, error) {
 		co.fanouts.Inc()
 		gen := co.cacheGen()
-		parts, errs := scatterRead(co, parent, func(ctx reqCtx, cl *server.Client) (*server.NeighborsJSON, error) {
+		parts, errs, rt := scatterRead(co, parent, func(ctx reqCtx, cl *server.Client) (*server.NeighborsJSON, error) {
 			return cl.NeighborsCtx(ctx, t, historygraph.NodeID(node), attrs)
 		})
-		if len(errs) == len(co.sets) {
+		if len(errs) == len(rt.sets) {
 			return nil, co.allFailed(errs)
 		}
-		co.notePartial(errs)
+		co.notePartial(errs, len(rt.sets))
 		return flightMerge{v: mergeNeighbors(int64(t), node, parts, errs), gen: gen, complete: len(errs) == 0}, nil
 	})
 	if err != nil {
@@ -605,7 +670,7 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	co.fanouts.Inc()
 	// Direct paths (no flight sharing) propagate the client's own
 	// cancellation: a closed connection cancels every leg immediately.
-	parts, errs := scatterRead(co, r.Context(), func(ctx reqCtx, cl *server.Client) ([]server.SnapshotJSON, error) {
+	parts, errs, rt := scatterRead(co, r.Context(), func(ctx reqCtx, cl *server.Client) ([]server.SnapshotJSON, error) {
 		batch, err := cl.SnapshotsCtx(ctx, times, attrs, full)
 		if err != nil {
 			return nil, err
@@ -615,11 +680,11 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		return batch, nil
 	})
-	if len(errs) == len(co.sets) {
+	if len(errs) == len(rt.sets) {
 		writeAllFailed(w, co.allFailed(errs))
 		return
 	}
-	co.notePartial(errs)
+	co.notePartial(errs, len(rt.sets))
 	out := make([]server.SnapshotJSON, len(times))
 	for i, t := range times {
 		slice := make([]*server.SnapshotJSON, len(parts))
@@ -649,14 +714,14 @@ func (co *Coordinator) handleInterval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	full := server.BoolParam(q.Get("full"))
-	parts, errs := scatterRead(co, r.Context(), func(ctx reqCtx, cl *server.Client) (*server.IntervalJSON, error) {
+	parts, errs, rt := scatterRead(co, r.Context(), func(ctx reqCtx, cl *server.Client) (*server.IntervalJSON, error) {
 		return cl.IntervalCtx(ctx, from, to, attrs, full)
 	})
-	if len(errs) == len(co.sets) {
+	if len(errs) == len(rt.sets) {
 		writeAllFailed(w, co.allFailed(errs))
 		return
 	}
-	co.notePartial(errs)
+	co.notePartial(errs, len(rt.sets))
 	server.WriteWire(w, r, http.StatusOK, mergeIntervals(parts, errs))
 }
 
@@ -673,14 +738,14 @@ func (co *Coordinator) handleExpr(w http.ResponseWriter, r *http.Request) {
 	// A TimeExpression decides membership element by element, and every
 	// element's history is confined to one partition — so evaluating the
 	// expression per partition and unioning is exact.
-	parts, errs := scatterRead(co, r.Context(), func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
+	parts, errs, rt := scatterRead(co, r.Context(), func(ctx reqCtx, cl *server.Client) (*server.SnapshotJSON, error) {
 		return cl.ExprCtx(ctx, req)
 	})
-	if len(errs) == len(co.sets) {
+	if len(errs) == len(rt.sets) {
 		writeAllFailed(w, co.allFailed(errs))
 		return
 	}
-	co.notePartial(errs)
+	co.notePartial(errs, len(rt.sets))
 	server.WriteWire(w, r, http.StatusOK, mergeSnapshots(0, parts, errs))
 }
 
@@ -694,7 +759,7 @@ func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusBadRequest, fmt.Errorf("bad append body: %w", err))
 		return
 	}
-	perPart := make([]historygraph.EventList, len(co.sets))
+	events := make(historygraph.EventList, 0, len(body))
 	minAt := historygraph.Time(0)
 	for i, ej := range body {
 		ev, err := server.EventFromJSON(ej)
@@ -709,33 +774,56 @@ func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 			server.WriteError(w, http.StatusUnprocessableEntity, fmt.Errorf("event %d: %w", i, err))
 			return
 		}
-		p := PartitionOf(ev, len(co.sets))
-		perPart[p] = append(perPart[p], ev)
+		events = append(events, ev)
 		if i == 0 || ev.At < minAt {
 			minAt = ev.At
 		}
 	}
+	// The append gate is held shared across the split and the scatter: a
+	// reshard cutover takes it exclusively, so the routing captured here
+	// stays installed for the whole append and the cutover's head freeze
+	// sees every in-flight batch durable.
+	co.appendGate.RLock()
+	defer co.appendGate.RUnlock()
+	rt := co.rt()
+	perPart := make([]historygraph.EventList, len(rt.sets))
+	for _, ev := range events {
+		p := rt.table.Partition(ev)
+		perPart[p] = append(perPart[p], ev)
+	}
 	// Every partition's primary gets its slice (possibly empty — an empty
 	// append still reports the worker's last_time, keeping the merged
-	// clock exact). A dead primary triggers failover inside appendToSet.
-	// Appends detach from the client's cancellation: aborting half-landed
-	// slices on a disconnect would leave the partitions inconsistent with
-	// no response to report the split.
-	server.Annotate(r.Context(), "partitions", strconv.Itoa(len(co.sets)))
-	parts, errs := scatter(co, context.WithoutCancel(r.Context()), func(ctx reqCtx, rs *replicaSet) (*server.AppendResult, error) {
-		return co.appendToSet(ctx, rs, perPart[ctx.part])
+	// clock exact). A dead primary triggers failover inside the scatter
+	// call. Batch IDs are minted up front so a leg fenced with 410 can be
+	// re-split and resent under the SAME ID — a fenced leg logged nothing
+	// locally, and any events the migration already copied to the new
+	// owner registered the ID there, so the resend dedupes instead of
+	// double-applying. Appends detach from the client's cancellation:
+	// aborting half-landed slices on a disconnect would leave the
+	// partitions inconsistent with no response to report the split.
+	server.Annotate(r.Context(), "partitions", strconv.Itoa(len(rt.sets)))
+	ids := make([]string, len(rt.sets))
+	for i := range ids {
+		ids[i] = newBatchID()
+	}
+	detached := context.WithoutCancel(r.Context())
+	parts, errs := scatter(co, rt, detached, func(ctx reqCtx, rs *replicaSet) (*server.AppendResult, error) {
+		return co.appendBatchToSet(ctx, rs, perPart[ctx.part], ids[ctx.part])
 	})
+	if staleEpoch(errs) {
+		parts, errs = co.retryGoneAppends(detached, rt, parts, errs, perPart, ids)
+	}
 	// Invalidate merged responses even on partial failure: some
 	// partitions' slices landed, so any cached merge depending on a
 	// timepoint >= minAt is stale.
 	if co.cache != nil && len(body) > 0 {
 		co.cache.InvalidateFrom(minAt)
 	}
-	if len(errs) == len(co.sets) {
+	if len(errs) > 0 && len(errs) == len(rt.sets) {
 		writeAllFailed(w, co.allFailed(errs))
 		return
 	}
-	co.notePartial(errs)
+	co.notePartial(errs, len(rt.sets))
 	out := server.AppendResult{Partial: errs}
 	for _, p := range parts {
 		if p == nil {
@@ -751,6 +839,77 @@ func (co *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	server.WriteWire(w, r, http.StatusOK, out)
+}
+
+// retryGoneAppends re-routes the 410-fenced legs of an append scatter: a
+// fenced leg was planned against a routing table the workers have moved
+// past (a cutover driven outside this coordinator's append gate — an
+// operator slot push or another coordinator's reshard). Each fenced
+// leg's events are re-split under the freshly installed table and resent
+// under the leg's ORIGINAL batch ID: the fenced leg logged nothing, and
+// any of its events the migration already copied to a new owner
+// registered the ID there, so the resend dedupes instead of
+// double-applying. One round only — a leg fenced again surfaces as an
+// error.
+func (co *Coordinator) retryGoneAppends(parent context.Context, old *routing, parts []*server.AppendResult, errs []server.PartitionError, perPart []historygraph.EventList, ids []string) ([]*server.AppendResult, []server.PartitionError) {
+	fresh := co.rt()
+	if fresh.epoch() == old.epoch() {
+		// Nothing newer installed here: the workers are ahead of this
+		// coordinator (see the OPERATIONS.md note on coordinator restarts)
+		// and the fence has to stand.
+		return parts, errs
+	}
+	co.reroutes.Inc()
+	var kept []server.PartitionError
+	for _, pe := range errs {
+		if pe.Status != http.StatusGone {
+			kept = append(kept, pe)
+			continue
+		}
+		resplit := make([]historygraph.EventList, len(fresh.sets))
+		for _, ev := range perPart[pe.Partition] {
+			np := fresh.table.Partition(ev)
+			resplit[np] = append(resplit[np], ev)
+		}
+		agg := &server.AppendResult{}
+		var ferr error
+		for np, slice := range resplit {
+			if len(slice) == 0 {
+				continue
+			}
+			res, err := co.sendAppendLeg(parent, fresh, np, slice, ids[pe.Partition])
+			if err != nil {
+				ferr = fmt.Errorf("rerouted to partition %d: %w", np, err)
+				break
+			}
+			agg.Appended += res.Appended
+			agg.Invalidated += res.Invalidated
+			agg.Deduped = agg.Deduped || res.Deduped
+			if res.LastTime > agg.LastTime {
+				agg.LastTime = res.LastTime
+			}
+		}
+		if ferr != nil {
+			pe.Error = ferr.Error()
+			pe.Status = 0
+			var he *server.HTTPError
+			if errors.As(ferr, &he) {
+				pe.Status = he.Status
+			}
+			kept = append(kept, pe)
+			continue
+		}
+		parts[pe.Partition] = agg
+	}
+	return parts, kept
+}
+
+// sendAppendLeg sends one re-routed append slice to partition np of rt,
+// stamped with rt's epoch and bounded by the partition timeout.
+func (co *Coordinator) sendAppendLeg(parent context.Context, rt *routing, np int, events historygraph.EventList, batch string) (*server.AppendResult, error) {
+	ctx, cancel := context.WithTimeout(parent, co.timeout)
+	defer cancel()
+	return co.appendBatchToSet(server.WithEpoch(ctx, rt.epoch()), rt.sets[np], events, batch)
 }
 
 // PartitionStatsJSON is one partition's section of the coordinator's
@@ -786,11 +945,14 @@ type CoCacheStatsJSON struct {
 // every partition's own stats.
 type StatsJSON struct {
 	Partitions       int                  `json:"partitions"`
+	Epoch            uint64               `json:"epoch"`
 	Requests         int64                `json:"requests"`
 	Fanouts          int64                `json:"fanouts"`
 	Coalesced        int64                `json:"coalesced"`
 	PartialResponses int64                `json:"partial_responses"`
 	Failovers        int64                `json:"failovers"`
+	Reshards         int64                `json:"reshards"`
+	Reroutes         int64                `json:"reroutes"`
 	Cache            *CoCacheStatsJSON    `json:"cache,omitempty"`
 	PerPartition     []PartitionStatsJSON `json:"per_partition"`
 }
@@ -800,18 +962,22 @@ func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	// round-robin: PartitionStatsJSON.URL names the primary, and rotating
 	// the source would misattribute follower counters to it (and make
 	// totals jump backwards between polls).
-	parts, errs := scatter(co, r.Context(), func(ctx reqCtx, rs *replicaSet) (*server.StatsJSON, error) {
+	rt := co.rt()
+	parts, errs := scatter(co, rt, r.Context(), func(ctx reqCtx, rs *replicaSet) (*server.StatsJSON, error) {
 		return rs.primaryMember().client.StatsCtx(ctx)
 	})
 	// The counters are read from the metrics registry — the same
 	// collectors GET /metrics renders — so the two surfaces cannot drift.
 	out := StatsJSON{
-		Partitions:       len(co.sets),
+		Partitions:       len(rt.sets),
+		Epoch:            rt.epoch(),
 		Requests:         co.ins.Requests(),
 		Fanouts:          co.fanouts.Value(),
 		Coalesced:        co.flights.Hits.Value(),
 		PartialResponses: co.partials.Value(),
 		Failovers:        co.failovers.Value(),
+		Reshards:         co.reshards.Value(),
+		Reroutes:         co.reroutes.Value(),
 	}
 	if co.cache != nil {
 		out.Cache = &CoCacheStatsJSON{
@@ -826,7 +992,7 @@ func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, pe := range errs {
 		failed[pe.Partition] = pe.Error
 	}
-	for p, rs := range co.sets {
+	for p, rs := range rt.sets {
 		ps := PartitionStatsJSON{Partition: p, URL: rs.primaryMember().url, Stats: parts[p]}
 		ps.Error = failed[p]
 		if len(rs.members) > 1 {
@@ -849,7 +1015,7 @@ func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 // job — conflating the two made orchestrators restart a healthy
 // coordinator because a worker box died.
 func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	server.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok", "partitions": len(co.sets)})
+	server.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok", "partitions": co.NumPartitions()})
 }
 
 // handleReadyz probes every member of every set — a partition with one
@@ -859,10 +1025,11 @@ func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // node that is up but still replaying its WAL (or lagging its primary)
 // counts as not ready here too.
 func (co *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rt := co.rt()
 	var mu sync.Mutex
 	var errs []server.PartitionError
 	var wg sync.WaitGroup
-	for p, rs := range co.sets {
+	for p, rs := range rt.sets {
 		for _, m := range rs.members {
 			wg.Add(1)
 			go func(p int, m *member) {
@@ -879,11 +1046,11 @@ func (co *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	if len(errs) == 0 {
-		server.WriteJSON(w, http.StatusOK, map[string]any{"status": "ready", "partitions": len(co.sets)})
+		server.WriteJSON(w, http.StatusOK, map[string]any{"status": "ready", "partitions": len(rt.sets)})
 		return
 	}
 	sort.Slice(errs, func(a, b int) bool { return errs[a].Partition < errs[b].Partition })
 	server.WriteJSON(w, http.StatusServiceUnavailable, map[string]any{
-		"status": "degraded", "partitions": len(co.sets), "partial": errs,
+		"status": "degraded", "partitions": len(rt.sets), "partial": errs,
 	})
 }

@@ -120,24 +120,25 @@ func (l *legStream) close() {
 // until streamCap expires. The per-partition leg counter and the
 // duration histogram observe the open (header answered), the phase the
 // partition timeout governs.
-func (co *Coordinator) openStreams(parent context.Context, t historygraph.Time, attrs string) (legs []*legStream, errs []server.PartitionError) {
-	legs = make([]*legStream, len(co.sets))
+func (co *Coordinator) openStreams(rt *routing, parent context.Context, t historygraph.Time, attrs string) (legs []*legStream, errs []server.PartitionError) {
+	legs = make([]*legStream, len(rt.sets))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for i := range co.sets {
+	for i := range rt.sets {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			part := strconv.Itoa(i)
 			co.legs.With(part).Inc()
 			begin := time.Now()
-			ctx, cancel := context.WithTimeout(parent, co.streamCap)
+			tctx, cancel := context.WithTimeout(parent, co.streamCap)
+			ctx := server.WithEpoch(tctx, rt.epoch())
 			// The open guard cancels the leg if no member has answered
 			// the stream header within the partition timeout; once the
 			// stream is live the guard is disarmed and only streamCap
 			// applies.
 			openGuard := time.AfterFunc(co.timeout, cancel)
-			ss, err := readFrom(ctx, parent, co.sets[i], func(cl *server.Client) (*server.SnapshotStream, error) {
+			ss, err := readFrom(ctx, parent, rt.sets[i], func(cl *server.Client) (*server.SnapshotStream, error) {
 				return cl.SnapshotStreamCtx(ctx, t, attrs)
 			})
 			openGuard.Stop()
@@ -191,7 +192,23 @@ func (co *Coordinator) streamSnapshot(w http.ResponseWriter, r *http.Request, t 
 	// at once (satisfying back-pressured workers included) instead of
 	// pinning workers until streamCap runs out.
 	parent := r.Context()
-	legs, errs := co.openStreams(parent, t, attrs)
+	rt := co.rt()
+	legs, errs := co.openStreams(rt, parent, t, attrs)
+	if staleEpoch(errs) {
+		// No bytes are committed yet at open time, so a routing-epoch fence
+		// gets one whole-scatter reopen against the fresh table — the same
+		// single-retry contract as scatterRead.
+		if fresh := co.awaitEpochChange(rt.epoch(), co.epochWait()); fresh != nil {
+			co.reroutes.Inc()
+			for _, l := range legs {
+				if l != nil {
+					l.close()
+				}
+			}
+			rt = fresh
+			legs, errs = co.openStreams(rt, parent, t, attrs)
+		}
+	}
 	live := make([]*legStream, 0, len(legs))
 	for _, l := range legs {
 		if l != nil {
@@ -336,7 +353,7 @@ func (co *Coordinator) streamSnapshot(w http.ResponseWriter, r *http.Request, t 
 		return
 	}
 	flush()
-	co.notePartial(errs)
+	co.notePartial(errs, len(rt.sets))
 	if capture != nil && len(errs) == 0 {
 		if body, ok := capture.Bytes(); ok {
 			co.cache.Insert(ck, t, body, wire.ContentTypeBinaryStream, gen)
